@@ -1,0 +1,140 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "nfa/analysis.h"
+
+namespace ca::bench {
+
+BenchConfig
+BenchConfig::fromEnv()
+{
+    BenchConfig cfg;
+    if (const char *s = std::getenv("CA_BENCH_SCALE"))
+        cfg.scale = std::atof(s);
+    if (const char *b = std::getenv("CA_BENCH_BYTES"))
+        cfg.streamBytes = static_cast<size_t>(std::atoll(b));
+    if (const char *full = std::getenv("CA_FULL_INPUT"))
+        if (full[0] == '1')
+            cfg.streamBytes = 10u << 20;
+    return cfg;
+}
+
+namespace {
+
+DesignRun
+measure(const MappedAutomaton &mapped, const Benchmark &spec,
+        const BenchConfig &cfg, bool simulate)
+{
+    DesignRun run;
+    run.states = mapped.nfa().numStates();
+    ComponentInfo cc = connectedComponents(mapped.nfa());
+    run.connectedComponents = cc.numComponents();
+    run.largestComponent = cc.largestSize();
+    run.partitions = mapped.numPartitions();
+    run.utilizationMB = mapped.utilizationMB();
+    run.budgetViolations = mapped.stats().budgetViolations;
+
+    if (simulate) {
+        auto input = benchmarkInput(spec, cfg.streamBytes, cfg.seed + 13,
+                                    cfg.scale, cfg.seed);
+        CacheAutomatonSim sim(mapped);
+        SimOptions opts;
+        opts.collectReports = false;
+        SimResult res = sim.run(input.data(), input.size(), opts);
+        run.avgActiveStates = res.avgActiveStates();
+        run.activity = res.activity();
+        run.reports = res.totalActiveStates ? res.outputBufferInterrupts
+                                            : 0;
+    }
+    return run;
+}
+
+} // namespace
+
+std::vector<BenchmarkRun>
+runSuite(const BenchConfig &cfg, bool simulate)
+{
+    std::vector<BenchmarkRun> out;
+    for (const Benchmark &b : benchmarkSuite()) {
+        std::fprintf(stderr, "[bench] %s: building...\n", b.name.c_str());
+        Nfa nfa = b.build(cfg.scale, cfg.seed);
+
+        BenchmarkRun run;
+        run.spec = &b;
+        MappedAutomaton perf = mapPerformance(nfa);
+        run.perf = measure(perf, b, cfg, simulate);
+        MappedAutomaton space = mapSpace(nfa);
+        run.space = measure(space, b, cfg, simulate);
+        out.push_back(std::move(run));
+    }
+    return out;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print() const
+{
+    std::vector<size_t> width(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size() && c < width.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto printRow = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < width.size(); ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            // First column left-aligned, the rest right-aligned.
+            if (c == 0)
+                std::printf("%-*s", static_cast<int>(width[c]),
+                            cell.c_str());
+            else
+                std::printf("  %*s", static_cast<int>(width[c]),
+                            cell.c_str());
+        }
+        std::printf("\n");
+    };
+    printRow(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c ? 2 : 0);
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto &row : rows_)
+        printRow(row);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+void
+banner(const std::string &title, const BenchConfig &cfg)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::printf("(suite scale %.2f, stream %zu KiB; set CA_BENCH_SCALE / "
+                "CA_BENCH_BYTES / CA_FULL_INPUT to change)\n\n",
+                cfg.scale, cfg.streamBytes >> 10);
+}
+
+} // namespace ca::bench

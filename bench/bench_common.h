@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared infrastructure for the table/figure reproduction binaries.
+ *
+ * Each bench binary regenerates one table or figure from the paper's
+ * evaluation (§5): it builds the 20-benchmark suite, maps it with both
+ * design policies, optionally simulates the benchmark input stream, and
+ * prints the same rows/series the paper reports, alongside the published
+ * values where they exist.
+ *
+ * Environment knobs:
+ *   CA_BENCH_SCALE  — suite scale factor (default 1.0 = published sizes).
+ *   CA_BENCH_BYTES  — simulated stream bytes (default 64 KiB; activity
+ *                     averages converge well before that).
+ *   CA_FULL_INPUT=1 — use the paper's 10 MB streams instead.
+ */
+#ifndef CA_BENCH_BENCH_COMMON_H
+#define CA_BENCH_BENCH_COMMON_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/mapping.h"
+#include "sim/engine.h"
+#include "workload/suite.h"
+
+namespace ca::bench {
+
+/** Everything a table needs about one benchmark under one design. */
+struct DesignRun
+{
+    size_t states = 0;
+    size_t connectedComponents = 0;
+    size_t largestComponent = 0;
+    size_t partitions = 0;
+    double utilizationMB = 0.0;
+    double avgActiveStates = 0.0;
+    ActivityStats activity;
+    size_t reports = 0;
+    size_t budgetViolations = 0;
+};
+
+/** One benchmark's measured results under both designs. */
+struct BenchmarkRun
+{
+    const Benchmark *spec = nullptr;
+    DesignRun perf;
+    DesignRun space;
+};
+
+/** Config resolved from the environment. */
+struct BenchConfig
+{
+    double scale = 1.0;
+    size_t streamBytes = 64 << 10;
+    uint64_t seed = kDefaultRuleSeed;
+
+    static BenchConfig fromEnv();
+};
+
+/**
+ * Builds, maps, and (optionally) simulates every suite benchmark.
+ * Progress notes go to stderr so stdout stays a clean table.
+ */
+std::vector<BenchmarkRun> runSuite(const BenchConfig &cfg,
+                                   bool simulate);
+
+/** Fixed-width table printer. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Renders to stdout with a separator under the header. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Geometric mean of a positive series. */
+double geomean(const std::vector<double> &values);
+
+/** Prints the standard bench banner (title + config). */
+void banner(const std::string &title, const BenchConfig &cfg);
+
+} // namespace ca::bench
+
+#endif // CA_BENCH_BENCH_COMMON_H

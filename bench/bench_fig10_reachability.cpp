@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Figure 10: the frequency / reachability / area trade-off of
+ * Cache Automaton design points against the DRAM Automata Processor.
+ */
+#include <cstdio>
+
+#include "arch/design.h"
+#include "arch/params.h"
+#include "bench_common.h"
+#include "core/string_utils.h"
+
+using namespace ca;
+using namespace ca::bench;
+
+int
+main()
+{
+    BenchConfig cfg = BenchConfig::fromEnv();
+    banner("Figure 10: performance vs reachability vs area", cfg);
+
+    const TechnologyParams &tech = defaultTech();
+
+    TablePrinter t({"Design point", "Freq", "Reachability", "Max fan-in",
+                    "Area (32K STEs)"});
+    for (const Design &d : {designCa4GHz(), designCaP(), designCaS()}) {
+        t.addRow({d.name, fixed(d.operatingFreqHz / 1e9, 1) + " GHz",
+                  fixed(designReachability(d), 0) + " states",
+                  std::to_string(designMaxFanIn(d)),
+                  fixed(designArea32k(d), 2) + " mm2"});
+    }
+    t.addRow({"AP (DRAM)", fixed(tech.apFreqHz / 1e6, 0) + " MHz",
+              fixed(tech.apReachability, 1) + " states",
+              std::to_string(tech.apMaxFanIn),
+              fixed(tech.apAreaMm2, 1) + " mm2"});
+    t.print();
+
+    // Design-space sweep: the figure's full frequency/reachability curve,
+    // produced by the same models at intermediate connectivity points.
+    std::printf("\n-- Design-space sweep (modelled custom points) --\n");
+    TablePrinter sweep({"Partition", "G1 wires", "G4 wires", "Freq",
+                        "Reachability", "Area (32K STEs)"});
+    struct Point { int p, g1, g4; };
+    for (const Point &pt : {Point{64, 0, 0}, Point{128, 8, 0},
+                            Point{256, 8, 0}, Point{256, 16, 0},
+                            Point{256, 16, 4}, Point{256, 16, 8},
+                            Point{512, 16, 8}}) {
+        Design d = designCustom(pt.p, pt.g1, pt.g4);
+        sweep.addRow({std::to_string(pt.p), std::to_string(pt.g1),
+                      std::to_string(pt.g4),
+                      fixed(d.operatingFreqHz / 1e9, 1) + " GHz",
+                      fixed(designReachability(d), 0) + " states",
+                      fixed(designArea32k(d), 2) + " mm2"});
+    }
+    sweep.print();
+
+    std::printf("\nPaper reference: 4 GHz @ 64 states; CA_P 2 GHz @ 361 "
+                "(1.5x AP's 230.5), 4.3 mm2;\nCA_S 1.2 GHz @ 936, 4.6 mm2; "
+                "AP 133 MHz, 38 mm2, fan-in 16 (CA: 256).\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Figure 7: per-benchmark throughput (Gb/s) of CA_P and CA_S
+ * against Micron's AP, plus the §5.1 headline speedups (15x / 9x over AP,
+ * 3840x over an x86 CPU via the published 256x AP-over-CPU factor).
+ *
+ * Memory-centric automata engines are input-independent (1 symbol/cycle),
+ * so every benchmark achieves the design's full rate — as in the paper,
+ * where the figure's bars are flat across benchmarks. The mapping is still
+ * validated per benchmark (a benchmark only earns its bar if it maps).
+ */
+#include <cstdio>
+
+#include "arch/comparison.h"
+#include "arch/design.h"
+#include "bench_common.h"
+#include "core/string_utils.h"
+
+using namespace ca;
+using namespace ca::bench;
+
+int
+main()
+{
+    BenchConfig cfg = BenchConfig::fromEnv();
+    banner("Figure 7: throughput in Gb/s (AP vs CA_P vs CA_S)", cfg);
+
+    Design cap = designCaP();
+    Design cas = designCaS();
+    double ap = apThroughputGbps();
+
+    auto runs = runSuite(cfg, /*simulate=*/false);
+
+    TablePrinter t({"Benchmark", "AP", "CA_P", "CA_S", "CA_P/AP",
+                    "CA_S/AP"});
+    std::vector<double> sp_p;
+    std::vector<double> sp_s;
+    for (const auto &r : runs) {
+        // A benchmark earns full rate only when its mapping is feasible.
+        bool ok_p = r.perf.budgetViolations == 0;
+        bool ok_s = r.space.budgetViolations == 0;
+        double tp = ok_p ? throughputGbps(cap.operatingFreqHz) : 0.0;
+        double ts = ok_s ? throughputGbps(cas.operatingFreqHz) : 0.0;
+        t.addRow({r.spec->name, fixed(ap, 2), fixed(tp, 2), fixed(ts, 2),
+                  fixed(tp / ap, 1) + "x", fixed(ts / ap, 1) + "x"});
+        if (ok_p)
+            sp_p.push_back(tp / ap);
+        if (ok_s)
+            sp_s.push_back(ts / ap);
+    }
+    t.print();
+
+    double gp = geomean(sp_p);
+    double gs = geomean(sp_s);
+    std::printf("\nGeomean speedup over AP: CA_P %.1fx (paper: 15x), "
+                "CA_S %.1fx (paper: 9x)\n", gp, gs);
+    std::printf("Composed speedup over x86 CPU (x%0.0f AP factor): "
+                "CA_P %.0fx (paper: 3840x)\n",
+                defaultTech().apOverCpuSpeedup,
+                gp * defaultTech().apOverCpuSpeedup);
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reproduces Figure 8: cache utilization (MB) of each benchmark under the
+ * CA_P and CA_S designs, plus the suite averages the paper headlines
+ * (1.2 MB and 0.72 MB).
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/string_utils.h"
+
+using namespace ca;
+using namespace ca::bench;
+
+int
+main()
+{
+    BenchConfig cfg = BenchConfig::fromEnv();
+    banner("Figure 8: cache utilization in MB (CA_P vs CA_S)", cfg);
+
+    auto runs = runSuite(cfg, /*simulate=*/false);
+
+    TablePrinter t({"Benchmark", "CA_P MB", "CA_S MB", "Savings MB"});
+    double sum_p = 0.0;
+    double sum_s = 0.0;
+    for (const auto &r : runs) {
+        t.addRow({r.spec->name, fixed(r.perf.utilizationMB, 3),
+                  fixed(r.space.utilizationMB, 3),
+                  fixed(r.perf.utilizationMB - r.space.utilizationMB, 3)});
+        sum_p += r.perf.utilizationMB;
+        sum_s += r.space.utilizationMB;
+    }
+    t.print();
+
+    std::printf("\nAverage: CA_P %.2f MB (paper: 1.2), CA_S %.2f MB "
+                "(paper: 0.72)\n",
+                sum_p / runs.size(), sum_s / runs.size());
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces Figure 9: (a) per-symbol energy of CA_P, CA_S, and an Ideal
+ * Automata Processor running the CA_S mapping; (b) average power. The
+ * energy model is driven by simulated per-cycle activity, exactly like the
+ * paper's methodology (VASim statistics into derived circuit constants).
+ */
+#include <cstdio>
+
+#include "arch/design.h"
+#include "arch/energy.h"
+#include "bench_common.h"
+#include "core/string_utils.h"
+
+using namespace ca;
+using namespace ca::bench;
+
+int
+main()
+{
+    BenchConfig cfg = BenchConfig::fromEnv();
+    banner("Figure 9: energy per symbol and average power", cfg);
+
+    Design cap = designCaP();
+    Design cas = designCaS();
+
+    auto runs = runSuite(cfg, /*simulate=*/true);
+
+    std::printf("-- (a) Energy per input symbol --\n");
+    TablePrinter ta({"Benchmark", "CA_P nJ", "CA_S nJ",
+                     "IdealAP(w/CA_S) nJ", "AP/CA_S"});
+    double sum_p = 0.0;
+    double sum_s = 0.0;
+    double sum_ap = 0.0;
+    for (const auto &r : runs) {
+        double ep =
+            computeEnergyPerSymbol(cap, r.perf.activity).totalPj() / 1e3;
+        double es =
+            computeEnergyPerSymbol(cas, r.space.activity).totalPj() / 1e3;
+        double eap =
+            idealApEnergyPerSymbolPj(r.space.activity, cas) / 1e3;
+        ta.addRow({r.spec->name, fixed(ep, 2), fixed(es, 2), fixed(eap, 2),
+                   es > 0 ? fixed(eap / es, 1) + "x" : "-"});
+        sum_p += ep;
+        sum_s += es;
+        sum_ap += eap;
+    }
+    ta.print();
+    std::printf("\nAverage: CA_P %.2f nJ, CA_S %.2f nJ (paper: 2.3 nJ), "
+                "Ideal AP w/CA_S %.2f nJ (paper: ~3x CA)\n",
+                sum_p / runs.size(), sum_s / runs.size(),
+                sum_ap / runs.size());
+
+    std::printf("\n-- (b) Average power --\n");
+    TablePrinter tb({"Benchmark", "CA_P W", "CA_S W"});
+    double psum_p = 0.0;
+    double psum_s = 0.0;
+    for (const auto &r : runs) {
+        double pp = averagePowerW(
+            computeEnergyPerSymbol(cap, r.perf.activity).totalPj(),
+            cap.operatingFreqHz);
+        double ps = averagePowerW(
+            computeEnergyPerSymbol(cas, r.space.activity).totalPj(),
+            cas.operatingFreqHz);
+        tb.addRow({r.spec->name, fixed(pp, 2), fixed(ps, 2)});
+        psum_p += pp;
+        psum_s += ps;
+    }
+    tb.print();
+    std::printf("\nAverage power: CA_P %.2f W, CA_S %.2f W "
+                "(max: CA_P 71.3 W, CA_S 14.9 W per paper; both far below "
+                "the 160 W TDP)\n",
+                psum_p / runs.size(), psum_s / runs.size());
+    return 0;
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the library's hot paths (not a
+ * paper table; quality-of-implementation): regex compilation, Glushkov
+ * lowering, the space pipeline, graph partitioning, mapping, the cycle
+ * simulator, and the CPU baselines.
+ */
+#include <benchmark/benchmark.h>
+
+#include "baseline/dfa_engine.h"
+#include "baseline/nfa_engine.h"
+#include "compiler/mapping.h"
+#include "nfa/dfa.h"
+#include "nfa/glushkov.h"
+#include "nfa/transform.h"
+#include "partition/graph.h"
+#include "partition/partitioner.h"
+#include "sim/engine.h"
+#include "workload/input_gen.h"
+#include "workload/rulegen.h"
+#include "workload/suite.h"
+
+namespace {
+
+using namespace ca;
+
+void
+BM_CompileRuleset(benchmark::State &state)
+{
+    auto rules = genSnortRules(static_cast<int>(state.range(0)), 7);
+    for (auto _ : state) {
+        Nfa nfa = compileRuleset(rules);
+        benchmark::DoNotOptimize(nfa.numStates());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CompileRuleset)->Arg(64)->Arg(256);
+
+void
+BM_SpacePipeline(benchmark::State &state)
+{
+    auto rules = genBrillRules(static_cast<int>(state.range(0)), 3);
+    Nfa base = compileRuleset(rules);
+    for (auto _ : state) {
+        Nfa nfa = base;
+        optimizeForSpace(nfa);
+        benchmark::DoNotOptimize(nfa.numStates());
+    }
+    state.SetItemsProcessed(state.iterations() * base.numStates());
+}
+BENCHMARK(BM_SpacePipeline)->Arg(128)->Arg(512);
+
+void
+BM_PartitionGraph(benchmark::State &state)
+{
+    std::string rule(static_cast<size_t>(state.range(0)), 'a');
+    Nfa nfa = compileRuleset({rule});
+    std::vector<StateId> members(nfa.numStates());
+    for (StateId s = 0; s < nfa.numStates(); ++s)
+        members[s] = s;
+    Graph g = Graph::fromNfaComponent(nfa, members);
+    int32_t k = static_cast<int32_t>((state.range(0) + 255) / 256);
+    for (auto _ : state) {
+        PartitionOptions opts;
+        opts.partCapacity = 256;
+        PartitionResult res = partitionGraph(g, k, opts);
+        benchmark::DoNotOptimize(res.edgeCut);
+    }
+}
+BENCHMARK(BM_PartitionGraph)->Arg(1024)->Arg(4096);
+
+void
+BM_MapPerformance(benchmark::State &state)
+{
+    auto rules = genSnortRules(static_cast<int>(state.range(0)), 5);
+    Nfa nfa = compileRuleset(rules);
+    for (auto _ : state) {
+        MappedAutomaton m = mapPerformance(nfa);
+        benchmark::DoNotOptimize(m.numPartitions());
+    }
+    state.SetItemsProcessed(state.iterations() * nfa.numStates());
+}
+BENCHMARK(BM_MapPerformance)->Arg(128)->Arg(512);
+
+void
+BM_SimThroughput(benchmark::State &state)
+{
+    const Benchmark &b = findBenchmark("Snort");
+    Nfa nfa = b.build(0.1, 1);
+    MappedAutomaton m = mapPerformance(nfa);
+    CacheAutomatonSim sim(m);
+    auto input = benchmarkInput(b, 64 << 10, 3, 0.1, 1);
+    SimOptions opts;
+    opts.collectReports = false;
+    for (auto _ : state) {
+        SimResult res = sim.run(input.data(), input.size(), opts);
+        benchmark::DoNotOptimize(res.totalActiveStates);
+    }
+    state.SetBytesProcessed(state.iterations() * input.size());
+}
+BENCHMARK(BM_SimThroughput);
+
+void
+BM_CpuNfaEngine(benchmark::State &state)
+{
+    const Benchmark &b = findBenchmark("Snort");
+    Nfa nfa = b.build(0.1, 1);
+    NfaEngine eng(nfa);
+    auto input = benchmarkInput(b, 64 << 10, 3, 0.1, 1);
+    for (auto _ : state) {
+        auto reports = eng.run(input);
+        benchmark::DoNotOptimize(reports.size());
+    }
+    state.SetBytesProcessed(state.iterations() * input.size());
+}
+BENCHMARK(BM_CpuNfaEngine);
+
+void
+BM_CpuDfaEngine(benchmark::State &state)
+{
+    Nfa nfa = compileRuleset(genExactMatchRules(16, 20, 3));
+    Dfa dfa = buildDfa(nfa, 1 << 16);
+    InputSpec spec;
+    spec.kind = StreamKind::Text;
+    auto input = buildInput(spec, 64 << 10, 2);
+    for (auto _ : state) {
+        auto reports = runDfa(dfa, input);
+        benchmark::DoNotOptimize(reports.size());
+    }
+    state.SetBytesProcessed(state.iterations() * input.size());
+}
+BENCHMARK(BM_CpuDfaEngine);
+
+} // namespace
+
+BENCHMARK_MAIN();

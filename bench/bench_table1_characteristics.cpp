@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces Table 1: benchmark characteristics (states, connected
+ * components, largest component, average active states) for both the
+ * performance-optimized and space-optimized automata, with the paper's
+ * published values printed alongside.
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/string_utils.h"
+
+using namespace ca;
+using namespace ca::bench;
+
+int
+main()
+{
+    BenchConfig cfg = BenchConfig::fromEnv();
+    banner("Table 1: benchmark characteristics (measured vs paper)", cfg);
+
+    auto runs = runSuite(cfg, /*simulate=*/true);
+
+    std::printf("-- Performance optimized --\n");
+    TablePrinter perf({"Benchmark", "States", "(paper)", "CCs", "(paper)",
+                       "LargestCC", "(paper)", "AvgActive", "(paper)"});
+    for (const auto &r : runs) {
+        perf.addRow({r.spec->name, std::to_string(r.perf.states),
+                     std::to_string(r.spec->paperPerf.states),
+                     std::to_string(r.perf.connectedComponents),
+                     std::to_string(r.spec->paperPerf.connectedComponents),
+                     std::to_string(r.perf.largestComponent),
+                     std::to_string(r.spec->paperPerf.largestComponent),
+                     fixed(r.perf.avgActiveStates, 2),
+                     fixed(r.spec->paperPerf.avgActiveStates, 2)});
+    }
+    perf.print();
+
+    std::printf("\n-- Space optimized --\n");
+    TablePrinter space({"Benchmark", "States", "(paper)", "CCs", "(paper)",
+                        "LargestCC", "(paper)", "AvgActive", "(paper)"});
+    for (const auto &r : runs) {
+        space.addRow({r.spec->name, std::to_string(r.space.states),
+                      std::to_string(r.spec->paperSpace.states),
+                      std::to_string(r.space.connectedComponents),
+                      std::to_string(
+                          r.spec->paperSpace.connectedComponents),
+                      std::to_string(r.space.largestComponent),
+                      std::to_string(r.spec->paperSpace.largestComponent),
+                      fixed(r.space.avgActiveStates, 2),
+                      fixed(r.spec->paperSpace.avgActiveStates, 2)});
+    }
+    space.print();
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces Table 2: crossbar switch parameters (size, delay, energy,
+ * area, count) for the L-switch and G-switches of both designs.
+ */
+#include <cstdio>
+
+#include "arch/design.h"
+#include "arch/switch_model.h"
+#include "bench_common.h"
+#include "core/string_utils.h"
+
+using namespace ca;
+using namespace ca::bench;
+
+namespace {
+
+void
+row(TablePrinter &t, const std::string &design, const SwitchSpec &s,
+    int count)
+{
+    t.addRow({design, s.name,
+              std::to_string(s.inputs) + "x" + std::to_string(s.outputs),
+              fixed(s.delayPs, 1) + " ps",
+              fixed(s.energyPjPerBit, 3) + " pJ/bit",
+              fixed(s.areaMm2, 4) + " mm2", std::to_string(count)});
+}
+
+} // namespace
+
+int
+main()
+{
+    BenchConfig cfg = BenchConfig::fromEnv();
+    banner("Table 2: switch parameters", cfg);
+
+    TablePrinter t({"Design", "Switch", "Size", "Delay", "Energy", "Area",
+                    "Count/32K-STE"});
+    Design cap = designCaP();
+    row(t, "CA_P", cap.lSwitch, cap.lSwitchesPer32k);
+    row(t, "CA_P", cap.gSwitch1, cap.g1SwitchesPer32k);
+    Design cas = designCaS();
+    row(t, "CA_S", cas.lSwitch, cas.lSwitchesPer32k);
+    row(t, "CA_S", cas.gSwitch1, cas.g1SwitchesPer32k);
+    row(t, "CA_S", *cas.gSwitch4, cas.g4SwitchesPer32k);
+    t.print();
+
+    std::printf("\nPaper reference: L 280x256 163.5ps/0.191pJ/0.033mm2; "
+                "G1(CA_P) 128x128 128ps/0.16pJ/0.011mm2;\n"
+                "G1(CA_S) 256x256 163ps/0.19pJ/0.032mm2; "
+                "G4 512x512 327ps/0.381pJ/0.1293mm2.\n");
+    return 0;
+}

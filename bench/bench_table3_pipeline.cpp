@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reproduces Table 3: pipeline stage delays and operating frequencies for
+ * the performance- and space-optimized designs.
+ */
+#include <cstdio>
+
+#include "arch/design.h"
+#include "bench_common.h"
+#include "core/string_utils.h"
+
+using namespace ca;
+using namespace ca::bench;
+
+int
+main()
+{
+    BenchConfig cfg = BenchConfig::fromEnv();
+    banner("Table 3: pipeline stage delays and operating frequency", cfg);
+
+    TablePrinter t({"Design", "State-Match", "G-Switch", "L-Switch",
+                    "Max Freq", "Operated"});
+    for (const Design &d : {designCaP(), designCaS()}) {
+        PipelineTiming timing = computeTiming(d);
+        t.addRow({d.name, fixed(timing.stateMatchPs, 0) + " ps",
+                  fixed(timing.gSwitchPs, 0) + " ps",
+                  fixed(timing.lSwitchPs, 0) + " ps",
+                  fixed(timing.maxFreqHz() / 1e9, 2) + " GHz",
+                  fixed(d.operatingFreqHz / 1e9, 1) + " GHz"});
+    }
+    t.print();
+
+    std::printf("\nPaper reference: CA_P 438/227/263 ps, 2.3 GHz max, "
+                "2 GHz operated;\n"
+                "CA_S 687/468/304 ps, 1.4 GHz max, 1.2 GHz operated.\n");
+    return 0;
+}

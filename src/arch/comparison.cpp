@@ -1,0 +1,79 @@
+#include "arch/comparison.h"
+
+#include "arch/energy.h"
+
+namespace ca {
+
+double
+throughputGbps(double freq_hz)
+{
+    return freq_hz * 8.0 / 1e9;
+}
+
+double
+runtimeMs(double megabytes, double freq_hz)
+{
+    double symbols = megabytes * 1024.0 * 1024.0;
+    return symbols / freq_hz * 1e3;
+}
+
+double
+apThroughputGbps(const TechnologyParams &tech)
+{
+    return throughputGbps(tech.apFreqHz);
+}
+
+double
+speedupOverAp(const Design &design, const TechnologyParams &tech)
+{
+    return design.operatingFreqHz / tech.apFreqHz;
+}
+
+double
+speedupOverCpu(const Design &design, const TechnologyParams &tech)
+{
+    return speedupOverAp(design, tech) * tech.apOverCpuSpeedup;
+}
+
+AcceleratorPoint
+harePublished()
+{
+    AcceleratorPoint p;
+    p.name = "HARE (W=32)";
+    p.throughputGbps = 3.9;
+    p.runtimeMsFor10MB = 20.48;
+    p.powerW = 125.0;
+    p.energyNjPerByte = 256.0;
+    p.areaMm2 = 80.0;
+    return p;
+}
+
+AcceleratorPoint
+uapPublished()
+{
+    AcceleratorPoint p;
+    p.name = "UAP";
+    p.throughputGbps = 5.3;
+    p.runtimeMsFor10MB = 15.83;
+    p.powerW = 0.507;
+    p.energyNjPerByte = 0.802;
+    p.areaMm2 = 5.67;
+    return p;
+}
+
+AcceleratorPoint
+caTable5Row(const Design &design, double energy_nj_per_symbol,
+            double input_megabytes)
+{
+    AcceleratorPoint p;
+    p.name = design.name;
+    p.throughputGbps = throughputGbps(design.operatingFreqHz);
+    p.runtimeMsFor10MB = runtimeMs(input_megabytes, design.operatingFreqHz);
+    p.energyNjPerByte = energy_nj_per_symbol;
+    p.powerW = averagePowerW(energy_nj_per_symbol * 1e3,
+                             design.operatingFreqHz);
+    p.areaMm2 = designArea32k(design);
+    return p;
+}
+
+} // namespace ca

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reference accelerator models: Micron AP, UAP, HARE, and the CPU baseline
+ * composition (§5.1, §5.6, Table 5, Figure 7).
+ *
+ * Throughputs for memory-centric engines are deterministic (one symbol per
+ * cycle), so AP/CA throughput comparisons reduce to frequency ratios. The
+ * UAP and HARE rows reproduce the paper's published Table 5 constants;
+ * they are reference points, not simulations.
+ */
+#ifndef CA_ARCH_COMPARISON_H
+#define CA_ARCH_COMPARISON_H
+
+#include <string>
+#include <vector>
+
+#include "arch/design.h"
+#include "arch/params.h"
+
+namespace ca {
+
+/** One accelerator row for Table 5. */
+struct AcceleratorPoint
+{
+    std::string name;
+    double throughputGbps = 0.0;
+    double runtimeMsFor10MB = 0.0;
+    double powerW = 0.0;
+    double energyNjPerByte = 0.0;
+    double areaMm2 = 0.0;
+};
+
+/** Deterministic symbol throughput in Gb/s for a frequency (8b symbols). */
+double throughputGbps(double freq_hz);
+
+/** Runtime in ms for @p megabytes of input at @p freq_hz (1 symbol/cycle). */
+double runtimeMs(double megabytes, double freq_hz);
+
+/** Micron AP reference throughput (133 MHz, 1 symbol/cycle). */
+double apThroughputGbps(const TechnologyParams &tech = defaultTech());
+
+/** CA-over-AP speedup for a design (frequency ratio). */
+double speedupOverAp(const Design &design,
+                     const TechnologyParams &tech = defaultTech());
+
+/** CA-over-CPU speedup composed via the published AP/CPU factor. */
+double speedupOverCpu(const Design &design,
+                      const TechnologyParams &tech = defaultTech());
+
+/** Published HARE (W=32) row for the Dotstar0.9 workload (Table 5). */
+AcceleratorPoint harePublished();
+
+/** Published UAP row for the Dotstar0.9 workload (Table 5). */
+AcceleratorPoint uapPublished();
+
+/**
+ * Builds a CA row for Table 5 from this library's own models.
+ * @param energy_nj_per_symbol measured by the simulator on Dotstar0.9.
+ */
+AcceleratorPoint caTable5Row(const Design &design,
+                             double energy_nj_per_symbol,
+                             double input_megabytes = 10.0);
+
+} // namespace ca
+
+#endif // CA_ARCH_COMPARISON_H

@@ -1,0 +1,240 @@
+#include "arch/design.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace ca {
+
+Design
+designCaP()
+{
+    Design d;
+    d.name = "CA_P";
+    d.kind = DesignKind::Performance;
+    d.stesPerMatchRead = 256;
+    d.partitionStes = 256;
+    d.lSwitch = lSwitchSpec();
+    d.gSwitch1 = gSwitch1WayPerf();
+    d.gSwitch4.reset();
+    d.g1WiresPerPartition = 16;
+    d.g4WiresPerPartition = 0;
+    d.gWireDistanceMm = 1.5;
+    d.lWireDistanceMm = 1.5;
+    // Table 2 lists 64 L + 8 G1 per slice (16K usable STEs); doubled here
+    // for the 32K-STE complement Figure 10 reports area against.
+    d.lSwitchesPer32k = 128;
+    d.g1SwitchesPer32k = 16;
+    d.g4SwitchesPer32k = 0;
+    d.operatingFreqHz = 2.0e9;
+    d.waysUsable = 8;
+    return d;
+}
+
+Design
+designCaS()
+{
+    Design d;
+    d.name = "CA_S";
+    d.kind = DesignKind::Space;
+    // CA_S packs both array halves: 512 STEs read per sub-array.
+    d.stesPerMatchRead = 512;
+    d.partitionStes = 256;
+    d.lSwitch = lSwitchSpec();
+    d.gSwitch1 = gSwitch1WaySpace();
+    d.gSwitch4 = gSwitch4WaySpace();
+    d.g1WiresPerPartition = 16;
+    d.g4WiresPerPartition = 8;
+    // Longer wires: richer connectivity spans 4 ways (§5.1 gives the CA_S
+    // G stage as 468 ps = 327 ps switch + ~141 ps wire => ~2.14 mm).
+    d.gWireDistanceMm = 2.14;
+    d.lWireDistanceMm = 2.13;
+    d.lSwitchesPer32k = 128;
+    d.g1SwitchesPer32k = 8;
+    d.g4SwitchesPer32k = 1;
+    d.operatingFreqHz = 1.2e9;
+    d.waysUsable = 8;
+    return d;
+}
+
+Design
+designCa4GHz()
+{
+    Design d;
+    d.name = "CA_4GHz";
+    d.kind = DesignKind::Custom;
+    d.stesPerMatchRead = 64;
+    d.partitionStes = 64;
+    d.lSwitch = modelSwitch("L-switch(64)", 64, 64);
+    d.gSwitch1 = modelSwitch("none", 1, 1);
+    d.gSwitch1.delayPs = 0.0;
+    d.gSwitch1.energyPjPerBit = 0.0;
+    d.gSwitch1.areaMm2 = 0.0;
+    d.gSwitch4.reset();
+    d.g1WiresPerPartition = 0;
+    d.g4WiresPerPartition = 0;
+    d.gWireDistanceMm = 0.0;
+    d.lWireDistanceMm = 0.5;
+    d.lSwitchesPer32k = 512; // 64-STE partitions
+    d.g1SwitchesPer32k = 0;
+    d.g4SwitchesPer32k = 0;
+    d.operatingFreqHz = 4.0e9;
+    d.waysUsable = 8;
+    return d;
+}
+
+Design
+designCustom(int partition_stes, int g1_wires_per_partition,
+             int g4_wires_per_partition, int ways_usable)
+{
+    CA_FATAL_IF(partition_stes <= 0 || partition_stes > 512,
+                "partition size " << partition_stes << " out of range");
+    Design d;
+    d.kind = DesignKind::Custom;
+    d.name = "CA_" + std::to_string(partition_stes) + "p" +
+        std::to_string(g1_wires_per_partition) + "g";
+    d.stesPerMatchRead = partition_stes;
+    d.partitionStes = partition_stes;
+    d.g1WiresPerPartition = g1_wires_per_partition;
+    d.g4WiresPerPartition = g4_wires_per_partition;
+    d.waysUsable = ways_usable;
+
+    // L-switch: partition inputs plus the incoming G wires.
+    int l_in = partition_stes + g1_wires_per_partition +
+        g4_wires_per_partition;
+    d.lSwitch = modelSwitch("L-switch", l_in, partition_stes);
+
+    // One G1 switch serves a way's worth of partitions; its radix is the
+    // wires contributed by up to 8 partitions (a 16 KB sub-array holds
+    // 512/partition_stes partitions; 8 sub-arrays per way).
+    int partitions_per_way = std::max(1, 512 / partition_stes) * 8;
+    int g1_radix = std::max(1, g1_wires_per_partition *
+                                   std::min(partitions_per_way, 8));
+    if (g1_wires_per_partition > 0)
+        d.gSwitch1 = modelSwitch("G-switch(1 way)", g1_radix, g1_radix);
+    else {
+        d.gSwitch1 = modelSwitch("none", 1, 1);
+        d.gSwitch1.delayPs = 0.0;
+        d.gSwitch1.energyPjPerBit = 0.0;
+        d.gSwitch1.areaMm2 = 0.0;
+    }
+    if (g4_wires_per_partition > 0) {
+        int g4_radix = g4_wires_per_partition * 64;
+        d.gSwitch4 = modelSwitch("G-switch(4 ways)", g4_radix, g4_radix);
+    } else {
+        d.gSwitch4.reset();
+    }
+
+    // Wires lengthen with connectivity reach.
+    d.gWireDistanceMm = g4_wires_per_partition > 0 ? 2.14 : 1.5;
+    d.lWireDistanceMm = g4_wires_per_partition > 0 ? 2.13 : 1.5;
+    if (g1_wires_per_partition == 0) {
+        d.gWireDistanceMm = 0.0;
+        d.lWireDistanceMm = 0.5;
+    }
+
+    // Switch population per 32K STEs.
+    d.lSwitchesPer32k = 32768 / partition_stes;
+    d.g1SwitchesPer32k = g1_wires_per_partition > 0
+        ? std::max(1, d.lSwitchesPer32k * g1_wires_per_partition /
+                           std::max(1, d.gSwitch1.inputs))
+        : 0;
+    d.g4SwitchesPer32k = g4_wires_per_partition > 0
+        ? std::max(1, d.lSwitchesPer32k * g4_wires_per_partition /
+                           std::max(1, d.gSwitch4->inputs))
+        : 0;
+
+    // Derated operating frequency from the stage-limited max.
+    PipelineTiming t = computeTiming(d);
+    d.operatingFreqHz =
+        std::floor(t.maxFreqHz() / 1e8) * 1e8;
+    return d;
+}
+
+double
+PipelineTiming::clockPeriodPs() const
+{
+    return std::max({stateMatchPs, gSwitchPs, lSwitchPs});
+}
+
+double
+PipelineTiming::maxFreqHz() const
+{
+    double period = clockPeriodPs();
+    CA_ASSERT(period > 0.0);
+    return 1.0e12 / period;
+}
+
+PipelineTiming
+computeTiming(const Design &design, const TimingOptions &opts,
+              const TechnologyParams &tech)
+{
+    PipelineTiming t;
+
+    int steps = (design.stesPerMatchRead + tech.bitsPerSenseStep - 1) /
+        tech.bitsPerSenseStep;
+    if (opts.senseAmpCycling) {
+        // Parallel pre-charge, then cycled sensing of the multiplexed bits.
+        t.stateMatchPs = tech.prechargeRwlPs + steps * tech.senseStepPs;
+    } else {
+        // Baseline sequence: one full array cycle per column-mux group.
+        t.stateMatchPs = steps * tech.sramCyclePs;
+    }
+
+    double wire_ps_per_mm =
+        opts.useHBusWires ? tech.hbusDelayPsPerMm : tech.wireDelayPsPerMm;
+
+    double g_delay = design.gSwitch1.delayPs;
+    if (design.gSwitch4)
+        g_delay = std::max(g_delay, design.gSwitch4->delayPs);
+    t.gSwitchPs = design.g1WiresPerPartition > 0 ||
+            design.g4WiresPerPartition > 0
+        ? g_delay + design.gWireDistanceMm * wire_ps_per_mm
+        : 0.0;
+
+    t.lSwitchPs = design.lSwitch.delayPs +
+        design.lWireDistanceMm * wire_ps_per_mm;
+    return t;
+}
+
+double
+designReachability(const Design &design)
+{
+    // Each state reaches its whole partition through the L-switch. A
+    // g1-wire grants (fractionally, averaged over the partition) access to
+    // every other partition in its G1 domain; g4-wires extend that to the
+    // G4 domain. Domain sizes follow from the switch radices.
+    double reach = design.partitionStes;
+    if (design.g1WiresPerPartition > 0) {
+        int n1 = design.gSwitch1.inputs /
+            std::max(1, design.g1WiresPerPartition);
+        reach += static_cast<double>(design.g1WiresPerPartition) *
+            std::max(0, n1 - 1);
+        if (design.gSwitch4 && design.g4WiresPerPartition > 0) {
+            int n4 = design.gSwitch4->inputs /
+                std::max(1, design.g4WiresPerPartition);
+            reach += static_cast<double>(design.g4WiresPerPartition) *
+                std::max(0, n4 - n1);
+        }
+    }
+    return reach;
+}
+
+int
+designMaxFanIn(const Design &design)
+{
+    return design.lSwitch.outputs;
+}
+
+double
+designArea32k(const Design &design)
+{
+    return design.lSwitchesPer32k * design.lSwitch.areaMm2 +
+        design.g1SwitchesPer32k * design.gSwitch1.areaMm2 +
+        (design.gSwitch4
+             ? design.g4SwitchesPer32k * design.gSwitch4->areaMm2
+             : 0.0);
+}
+
+} // namespace ca

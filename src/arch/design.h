@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Cache Automaton design points and the pipeline timing model.
+ *
+ * The paper evaluates two designs (§3.1): CA_P (performance-optimized,
+ * intra-way connectivity, 2 GHz) and CA_S (space-optimized, cross-way
+ * connectivity via a 4-way G-switch, 1.2 GHz). A design point bundles the
+ * interconnect configuration with everything the timing/energy/area models
+ * need; custom points support the Figure 10 reachability sweep.
+ */
+#ifndef CA_ARCH_DESIGN_H
+#define CA_ARCH_DESIGN_H
+
+#include <optional>
+#include <string>
+
+#include "arch/params.h"
+#include "arch/switch_model.h"
+
+namespace ca {
+
+/** Which mapping/interconnect flavour a design uses. */
+enum class DesignKind { Performance, Space, Custom };
+
+/** A complete Cache Automaton configuration. */
+struct Design
+{
+    std::string name;
+    DesignKind kind = DesignKind::Performance;
+
+    /** STEs read per partition in the match stage (256 CA_P, 512 CA_S). */
+    int stesPerMatchRead = 256;
+    /** STEs per mapped partition (L-switch domain). */
+    int partitionStes = 256;
+
+    SwitchSpec lSwitch;
+    SwitchSpec gSwitch1;                ///< Intra-way global switch.
+    std::optional<SwitchSpec> gSwitch4; ///< Cross-way switch (CA_S only).
+
+    /** Wires a partition can drive into G-switch-1 / G-switch-4. */
+    int g1WiresPerPartition = 16;
+    int g4WiresPerPartition = 8;
+
+    /** Array-to-G-switch wire distance (mm); 1.5 for CA_P per §5.1. */
+    double gWireDistanceMm = 1.5;
+    /** G-switch-to-L-switch wire distance (mm). */
+    double lWireDistanceMm = 1.5;
+
+    /** Number of L-switches (partitions) per 32K-STE complement. */
+    int lSwitchesPer32k = 128;
+    int g1SwitchesPer32k = 8;
+    int g4SwitchesPer32k = 0;
+
+    /** Chosen operating frequency (conservative vs the max; §5.1). */
+    double operatingFreqHz = 2.0e9;
+
+    /** Ways of a slice the design may occupy. */
+    int waysUsable = 8;
+};
+
+/** The performance-optimized design CA_P (2 GHz, intra-way G-switches). */
+Design designCaP();
+
+/** The space-optimized design CA_S (1.2 GHz, adds a 4-way G-switch). */
+Design designCaS();
+
+/**
+ * The Figure 10 "highly performance optimized" corner: 64-STE partitions,
+ * no global switches, 4 GHz, reachability 64.
+ */
+Design designCa4GHz();
+
+/**
+ * A custom design point for Figure 10-style sweeps: partition size and
+ * G-wire budgets are free; switch radices, timing, reachability, and area
+ * follow from the models. The operating frequency is set to the max
+ * stage-limited frequency rounded down to 0.1 GHz (the paper's derating).
+ */
+Design designCustom(int partition_stes, int g1_wires_per_partition,
+                    int g4_wires_per_partition, int ways_usable = 8);
+
+/** Pipeline stage delays (Table 3) and the frequencies they imply. */
+struct PipelineTiming
+{
+    double stateMatchPs = 0.0;
+    double gSwitchPs = 0.0;
+    double lSwitchPs = 0.0;
+
+    double clockPeriodPs() const;
+    /** Max frequency = 1 / slowest stage. */
+    double maxFreqHz() const;
+};
+
+/** Knobs for the Table 4 sensitivity studies. */
+struct TimingOptions
+{
+    bool senseAmpCycling = true;
+    bool useHBusWires = false;
+};
+
+/**
+ * Computes the three pipeline stage delays for @p design.
+ *
+ * State-match: pre-charge/RWL + ceil(stesPerMatchRead / 64) sense steps
+ * with cycling, or that many full array cycles without (§2.6).
+ * G-switch stage: array→switch wire + G-switch delay (the slowest G level).
+ * L-switch stage: switch→L wire + L-switch delay.
+ */
+PipelineTiming computeTiming(const Design &design,
+                             const TimingOptions &opts = {},
+                             const TechnologyParams &tech = defaultTech());
+
+/**
+ * Architectural reachability (Figure 10): average number of states a state
+ * can reach in one transition hop domain — its own partition plus the
+ * partitions its G-switch wires fan out to.
+ */
+double designReachability(const Design &design);
+
+/** Max fan-in per state (L-switch inputs per output; 256 for CA). */
+int designMaxFanIn(const Design &design);
+
+/** Interconnect area (mm^2) for a 32K-STE complement (Figure 10). */
+double designArea32k(const Design &design);
+
+} // namespace ca
+
+#endif // CA_ARCH_DESIGN_H

@@ -1,0 +1,75 @@
+#include "arch/energy.h"
+
+namespace ca {
+
+EnergyBreakdown
+computeEnergyPerSymbol(const Design &design, const ActivityStats &activity,
+                       const TechnologyParams &tech)
+{
+    EnergyBreakdown e;
+
+    // Match phase: one sub-array read per active partition.
+    e.arrayPj = activity.avgActivePartitions * tech.arrayAccessPj;
+
+    // L-switch: pre-charging all output bit-lines of each active partition
+    // dominates (the crossbar is active-low wired-OR), so the per-access
+    // cost is outputs x pJ/bit.
+    e.lSwitchPj = activity.avgActivePartitions *
+        design.lSwitch.outputs * design.lSwitch.energyPjPerBit;
+
+    // G-switches: each crossing drives one input wire through the switch;
+    // energy is per-bit on the traversed column.
+    e.gSwitchPj = activity.avgG1Crossings *
+            design.gSwitch1.outputs * design.gSwitch1.energyPjPerBit /
+            design.gSwitch1.inputs +
+        (design.gSwitch4 ? activity.avgG4Crossings *
+                 design.gSwitch4->outputs *
+                 design.gSwitch4->energyPjPerBit / design.gSwitch4->inputs
+                         : 0.0);
+
+    // Wires: array -> G-switch -> L-switch round trip per crossing, plus
+    // the array -> L-switch hop every active partition pays.
+    double g_round_trip_mm = 2.0 * design.gWireDistanceMm;
+    e.wirePj = (activity.avgG1Crossings + activity.avgG4Crossings) *
+            g_round_trip_mm * tech.wireEnergyPjPerMmBit +
+        activity.avgActivePartitions * design.lWireDistanceMm *
+            tech.wireEnergyPjPerMmBit;
+
+    return e;
+}
+
+double
+idealApEnergyPerSymbolPj(const ActivityStats &activity, const Design &design,
+                         const TechnologyParams &tech)
+{
+    // A DRAM row activation per active partition, 1 pJ/bit over the
+    // partition's one-hot row width; interconnect assumed free.
+    return activity.avgActivePartitions * design.partitionStes *
+        tech.dramAccessPjPerBit;
+}
+
+double
+averagePowerW(double energy_per_symbol_pj, double freq_hz)
+{
+    return energy_per_symbol_pj * 1e-12 * freq_hz;
+}
+
+double
+peakPowerW(const Design &design, int allocated_partitions,
+           const TechnologyParams &tech)
+{
+    ActivityStats peak;
+    peak.avgActivePartitions = allocated_partitions;
+    peak.avgActiveStates =
+        static_cast<double>(allocated_partitions) * design.partitionStes;
+    peak.avgG1Crossings =
+        static_cast<double>(allocated_partitions) *
+        design.g1WiresPerPartition;
+    peak.avgG4Crossings =
+        static_cast<double>(allocated_partitions) *
+        design.g4WiresPerPartition;
+    EnergyBreakdown e = computeEnergyPerSymbol(design, peak, tech);
+    return averagePowerW(e.totalPj(), design.operatingFreqHz);
+}
+
+} // namespace ca

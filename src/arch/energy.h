@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Energy and power models (§5.3, Figure 9).
+ *
+ * Per-symbol energy is activity-driven, exactly as in the paper: the
+ * functional simulator reports per-cycle active partitions and G-switch
+ * crossings, and this model converts those into pJ using the Table 2
+ * per-access constants. The Ideal-AP reference assumes zero interconnect
+ * energy and an optimistic 1 pJ/bit DRAM array access.
+ */
+#ifndef CA_ARCH_ENERGY_H
+#define CA_ARCH_ENERGY_H
+
+#include "arch/design.h"
+#include "arch/params.h"
+
+namespace ca {
+
+/** Per-symbol activity factors, averaged over a simulated input stream. */
+struct ActivityStats
+{
+    /** Mean partitions with >= 1 active state (each costs an array access
+     *  and an L-switch traversal; idle partitions are clock-gated via the
+     *  wired-OR partition-disable circuit). */
+    double avgActivePartitions = 0.0;
+    /** Mean active states per symbol (drives L-switch input energy). */
+    double avgActiveStates = 0.0;
+    /** Mean state transitions crossing G-switch-1 per symbol. */
+    double avgG1Crossings = 0.0;
+    /** Mean state transitions crossing G-switch-4 per symbol. */
+    double avgG4Crossings = 0.0;
+};
+
+/** Energy breakdown per input symbol (picojoules). */
+struct EnergyBreakdown
+{
+    double arrayPj = 0.0;
+    double lSwitchPj = 0.0;
+    double gSwitchPj = 0.0;
+    double wirePj = 0.0;
+
+    double totalPj() const
+    {
+        return arrayPj + lSwitchPj + gSwitchPj + wirePj;
+    }
+};
+
+/** Per-symbol energy of a Cache Automaton design under @p activity. */
+EnergyBreakdown computeEnergyPerSymbol(
+    const Design &design, const ActivityStats &activity,
+    const TechnologyParams &tech = defaultTech());
+
+/**
+ * Ideal Automata Processor per-symbol energy under the same mapping:
+ * zero interconnect energy, 1 pJ/bit DRAM row reads for active partitions.
+ */
+double idealApEnergyPerSymbolPj(const ActivityStats &activity,
+                                const Design &design,
+                                const TechnologyParams &tech = defaultTech());
+
+/** Average power (W) = energy/symbol * symbol rate. */
+double averagePowerW(double energy_per_symbol_pj, double freq_hz);
+
+/**
+ * Peak power (W): every allocated partition active with a full active-state
+ * vector (used for the §5.3 TDP discussion and the OS-scheduling hints).
+ */
+double peakPowerW(const Design &design, int allocated_partitions,
+                  const TechnologyParams &tech = defaultTech());
+
+} // namespace ca
+
+#endif // CA_ARCH_ENERGY_H

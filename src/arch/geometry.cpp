@@ -1,0 +1,66 @@
+#include "arch/geometry.h"
+
+#include "core/error.h"
+
+namespace ca {
+
+CacheGeometry::CacheGeometry(const TechnologyParams &tech,
+                             int stes_per_sub_array)
+    : tech_(tech)
+{
+    CA_FATAL_IF(stes_per_sub_array % tech.partitionStes != 0,
+                "sub-array STE capacity " << stes_per_sub_array
+                                          << " is not a whole number of "
+                                          << tech.partitionStes
+                                          << "-STE partitions");
+    partitions_per_sub_array_ = stes_per_sub_array / tech.partitionStes;
+    CA_FATAL_IF(partitions_per_sub_array_ < 1 ||
+                    partitions_per_sub_array_ > 2,
+                "a 16 KB sub-array holds 1 or 2 partitions, not "
+                    << partitions_per_sub_array_);
+}
+
+int
+CacheGeometry::partitionsPerWay() const
+{
+    return tech_.subArraysPerWay * partitions_per_sub_array_;
+}
+
+int
+CacheGeometry::partitionsPerSlice(int ways_usable) const
+{
+    CA_FATAL_IF(ways_usable < 1 || ways_usable > tech_.waysPerSlice,
+                "ways_usable " << ways_usable << " out of range");
+    return partitionsPerWay() * ways_usable;
+}
+
+double
+CacheGeometry::megabytes(int partitions) const
+{
+    return static_cast<double>(partitions) * tech_.partitionBytes /
+        (1024.0 * 1024.0);
+}
+
+CacheFootprint
+CacheGeometry::footprint(int partitions, int ways_usable) const
+{
+    CacheFootprint fp;
+    fp.partitions = partitions;
+    fp.subArrays = (partitions + partitions_per_sub_array_ - 1) /
+        partitions_per_sub_array_;
+    fp.ways = (fp.subArrays + tech_.subArraysPerWay - 1) /
+        tech_.subArraysPerWay;
+    int per_slice = ways_usable;
+    fp.slices = (fp.ways + per_slice - 1) / per_slice;
+    fp.megabytes = megabytes(partitions);
+    return fp;
+}
+
+long long
+CacheGeometry::capacityStes(int slices, int ways_usable) const
+{
+    return static_cast<long long>(slices) *
+        partitionsPerSlice(ways_usable) * tech_.partitionStes;
+}
+
+} // namespace ca

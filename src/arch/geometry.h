@@ -1,0 +1,57 @@
+/**
+ * @file
+ * LLC slice geometry helpers (§2.4, Figure 2).
+ *
+ * Translates STE/partition counts into cache resources: sub-arrays, ways,
+ * slices, and megabytes — the quantities Figure 8 (cache utilization)
+ * reports and the placement stage of the compiler allocates against.
+ */
+#ifndef CA_ARCH_GEOMETRY_H
+#define CA_ARCH_GEOMETRY_H
+
+#include "arch/params.h"
+
+namespace ca {
+
+/** Resource footprint of a mapped automaton. */
+struct CacheFootprint
+{
+    int partitions = 0;
+    int subArrays = 0;
+    int ways = 0;
+    int slices = 0;
+    double megabytes = 0.0;
+};
+
+/** Geometry calculator over the Xeon-E5-style slice of TechnologyParams. */
+class CacheGeometry
+{
+  public:
+    explicit CacheGeometry(const TechnologyParams &tech = defaultTech(),
+                           int stes_per_sub_array = 256);
+
+    int stesPerPartition() const { return tech_.partitionStes; }
+
+    /** Partitions hosted per 16 KB sub-array (1 for CA_P, 2 for CA_S). */
+    int partitionsPerSubArray() const { return partitions_per_sub_array_; }
+
+    int partitionsPerWay() const;
+    int partitionsPerSlice(int ways_usable) const;
+
+    /** Cache bytes consumed by @p partitions allocated partitions. */
+    double megabytes(int partitions) const;
+
+    /** Full footprint for @p partitions under @p ways_usable per slice. */
+    CacheFootprint footprint(int partitions, int ways_usable) const;
+
+    /** Max STEs storable in @p slices x @p ways_usable. */
+    long long capacityStes(int slices, int ways_usable) const;
+
+  private:
+    TechnologyParams tech_;
+    int partitions_per_sub_array_;
+};
+
+} // namespace ca
+
+#endif // CA_ARCH_GEOMETRY_H

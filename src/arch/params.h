@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Technology and geometry constants for the Cache Automaton models.
+ *
+ * Every number here is taken from the paper (MICRO-50 2017, §4-5, Tables
+ * 2-3) or derived from it; the derivations are noted inline. The models in
+ * this module consume these constants exactly the way the paper's own
+ * evaluation does (foundry-compiler / SPICE values plugged into analytic
+ * stage models plus a functional simulator for activity factors).
+ */
+#ifndef CA_ARCH_PARAMS_H
+#define CA_ARCH_PARAMS_H
+
+#include <cstdint>
+
+namespace ca {
+
+/** 28 nm technology + Xeon-E5 LLC slice constants (§4, Table 2). */
+struct TechnologyParams
+{
+    // --- SRAM array timing -------------------------------------------------
+    /** Max SRAM array clock (paper caps the 1.2-4.6 GHz range at 4 GHz). */
+    double sramMaxFreqHz = 4.0e9;
+    /** One array cycle at the 4 GHz cap. */
+    double sramCyclePs = 256.0;
+    /**
+     * Decode + pre-charge + RWL portion of the optimized read sequence.
+     * Derived: Table 3 gives 438 ps to match 256 STEs with sense-amp
+     * cycling (4 × 64-bit sense steps) and 687 ps for 512 STEs (8 steps);
+     * both fit t = 188 ps + steps × 62.5 ps.
+     */
+    double prechargeRwlPs = 188.0;
+    /** One cycled sense-amp step (sensing is ~25% of the array cycle). */
+    double senseStepPs = 62.5;
+    /** Bits sensed per step: 32 sense-amps × 2 chunks per sub-array. */
+    int bitsPerSenseStep = 64;
+
+    // --- Wires --------------------------------------------------------------
+    /** Global metal layer wire delay (SPICE, 4X metal, repeatered). */
+    double wireDelayPsPerMm = 66.0;
+    /** H-Bus / H-Tree reuse alternative (Table 4 sensitivity). */
+    double hbusDelayPsPerMm = 300.0;
+    /** Wire energy per bit per mm. */
+    double wireEnergyPjPerMmBit = 0.07;
+
+    // --- Arrays and energy ---------------------------------------------------
+    /** 6T 256-column sub-array access energy (match-phase read). */
+    double arrayAccessPj = 22.0;
+    /** Ideal-AP DRAM array access energy per bit (optimistic; §5.3). */
+    double dramAccessPjPerBit = 1.0;
+
+    // --- LLC slice geometry (Xeon E5, §2.4) ----------------------------------
+    int waysPerSlice = 20;
+    int subArraysPerWay = 8;
+    int subArrayKB = 16;
+    /** One SRAM array is 256 rows x 128 columns of 6T cells. */
+    int arrayRows = 256;
+    int arrayColumns = 128;
+    /** STEs per partition: 256 STEs in two 4 KB arrays (Figure 2a). */
+    int partitionStes = 256;
+    /** Bytes of cache an allocated partition occupies (two 4 KB arrays). */
+    int partitionBytes = 8 * 1024;
+    /** Slice dimensions (mm), for wire-length estimates. */
+    double sliceWidthMm = 3.19;
+    double sliceHeightMm = 3.0;
+    /** Slice capacity. */
+    double sliceMB = 2.5;
+
+    // --- Micron AP reference (§1, §5) ----------------------------------------
+    double apFreqHz = 133.0e6;
+    double apReachability = 230.5;
+    int apMaxFanIn = 16;
+    /** AP routing-matrix area for a 32K-STE state space (Figure 10). */
+    double apAreaMm2 = 38.0;
+
+    // --- CPU reference --------------------------------------------------------
+    /** Published suite-wide AP-over-CPU speedup the paper composes with. */
+    double apOverCpuSpeedup = 256.0;
+};
+
+/** Returns the process-wide default technology parameters. */
+inline const TechnologyParams &
+defaultTech()
+{
+    static const TechnologyParams tech;
+    return tech;
+}
+
+} // namespace ca
+
+#endif // CA_ARCH_PARAMS_H

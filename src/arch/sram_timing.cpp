@@ -1,0 +1,78 @@
+#include "arch/sram_timing.h"
+
+#include <sstream>
+
+#include "core/error.h"
+#include "core/string_utils.h"
+
+namespace ca {
+
+ReadSequence
+planArrayRead(int mux_groups, bool sense_amp_cycling,
+              const TechnologyParams &tech)
+{
+    CA_FATAL_IF(mux_groups < 1, "need at least one column-mux group");
+    ReadSequence seq;
+    seq.groupsRead = mux_groups;
+    seq.senseAmpCycling = sense_amp_cycling;
+
+    if (sense_amp_cycling) {
+        // One decode / pre-charge / RWL phase covering all bit-lines...
+        double dec_w = tech.prechargeRwlPs * 0.25;
+        double pch_w = tech.prechargeRwlPs * 0.45;
+        double rwl_w = tech.prechargeRwlPs - dec_w - pch_w;
+        seq.pulses.push_back(SignalPulse{"DEC", 0.0, dec_w, -1});
+        seq.pulses.push_back(SignalPulse{"PCH", dec_w, pch_w, -1});
+        seq.pulses.push_back(
+            SignalPulse{"RWL", dec_w + pch_w, rwl_w, -1});
+        // ...then cycled sensing: SEL selects the group, SAE strobes it.
+        double t = tech.prechargeRwlPs;
+        for (int g = 0; g < mux_groups; ++g) {
+            seq.pulses.push_back(
+                SignalPulse{"SEL", t, tech.senseStepPs, g});
+            seq.pulses.push_back(
+                SignalPulse{"SAE", t, tech.senseStepPs, g});
+            t += tech.senseStepPs;
+        }
+        seq.totalPs = t;
+    } else {
+        // Baseline: a full decode/pre-charge/sense cycle per group.
+        double t = 0.0;
+        for (int g = 0; g < mux_groups; ++g) {
+            double dec_w = tech.sramCyclePs * 0.2;
+            double pch_w = tech.sramCyclePs * 0.35;
+            double rwl_w = tech.sramCyclePs * 0.2;
+            double sense_w = tech.sramCyclePs - dec_w - pch_w - rwl_w;
+            seq.pulses.push_back(SignalPulse{"DEC", t, dec_w, -1});
+            seq.pulses.push_back(SignalPulse{"PCH", t + dec_w, pch_w, -1});
+            seq.pulses.push_back(
+                SignalPulse{"RWL", t + dec_w + pch_w, rwl_w, -1});
+            seq.pulses.push_back(SignalPulse{
+                "SEL", t + dec_w + pch_w + rwl_w, sense_w, g});
+            seq.pulses.push_back(SignalPulse{
+                "SAE", t + dec_w + pch_w + rwl_w, sense_w, g});
+            t += tech.sramCyclePs;
+        }
+        seq.totalPs = t;
+    }
+    return seq;
+}
+
+std::string
+formatReadSequence(const ReadSequence &seq)
+{
+    std::ostringstream os;
+    os << (seq.senseAmpCycling ? "sense-amp cycling" : "baseline")
+       << " read of " << seq.groupsRead << " groups, "
+       << fixed(seq.totalPs, 1) << " ps total\n";
+    for (const SignalPulse &p : seq.pulses) {
+        os << "  " << p.signal;
+        if (p.group >= 0)
+            os << '[' << p.group << ']';
+        os << " @ " << fixed(p.startPs, 1) << " ps for "
+           << fixed(p.widthPs, 1) << " ps\n";
+    }
+    return os.str();
+}
+
+} // namespace ca

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Structural model of the SRAM array read sequence (§2.6, Figure 4).
+ *
+ * A match-phase read is decode → bit-line pre-charge (PCH) + read
+ * word-line (RWL) → sensing. With column multiplexing, the baseline
+ * sequence repeats the whole cycle once per multiplexed group; the
+ * paper's *sense-amplifier cycling* optimization pre-charges all
+ * bit-lines once and then pulses SAE/SEL once per group, overlapping
+ * the serialization with the single pre-charge.
+ *
+ * This model emits the actual control-signal schedule (what Figure 4
+ * draws) and its total latency; the pipeline model's state-match stage
+ * is checked against it in the test suite.
+ */
+#ifndef CA_ARCH_SRAM_TIMING_H
+#define CA_ARCH_SRAM_TIMING_H
+
+#include <string>
+#include <vector>
+
+#include "arch/params.h"
+
+namespace ca {
+
+/** One control-signal assertion in the read schedule. */
+struct SignalPulse
+{
+    std::string signal; ///< "DEC", "PCH", "RWL", "SAE", "SEL".
+    double startPs = 0.0;
+    double widthPs = 0.0;
+    int group = -1; ///< Column-mux group for SAE/SEL pulses; -1 otherwise.
+
+    double endPs() const { return startPs + widthPs; }
+};
+
+/** A complete array read schedule. */
+struct ReadSequence
+{
+    std::vector<SignalPulse> pulses;
+    double totalPs = 0.0;
+    int groupsRead = 0;
+    bool senseAmpCycling = false;
+};
+
+/**
+ * Plans the read of all @p mux_groups column-multiplexed bit groups.
+ *
+ * With cycling: one decode+PCH+RWL phase (tech.prechargeRwlPs) followed
+ * by mux_groups back-to-back SAE/SEL pulses of tech.senseStepPs each.
+ * Without: mux_groups full array cycles of tech.sramCyclePs.
+ */
+ReadSequence planArrayRead(int mux_groups, bool sense_amp_cycling,
+                           const TechnologyParams &tech = defaultTech());
+
+/** Renders the schedule as an ASCII waveform table (for docs/debug). */
+std::string formatReadSequence(const ReadSequence &seq);
+
+} // namespace ca
+
+#endif // CA_ARCH_SRAM_TIMING_H

@@ -1,0 +1,125 @@
+#include "arch/switch_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace ca {
+
+namespace {
+
+/** A measured anchor point from Table 2, keyed by max(inputs, outputs). */
+struct Anchor
+{
+    double n;
+    double delayPs;
+    double energyPjPerBit;
+    double areaMm2; ///< For the square n x n configuration.
+};
+
+// 280x256 L-switch matches the 256 anchor with a small area bump; the
+// extra 24 inputs are accounted for by area scaling below.
+const Anchor kAnchors[] = {
+    {128.0, 128.0, 0.16, 0.011},
+    {256.0, 163.5, 0.19, 0.032},
+    {512.0, 327.0, 0.381, 0.1293},
+};
+constexpr int kNumAnchors = 3;
+
+/** Log-log interpolation between anchors; extrapolates the edge slopes. */
+double
+interpolate(double n, double (*field)(const Anchor &))
+{
+    if (n <= kAnchors[0].n) {
+        // Below the smallest anchor: scale with the first segment's slope.
+        double slope = std::log(field(kAnchors[1]) / field(kAnchors[0])) /
+            std::log(kAnchors[1].n / kAnchors[0].n);
+        return field(kAnchors[0]) *
+            std::pow(n / kAnchors[0].n, slope);
+    }
+    for (int i = 0; i < kNumAnchors - 1; ++i) {
+        if (n <= kAnchors[i + 1].n) {
+            double slope =
+                std::log(field(kAnchors[i + 1]) / field(kAnchors[i])) /
+                std::log(kAnchors[i + 1].n / kAnchors[i].n);
+            return field(kAnchors[i]) *
+                std::pow(n / kAnchors[i].n, slope);
+        }
+    }
+    const Anchor &a = kAnchors[kNumAnchors - 2];
+    const Anchor &b = kAnchors[kNumAnchors - 1];
+    double slope =
+        std::log(field(b) / field(a)) / std::log(b.n / a.n);
+    return field(b) * std::pow(n / b.n, slope);
+}
+
+double delayField(const Anchor &a) { return a.delayPs; }
+double energyField(const Anchor &a) { return a.energyPjPerBit; }
+double areaField(const Anchor &a) { return a.areaMm2; }
+
+} // namespace
+
+SwitchSpec
+modelSwitch(const std::string &name, int inputs, int outputs)
+{
+    CA_FATAL_IF(inputs <= 0 || outputs <= 0,
+                "switch radix must be positive");
+    SwitchSpec s;
+    s.name = name;
+    s.inputs = inputs;
+    s.outputs = outputs;
+
+    double n = std::max(inputs, outputs);
+    s.delayPs = interpolate(n, delayField);
+    s.energyPjPerBit = interpolate(n, energyField);
+
+    // Area scales with cross-point count relative to the square anchor.
+    double square_area = interpolate(n, areaField);
+    s.areaMm2 = square_area * (static_cast<double>(inputs) * outputs) /
+        (n * n);
+    return s;
+}
+
+SwitchSpec
+lSwitchSpec()
+{
+    SwitchSpec s = modelSwitch("L-switch", 280, 256);
+    // Published values for this exact design point (Table 2).
+    s.delayPs = 163.5;
+    s.energyPjPerBit = 0.191;
+    s.areaMm2 = 0.033;
+    return s;
+}
+
+SwitchSpec
+gSwitch1WayPerf()
+{
+    SwitchSpec s = modelSwitch("G-switch(1 way)", 128, 128);
+    s.delayPs = 128.0;
+    s.energyPjPerBit = 0.16;
+    s.areaMm2 = 0.011;
+    return s;
+}
+
+SwitchSpec
+gSwitch1WaySpace()
+{
+    SwitchSpec s = modelSwitch("G-switch(1 way)", 256, 256);
+    s.delayPs = 163.0;
+    s.energyPjPerBit = 0.19;
+    s.areaMm2 = 0.032;
+    return s;
+}
+
+SwitchSpec
+gSwitch4WaySpace()
+{
+    SwitchSpec s = modelSwitch("G-switch(4 ways)", 512, 512);
+    s.delayPs = 327.0;
+    s.energyPjPerBit = 0.381;
+    s.areaMm2 = 0.1293;
+    return s;
+}
+
+} // namespace ca

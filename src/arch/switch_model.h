@@ -1,0 +1,62 @@
+/**
+ * @file
+ * 8T-SRAM crossbar switch model (§2.7, Table 2).
+ *
+ * The interconnect's L- and G-switches are repurposed 8T SRAM arrays: the
+ * enable bit of each cross-point lives in a 6T cell and a 2T block wires
+ * input bit-lines to output bit-lines (active-low wired-OR). This model
+ * reports delay, per-bit energy, and area for a switch of a given radix,
+ * anchored to the paper's measured design points and interpolated in
+ * between for design-space sweeps (Figure 10).
+ */
+#ifndef CA_ARCH_SWITCH_MODEL_H
+#define CA_ARCH_SWITCH_MODEL_H
+
+#include <string>
+
+#include "arch/params.h"
+
+namespace ca {
+
+/** A crossbar switch design point. */
+struct SwitchSpec
+{
+    std::string name;   ///< e.g. "L-switch", "G-switch(1 way)".
+    int inputs = 0;     ///< Input bit-lines (IBL).
+    int outputs = 0;    ///< Output bit-lines (OBL).
+    double delayPs = 0.0;
+    double energyPjPerBit = 0.0;
+    double areaMm2 = 0.0;
+    /** Configuration storage: one enable bit per cross-point. */
+    long long configBits() const
+    {
+        return static_cast<long long>(inputs) * outputs;
+    }
+};
+
+/**
+ * Models a switch of radix @p inputs x @p outputs.
+ *
+ * Anchored to Table 2: 128x128 -> 128 ps / 0.16 pJ/bit / 0.011 mm2;
+ * 256x256 (and 280x256) -> ~163.5 ps / 0.19 pJ/bit / 0.032-0.033 mm2;
+ * 512x512 -> 327 ps / 0.381 pJ/bit / 0.1293 mm2. Other radices are
+ * log-log interpolated between anchors (delay/energy) or scaled by
+ * cross-point count (area).
+ */
+SwitchSpec modelSwitch(const std::string &name, int inputs, int outputs);
+
+/** The paper's L-switch: 280 inputs (256 STEs + 16 G1 + 8 G4) x 256. */
+SwitchSpec lSwitchSpec();
+
+/** CA_P G-switch covering one way: 128x128. */
+SwitchSpec gSwitch1WayPerf();
+
+/** CA_S G-switch covering one way: 256x256. */
+SwitchSpec gSwitch1WaySpace();
+
+/** CA_S G-switch spanning 4 ways: 512x512. */
+SwitchSpec gSwitch4WaySpace();
+
+} // namespace ca
+
+#endif // CA_ARCH_SWITCH_MODEL_H

@@ -1,0 +1,94 @@
+#include "arch/system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/energy.h"
+#include "core/error.h"
+#include "core/symbol_set.h"
+
+namespace ca {
+
+ConfigCost
+estimateConfigCost(const Design &design, int partitions,
+                   double bytes_per_sec)
+{
+    CA_FATAL_IF(partitions < 0, "negative partition count");
+    ConfigCost cost;
+
+    // STE image: one 256-row x 256-bit array image per partition.
+    cost.steImageBytes = static_cast<size_t>(partitions) *
+        SymbolSet::kAlphabetSize * (design.partitionStes / 8);
+
+    // Switch configuration: every partition's L-switch rows, plus the
+    // G-switch cross-points amortized over the partitions they serve.
+    size_t l_bits = static_cast<size_t>(partitions) *
+        design.lSwitch.configBits();
+    double g_bits_per_partition =
+        static_cast<double>(design.gSwitch1.configBits()) *
+            design.g1SwitchesPer32k / 128.0 +
+        (design.gSwitch4 ? static_cast<double>(
+                               design.gSwitch4->configBits()) *
+                 design.g4SwitchesPer32k / 128.0
+                         : 0.0);
+    cost.switchConfigBits = l_bits +
+        static_cast<size_t>(g_bits_per_partition * partitions);
+
+    // Pages stream to the cache at memory bandwidth; switch rows program
+    // one write word-line per cycle (§2.7 write mode), 256 bits at a time.
+    double page_s = static_cast<double>(cost.steImageBytes) / bytes_per_sec;
+    double rows = static_cast<double>(cost.switchConfigBits) / 256.0;
+    double switch_s = rows / design.operatingFreqHz;
+    cost.seconds = page_s + switch_s;
+    return cost;
+}
+
+CatPlan
+planCacheAllocation(const Design &design, int partitions,
+                    const TechnologyParams &tech)
+{
+    CacheGeometry geom(tech, design.stesPerMatchRead);
+    int per_way = geom.partitionsPerSubArray() * tech.subArraysPerWay;
+    int ways_needed = (partitions + per_way - 1) / per_way;
+    CA_FATAL_IF(ways_needed > design.waysUsable,
+                "automaton needs " << ways_needed << " ways but the design "
+                "allows " << design.waysUsable
+                          << " per slice; add slices or use CA_S");
+    CatPlan plan;
+    plan.nfaWays = ways_needed;
+    plan.cacheWays = tech.waysPerSlice - ways_needed;
+    plan.nfaCapacityStes =
+        static_cast<double>(ways_needed) * per_way * tech.partitionStes;
+    plan.remainingCacheMB =
+        tech.sliceMB * plan.cacheWays / tech.waysPerSlice;
+    return plan;
+}
+
+PowerHint
+schedulerPowerHint(const Design &design, int partitions,
+                   const TechnologyParams &tech)
+{
+    PowerHint hint;
+    hint.peakW = peakPowerW(design, partitions, tech);
+    hint.headroomW = std::max(0.0, hint.tdpW - hint.peakW);
+    hint.withinTdp = hint.peakW < hint.tdpW;
+    return hint;
+}
+
+InstanceScaling
+scaleInstances(const Design &design, int partitions, int slices,
+               const TechnologyParams &tech)
+{
+    CA_FATAL_IF(partitions <= 0, "instance needs at least one partition");
+    CacheGeometry geom(tech, design.stesPerMatchRead);
+    long long budget = static_cast<long long>(slices) *
+        geom.partitionsPerSlice(design.waysUsable);
+    InstanceScaling out;
+    out.instances = std::max<long long>(1, budget / partitions);
+    out.aggregateGbps =
+        out.instances * design.operatingFreqHz * 8.0 / 1e9;
+    out.perInstanceMB = geom.megabytes(partitions);
+    return out;
+}
+
+} // namespace ca

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * System-integration models (§2.9-§2.10, §5.2).
+ *
+ * Covers the parts of the paper that live between the architecture and
+ * the OS: configuration time (loading STE binary pages and programming
+ * switch enable bits), the Cache-Allocation-Technology sharing model
+ * (NFA ways vs regular ways of a slice), the compiler's peak-power hint
+ * for OS scheduling, and §5.2's observation that space savings translate
+ * directly into throughput by running multiple NFA instances.
+ */
+#ifndef CA_ARCH_SYSTEM_H
+#define CA_ARCH_SYSTEM_H
+
+#include "arch/design.h"
+#include "arch/geometry.h"
+#include "arch/params.h"
+
+namespace ca {
+
+/** Inputs for the configuration-time estimate. */
+struct ConfigCost
+{
+    /** STE image bytes (256 rows x 32 B per partition). */
+    size_t steImageBytes = 0;
+    /** Switch enable bits programmed through write mode. */
+    size_t switchConfigBits = 0;
+    /** Estimated wall-clock to configure, in seconds. */
+    double seconds = 0.0;
+};
+
+/**
+ * Estimates configuration time for @p partitions partitions.
+ *
+ * The paper reports ~0.2 ms for its largest benchmark on a Xeon
+ * workstation (vs tens of ms for the AP); the model assumes STE pages
+ * stream at @p bytes_per_sec (default ~25 GB/s, a socket's streaming
+ * write bandwidth) and switch rows are programmed one write per cycle at
+ * the design's operating frequency.
+ */
+ConfigCost estimateConfigCost(const Design &design, int partitions,
+                              double bytes_per_sec = 25e9);
+
+/** How a slice is shared between automata and regular cache (§2.9). */
+struct CatPlan
+{
+    int nfaWays = 0;     ///< Ways dedicated to automata via CAT cgroups.
+    int cacheWays = 0;   ///< Ways left to ordinary workloads.
+    double nfaCapacityStes = 0.0;
+    double remainingCacheMB = 0.0;
+};
+
+/**
+ * Splits a slice's ways: enough ways for @p partitions (rounded up),
+ * bounded by the design's waysUsable; the rest stays ordinary cache.
+ * @throws CaError when the automaton cannot fit the usable ways.
+ */
+CatPlan planCacheAllocation(const Design &design, int partitions,
+                            const TechnologyParams &tech = defaultTech());
+
+/**
+ * The §2.9 compiler hint: coarse peak-power estimate the OS scheduler
+ * uses to keep the package within TDP while co-scheduling CPU work.
+ */
+struct PowerHint
+{
+    double peakW = 0.0;
+    double tdpW = 160.0; ///< Xeon E5-2600 v3 class package.
+    /** Watts left for cores while the automaton runs at peak. */
+    double headroomW = 0.0;
+    bool withinTdp = false;
+};
+
+PowerHint schedulerPowerHint(const Design &design, int partitions,
+                             const TechnologyParams &tech = defaultTech());
+
+/** §5.2: replicate the automaton into freed space for throughput. */
+struct InstanceScaling
+{
+    int instances = 1;
+    double aggregateGbps = 0.0;
+    double perInstanceMB = 0.0;
+};
+
+/**
+ * Given a cache budget (slices x usable ways), how many copies of an
+ * automaton with @p partitions partitions fit, and the aggregate scan
+ * rate when each processes an independent stream.
+ */
+InstanceScaling scaleInstances(const Design &design, int partitions,
+                               int slices,
+                               const TechnologyParams &tech = defaultTech());
+
+} // namespace ca
+
+#endif // CA_ARCH_SYSTEM_H

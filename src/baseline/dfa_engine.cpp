@@ -1,0 +1,21 @@
+#include "baseline/dfa_engine.h"
+
+namespace ca {
+
+std::vector<Report>
+runDfa(const Dfa &dfa, const uint8_t *data, size_t size)
+{
+    std::vector<Report> reports;
+    Dfa::DfaStateId cur = dfa.startState();
+    for (size_t i = 0; i < size; ++i) {
+        uint8_t c = data[i];
+        if (const std::vector<uint32_t> *rs = dfa.reportsOn(cur, c)) {
+            for (uint32_t id : *rs)
+                reports.push_back(Report{i, id, 0});
+        }
+        cur = dfa.next(cur, c);
+    }
+    return reports;
+}
+
+} // namespace ca

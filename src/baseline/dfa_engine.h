@@ -1,0 +1,28 @@
+/**
+ * @file
+ * DFA engine: the fastest compute-centric baseline for patterns whose DFA
+ * stays tractable (§6 discusses why CPU engines limit themselves to DFAs).
+ * One table lookup per input symbol; reports stream out per edge.
+ */
+#ifndef CA_BASELINE_DFA_ENGINE_H
+#define CA_BASELINE_DFA_ENGINE_H
+
+#include <vector>
+
+#include "baseline/nfa_engine.h"
+#include "nfa/dfa.h"
+
+namespace ca {
+
+/** Runs @p dfa over a buffer, returning the fired reports (state = 0). */
+std::vector<Report> runDfa(const Dfa &dfa, const uint8_t *data, size_t size);
+
+inline std::vector<Report>
+runDfa(const Dfa &dfa, const std::vector<uint8_t> &input)
+{
+    return runDfa(dfa, input.data(), input.size());
+}
+
+} // namespace ca
+
+#endif // CA_BASELINE_DFA_ENGINE_H

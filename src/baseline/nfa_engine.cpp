@@ -1,0 +1,95 @@
+#include "baseline/nfa_engine.h"
+
+#include "core/error.h"
+
+namespace ca {
+
+NfaEngine::NfaEngine(const Nfa &nfa)
+    : nfa_(nfa), enabled_mask_(nfa.numStates())
+{
+    for (StateId s = 0; s < nfa.numStates(); ++s) {
+        switch (nfa.state(s).start) {
+          case StartType::AllInput:
+            all_input_starts_.push_back(s);
+            break;
+          case StartType::StartOfData:
+            start_of_data_starts_.push_back(s);
+            break;
+          case StartType::None:
+            break;
+        }
+    }
+    reset();
+}
+
+void
+NfaEngine::reset()
+{
+    enabled_.clear();
+    enabled_mask_.clearAll();
+    active_.clear();
+    reports_.clear();
+    offset_ = 0;
+    total_activations_ = 0;
+    for (StateId s : start_of_data_starts_) {
+        if (!enabled_mask_.test(s)) {
+            enabled_mask_.set(s);
+            enabled_.push_back(s);
+        }
+    }
+    for (StateId s : all_input_starts_) {
+        if (!enabled_mask_.test(s)) {
+            enabled_mask_.set(s);
+            enabled_.push_back(s);
+        }
+    }
+}
+
+void
+NfaEngine::step(uint8_t symbol)
+{
+    active_.clear();
+    // State-match phase: enabled states whose label contains the symbol.
+    for (StateId s : enabled_) {
+        if (nfa_.state(s).label.test(symbol)) {
+            active_.push_back(s);
+            const NfaState &st = nfa_.state(s);
+            if (st.report)
+                reports_.push_back(Report{offset_, st.reportId, s});
+        }
+    }
+    total_activations_ += active_.size();
+
+    // State-transition phase: successors of active states, plus the
+    // always-enabled AllInput start states, form the next frontier. Only
+    // the bits set last cycle are cleared (a full clear would be O(|Q|)).
+    for (StateId s : enabled_)
+        enabled_mask_.resetUnchecked(s);
+    enabled_.clear();
+    for (StateId s : active_) {
+        for (StateId t : nfa_.state(s).out) {
+            if (!enabled_mask_.testUnchecked(t)) {
+                enabled_mask_.setUnchecked(t);
+                enabled_.push_back(t);
+            }
+        }
+    }
+    for (StateId s : all_input_starts_) {
+        if (!enabled_mask_.testUnchecked(s)) {
+            enabled_mask_.setUnchecked(s);
+            enabled_.push_back(s);
+        }
+    }
+    ++offset_;
+}
+
+std::vector<Report>
+NfaEngine::run(const uint8_t *data, size_t size)
+{
+    reset();
+    for (size_t i = 0; i < size; ++i)
+        step(data[i]);
+    return reports_;
+}
+
+} // namespace ca

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * CPU (compute-centric) NFA engine.
+ *
+ * A frontier-based interpreter in the style of VASim: only enabled states
+ * are visited each cycle, which is the best a conventional CPU can do on a
+ * homogeneous NFA. It serves two roles here:
+ *   1. the paper's x86 baseline class of engines (§6, compute-centric), and
+ *   2. the functional oracle every Cache Automaton simulation is checked
+ *      against (same report stream, byte for byte).
+ */
+#ifndef CA_BASELINE_NFA_ENGINE_H
+#define CA_BASELINE_NFA_ENGINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bitvector.h"
+#include "nfa/nfa.h"
+
+namespace ca {
+
+/** One pattern-match event. */
+struct Report
+{
+    uint64_t offset = 0;   ///< Input offset of the activating symbol.
+    uint32_t reportId = 0; ///< The pattern/rule id.
+    StateId state = 0;     ///< The reporting state.
+
+    bool operator==(const Report &o) const = default;
+    bool
+    operator<(const Report &o) const
+    {
+        if (offset != o.offset)
+            return offset < o.offset;
+        if (reportId != o.reportId)
+            return reportId < o.reportId;
+        return state < o.state;
+    }
+};
+
+/** Frontier-based homogeneous-NFA interpreter. */
+class NfaEngine
+{
+  public:
+    explicit NfaEngine(const Nfa &nfa);
+
+    /** Rewinds to offset 0 (start states enabled). */
+    void reset();
+
+    /**
+     * Consumes one symbol; matching enabled states activate, reports fire,
+     * and successors become enabled for the next symbol.
+     */
+    void step(uint8_t symbol);
+
+    /** Runs a whole buffer from a fresh reset. */
+    std::vector<Report> run(const uint8_t *data, size_t size);
+
+    std::vector<Report> run(const std::vector<uint8_t> &input)
+    {
+        return run(input.data(), input.size());
+    }
+
+    /** Reports accumulated since the last reset. */
+    const std::vector<Report> &reports() const { return reports_; }
+
+    /** States active for the most recent symbol. */
+    const std::vector<StateId> &activeStates() const { return active_; }
+
+    /** Total state activations since reset (CPU work proxy). */
+    uint64_t totalActivations() const { return total_activations_; }
+
+    uint64_t symbolsProcessed() const { return offset_; }
+
+  private:
+    const Nfa &nfa_;
+    std::vector<StateId> all_input_starts_;
+    std::vector<StateId> start_of_data_starts_;
+
+    std::vector<StateId> enabled_;   ///< Frontier for the next symbol.
+    BitVector enabled_mask_;         ///< Dedup mask over enabled_.
+    std::vector<StateId> active_;
+    std::vector<Report> reports_;
+    uint64_t offset_ = 0;
+    uint64_t total_activations_ = 0;
+};
+
+} // namespace ca
+
+#endif // CA_BASELINE_NFA_ENGINE_H

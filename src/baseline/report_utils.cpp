@@ -1,0 +1,65 @@
+#include "baseline/report_utils.h"
+
+#include <algorithm>
+
+namespace ca {
+
+std::vector<Report>
+dedupeReports(const std::vector<Report> &reports)
+{
+    std::set<std::pair<uint64_t, uint32_t>> seen;
+    std::vector<Report> out;
+    out.reserve(reports.size());
+    for (const Report &r : reports)
+        if (seen.emplace(r.offset, r.reportId).second)
+            out.push_back(Report{r.offset, r.reportId, 0});
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+bool
+sameReportEvents(const std::vector<Report> &a, const std::vector<Report> &b)
+{
+    return dedupeReports(a) == dedupeReports(b);
+}
+
+std::map<uint32_t, uint64_t>
+countByRule(const std::vector<Report> &reports)
+{
+    std::map<uint32_t, uint64_t> counts;
+    for (const Report &r : reports)
+        ++counts[r.reportId];
+    return counts;
+}
+
+std::vector<uint64_t>
+offsetsOfRule(const std::vector<Report> &reports, uint32_t report_id)
+{
+    std::vector<uint64_t> offsets;
+    for (const Report &r : reports)
+        if (r.reportId == report_id)
+            offsets.push_back(r.offset);
+    std::sort(offsets.begin(), offsets.end());
+    offsets.erase(std::unique(offsets.begin(), offsets.end()),
+                  offsets.end());
+    return offsets;
+}
+
+std::vector<Report>
+collapseBursts(const std::vector<Report> &reports, uint64_t min_gap)
+{
+    std::vector<Report> sorted = dedupeReports(reports);
+    // Track the last kept offset per rule.
+    std::map<uint32_t, uint64_t> last;
+    std::vector<Report> out;
+    for (const Report &r : sorted) {
+        auto it = last.find(r.reportId);
+        if (it == last.end() || r.offset >= it->second + min_gap) {
+            out.push_back(r);
+            last[r.reportId] = r.offset;
+        }
+    }
+    return out;
+}
+
+} // namespace ca

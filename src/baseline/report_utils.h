@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Report-stream post-processing utilities.
+ *
+ * Hardware report streams are raw: a rule with several accepting STEs may
+ * fire multiple reports at one offset, and overlapping occurrences fire at
+ * every end position. Downstream applications usually want deduplicated
+ * or aggregated views; these helpers provide the common ones and are the
+ * canonical way to compare report streams from automata that were
+ * transformed (merging changes state ids but not (offset, id) events).
+ */
+#ifndef CA_BASELINE_REPORT_UTILS_H
+#define CA_BASELINE_REPORT_UTILS_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "baseline/nfa_engine.h"
+
+namespace ca {
+
+/** Distinct (offset, reportId) events, sorted. State ids are dropped. */
+std::vector<Report> dedupeReports(const std::vector<Report> &reports);
+
+/** True when two streams contain the same (offset, reportId) events. */
+bool sameReportEvents(const std::vector<Report> &a,
+                      const std::vector<Report> &b);
+
+/** Per-rule hit counts. */
+std::map<uint32_t, uint64_t> countByRule(const std::vector<Report> &reports);
+
+/** Offsets at which rule @p report_id fired (deduplicated, ascending). */
+std::vector<uint64_t> offsetsOfRule(const std::vector<Report> &reports,
+                                    uint32_t report_id);
+
+/**
+ * Collapses bursts: consecutive reports of one rule closer than
+ * @p min_gap offsets apart are merged into the first (e.g. a Levenshtein
+ * automaton firing at several end positions of one occurrence).
+ */
+std::vector<Report> collapseBursts(const std::vector<Report> &reports,
+                                   uint64_t min_gap);
+
+} // namespace ca
+
+#endif // CA_BASELINE_REPORT_UTILS_H

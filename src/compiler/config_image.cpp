@@ -1,0 +1,192 @@
+#include "compiler/config_image.h"
+
+#include <map>
+
+#include "core/error.h"
+
+namespace ca {
+
+size_t
+SwitchMatrix::enabledCount() const
+{
+    size_t n = 0;
+    for (const auto &row : rowBits)
+        n += row.count();
+    return n;
+}
+
+size_t
+ConfigImage::totalBits() const
+{
+    size_t bits = 0;
+    for (const auto &p : partitions) {
+        for (const auto &row : p.steRows)
+            bits += row.size();
+        bits += static_cast<size_t>(p.lSwitch.inputs) * p.lSwitch.outputs;
+    }
+    return bits;
+}
+
+std::vector<uint8_t>
+ConfigImage::serialize() const
+{
+    // Layout: [u32 partition count] then per partition: STE rows
+    // (row-major, packed LSB-first) followed by L-switch rows.
+    std::vector<uint8_t> out;
+    auto putU32 = [&](uint32_t v) {
+        for (int i = 0; i < 4; ++i)
+            out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    };
+    auto putBits = [&](const BitVector &bv) {
+        for (size_t byte = 0; byte * 8 < bv.size(); ++byte) {
+            uint8_t b = 0;
+            for (size_t bit = 0; bit < 8; ++bit) {
+                size_t idx = byte * 8 + bit;
+                if (idx < bv.size() && bv.test(idx))
+                    b |= static_cast<uint8_t>(1u << bit);
+            }
+            out.push_back(b);
+        }
+    };
+    putU32(static_cast<uint32_t>(partitions.size()));
+    for (const auto &p : partitions) {
+        for (const auto &row : p.steRows)
+            putBits(row);
+        for (const auto &row : p.lSwitch.rowBits)
+            putBits(row);
+        putBits(p.startOfDataMask);
+        putBits(p.allInputMask);
+        putBits(p.reportMask);
+    }
+    return out;
+}
+
+ConfigImage
+buildConfigImage(const MappedAutomaton &mapped)
+{
+    const Nfa &nfa = mapped.nfa();
+    const Design &design = mapped.design();
+    const int width = design.partitionStes;
+    const int l_inputs = width + design.g1WiresPerPartition +
+        design.g4WiresPerPartition;
+
+    ConfigImage img;
+    img.partitions.resize(mapped.numPartitions());
+
+    for (size_t p = 0; p < mapped.numPartitions(); ++p) {
+        PartitionConfig &cfg = img.partitions[p];
+        const PartitionInfo &info = mapped.partitions()[p];
+
+        cfg.steRows.assign(SymbolSet::kAlphabetSize, BitVector(width));
+        cfg.lSwitch.inputs = l_inputs;
+        cfg.lSwitch.outputs = width;
+        cfg.lSwitch.rowBits.assign(l_inputs, BitVector(width));
+        cfg.startOfDataMask = BitVector(width);
+        cfg.allInputMask = BitVector(width);
+        cfg.reportMask = BitVector(width);
+        cfg.g1Sources.assign(design.g1WiresPerPartition, -1);
+        cfg.g1Targets.assign(design.g1WiresPerPartition, {});
+        cfg.g4Sources.assign(design.g4WiresPerPartition, -1);
+        cfg.g4Targets.assign(design.g4WiresPerPartition, {});
+
+        for (size_t slot = 0; slot < info.states.size(); ++slot) {
+            const NfaState &st = nfa.state(info.states[slot]);
+            // One-hot symbol column: row r bit set iff label contains r.
+            for (int sym = st.label.first(); sym >= 0;
+                 sym = st.label.next(sym))
+                cfg.steRows[sym].set(slot);
+            if (st.start == StartType::StartOfData)
+                cfg.startOfDataMask.set(slot);
+            else if (st.start == StartType::AllInput)
+                cfg.allInputMask.set(slot);
+            if (st.report)
+                cfg.reportMask.set(slot);
+        }
+    }
+
+    // Intra-partition transitions program the first 256 L-switch rows.
+    for (StateId s = 0; s < nfa.numStates(); ++s) {
+        const SteLocation &src = mapped.location(s);
+        for (StateId t : nfa.state(s).out) {
+            const SteLocation &dst = mapped.location(t);
+            if (dst.partition == src.partition) {
+                img.partitions[src.partition]
+                    .lSwitch.rowBits[src.slot]
+                    .set(dst.slot);
+            }
+        }
+    }
+
+    // Cross edges: allocate G wires per distinct source STE at each level,
+    // then program the destination L-switch rows (256+w / 272+w).
+    std::map<std::pair<StateId, int>, int> src_wire;  // (state, lvl) -> wire
+    std::map<std::pair<uint64_t, uint32_t>, int> dst_wire;
+
+    for (const CrossEdge &e : mapped.crossEdges()) {
+        const SteLocation &src = mapped.location(e.from);
+        const SteLocation &dst = mapped.location(e.to);
+        PartitionConfig &scfg = img.partitions[src.partition];
+        PartitionConfig &dcfg = img.partitions[dst.partition];
+        int level = e.viaG4 ? 1 : 0;
+
+        auto &sources = e.viaG4 ? scfg.g4Sources : scfg.g1Sources;
+        auto skey = std::make_pair(e.from, level);
+        auto sit = src_wire.find(skey);
+        int sw;
+        if (sit == src_wire.end()) {
+            sw = -1;
+            for (size_t w = 0; w < sources.size(); ++w) {
+                if (sources[w] == -1) {
+                    sw = static_cast<int>(w);
+                    break;
+                }
+            }
+            CA_FATAL_IF(sw == -1,
+                        "partition " << src.partition
+                                     << " out of G" << (e.viaG4 ? 4 : 1)
+                                     << " source wires");
+            sources[sw] = src.slot;
+            src_wire.emplace(skey, sw);
+        } else {
+            sw = sit->second;
+        }
+
+        auto &targets = e.viaG4 ? dcfg.g4Targets : dcfg.g1Targets;
+        auto dkey = std::make_pair(
+            (static_cast<uint64_t>(e.from) << 1) | (e.viaG4 ? 1 : 0),
+            dst.partition);
+        auto dit = dst_wire.find(dkey);
+        int dw;
+        if (dit == dst_wire.end()) {
+            dw = -1;
+            for (size_t w = 0; w < targets.size(); ++w) {
+                bool used = !targets[w].empty();
+                if (!used) {
+                    dw = static_cast<int>(w);
+                    break;
+                }
+            }
+            CA_FATAL_IF(dw == -1,
+                        "partition " << dst.partition
+                                     << " out of G" << (e.viaG4 ? 4 : 1)
+                                     << " destination wires");
+            dst_wire.emplace(dkey, dw);
+        } else {
+            dw = dit->second;
+        }
+        targets[dw].push_back(dst.slot);
+
+        // Destination L-switch row: width + dw for G1, width + g1 + dw G4.
+        int row = e.viaG4
+            ? design.partitionStes + design.g1WiresPerPartition + dw
+            : design.partitionStes + dw;
+        dcfg.lSwitch.rowBits[row].set(dst.slot);
+
+        img.routes.push_back(ConfigImage::Route{
+            src.partition, sw, dst.partition, dw, e.viaG4});
+    }
+
+    return img;
+}
+
+} // namespace ca

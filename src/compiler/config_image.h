@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Configuration bitstream emission (§2.10).
+ *
+ * The compiler's final product is a set of binary pages: per-partition STE
+ * columns (256-bit one-hot symbol images, ordered to match the cache's
+ * physical address decoding) and per-switch cross-point enable matrices
+ * written through the switches' write mode. This module materializes both,
+ * so a mapped automaton can be serialized, inspected, and reloaded.
+ */
+#ifndef CA_COMPILER_CONFIG_IMAGE_H
+#define CA_COMPILER_CONFIG_IMAGE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/mapping.h"
+#include "core/bitvector.h"
+
+namespace ca {
+
+/** Cross-point enable matrix for one switch (rows = inputs). */
+struct SwitchMatrix
+{
+    int inputs = 0;
+    int outputs = 0;
+    /** rowBits[i] has bit o set when input i connects to output o. */
+    std::vector<BitVector> rowBits;
+
+    bool
+    isSet(int in, int out) const
+    {
+        return rowBits[in].test(static_cast<size_t>(out));
+    }
+
+    /** Number of enabled cross-points. */
+    size_t enabledCount() const;
+};
+
+/** One partition's piece of the configuration image. */
+struct PartitionConfig
+{
+    /**
+     * STE columns: steRows[r] bit s = 1 iff STE slot s matches symbol r.
+     * This is exactly the 256x256 bit image loaded into the SRAM arrays.
+     */
+    std::vector<BitVector> steRows;       // 256 rows x partition width
+    SwitchMatrix lSwitch;                 // 280 x 256 cross-points
+    BitVector startOfDataMask;            // slots enabled at offset 0
+    BitVector allInputMask;               // slots enabled every cycle
+    BitVector reportMask;                 // reporting slots (§2.8)
+
+    /**
+     * G-wire assignments. g1Sources[w] = slot driving G1 input wire w
+     * (-1 when unused); g1Targets[w] = slots activated by incoming G1
+     * wire w (row 256+w of the L-switch). Same for G4 (rows 272+w).
+     */
+    std::vector<int> g1Sources;
+    std::vector<std::vector<int>> g1Targets;
+    std::vector<int> g4Sources;
+    std::vector<std::vector<int>> g4Targets;
+};
+
+/** The full loadable image. */
+struct ConfigImage
+{
+    std::vector<PartitionConfig> partitions;
+    /**
+     * Global-switch routes: for each cross edge, (source partition, source
+     * G-wire index, dest partition, dest G-wire index, level).
+     */
+    struct Route
+    {
+        uint32_t srcPartition;
+        int srcWire;
+        uint32_t dstPartition;
+        int dstWire;
+        bool viaG4;
+    };
+    std::vector<Route> routes;
+
+    /** Total configuration bits (STE image + switch enables). */
+    size_t totalBits() const;
+
+    /** Serializes to a flat byte image (stable layout, for tests/tools). */
+    std::vector<uint8_t> serialize() const;
+};
+
+/**
+ * Builds the configuration image for @p mapped.
+ *
+ * G-wire indices are allocated per partition first-come; exceeding the
+ * design budget throws CaError (the mapper flags those cases up front).
+ */
+ConfigImage buildConfigImage(const MappedAutomaton &mapped);
+
+} // namespace ca
+
+#endif // CA_COMPILER_CONFIG_IMAGE_H

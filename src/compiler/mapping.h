@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The Cache Automaton compiler: NFA → cache arrays + switch configuration.
+ *
+ * Implements §3.2's three-step mapping algorithm:
+ *   1. Connected components (CCs) no larger than a partition are the atomic
+ *      units; they are greedily packed, smallest first, onto partitions.
+ *   2. CCs larger than a partition are split with multilevel k-way graph
+ *      partitioning (our METIS substitute) minimizing inter-partition
+ *      transitions, with per-partition capacity 256 states.
+ *   3. Partitions are placed into ways/slices; cross-partition transitions
+ *      are classified as G-switch-1 (same way) or G-switch-4 (cross way)
+ *      and checked against the interconnect wire budgets (16 / 8).
+ *
+ * Two policies mirror the paper's designs: Performance (CA_P) maps the
+ * baseline NFA and keeps CCs within a way; Space (CA_S) runs the prefix
+ * merge pipeline first and may span ways through the G4 switch.
+ */
+#ifndef CA_COMPILER_MAPPING_H
+#define CA_COMPILER_MAPPING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/design.h"
+#include "arch/geometry.h"
+#include "nfa/nfa.h"
+
+namespace ca {
+
+/** Where one STE landed. */
+struct SteLocation
+{
+    uint32_t partition = 0;
+    uint16_t slot = 0; ///< Column within the partition [0, 256).
+};
+
+/** One mapped 256-STE partition and its interconnect usage. */
+struct PartitionInfo
+{
+    std::vector<StateId> states; ///< states[slot] = NFA state id.
+    int slice = 0;
+    int way = 0;
+    int subArray = 0;
+
+    // Wire usage (sources / sinks of cross-partition transitions).
+    int g1OutWires = 0;
+    int g1InWires = 0;
+    int g4OutWires = 0;
+    int g4InWires = 0;
+};
+
+/** A cross-partition transition and the switch level carrying it. */
+struct CrossEdge
+{
+    StateId from = 0;
+    StateId to = 0;
+    bool viaG4 = false;
+};
+
+/** Aggregate mapping metrics (drives Table 1 / Figure 8 reporting). */
+struct MappingStats
+{
+    size_t states = 0;
+    size_t connectedComponents = 0;
+    size_t largestComponent = 0;
+    size_t partitions = 0;
+    double utilizationMB = 0.0;
+    size_t intraPartitionEdges = 0;
+    size_t g1Edges = 0;
+    size_t g4Edges = 0;
+    int maxG1OutWires = 0;
+    int maxG1InWires = 0;
+    int maxG4OutWires = 0;
+    int maxG4InWires = 0;
+    /** Partitions whose wire usage exceeds the design budget. */
+    size_t budgetViolations = 0;
+};
+
+/** Mapping policy knobs. */
+struct MapperOptions
+{
+    /** Run the CA_S optimization pipeline (prefix merge etc.) first. */
+    bool optimizeSpace = false;
+    /** Throw CaError on wire-budget violations instead of recording them. */
+    bool strictBudgets = false;
+    /** Retries (k increments) when graph partitioning is infeasible. */
+    int maxPartitionRetries = 14;
+    /** Partitioner seed. */
+    uint64_t seed = 0xCA5EED;
+};
+
+class MappedAutomaton;
+
+namespace detail {
+/** One randomized mapping attempt (mapNfa retries over seeds). */
+MappedAutomaton mapNfaOnce(const Nfa &nfa, const Design &design,
+                           const MapperOptions &opts);
+} // namespace detail
+
+/** The compiler's output: placed STEs plus interconnect configuration. */
+class MappedAutomaton
+{
+  public:
+    MappedAutomaton(Nfa nfa, Design design);
+
+    const Nfa &nfa() const { return nfa_; }
+    const Design &design() const { return design_; }
+
+    const SteLocation &location(StateId s) const { return location_[s]; }
+    const std::vector<PartitionInfo> &partitions() const
+    {
+        return partitions_;
+    }
+    const std::vector<CrossEdge> &crossEdges() const { return cross_edges_; }
+
+    const MappingStats &stats() const { return stats_; }
+
+    size_t numPartitions() const { return partitions_.size(); }
+
+    /** Cache bytes consumed (partitions * 8 KB). */
+    double utilizationMB() const { return stats_.utilizationMB; }
+
+  private:
+    friend MappedAutomaton detail::mapNfaOnce(const Nfa &nfa,
+                                              const Design &design,
+                                              const MapperOptions &opts);
+
+    Nfa nfa_;
+    Design design_;
+    std::vector<SteLocation> location_;
+    std::vector<PartitionInfo> partitions_;
+    std::vector<CrossEdge> cross_edges_;
+    MappingStats stats_;
+};
+
+/**
+ * Runs the full mapping pipeline.
+ *
+ * @throws CaError if a connected component cannot be split within the
+ * design's connectivity reach (e.g. a CA_P component larger than one way),
+ * or on wire-budget violations when opts.strictBudgets is set.
+ */
+MappedAutomaton mapNfa(const Nfa &nfa, const Design &design,
+                       const MapperOptions &opts = {});
+
+/** Convenience: CA_P policy (baseline NFA, performance design). */
+MappedAutomaton mapPerformance(const Nfa &nfa,
+                               const MapperOptions &opts = {});
+
+/** Convenience: CA_S policy (space pipeline + space design). */
+MappedAutomaton mapSpace(const Nfa &nfa, const MapperOptions &opts = {});
+
+} // namespace ca
+
+#endif // CA_COMPILER_MAPPING_H

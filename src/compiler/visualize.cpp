@@ -1,0 +1,58 @@
+#include "compiler/visualize.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace ca {
+
+std::string
+toDot(const MappedAutomaton &mapped, const DotOptions &opts)
+{
+    const Nfa &nfa = mapped.nfa();
+    std::ostringstream os;
+    os << "digraph mapped {\n  rankdir=LR;\n  compound=true;\n";
+
+    size_t n = std::min(nfa.numStates(), opts.maxStates);
+
+    // Group rendered states per partition.
+    std::map<uint32_t, std::vector<StateId>> by_partition;
+    for (StateId s = 0; s < n; ++s)
+        by_partition[mapped.location(s).partition].push_back(s);
+
+    for (const auto &[p, members] : by_partition) {
+        const PartitionInfo &info = mapped.partitions()[p];
+        os << "  subgraph cluster_p" << p << " {\n"
+           << "    label=\"partition " << p << " (slice " << info.slice
+           << ", way " << info.way << ")\";\n";
+        for (StateId s : members)
+            os << "    s" << s << ' '
+               << detail::dotNodeAttrs(nfa.state(s), opts.showLabels)
+               << ";\n";
+        os << "  }\n";
+    }
+
+    // Edge styles by interconnect level.
+    std::map<std::pair<StateId, StateId>, int> level; // 1 = G1, 2 = G4
+    for (const CrossEdge &e : mapped.crossEdges())
+        level[{e.from, e.to}] = e.viaG4 ? 2 : 1;
+    for (StateId s = 0; s < n; ++s) {
+        for (StateId t : nfa.state(s).out) {
+            if (t >= n)
+                continue;
+            auto it = level.find({s, t});
+            os << "  s" << s << " -> s" << t;
+            if (it != level.end())
+                os << (it->second == 2 ? " [style=dotted color=red]"
+                                       : " [style=dashed color=blue]");
+            os << ";\n";
+        }
+    }
+    if (n < nfa.numStates())
+        os << "  note [shape=box label=\"" << (nfa.numStates() - n)
+           << " more states truncated\"];\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace ca

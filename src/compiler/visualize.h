@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Graphviz DOT export of a mapped automaton: one cluster per partition,
+ * intra-partition edges solid, G-switch-1 edges dashed (blue), G-switch-4
+ * edges dotted (red) — the paper's Figure 6 view of a mapping.
+ */
+#ifndef CA_COMPILER_VISUALIZE_H
+#define CA_COMPILER_VISUALIZE_H
+
+#include <string>
+
+#include "compiler/mapping.h"
+#include "nfa/dot.h"
+
+namespace ca {
+
+/** Renders @p mapped as a DOT digraph with partition clusters. */
+std::string toDot(const MappedAutomaton &mapped,
+                  const DotOptions &opts = {});
+
+} // namespace ca
+
+#endif // CA_COMPILER_VISUALIZE_H

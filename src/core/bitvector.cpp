@@ -1,0 +1,158 @@
+#include "core/bitvector.h"
+
+#include <bit>
+
+#include "core/error.h"
+
+namespace ca {
+
+BitVector::BitVector(size_t size)
+    : size_(size), words_((size + 63) / 64, 0)
+{
+}
+
+void
+BitVector::set(size_t i)
+{
+    CA_ASSERT_MSG(i < size_, "bit " << i << " out of range " << size_);
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+}
+
+void
+BitVector::reset(size_t i)
+{
+    CA_ASSERT_MSG(i < size_, "bit " << i << " out of range " << size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+}
+
+void
+BitVector::assign(size_t i, bool v)
+{
+    if (v)
+        set(i);
+    else
+        reset(i);
+}
+
+bool
+BitVector::test(size_t i) const
+{
+    CA_ASSERT_MSG(i < size_, "bit " << i << " out of range " << size_);
+    return words_[i >> 6] & (uint64_t{1} << (i & 63));
+}
+
+void
+BitVector::clearAll()
+{
+    std::fill(words_.begin(), words_.end(), 0);
+}
+
+void
+BitVector::setAll()
+{
+    std::fill(words_.begin(), words_.end(), ~uint64_t{0});
+    maskTail();
+}
+
+void
+BitVector::maskTail()
+{
+    size_t rem = size_ & 63;
+    if (rem && !words_.empty())
+        words_.back() &= (uint64_t{1} << rem) - 1;
+}
+
+size_t
+BitVector::count() const
+{
+    size_t n = 0;
+    for (uint64_t w : words_)
+        n += static_cast<size_t>(std::popcount(w));
+    return n;
+}
+
+bool
+BitVector::any() const
+{
+    for (uint64_t w : words_)
+        if (w)
+            return true;
+    return false;
+}
+
+std::ptrdiff_t
+BitVector::first() const
+{
+    return next(-1);
+}
+
+std::ptrdiff_t
+BitVector::next(std::ptrdiff_t i) const
+{
+    for (size_t v = static_cast<size_t>(i + 1); v < size_; ) {
+        size_t wi = v >> 6;
+        uint64_t w = words_[wi] >> (v & 63);
+        if (w)
+            return static_cast<std::ptrdiff_t>(v) + std::countr_zero(w);
+        v = (wi + 1) * 64;
+    }
+    return -1;
+}
+
+BitVector &
+BitVector::operator|=(const BitVector &o)
+{
+    CA_ASSERT(size_ == o.size_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] |= o.words_[i];
+    return *this;
+}
+
+BitVector &
+BitVector::operator&=(const BitVector &o)
+{
+    CA_ASSERT(size_ == o.size_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] &= o.words_[i];
+    return *this;
+}
+
+BitVector &
+BitVector::operator^=(const BitVector &o)
+{
+    CA_ASSERT(size_ == o.size_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] ^= o.words_[i];
+    return *this;
+}
+
+BitVector &
+BitVector::andNot(const BitVector &o)
+{
+    CA_ASSERT(size_ == o.size_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] &= ~o.words_[i];
+    return *this;
+}
+
+bool
+BitVector::intersects(const BitVector &o) const
+{
+    CA_ASSERT(size_ == o.size_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        if (words_[i] & o.words_[i])
+            return true;
+    return false;
+}
+
+std::string
+BitVector::toString() const
+{
+    std::string s;
+    s.reserve(size_);
+    for (size_t i = 0; i < size_; ++i)
+        s.push_back(test(i) ? '1' : '0');
+    return s;
+}
+
+} // namespace ca

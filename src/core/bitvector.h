@@ -1,0 +1,114 @@
+/**
+ * @file
+ * BitVector: a fixed-size dynamic bit vector.
+ *
+ * The simulator's match vectors, active-state vectors, and report masks are
+ * all per-partition 256-bit (or wider) vectors; BitVector is the shared
+ * representation with the bulk logical operations the pipeline needs
+ * (AND, OR, AND-NOT) plus fast set-bit iteration for statistics.
+ */
+#ifndef CA_CORE_BITVECTOR_H
+#define CA_CORE_BITVECTOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ca {
+
+/** Fixed-size bit vector with word-parallel bulk operations. */
+class BitVector
+{
+  public:
+    BitVector() = default;
+
+    /** Creates a vector of @p size bits, all clear. */
+    explicit BitVector(size_t size);
+
+    size_t size() const { return size_; }
+
+    void set(size_t i);
+    void reset(size_t i);
+    void assign(size_t i, bool v);
+    bool test(size_t i) const;
+
+    /**
+     * Unchecked variants for hot loops whose indices are known-valid
+     * (the simulator's frontier bookkeeping): no bounds assertion.
+     * @{ */
+    void setUnchecked(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+    void
+    resetUnchecked(size_t i)
+    {
+        words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+    }
+    bool
+    testUnchecked(size_t i) const
+    {
+        return words_[i >> 6] & (uint64_t{1} << (i & 63));
+    }
+    /** @} */
+
+    /** Clears every bit (size unchanged). */
+    void clearAll();
+
+    /** Sets every bit (size respected; trailing word bits stay clear). */
+    void setAll();
+
+    /** Number of set bits. */
+    size_t count() const;
+
+    /** True when at least one bit is set. */
+    bool any() const;
+
+    bool none() const { return !any(); }
+
+    /** Index of the lowest set bit, or -1. */
+    std::ptrdiff_t first() const;
+
+    /** Index of the lowest set bit above @p i, or -1. */
+    std::ptrdiff_t next(std::ptrdiff_t i) const;
+
+    /** Calls @p fn(index) for every set bit in ascending order. */
+    template <typename Fn>
+    void
+    forEachSet(Fn &&fn) const
+    {
+        for (size_t w = 0; w < words_.size(); ++w) {
+            uint64_t word = words_[w];
+            while (word) {
+                int b = __builtin_ctzll(word);
+                fn(w * 64 + static_cast<size_t>(b));
+                word &= word - 1;
+            }
+        }
+    }
+
+    BitVector &operator|=(const BitVector &o);
+    BitVector &operator&=(const BitVector &o);
+    BitVector &operator^=(const BitVector &o);
+
+    /** this &= ~o (clears bits set in @p o). */
+    BitVector &andNot(const BitVector &o);
+
+    bool operator==(const BitVector &o) const = default;
+
+    /** True when (this & o) is non-empty, without materializing it. */
+    bool intersects(const BitVector &o) const;
+
+    /** "0101..." rendering, LSB first; for diagnostics and tests. */
+    std::string toString() const;
+
+    const std::vector<uint64_t> &raw() const { return words_; }
+
+  private:
+    void maskTail();
+
+    size_t size_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace ca
+
+#endif // CA_CORE_BITVECTOR_H

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Error handling primitives for the Cache Automaton library.
+ *
+ * Two categories mirror the gem5 fatal/panic split:
+ *  - CaError / CA_FATAL_IF: user-level misuse (bad regex, infeasible mapping
+ *    request, malformed ANML). Recoverable by the caller via try/catch.
+ *  - CA_ASSERT: internal invariant violations — a bug in this library.
+ */
+#ifndef CA_CORE_ERROR_H
+#define CA_CORE_ERROR_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ca {
+
+/** Exception thrown for user-facing errors (bad input, infeasible request). */
+class CaError : public std::runtime_error
+{
+  public:
+    explicit CaError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown for internal invariant violations (library bugs). */
+class CaInternalError : public std::logic_error
+{
+  public:
+    explicit CaInternalError(const std::string &msg)
+        : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void
+throwError(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << msg << " (" << file << ":" << line << ")";
+    throw CaError(os.str());
+}
+
+[[noreturn]] inline void
+throwInternal(const char *file, int line, const char *expr,
+              const std::string &msg)
+{
+    std::ostringstream os;
+    os << "internal invariant violated: " << expr;
+    if (!msg.empty())
+        os << " — " << msg;
+    os << " (" << file << ":" << line << ")";
+    throw CaInternalError(os.str());
+}
+
+} // namespace detail
+} // namespace ca
+
+/** Throw a ca::CaError with a streamed message. */
+#define CA_THROW(msg_expr)                                                  \
+    do {                                                                    \
+        std::ostringstream ca_os_;                                          \
+        ca_os_ << msg_expr;                                                 \
+        ::ca::detail::throwError(__FILE__, __LINE__, ca_os_.str());         \
+    } while (0)
+
+/** Throw a ca::CaError if @p cond holds. */
+#define CA_FATAL_IF(cond, msg_expr)                                         \
+    do {                                                                    \
+        if (cond) [[unlikely]]                                              \
+            CA_THROW(msg_expr);                                             \
+    } while (0)
+
+/** Internal invariant check; failure indicates a library bug. */
+#define CA_ASSERT(expr)                                                     \
+    do {                                                                    \
+        if (!(expr)) [[unlikely]]                                           \
+            ::ca::detail::throwInternal(__FILE__, __LINE__, #expr, "");     \
+    } while (0)
+
+/** Internal invariant check with an explanatory message. */
+#define CA_ASSERT_MSG(expr, msg_expr)                                       \
+    do {                                                                    \
+        if (!(expr)) [[unlikely]] {                                         \
+            std::ostringstream ca_os_;                                      \
+            ca_os_ << msg_expr;                                             \
+            ::ca::detail::throwInternal(__FILE__, __LINE__, #expr,          \
+                                        ca_os_.str());                      \
+        }                                                                   \
+    } while (0)
+
+#endif // CA_CORE_ERROR_H

@@ -1,0 +1,60 @@
+#include "core/logging.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace ca {
+
+namespace {
+
+LogLevel
+initialLevel()
+{
+    const char *env = std::getenv("CA_LOG");
+    if (!env)
+        return LogLevel::Warn;
+    if (!std::strcmp(env, "quiet")) return LogLevel::Quiet;
+    if (!std::strcmp(env, "warn")) return LogLevel::Warn;
+    if (!std::strcmp(env, "info")) return LogLevel::Info;
+    if (!std::strcmp(env, "debug")) return LogLevel::Debug;
+    return LogLevel::Warn;
+}
+
+LogLevel g_level = initialLevel();
+
+const char *
+prefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Warn: return "warn: ";
+      case LogLevel::Info: return "info: ";
+      case LogLevel::Debug: return "debug: ";
+      default: return "";
+    }
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+namespace detail {
+
+void
+emitLog(LogLevel level, const std::string &msg)
+{
+    std::cerr << prefix(level) << msg << '\n';
+}
+
+} // namespace detail
+} // namespace ca

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal leveled logging for library diagnostics.
+ *
+ * Follows the gem5 inform/warn split: inform() for status a user should see,
+ * warn() for "this might not be what you want". Output goes to stderr so it
+ * never corrupts bench tables printed on stdout. Level is controlled
+ * programmatically or via the CA_LOG environment variable
+ * (quiet|warn|info|debug).
+ */
+#ifndef CA_CORE_LOGGING_H
+#define CA_CORE_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace ca {
+
+enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Returns the process-wide log level (initialized from $CA_LOG once). */
+LogLevel logLevel();
+
+/** Overrides the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+void emitLog(LogLevel level, const std::string &msg);
+} // namespace detail
+
+} // namespace ca
+
+#define CA_LOG_AT(level, msg_expr)                                          \
+    do {                                                                    \
+        if (static_cast<int>(::ca::logLevel()) >=                           \
+            static_cast<int>(level)) {                                      \
+            std::ostringstream ca_log_os_;                                  \
+            ca_log_os_ << msg_expr;                                         \
+            ::ca::detail::emitLog(level, ca_log_os_.str());                 \
+        }                                                                   \
+    } while (0)
+
+#define CA_WARN(msg_expr) CA_LOG_AT(::ca::LogLevel::Warn, msg_expr)
+#define CA_INFO(msg_expr) CA_LOG_AT(::ca::LogLevel::Info, msg_expr)
+#define CA_DEBUG(msg_expr) CA_LOG_AT(::ca::LogLevel::Debug, msg_expr)
+
+#endif // CA_CORE_LOGGING_H

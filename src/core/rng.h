@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every workload generator and randomized test in the repository seeds one
+ * of these explicitly so runs are reproducible bit-for-bit. The generator is
+ * xoshiro256** (Blackman & Vigna), seeded through SplitMix64.
+ */
+#ifndef CA_CORE_RNG_H
+#define CA_CORE_RNG_H
+
+#include <cstdint>
+
+namespace ca {
+
+/** SplitMix64 step; used for seeding and cheap hashing. */
+inline uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** xoshiro256** PRNG with convenience draws. Deterministic given the seed. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x6d69636172636873ull)
+    {
+        uint64_t sm = seed;
+        for (auto &w : s_)
+            w = splitmix64(sm);
+    }
+
+    uint64_t
+    next()
+    {
+        uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection method.
+        uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        uint64_t l = static_cast<uint64_t>(m);
+        if (l < bound) {
+            uint64_t t = -bound % bound;
+            while (l < t) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                l = static_cast<uint64_t>(m);
+            }
+        }
+        return static_cast<uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+            below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Random printable lowercase letter. */
+    char lowercase() { return static_cast<char>('a' + below(26)); }
+
+    /** Random byte. */
+    uint8_t byte() { return static_cast<uint8_t>(below(256)); }
+
+  private:
+    static uint64_t rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t s_[4];
+};
+
+} // namespace ca
+
+#endif // CA_CORE_RNG_H

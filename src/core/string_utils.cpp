@@ -1,0 +1,97 @@
+#include "core/string_utils.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace ca {
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        size_t pos = s.find(sep, start);
+        if (pos == std::string::npos) {
+            out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0;
+    size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+        s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+        s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string
+xmlEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '&': out += "&amp;"; break;
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '"': out += "&quot;"; break;
+          case '\'': out += "&apos;"; break;
+          default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string
+fixed(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+formatSi(double v, const std::string &unit)
+{
+    struct Scale { double factor; const char *prefix; };
+    static const Scale scales[] = {
+        {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "K"},
+        {1.0, ""}, {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"},
+    };
+    if (v == 0.0)
+        return "0 " + unit;
+    double mag = std::fabs(v);
+    for (const auto &s : scales) {
+        if (mag >= s.factor) {
+            return fixed(v / s.factor, 2) + " " + s.prefix + unit;
+        }
+    }
+    return fixed(v / 1e-12, 2) + " p" + unit;
+}
+
+} // namespace ca

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Small string helpers shared by the ANML parser, bench table printers, and
+ * the command-line examples.
+ */
+#ifndef CA_CORE_STRING_UTILS_H
+#define CA_CORE_STRING_UTILS_H
+
+#include <string>
+#include <vector>
+
+namespace ca {
+
+/** Splits @p s on @p sep; empty fields are kept. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Strips leading/trailing ASCII whitespace. */
+std::string trim(const std::string &s);
+
+bool startsWith(const std::string &s, const std::string &prefix);
+bool endsWith(const std::string &s, const std::string &suffix);
+
+/** Escapes &<>"' for XML attribute/text contexts. */
+std::string xmlEscape(const std::string &s);
+
+/** Formats @p v with @p decimals digits after the point. */
+std::string fixed(double v, int decimals);
+
+/**
+ * Human-readable engineering formatting with an SI-style suffix, e.g.
+ * formatSi(2.0e9, "Hz") == "2.00 GHz". Supports p/n/u/m/(none)/K/M/G/T.
+ */
+std::string formatSi(double v, const std::string &unit);
+
+} // namespace ca
+
+#endif // CA_CORE_STRING_UTILS_H

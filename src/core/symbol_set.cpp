@@ -1,0 +1,335 @@
+#include "core/symbol_set.h"
+
+#include <bit>
+#include <cctype>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace ca {
+
+SymbolSet
+SymbolSet::all()
+{
+    SymbolSet s;
+    s.words_.fill(~uint64_t{0});
+    return s;
+}
+
+SymbolSet
+SymbolSet::of(uint8_t c)
+{
+    SymbolSet s;
+    s.set(c);
+    return s;
+}
+
+SymbolSet
+SymbolSet::range(uint8_t lo, uint8_t hi)
+{
+    CA_FATAL_IF(lo > hi, "reversed symbol range [" << int(lo) << ", "
+                                                   << int(hi) << "]");
+    SymbolSet s;
+    for (int c = lo; c <= hi; ++c)
+        s.set(static_cast<uint8_t>(c));
+    return s;
+}
+
+int
+SymbolSet::count() const
+{
+    int n = 0;
+    for (uint64_t w : words_)
+        n += std::popcount(w);
+    return n;
+}
+
+bool
+SymbolSet::empty() const
+{
+    for (uint64_t w : words_)
+        if (w)
+            return false;
+    return true;
+}
+
+bool
+SymbolSet::isAll() const
+{
+    for (uint64_t w : words_)
+        if (w != ~uint64_t{0})
+            return false;
+    return true;
+}
+
+SymbolSet
+SymbolSet::operator|(const SymbolSet &o) const
+{
+    SymbolSet r(*this);
+    r |= o;
+    return r;
+}
+
+SymbolSet
+SymbolSet::operator&(const SymbolSet &o) const
+{
+    SymbolSet r(*this);
+    r &= o;
+    return r;
+}
+
+SymbolSet
+SymbolSet::operator~() const
+{
+    SymbolSet r;
+    for (int i = 0; i < kWords; ++i)
+        r.words_[i] = ~words_[i];
+    return r;
+}
+
+SymbolSet &
+SymbolSet::operator|=(const SymbolSet &o)
+{
+    for (int i = 0; i < kWords; ++i)
+        words_[i] |= o.words_[i];
+    return *this;
+}
+
+SymbolSet &
+SymbolSet::operator&=(const SymbolSet &o)
+{
+    for (int i = 0; i < kWords; ++i)
+        words_[i] &= o.words_[i];
+    return *this;
+}
+
+bool
+SymbolSet::intersects(const SymbolSet &o) const
+{
+    for (int i = 0; i < kWords; ++i)
+        if (words_[i] & o.words_[i])
+            return true;
+    return false;
+}
+
+int
+SymbolSet::first() const
+{
+    for (int i = 0; i < kWords; ++i)
+        if (words_[i])
+            return i * 64 + std::countr_zero(words_[i]);
+    return -1;
+}
+
+int
+SymbolSet::next(int c) const
+{
+    for (int v = c + 1; v < kAlphabetSize; ) {
+        int wi = v >> 6;
+        uint64_t w = words_[wi] >> (v & 63);
+        if (w)
+            return v + std::countr_zero(w);
+        v = (wi + 1) * 64;
+    }
+    return -1;
+}
+
+namespace {
+
+void
+appendSymbol(std::ostringstream &os, int c)
+{
+    if (std::isprint(c) && c != '\\' && c != ']' && c != '-' && c != '^') {
+        os << static_cast<char>(c);
+    } else {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\x%02x", c);
+        os << buf;
+    }
+}
+
+/** Expands common escape sequences; returns the class for one token. */
+SymbolSet
+parseEscape(char e)
+{
+    switch (e) {
+      case 'n': return SymbolSet::of('\n');
+      case 't': return SymbolSet::of('\t');
+      case 'r': return SymbolSet::of('\r');
+      case 'f': return SymbolSet::of('\f');
+      case 'v': return SymbolSet::of('\v');
+      case '0': return SymbolSet::of('\0');
+      case 'a': return SymbolSet::of('\a');
+      case 'd': return SymbolSet::range('0', '9');
+      case 'D': return ~SymbolSet::range('0', '9');
+      case 'w': {
+        SymbolSet s = SymbolSet::range('a', 'z') | SymbolSet::range('A', 'Z')
+            | SymbolSet::range('0', '9') | SymbolSet::of('_');
+        return s;
+      }
+      case 'W': {
+        SymbolSet s = SymbolSet::range('a', 'z') | SymbolSet::range('A', 'Z')
+            | SymbolSet::range('0', '9') | SymbolSet::of('_');
+        return ~s;
+      }
+      case 's': {
+        SymbolSet s;
+        for (char c : {' ', '\t', '\n', '\r', '\f', '\v'})
+            s.set(static_cast<uint8_t>(c));
+        return s;
+      }
+      case 'S': {
+        SymbolSet s;
+        for (char c : {' ', '\t', '\n', '\r', '\f', '\v'})
+            s.set(static_cast<uint8_t>(c));
+        return ~s;
+      }
+      default:
+        // Any other escaped character stands for itself (\., \\, \-, ...).
+        return SymbolSet::of(static_cast<uint8_t>(e));
+    }
+}
+
+int
+hexVal(char c)
+{
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+SymbolSet
+SymbolSet::parseClass(const std::string &body)
+{
+    size_t i = 0;
+    bool negate = false;
+    if (i < body.size() && body[i] == '^') {
+        negate = true;
+        ++i;
+    }
+
+    SymbolSet out;
+    // Tracks the last single symbol parsed so "a-z" ranges can extend it;
+    // -1 means the previous token was a multi-symbol class (no range base).
+    int last_single = -1;
+    bool have_pending = false;
+
+    auto flushPending = [&](SymbolSet tok, int single) {
+        out |= tok;
+        last_single = single;
+        have_pending = true;
+    };
+
+    while (i < body.size()) {
+        char c = body[i];
+        if (c == '\\') {
+            CA_FATAL_IF(i + 1 >= body.size(),
+                        "dangling escape at end of class '" << body << "'");
+            char e = body[i + 1];
+            if (e == 'x') {
+                CA_FATAL_IF(i + 3 >= body.size(),
+                            "truncated \\x escape in class '" << body << "'");
+                int hi = hexVal(body[i + 2]);
+                int lo = hexVal(body[i + 3]);
+                CA_FATAL_IF(hi < 0 || lo < 0,
+                            "bad hex digits in \\x escape in '" << body
+                                                                << "'");
+                int v = hi * 16 + lo;
+                flushPending(SymbolSet::of(static_cast<uint8_t>(v)), v);
+                i += 4;
+            } else {
+                SymbolSet tok = parseEscape(e);
+                bool single = tok.count() == 1;
+                flushPending(tok, single ? tok.first() : -1);
+                i += 2;
+            }
+        } else if (c == '-' && have_pending && last_single >= 0 &&
+                   i + 1 < body.size()) {
+            // Range: resolve the upper endpoint.
+            ++i;
+            int hi = -1;
+            if (body[i] == '\\') {
+                CA_FATAL_IF(i + 1 >= body.size(),
+                            "dangling escape in range in '" << body << "'");
+                if (body[i + 1] == 'x') {
+                    CA_FATAL_IF(i + 3 >= body.size(),
+                                "truncated \\x escape in '" << body << "'");
+                    int h = hexVal(body[i + 2]);
+                    int l = hexVal(body[i + 3]);
+                    CA_FATAL_IF(h < 0 || l < 0,
+                                "bad hex digits in '" << body << "'");
+                    hi = h * 16 + l;
+                    i += 4;
+                } else {
+                    SymbolSet tok = parseEscape(body[i + 1]);
+                    CA_FATAL_IF(tok.count() != 1,
+                                "class escape cannot terminate a range in '"
+                                    << body << "'");
+                    hi = tok.first();
+                    i += 2;
+                }
+            } else {
+                hi = static_cast<uint8_t>(body[i]);
+                ++i;
+            }
+            CA_FATAL_IF(hi < last_single,
+                        "reversed range in class '" << body << "'");
+            out |= SymbolSet::range(static_cast<uint8_t>(last_single),
+                                    static_cast<uint8_t>(hi));
+            last_single = -1;
+        } else {
+            flushPending(SymbolSet::of(static_cast<uint8_t>(c)),
+                         static_cast<uint8_t>(c));
+            ++i;
+        }
+    }
+
+    return negate ? ~out : out;
+}
+
+std::string
+SymbolSet::toString() const
+{
+    if (isAll())
+        return "[*]";
+    std::ostringstream os;
+    os << '[';
+    int c = first();
+    while (c >= 0) {
+        int run_end = c;
+        while (run_end + 1 < kAlphabetSize &&
+               test(static_cast<uint8_t>(run_end + 1)))
+            ++run_end;
+        if (run_end - c >= 2) {
+            appendSymbol(os, c);
+            os << '-';
+            appendSymbol(os, run_end);
+        } else {
+            for (int v = c; v <= run_end; ++v)
+                appendSymbol(os, v);
+        }
+        c = next(run_end);
+    }
+    os << ']';
+    return os.str();
+}
+
+size_t
+SymbolSet::hash() const
+{
+    // SplitMix64-style avalanche per word: plain FNV multiplies propagate
+    // low-to-high only, colliding sets that differ near bit 63.
+    uint64_t h = 1469598103934665603ull;
+    for (uint64_t w : words_) {
+        uint64_t z = h ^ w;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        h = z ^ (z >> 31);
+    }
+    return static_cast<size_t>(h);
+}
+
+} // namespace ca

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * SymbolSet: a set over the 256-symbol (8-bit) input alphabet.
+ *
+ * In Cache Automaton each NFA state (STE) is labelled by the set of input
+ * symbols it matches, stored physically as a 256-bit one-hot column in an
+ * SRAM array (one bit per alphabet symbol). SymbolSet is the in-memory
+ * equivalent: four 64-bit words, with set algebra and a character-class
+ * syntax compatible with the regex front end.
+ */
+#ifndef CA_CORE_SYMBOL_SET_H
+#define CA_CORE_SYMBOL_SET_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ca {
+
+/**
+ * A set of 8-bit input symbols, i.e. one STE column's worth of match bits.
+ *
+ * Value semantics; all operations are O(1) over the four backing words.
+ */
+class SymbolSet
+{
+  public:
+    static constexpr int kAlphabetSize = 256;
+    static constexpr int kWords = 4;
+
+    /** Constructs the empty set. */
+    constexpr SymbolSet() : words_{} {}
+
+    /** Returns the set containing every symbol (ANML '*' / regex '.'). */
+    static SymbolSet all();
+
+    /** Returns the singleton set {c}. */
+    static SymbolSet of(uint8_t c);
+
+    /** Returns the inclusive range [lo, hi]. */
+    static SymbolSet range(uint8_t lo, uint8_t hi);
+
+    /**
+     * Parses an ANML/regex-style character class.
+     *
+     * Accepts the *body* of a bracket expression, e.g. "abc", "a-z0-9",
+     * "^\\x00-\\x1f", "\\n\\t", "\\d", "\\w", "\\s" (and upper-case
+     * negations). A leading '^' complements the set.
+     *
+     * @throws CaError on malformed syntax (reversed range, dangling escape).
+     */
+    static SymbolSet parseClass(const std::string &body);
+
+    void set(uint8_t c) { words_[c >> 6] |= word(c); }
+    void reset(uint8_t c) { words_[c >> 6] &= ~word(c); }
+    bool test(uint8_t c) const { return words_[c >> 6] & word(c); }
+
+    /** Number of symbols in the set. */
+    int count() const;
+
+    bool empty() const;
+
+    /** True when every alphabet symbol is present. */
+    bool isAll() const;
+
+    SymbolSet operator|(const SymbolSet &o) const;
+    SymbolSet operator&(const SymbolSet &o) const;
+    SymbolSet operator~() const;
+    SymbolSet &operator|=(const SymbolSet &o);
+    SymbolSet &operator&=(const SymbolSet &o);
+
+    bool operator==(const SymbolSet &o) const = default;
+
+    /** True when the intersection with @p o is non-empty. */
+    bool intersects(const SymbolSet &o) const;
+
+    /** The smallest member, or -1 when empty. */
+    int first() const;
+
+    /** The smallest member greater than @p c, or -1 when none. */
+    int next(int c) const;
+
+    /**
+     * Renders a canonical character-class string, e.g. "[a-c x]" forms.
+     * Printable symbols appear literally; others as \xNN escapes.
+     */
+    std::string toString() const;
+
+    /** Raw 64-bit words, LSB-first; word 0 holds symbols 0..63. */
+    const std::array<uint64_t, kWords> &raw() const { return words_; }
+
+    /** Stable hash usable as an unordered-map key. */
+    size_t hash() const;
+
+  private:
+    static constexpr uint64_t word(uint8_t c) {
+        return uint64_t{1} << (c & 63);
+    }
+
+    std::array<uint64_t, kWords> words_;
+};
+
+/** Hash functor so SymbolSet can key unordered containers. */
+struct SymbolSetHash
+{
+    size_t operator()(const SymbolSet &s) const { return s.hash(); }
+};
+
+} // namespace ca
+
+#endif // CA_CORE_SYMBOL_SET_H

@@ -1,0 +1,101 @@
+#include "nfa/analysis.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/error.h"
+
+namespace ca {
+
+size_t
+ComponentInfo::largestSize() const
+{
+    size_t best = 0;
+    for (const auto &m : members)
+        best = std::max(best, m.size());
+    return best;
+}
+
+ComponentInfo
+connectedComponents(const Nfa &nfa)
+{
+    const size_t n = nfa.numStates();
+    ComponentInfo info;
+    info.component.assign(n, ~uint32_t{0});
+
+    // Union-find with path halving keeps this near-linear even for the
+    // 100K-state benchmarks.
+    std::vector<uint32_t> parent(n);
+    std::iota(parent.begin(), parent.end(), 0);
+    auto find = [&](uint32_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    auto unite = [&](uint32_t a, uint32_t b) {
+        a = find(a);
+        b = find(b);
+        if (a != b)
+            parent[b] = a;
+    };
+
+    for (StateId s = 0; s < n; ++s)
+        for (StateId t : nfa.state(s).out)
+            unite(s, t);
+
+    // Compact root ids to dense component indices in first-seen order.
+    std::vector<uint32_t> root_to_comp(n, ~uint32_t{0});
+    for (StateId s = 0; s < n; ++s) {
+        uint32_t r = find(s);
+        if (root_to_comp[r] == ~uint32_t{0}) {
+            root_to_comp[r] = static_cast<uint32_t>(info.members.size());
+            info.members.emplace_back();
+        }
+        uint32_t c = root_to_comp[r];
+        info.component[s] = c;
+        info.members[c].push_back(s);
+    }
+    return info;
+}
+
+size_t
+reachableCount(const Nfa &nfa, StateId src)
+{
+    CA_ASSERT(src < nfa.numStates());
+    std::vector<char> seen(nfa.numStates(), 0);
+    std::vector<StateId> stack{src};
+    seen[src] = 1;
+    size_t count = 0;
+    while (!stack.empty()) {
+        StateId cur = stack.back();
+        stack.pop_back();
+        ++count;
+        for (StateId t : nfa.state(cur).out) {
+            if (!seen[t]) {
+                seen[t] = 1;
+                stack.push_back(t);
+            }
+        }
+    }
+    return count;
+}
+
+double
+averageReachableSet(const Nfa &nfa, size_t sample_limit)
+{
+    const size_t n = nfa.numStates();
+    if (n == 0)
+        return 0.0;
+    size_t stride = std::max<size_t>(1, n / sample_limit);
+    double total = 0.0;
+    size_t samples = 0;
+    for (StateId s = 0; s < n; s += stride) {
+        total += static_cast<double>(reachableCount(nfa, s));
+        ++samples;
+    }
+    return total / static_cast<double>(samples);
+}
+
+} // namespace ca

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Structural analyses over homogeneous NFAs.
+ *
+ * Connected components are the compiler's atomic mapping unit (§3.1 of the
+ * paper): states within a CC need rich connectivity, distinct CCs none at
+ * all. This module computes CCs (over the undirected transition graph),
+ * their size distribution, and per-benchmark shape summaries (Table 1).
+ */
+#ifndef CA_NFA_ANALYSIS_H
+#define CA_NFA_ANALYSIS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "nfa/nfa.h"
+
+namespace ca {
+
+/** Connected-component decomposition of an NFA. */
+struct ComponentInfo
+{
+    /** component[s] = index of the CC containing state s. */
+    std::vector<uint32_t> component;
+    /** members[c] = state ids in CC c, ascending. */
+    std::vector<std::vector<StateId>> members;
+
+    size_t numComponents() const { return members.size(); }
+
+    /** Size of the largest component. */
+    size_t largestSize() const;
+};
+
+/** Computes connected components over the undirected edge relation. */
+ComponentInfo connectedComponents(const Nfa &nfa);
+
+/**
+ * Average static reachability: mean over states of |states reachable by
+ * following transitions forward| (the paper's Figure 10 "reachability" is
+ * an architectural bound; this is the NFA-side demand metric used by tests).
+ */
+double averageReachableSet(const Nfa &nfa, size_t sample_limit = 512);
+
+/** Per-state forward-reachable set size (BFS from @p src). */
+size_t reachableCount(const Nfa &nfa, StateId src);
+
+} // namespace ca
+
+#endif // CA_NFA_ANALYSIS_H

@@ -1,0 +1,304 @@
+#include "nfa/anml.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "core/error.h"
+#include "core/string_utils.h"
+
+namespace ca {
+
+namespace {
+
+/** One parsed XML tag: name, attributes, open/close/self-closing kind. */
+struct XmlTag
+{
+    enum Kind { Open, Close, SelfClose, Decl } kind = Open;
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> attrs;
+
+    const std::string *
+    attr(const std::string &key) const
+    {
+        for (const auto &[k, v] : attrs)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+std::string
+xmlUnescape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    size_t i = 0;
+    while (i < s.size()) {
+        if (s[i] != '&') {
+            out.push_back(s[i++]);
+            continue;
+        }
+        size_t semi = s.find(';', i);
+        CA_FATAL_IF(semi == std::string::npos,
+                    "unterminated XML entity in '" << s << "'");
+        std::string ent = s.substr(i + 1, semi - i - 1);
+        if (ent == "amp") out.push_back('&');
+        else if (ent == "lt") out.push_back('<');
+        else if (ent == "gt") out.push_back('>');
+        else if (ent == "quot") out.push_back('"');
+        else if (ent == "apos") out.push_back('\'');
+        else if (!ent.empty() && ent[0] == '#') {
+            int v = -1;
+            try {
+                v = ent.size() > 1 && ent[1] == 'x'
+                    ? std::stoi(ent.substr(2), nullptr, 16)
+                    : std::stoi(ent.substr(1));
+            } catch (const std::exception &) {
+                CA_THROW("malformed character reference &" << ent << ";");
+            }
+            CA_FATAL_IF(v < 0 || v > 255,
+                        "character reference &" << ent << "; out of range");
+            out.push_back(static_cast<char>(v));
+        } else {
+            CA_THROW("unknown XML entity &" << ent << ";");
+        }
+        i = semi + 1;
+    }
+    return out;
+}
+
+/** Minimal forward-only tag scanner; text nodes and comments are skipped. */
+class XmlScanner
+{
+  public:
+    explicit XmlScanner(const std::string &text) : text_(text) {}
+
+    /** Returns false at end of input; otherwise fills @p tag. */
+    bool
+    next(XmlTag &tag)
+    {
+        while (true) {
+            size_t lt = text_.find('<', pos_);
+            if (lt == std::string::npos)
+                return false;
+            // Comments and processing instructions are skipped whole.
+            if (text_.compare(lt, 4, "<!--") == 0) {
+                size_t end = text_.find("-->", lt);
+                CA_FATAL_IF(end == std::string::npos,
+                            "unterminated XML comment");
+                pos_ = end + 3;
+                continue;
+            }
+            size_t gt = text_.find('>', lt);
+            CA_FATAL_IF(gt == std::string::npos, "unterminated XML tag");
+            parseTag(text_.substr(lt + 1, gt - lt - 1), tag);
+            pos_ = gt + 1;
+            return true;
+        }
+    }
+
+  private:
+    void
+    parseTag(std::string body, XmlTag &tag)
+    {
+        tag.attrs.clear();
+        tag.kind = XmlTag::Open;
+        body = trim(body);
+        CA_FATAL_IF(body.empty(), "empty XML tag");
+        if (body[0] == '?' || body[0] == '!') {
+            tag.kind = XmlTag::Decl;
+            tag.name = body;
+            return;
+        }
+        if (body[0] == '/') {
+            tag.kind = XmlTag::Close;
+            tag.name = trim(body.substr(1));
+            return;
+        }
+        if (body.back() == '/') {
+            tag.kind = XmlTag::SelfClose;
+            body = trim(body.substr(0, body.size() - 1));
+        }
+        size_t i = 0;
+        while (i < body.size() && !std::isspace(
+                   static_cast<unsigned char>(body[i])))
+            ++i;
+        tag.name = body.substr(0, i);
+        // Attribute list: key="value" pairs.
+        while (i < body.size()) {
+            while (i < body.size() && std::isspace(
+                       static_cast<unsigned char>(body[i])))
+                ++i;
+            if (i >= body.size())
+                break;
+            size_t eq = body.find('=', i);
+            CA_FATAL_IF(eq == std::string::npos,
+                        "malformed attribute in <" << tag.name << ">");
+            std::string key = trim(body.substr(i, eq - i));
+            size_t q1 = body.find_first_of("\"'", eq);
+            CA_FATAL_IF(q1 == std::string::npos,
+                        "unquoted attribute value in <" << tag.name << ">");
+            char quote = body[q1];
+            size_t q2 = body.find(quote, q1 + 1);
+            CA_FATAL_IF(q2 == std::string::npos,
+                        "unterminated attribute value in <" << tag.name
+                                                            << ">");
+            tag.attrs.emplace_back(
+                key, xmlUnescape(body.substr(q1 + 1, q2 - q1 - 1)));
+            i = q2 + 1;
+        }
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+SymbolSet
+parseAnmlSymbolSet(const std::string &spec)
+{
+    if (spec == "*")
+        return SymbolSet::all();
+    CA_FATAL_IF(spec.size() < 2 || spec.front() != '[' || spec.back() != ']',
+                "symbol-set '" << spec << "' is not a bracket expression");
+    return SymbolSet::parseClass(spec.substr(1, spec.size() - 2));
+}
+
+StartType
+parseStartAttr(const std::string &v)
+{
+    if (v == "all-input")
+        return StartType::AllInput;
+    if (v == "start-of-data")
+        return StartType::StartOfData;
+    if (v == "none" || v.empty())
+        return StartType::None;
+    CA_THROW("unknown start type '" << v << "'");
+}
+
+} // namespace
+
+Nfa
+parseAnml(const std::string &text)
+{
+    XmlScanner scanner(text);
+    XmlTag tag;
+
+    Nfa nfa;
+    std::unordered_map<std::string, StateId> ids;
+    // Edges are resolved after all STEs exist (forward references legal).
+    std::vector<std::pair<StateId, std::string>> pending_edges;
+    StateId current = kInvalidState;
+
+    while (scanner.next(tag)) {
+        if (tag.kind == XmlTag::Decl)
+            continue;
+        if (tag.name == "state-transition-element") {
+            if (tag.kind == XmlTag::Close) {
+                current = kInvalidState;
+                continue;
+            }
+            const std::string *id = tag.attr("id");
+            CA_FATAL_IF(!id, "<state-transition-element> missing id");
+            const std::string *symbol = tag.attr("symbol-set");
+            CA_FATAL_IF(!symbol, "STE '" << *id << "' missing symbol-set");
+            StartType start = StartType::None;
+            if (const std::string *s = tag.attr("start"))
+                start = parseStartAttr(*s);
+            CA_FATAL_IF(ids.count(*id), "duplicate STE id '" << *id << "'");
+            StateId sid = nfa.addState(parseAnmlSymbolSet(*symbol), start,
+                                       false, 0, *id);
+            ids[*id] = sid;
+            if (tag.kind == XmlTag::Open)
+                current = sid;
+        } else if (tag.name == "activate-on-match") {
+            CA_FATAL_IF(current == kInvalidState,
+                        "<activate-on-match> outside an STE");
+            const std::string *el = tag.attr("element");
+            CA_FATAL_IF(!el, "<activate-on-match> missing element");
+            pending_edges.emplace_back(current, *el);
+        } else if (tag.name == "report-on-match") {
+            CA_FATAL_IF(current == kInvalidState,
+                        "<report-on-match> outside an STE");
+            nfa.state(current).report = true;
+            if (const std::string *rc = tag.attr("reportcode")) {
+                try {
+                    nfa.state(current).reportId =
+                        static_cast<uint32_t>(std::stoul(*rc));
+                } catch (const std::exception &) {
+                    CA_THROW("malformed reportcode '" << *rc << "'");
+                }
+            }
+        }
+        // Other tags (<anml>, <automata-network>, <description>...) skipped.
+    }
+
+    for (const auto &[from, target] : pending_edges) {
+        auto it = ids.find(target);
+        CA_FATAL_IF(it == ids.end(),
+                    "activate-on-match references unknown STE '" << target
+                                                                 << "'");
+        nfa.addTransition(from, it->second);
+    }
+    nfa.dedupeEdges();
+    return nfa;
+}
+
+Nfa
+loadAnmlFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    CA_FATAL_IF(!in, "cannot open ANML file '" << path << "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseAnml(buf.str());
+}
+
+std::string
+writeAnml(const Nfa &nfa, const std::string &network_id)
+{
+    std::ostringstream os;
+    os << "<anml version=\"1.0\">\n";
+    os << "<automata-network id=\"" << xmlEscape(network_id) << "\">\n";
+    for (StateId i = 0; i < nfa.numStates(); ++i) {
+        const NfaState &s = nfa.state(i);
+        std::string id = s.name.empty() ? "ste" + std::to_string(i) : s.name;
+        os << "  <state-transition-element id=\"" << xmlEscape(id)
+           << "\" symbol-set=\""
+           << xmlEscape(s.label.isAll() ? "*" : s.label.toString()) << "\"";
+        if (s.start == StartType::AllInput)
+            os << " start=\"all-input\"";
+        else if (s.start == StartType::StartOfData)
+            os << " start=\"start-of-data\"";
+        if (s.out.empty() && !s.report) {
+            os << "/>\n";
+            continue;
+        }
+        os << ">\n";
+        for (StateId t : s.out) {
+            const NfaState &ts = nfa.state(t);
+            std::string tid =
+                ts.name.empty() ? "ste" + std::to_string(t) : ts.name;
+            os << "    <activate-on-match element=\"" << xmlEscape(tid)
+               << "\"/>\n";
+        }
+        if (s.report)
+            os << "    <report-on-match reportcode=\"" << s.reportId
+               << "\"/>\n";
+        os << "  </state-transition-element>\n";
+    }
+    os << "</automata-network>\n</anml>\n";
+    return os.str();
+}
+
+void
+saveAnmlFile(const Nfa &nfa, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    CA_FATAL_IF(!out, "cannot write ANML file '" << path << "'");
+    out << writeAnml(nfa);
+    CA_FATAL_IF(!out, "I/O error writing '" << path << "'");
+}
+
+} // namespace ca

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * ANML (Automata Network Markup Language) reader/writer.
+ *
+ * ANML is Micron's XML dialect for homogeneous automata and the exchange
+ * format of the ANMLZoo benchmark suite the paper evaluates. This module
+ * supports the subset those benchmarks use:
+ *
+ *   <anml> / <automata-network>
+ *   <state-transition-element id symbol-set start>
+ *       <activate-on-match element="..."/>
+ *       <report-on-match reportcode="..."/>
+ *   </state-transition-element>
+ *
+ * symbol-set uses bracket-expression syntax ("[abc]", "[^\x00-\x1f]", "*").
+ * The writer emits the same subset, so round trips are lossless for our IR.
+ */
+#ifndef CA_NFA_ANML_H
+#define CA_NFA_ANML_H
+
+#include <string>
+
+#include "nfa/nfa.h"
+
+namespace ca {
+
+/**
+ * Parses an ANML document into an NFA.
+ * @throws CaError on malformed XML, unknown references, or bad symbol sets.
+ */
+Nfa parseAnml(const std::string &text);
+
+/** Reads a file and parses it as ANML. @throws CaError on I/O failure. */
+Nfa loadAnmlFile(const std::string &path);
+
+/** Serializes @p nfa as an ANML document. */
+std::string writeAnml(const Nfa &nfa, const std::string &network_id = "ca");
+
+/** Writes ANML to a file. @throws CaError on I/O failure. */
+void saveAnmlFile(const Nfa &nfa, const std::string &path);
+
+} // namespace ca
+
+#endif // CA_NFA_ANML_H

@@ -1,0 +1,159 @@
+#include "nfa/classical.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "core/error.h"
+
+namespace ca {
+
+uint32_t
+ClassicalNfa::addState(bool accepting, uint32_t report_id)
+{
+    edges_.emplace_back();
+    eps_.emplace_back();
+    accepting_.push_back(accepting ? 1 : 0);
+    report_id_.push_back(report_id);
+    return static_cast<uint32_t>(accepting_.size() - 1);
+}
+
+void
+ClassicalNfa::addEdge(uint32_t from, uint32_t to, const SymbolSet &label)
+{
+    CA_ASSERT(from < numStates() && to < numStates());
+    CA_FATAL_IF(label.empty(), "classical edge with empty label");
+    edges_[from].push_back(Edge{to, label});
+}
+
+void
+ClassicalNfa::addEpsilon(uint32_t from, uint32_t to)
+{
+    CA_ASSERT(from < numStates() && to < numStates());
+    eps_[from].push_back(to);
+}
+
+namespace {
+
+/** Epsilon closure (including @p s itself) via BFS. */
+std::vector<uint32_t>
+closure(const ClassicalNfa &nfa, uint32_t s)
+{
+    std::vector<uint32_t> out{s};
+    std::vector<char> seen(nfa.numStates(), 0);
+    seen[s] = 1;
+    for (size_t i = 0; i < out.size(); ++i)
+        for (uint32_t t : nfa.epsilons(out[i]))
+            if (!seen[t]) {
+                seen[t] = 1;
+                out.push_back(t);
+            }
+    return out;
+}
+
+} // namespace
+
+Nfa
+ClassicalNfa::homogenize(bool anchored) const
+{
+    const uint32_t n = static_cast<uint32_t>(numStates());
+
+    // Precompute closures once.
+    std::vector<std::vector<uint32_t>> cls(n);
+    for (uint32_t s = 0; s < n; ++s)
+        cls[s] = closure(*this, s);
+
+    // Epsilon-free edge relation: q --alpha--> r expands so r covers the
+    // closure of the original target; acceptance propagates backwards
+    // through closures (accept if any closure member accepts).
+    std::vector<char> acc(n, 0);
+    std::vector<uint32_t> acc_report(n, 0);
+    for (uint32_t s = 0; s < n; ++s) {
+        for (uint32_t t : cls[s]) {
+            if (accepting_[t]) {
+                acc[s] = 1;
+                acc_report[s] = report_id_[t];
+                break;
+            }
+        }
+    }
+
+    for (uint32_t s : start_) {
+        CA_FATAL_IF(acc[s],
+                    "classical NFA accepts the empty string; homogeneous "
+                    "automata cannot report at offset -1");
+    }
+
+    // Homogeneous state per (classical target, incoming symbol class).
+    // Identical labels into the same target share one STE; distinct
+    // incoming labels per state are few (match/substitute/insert classes),
+    // so a per-target linear scan suffices.
+    std::vector<std::vector<StateId>> target_stes(n);
+    std::vector<std::pair<uint32_t, SymbolSet>> ste_info;
+    Nfa out;
+
+    auto internSte = [&](uint32_t target,
+                         const SymbolSet &label) -> StateId {
+        for (StateId id : target_stes[target])
+            if (ste_info[id].second == label)
+                return id;
+        StateId id = out.addState(label, StartType::None, acc[target] != 0,
+                                  acc_report[target]);
+        target_stes[target].push_back(id);
+        ste_info.emplace_back(target, label);
+        return id;
+    };
+
+    // Create STEs for every epsilon-expanded edge endpoint.
+    // expanded edges: for q, for edge (t, alpha): for r in closure(t):
+    //   STE(r, alpha)
+    struct ExpEdge
+    {
+        uint32_t from;
+        uint32_t to;
+        SymbolSet label;
+    };
+    std::vector<ExpEdge> exp;
+    for (uint32_t q = 0; q < n; ++q)
+        for (const Edge &e : edges_[q])
+            for (uint32_t r : cls[e.to])
+                exp.push_back(ExpEdge{q, r, e.label});
+
+    for (const ExpEdge &e : exp)
+        internSte(e.to, e.label);
+
+    // Transitions between STEs: STE(q, a) -> STE(r, b) iff expanded edge
+    // q --b--> r exists. Group expanded edges by source for the scan.
+    std::vector<std::vector<size_t>> by_source(n);
+    for (size_t i = 0; i < exp.size(); ++i)
+        by_source[exp[i].from].push_back(i);
+
+    for (StateId ste = 0; ste < out.numStates(); ++ste) {
+        uint32_t q = ste_info[ste].first;
+        for (size_t ei : by_source[q]) {
+            StateId dst = internSte(exp[ei].to, exp[ei].label);
+            out.addTransition(ste, dst);
+        }
+    }
+
+    // Start states: expanded edges whose source is in the closure of a
+    // classical start state become start STEs.
+    std::vector<char> is_start_src(n, 0);
+    for (uint32_t s : start_)
+        for (uint32_t t : cls[s])
+            is_start_src[t] = 1;
+    StartType start_type =
+        anchored ? StartType::StartOfData : StartType::AllInput;
+    for (uint32_t q = 0; q < n; ++q) {
+        if (!is_start_src[q])
+            continue;
+        for (size_t ei : by_source[q])
+            out.state(internSte(exp[ei].to, exp[ei].label)).start =
+                start_type;
+    }
+
+    out.dedupeEdges();
+    return out;
+}
+
+} // namespace ca

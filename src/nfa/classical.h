@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Classical (edge-labelled) NFA and its conversion to the homogeneous
+ * ANML form (§2.1).
+ *
+ * Classical NFAs label *transitions* with symbol sets and may contain
+ * epsilon transitions; the AP/Cache-Automaton model labels *states*. The
+ * standard transformation creates one homogeneous state per (classical
+ * state, incoming symbol class) pair after epsilon elimination — this is
+ * the algorithm family the paper cites for producing ANML NFAs. Used by
+ * the Levenshtein workload generator and available as public API for
+ * importing classical automata.
+ */
+#ifndef CA_NFA_CLASSICAL_H
+#define CA_NFA_CLASSICAL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/symbol_set.h"
+#include "nfa/nfa.h"
+
+namespace ca {
+
+/** A classical NFA with symbol-set edge labels and epsilon transitions. */
+class ClassicalNfa
+{
+  public:
+    struct Edge
+    {
+        uint32_t to = 0;
+        SymbolSet label;
+    };
+
+    /** Adds a state; @p accepting states report @p report_id. */
+    uint32_t addState(bool accepting = false, uint32_t report_id = 0);
+
+    /** Adds a labelled transition. */
+    void addEdge(uint32_t from, uint32_t to, const SymbolSet &label);
+
+    /** Adds an epsilon transition. */
+    void addEpsilon(uint32_t from, uint32_t to);
+
+    void markStart(uint32_t state) { start_.push_back(state); }
+
+    size_t numStates() const { return accepting_.size(); }
+    const std::vector<Edge> &edges(uint32_t s) const { return edges_[s]; }
+    const std::vector<uint32_t> &epsilons(uint32_t s) const
+    {
+        return eps_[s];
+    }
+    bool accepting(uint32_t s) const { return accepting_[s]; }
+    const std::vector<uint32_t> &startStates() const { return start_; }
+
+    /**
+     * Converts to a homogeneous NFA.
+     *
+     * @param anchored  StartOfData start states when true (matching begins
+     *                  only at offset 0), AllInput otherwise.
+     *
+     * Epsilon transitions are eliminated by closure first; acceptance via
+     * pure-epsilon paths from a start state (empty-string acceptance) is
+     * not representable and throws CaError.
+     */
+    Nfa homogenize(bool anchored = true) const;
+
+  private:
+    std::vector<std::vector<Edge>> edges_;
+    std::vector<std::vector<uint32_t>> eps_;
+    std::vector<char> accepting_;
+    std::vector<uint32_t> report_id_;
+    std::vector<uint32_t> start_;
+};
+
+} // namespace ca
+
+#endif // CA_NFA_CLASSICAL_H

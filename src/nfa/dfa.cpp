@@ -1,0 +1,113 @@
+#include "nfa/dfa.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/error.h"
+
+namespace ca {
+
+namespace {
+
+/** Canonical (sorted, unique) enabled-set used as the subset key. */
+using EnabledSet = std::vector<StateId>;
+
+struct SetHash
+{
+    size_t
+    operator()(const EnabledSet &s) const
+    {
+        uint64_t h = 1469598103934665603ull;
+        for (StateId v : s) {
+            h ^= v;
+            h *= 1099511628211ull;
+        }
+        return static_cast<size_t>(h);
+    }
+};
+
+} // namespace
+
+Dfa
+buildDfa(const Nfa &nfa, size_t max_states)
+{
+    Dfa dfa;
+
+    // Always-enabled states (AllInput starts) join every enabled set.
+    EnabledSet all_input;
+    EnabledSet initial;
+    for (StateId s = 0; s < nfa.numStates(); ++s) {
+        StartType st = nfa.state(s).start;
+        if (st == StartType::AllInput)
+            all_input.push_back(s);
+        if (st != StartType::None)
+            initial.push_back(s);
+    }
+    std::sort(initial.begin(), initial.end());
+
+    std::unordered_map<EnabledSet, Dfa::DfaStateId, SetHash> ids;
+    std::vector<EnabledSet> worklist_sets;
+    auto intern = [&](EnabledSet set) -> Dfa::DfaStateId {
+        auto it = ids.find(set);
+        if (it != ids.end())
+            return it->second;
+        CA_FATAL_IF(ids.size() >= max_states,
+                    "DFA subset construction exceeded " << max_states
+                                                        << " states");
+        Dfa::DfaStateId id = static_cast<Dfa::DfaStateId>(ids.size());
+        ids.emplace(set, id);
+        worklist_sets.push_back(std::move(set));
+        dfa.trans_.resize((id + size_t{1}) * Dfa::kAlphabet, 0);
+        return id;
+    };
+
+    // Pool identical report lists so repeated edges share storage.
+    std::map<std::vector<uint32_t>, uint32_t> report_pool;
+    auto internReports = [&](std::vector<uint32_t> reports) -> uint32_t {
+        std::sort(reports.begin(), reports.end());
+        reports.erase(std::unique(reports.begin(), reports.end()),
+                      reports.end());
+        auto it = report_pool.find(reports);
+        if (it != report_pool.end())
+            return it->second;
+        uint32_t idx = static_cast<uint32_t>(dfa.report_lists_.size());
+        dfa.report_lists_.push_back(reports);
+        report_pool.emplace(std::move(reports), idx);
+        return idx;
+    };
+
+    intern(initial);
+
+    for (size_t wi = 0; wi < worklist_sets.size(); ++wi) {
+        // Copy: intern() growth may reallocate worklist_sets.
+        EnabledSet enabled = worklist_sets[wi];
+        Dfa::DfaStateId src = ids.at(enabled);
+
+        for (int sym = 0; sym < Dfa::kAlphabet; ++sym) {
+            uint8_t c = static_cast<uint8_t>(sym);
+            EnabledSet next = all_input;
+            std::vector<uint32_t> reports;
+            for (StateId q : enabled) {
+                const NfaState &st = nfa.state(q);
+                if (!st.label.test(c))
+                    continue;
+                if (st.report)
+                    reports.push_back(st.reportId);
+                next.insert(next.end(), st.out.begin(), st.out.end());
+            }
+            std::sort(next.begin(), next.end());
+            next.erase(std::unique(next.begin(), next.end()), next.end());
+
+            Dfa::DfaStateId dst = intern(std::move(next));
+            dfa.trans_[static_cast<size_t>(src) * Dfa::kAlphabet + sym] = dst;
+            if (!reports.empty()) {
+                dfa.edge_reports_[Dfa::edgeKey(src, c)] =
+                    internReports(std::move(reports));
+            }
+        }
+    }
+
+    return dfa;
+}
+
+} // namespace ca

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * DFA subset construction over homogeneous NFAs.
+ *
+ * Compute-centric automata engines (the paper's x86 baseline, §6) convert
+ * NFAs to DFAs so each input symbol costs one table lookup. We provide the
+ * same substrate: DFA states are sets of *enabled* NFA states; reports are
+ * edge-attributed (a reporting NFA state fires when it activates, i.e. on
+ * the transition that consumes the matching symbol).
+ *
+ * Subset construction can blow up exponentially on the NFA families used
+ * here (the paper's Table-5 discussion); a configurable state cap turns
+ * blow-up into a clean CaError instead of an OOM.
+ */
+#ifndef CA_NFA_DFA_H
+#define CA_NFA_DFA_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "nfa/nfa.h"
+
+namespace ca {
+
+/** A dense-table DFA with edge-attributed report lists. */
+class Dfa
+{
+  public:
+    using DfaStateId = uint32_t;
+
+    static constexpr int kAlphabet = 256;
+
+    /** Transition target for @p state on @p symbol. */
+    DfaStateId
+    next(DfaStateId state, uint8_t symbol) const
+    {
+        return trans_[static_cast<size_t>(state) * kAlphabet + symbol];
+    }
+
+    /**
+     * Report ids fired when consuming @p symbol in @p state, or nullptr
+     * when that edge reports nothing (the common case).
+     */
+    const std::vector<uint32_t> *
+    reportsOn(DfaStateId state, uint8_t symbol) const
+    {
+        auto it = edge_reports_.find(edgeKey(state, symbol));
+        return it == edge_reports_.end() ? nullptr
+                                         : &report_lists_[it->second];
+    }
+
+    DfaStateId startState() const { return 0; }
+
+    size_t numStates() const { return trans_.size() / kAlphabet; }
+
+    /** Bytes of the transition table (the baseline's memory footprint). */
+    size_t tableBytes() const { return trans_.size() * sizeof(DfaStateId); }
+
+  private:
+    friend Dfa buildDfa(const Nfa &nfa, size_t max_states);
+
+    static uint64_t
+    edgeKey(DfaStateId state, uint8_t symbol)
+    {
+        return (static_cast<uint64_t>(state) << 8) | symbol;
+    }
+
+    std::vector<DfaStateId> trans_;
+    std::unordered_map<uint64_t, uint32_t> edge_reports_;
+    std::vector<std::vector<uint32_t>> report_lists_;
+};
+
+/**
+ * Determinizes @p nfa.
+ * @param max_states cap on DFA states before giving up.
+ * @throws CaError when the cap is exceeded.
+ */
+Dfa buildDfa(const Nfa &nfa, size_t max_states = 1u << 16);
+
+} // namespace ca
+
+#endif // CA_NFA_DFA_H

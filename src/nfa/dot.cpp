@@ -1,0 +1,63 @@
+#include "nfa/dot.h"
+
+#include <sstream>
+
+#include "core/string_utils.h"
+
+namespace ca {
+
+namespace detail {
+
+std::string
+dotNodeAttrs(const NfaState &s, bool show_labels)
+{
+    std::ostringstream os;
+    os << '[';
+    if (show_labels) {
+        std::string label = s.name.empty() ? "" : s.name + "\\n";
+        std::string cls = s.label.isAll() ? "*" : s.label.toString();
+        // Escape quotes/backslashes for the DOT string literal.
+        std::string esc;
+        for (char c : cls) {
+            if (c == '"' || c == '\\')
+                esc.push_back('\\');
+            esc.push_back(c);
+        }
+        os << "label=\"" << label << esc << "\" ";
+    }
+    if (s.report)
+        os << "shape=doublecircle ";
+    else
+        os << "shape=circle ";
+    if (s.start == StartType::AllInput)
+        os << "style=filled fillcolor=lightblue ";
+    else if (s.start == StartType::StartOfData)
+        os << "style=filled fillcolor=lightgreen ";
+    os << ']';
+    return os.str();
+}
+
+} // namespace detail
+
+std::string
+toDot(const Nfa &nfa, const DotOptions &opts)
+{
+    std::ostringstream os;
+    os << "digraph nfa {\n  rankdir=LR;\n";
+    size_t n = std::min(nfa.numStates(), opts.maxStates);
+    for (StateId s = 0; s < n; ++s)
+        os << "  s" << s << ' '
+           << detail::dotNodeAttrs(nfa.state(s), opts.showLabels)
+           << ";\n";
+    for (StateId s = 0; s < n; ++s)
+        for (StateId t : nfa.state(s).out)
+            if (t < n)
+                os << "  s" << s << " -> s" << t << ";\n";
+    if (n < nfa.numStates())
+        os << "  note [shape=box label=\"" << (nfa.numStates() - n)
+           << " more states truncated\"];\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace ca

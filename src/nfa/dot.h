@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Graphviz DOT export for automata and mappings.
+ *
+ * Debugging and documentation aid: renders homogeneous NFAs with their
+ * labels/start/report attributes (the mapped-automaton variant lives in
+ * compiler/visualize.h), mirroring the paper's Figure 1 illustration.
+ */
+#ifndef CA_NFA_DOT_H
+#define CA_NFA_DOT_H
+
+#include <string>
+
+#include "nfa/nfa.h"
+
+namespace ca {
+
+/** Options for DOT rendering. */
+struct DotOptions
+{
+    /** Cap on rendered states (bigger automata are truncated with a
+     *  note; DOT beyond a few thousand nodes is unusable anyway). */
+    size_t maxStates = 2000;
+    /** Include the symbol-set label text on each node. */
+    bool showLabels = true;
+};
+
+/** Renders @p nfa as a DOT digraph. */
+std::string toDot(const Nfa &nfa, const DotOptions &opts = {});
+
+namespace detail {
+/** Shared node-attribute rendering (used by the mapped-automaton view). */
+std::string dotNodeAttrs(const NfaState &s, bool show_labels);
+} // namespace detail
+
+} // namespace ca
+
+#endif // CA_NFA_DOT_H

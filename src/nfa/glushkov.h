@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Glushkov (position-automaton) construction: regex AST → homogeneous NFA.
+ *
+ * The position automaton has exactly one state per Class leaf of the AST,
+ * each labelled by that leaf's symbol set — i.e. it is homogeneous by
+ * construction and maps 1:1 onto ANML STEs with no epsilon-removal pass.
+ * This is the standard pipeline for compiling rulesets to the Automata
+ * Processor and is what the Cache Automaton compiler consumes.
+ *
+ * Unanchored patterns ('^' absent) get AllInput start states so matching
+ * begins at every input offset, matching AP scan semantics. Bounded
+ * repetitions are expanded structurally before position numbering.
+ */
+#ifndef CA_NFA_GLUSHKOV_H
+#define CA_NFA_GLUSHKOV_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nfa/nfa.h"
+#include "nfa/regex_ast.h"
+
+namespace ca {
+
+/** Options controlling regex → NFA lowering. */
+struct GlushkovOptions
+{
+    /** Report id attached to this pattern's accepting states. */
+    uint32_t reportId = 0;
+    /**
+     * Hard cap on positions after {m,n} expansion; protects against
+     * pathological rulesets. Exceeding it throws CaError.
+     */
+    size_t maxPositions = 1u << 20;
+    /**
+     * Case-insensitive matching (Snort's "nocase"): every position's
+     * label is closed over ASCII case before the NFA is built.
+     */
+    bool caseInsensitive = false;
+};
+
+/**
+ * Lowers one parsed pattern to a homogeneous NFA fragment.
+ *
+ * @throws CaError if the pattern matches the empty string (no homogeneous
+ * automaton can report at offset -1) or exceeds maxPositions.
+ */
+Nfa buildGlushkov(const RegexPattern &pattern, const GlushkovOptions &opts);
+
+/**
+ * Compiles a whole ruleset: parses each pattern, lowers it with reportId =
+ * its index, and merges the fragments into one multi-pattern automaton
+ * (one connected component per pattern, as in the ANMLZoo benchmarks).
+ */
+Nfa compileRuleset(const std::vector<std::string> &patterns,
+                   size_t maxPositions = 1u << 20,
+                   bool caseInsensitive = false);
+
+} // namespace ca
+
+#endif // CA_NFA_GLUSHKOV_H

@@ -1,0 +1,170 @@
+#include "nfa/regex_ast.h"
+
+#include <sstream>
+
+#include "core/error.h"
+
+namespace ca {
+
+RegexNodePtr
+RegexNode::empty()
+{
+    auto n = std::make_unique<RegexNode>();
+    n->op = RegexOp::Empty;
+    return n;
+}
+
+RegexNodePtr
+RegexNode::symbolClass(const SymbolSet &s)
+{
+    auto n = std::make_unique<RegexNode>();
+    n->op = RegexOp::Class;
+    n->cls = s;
+    return n;
+}
+
+RegexNodePtr
+RegexNode::concat(std::vector<RegexNodePtr> kids)
+{
+    if (kids.empty())
+        return empty();
+    if (kids.size() == 1)
+        return std::move(kids[0]);
+    auto n = std::make_unique<RegexNode>();
+    n->op = RegexOp::Concat;
+    n->children = std::move(kids);
+    return n;
+}
+
+RegexNodePtr
+RegexNode::alt(std::vector<RegexNodePtr> kids)
+{
+    CA_ASSERT(!kids.empty());
+    if (kids.size() == 1)
+        return std::move(kids[0]);
+    auto n = std::make_unique<RegexNode>();
+    n->op = RegexOp::Alt;
+    n->children = std::move(kids);
+    return n;
+}
+
+RegexNodePtr
+RegexNode::star(RegexNodePtr kid)
+{
+    auto n = std::make_unique<RegexNode>();
+    n->op = RegexOp::Star;
+    n->children.push_back(std::move(kid));
+    return n;
+}
+
+RegexNodePtr
+RegexNode::plus(RegexNodePtr kid)
+{
+    auto n = std::make_unique<RegexNode>();
+    n->op = RegexOp::Plus;
+    n->children.push_back(std::move(kid));
+    return n;
+}
+
+RegexNodePtr
+RegexNode::opt(RegexNodePtr kid)
+{
+    auto n = std::make_unique<RegexNode>();
+    n->op = RegexOp::Opt;
+    n->children.push_back(std::move(kid));
+    return n;
+}
+
+RegexNodePtr
+RegexNode::repeat(RegexNodePtr kid, int min, int max)
+{
+    CA_FATAL_IF(min < 0, "negative repetition bound");
+    CA_FATAL_IF(max != kUnbounded && max < min,
+                "repetition {" << min << "," << max << "} has max < min");
+    auto n = std::make_unique<RegexNode>();
+    n->op = RegexOp::Repeat;
+    n->children.push_back(std::move(kid));
+    n->repeatMin = min;
+    n->repeatMax = max;
+    return n;
+}
+
+RegexNodePtr
+RegexNode::clone() const
+{
+    auto n = std::make_unique<RegexNode>();
+    n->op = op;
+    n->cls = cls;
+    n->repeatMin = repeatMin;
+    n->repeatMax = repeatMax;
+    n->children.reserve(children.size());
+    for (const auto &c : children)
+        n->children.push_back(c->clone());
+    return n;
+}
+
+size_t
+RegexNode::countPositions() const
+{
+    if (op == RegexOp::Class)
+        return 1;
+    size_t n = 0;
+    for (const auto &c : children)
+        n += c->countPositions();
+    if (op == RegexOp::Repeat) {
+        // Expansion duplicates the body max (or min+1 for unbounded) times.
+        int copies = repeatMax == kUnbounded ? repeatMin + 1 : repeatMax;
+        if (copies < 1)
+            copies = 1;
+        n *= static_cast<size_t>(copies);
+    }
+    return n;
+}
+
+std::string
+RegexNode::toString() const
+{
+    std::ostringstream os;
+    switch (op) {
+      case RegexOp::Empty:
+        os << "()";
+        break;
+      case RegexOp::Class:
+        os << cls.toString();
+        break;
+      case RegexOp::Concat:
+        for (const auto &c : children)
+            os << c->toString();
+        break;
+      case RegexOp::Alt: {
+        os << '(';
+        bool head = true;
+        for (const auto &c : children) {
+            if (!head)
+                os << '|';
+            head = false;
+            os << c->toString();
+        }
+        os << ')';
+        break;
+      }
+      case RegexOp::Star:
+        os << '(' << children[0]->toString() << ")*";
+        break;
+      case RegexOp::Plus:
+        os << '(' << children[0]->toString() << ")+";
+        break;
+      case RegexOp::Opt:
+        os << '(' << children[0]->toString() << ")?";
+        break;
+      case RegexOp::Repeat:
+        os << '(' << children[0]->toString() << "){" << repeatMin << ',';
+        if (repeatMax != kUnbounded)
+            os << repeatMax;
+        os << '}';
+        break;
+    }
+    return os.str();
+}
+
+} // namespace ca

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Regular-expression abstract syntax tree.
+ *
+ * The front end of the Cache Automaton compiler: regex rulesets (Snort-like
+ * signatures, ClamAV strings, the Regex suite's dotstar/ranges/exact-match
+ * families) parse into this AST, which the Glushkov construction then lowers
+ * directly to a homogeneous NFA.
+ */
+#ifndef CA_NFA_REGEX_AST_H
+#define CA_NFA_REGEX_AST_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/symbol_set.h"
+
+namespace ca {
+
+/** AST node kinds. */
+enum class RegexOp : uint8_t {
+    Empty,   ///< Matches the empty string (epsilon).
+    Class,   ///< A symbol-set leaf (literal char, ., [..], escapes).
+    Concat,  ///< Sequence of children.
+    Alt,     ///< Alternation of children.
+    Star,    ///< Zero or more of child.
+    Plus,    ///< One or more of child.
+    Opt,     ///< Zero or one of child.
+    Repeat,  ///< Bounded repetition child{min,max}; max==kUnbounded => open.
+};
+
+struct RegexNode;
+using RegexNodePtr = std::unique_ptr<RegexNode>;
+
+/** One regex AST node. Tree ownership is by unique_ptr. */
+struct RegexNode
+{
+    static constexpr int kUnbounded = -1;
+
+    RegexOp op = RegexOp::Empty;
+    SymbolSet cls;                      ///< Valid when op == Class.
+    std::vector<RegexNodePtr> children; ///< Concat/Alt: 2+; unary ops: 1.
+    int repeatMin = 0;                  ///< Valid when op == Repeat.
+    int repeatMax = 0;                  ///< Valid when op == Repeat.
+
+    static RegexNodePtr empty();
+    static RegexNodePtr symbolClass(const SymbolSet &s);
+    static RegexNodePtr concat(std::vector<RegexNodePtr> kids);
+    static RegexNodePtr alt(std::vector<RegexNodePtr> kids);
+    static RegexNodePtr star(RegexNodePtr kid);
+    static RegexNodePtr plus(RegexNodePtr kid);
+    static RegexNodePtr opt(RegexNodePtr kid);
+    static RegexNodePtr repeat(RegexNodePtr kid, int min, int max);
+
+    /** Deep copy (needed to expand {m,n} repetitions). */
+    RegexNodePtr clone() const;
+
+    /** Number of Class leaves (Glushkov positions) in the subtree. */
+    size_t countPositions() const;
+
+    /** Re-renders a normalized regex string; for diagnostics and tests. */
+    std::string toString() const;
+};
+
+/** A parsed pattern: the AST plus anchoring flags. */
+struct RegexPattern
+{
+    RegexNodePtr root;
+    bool anchoredStart = false; ///< '^' at pattern head (StartOfData).
+    bool anchoredEnd = false;   ///< '$' at pattern tail (match at EOF only).
+    std::string source;         ///< Original pattern text.
+};
+
+} // namespace ca
+
+#endif // CA_NFA_REGEX_AST_H

@@ -1,0 +1,250 @@
+#include "nfa/regex_parser.h"
+
+#include <cctype>
+
+#include "core/error.h"
+
+namespace ca {
+
+namespace {
+
+/**
+ * Classic recursive-descent regex parser.
+ *
+ * Grammar:
+ *   pattern := '^'? alt '$'?
+ *   alt     := concat ('|' concat)*
+ *   concat  := repeat*
+ *   repeat  := atom ('*' | '+' | '?' | '{' bounds '}')*
+ *   atom    := '(' alt ')' | '[' class ']' | '.' | escape | literal
+ */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &src) : src_(src) {}
+
+    RegexPattern
+    parse()
+    {
+        RegexPattern pat;
+        pat.source = src_;
+        if (peek() == '^') {
+            pat.anchoredStart = true;
+            ++pos_;
+        }
+        pat.root = parseAlt();
+        if (peek() == '$') {
+            pat.anchoredEnd = true;
+            ++pos_;
+        }
+        CA_FATAL_IF(pos_ != src_.size(),
+                    "unexpected '" << src_[pos_] << "' at offset " << pos_
+                                   << " in /" << src_ << "/");
+        return pat;
+    }
+
+  private:
+    int peek() const { return pos_ < src_.size() ? src_[pos_] : -1; }
+
+    char
+    consume()
+    {
+        CA_FATAL_IF(pos_ >= src_.size(),
+                    "unexpected end of pattern /" << src_ << "/");
+        return src_[pos_++];
+    }
+
+    RegexNodePtr
+    parseAlt()
+    {
+        std::vector<RegexNodePtr> branches;
+        branches.push_back(parseConcat());
+        while (peek() == '|') {
+            ++pos_;
+            branches.push_back(parseConcat());
+        }
+        return RegexNode::alt(std::move(branches));
+    }
+
+    RegexNodePtr
+    parseConcat()
+    {
+        std::vector<RegexNodePtr> parts;
+        while (true) {
+            int c = peek();
+            if (c == -1 || c == '|' || c == ')')
+                break;
+            if (c == '$' && pos_ == src_.size() - 1)
+                break; // trailing anchor handled by parse()
+            parts.push_back(parseRepeat());
+        }
+        return RegexNode::concat(std::move(parts));
+    }
+
+    RegexNodePtr
+    parseRepeat()
+    {
+        RegexNodePtr node = parseAtom();
+        while (true) {
+            int c = peek();
+            if (c == '*') {
+                ++pos_;
+                node = RegexNode::star(std::move(node));
+            } else if (c == '+') {
+                ++pos_;
+                node = RegexNode::plus(std::move(node));
+            } else if (c == '?') {
+                ++pos_;
+                node = RegexNode::opt(std::move(node));
+            } else if (c == '{') {
+                node = parseBounds(std::move(node));
+            } else {
+                break;
+            }
+        }
+        return node;
+    }
+
+    RegexNodePtr
+    parseBounds(RegexNodePtr node)
+    {
+        size_t open = pos_;
+        ++pos_; // '{'
+        CA_FATAL_IF(!std::isdigit(peek()),
+                    "expected digit after '{' at offset " << open << " in /"
+                                                          << src_ << "/");
+        int min = parseInt();
+        int max = min;
+        if (peek() == ',') {
+            ++pos_;
+            if (peek() == '}') {
+                max = RegexNode::kUnbounded;
+            } else {
+                CA_FATAL_IF(!std::isdigit(peek()),
+                            "expected digit or '}' in bounds at offset "
+                                << pos_ << " in /" << src_ << "/");
+                max = parseInt();
+            }
+        }
+        CA_FATAL_IF(peek() != '}',
+                    "unterminated '{' at offset " << open << " in /" << src_
+                                                  << "/");
+        ++pos_;
+        return RegexNode::repeat(std::move(node), min, max);
+    }
+
+    int
+    parseInt()
+    {
+        int v = 0;
+        while (std::isdigit(peek())) {
+            v = v * 10 + (consume() - '0');
+            CA_FATAL_IF(v > 100000, "repetition bound too large in /"
+                                        << src_ << "/");
+        }
+        return v;
+    }
+
+    RegexNodePtr
+    parseAtom()
+    {
+        int c = peek();
+        switch (c) {
+          case '(': {
+            size_t open = pos_;
+            ++pos_;
+            // Swallow non-capturing group markers "(?:".
+            if (peek() == '?' && pos_ + 1 < src_.size() &&
+                src_[pos_ + 1] == ':')
+                pos_ += 2;
+            RegexNodePtr inner = parseAlt();
+            CA_FATAL_IF(peek() != ')', "unbalanced '(' at offset "
+                                           << open << " in /" << src_
+                                           << "/");
+            ++pos_;
+            return inner;
+          }
+          case '[':
+            return parseClass();
+          case '.':
+            ++pos_;
+            return RegexNode::symbolClass(SymbolSet::all());
+          case '\\': {
+            ++pos_;
+            CA_FATAL_IF(pos_ >= src_.size(),
+                        "dangling '\\' in /" << src_ << "/");
+            std::string body = "\\";
+            body.push_back(consume());
+            if (body[1] == 'x') {
+                CA_FATAL_IF(pos_ + 1 >= src_.size(),
+                            "truncated \\x escape in /" << src_ << "/");
+                body.push_back(consume());
+                body.push_back(consume());
+            }
+            return RegexNode::symbolClass(SymbolSet::parseClass(body));
+          }
+          case '*': case '+': case '?': case '{':
+            CA_THROW("quantifier '" << static_cast<char>(c)
+                                    << "' with nothing to repeat at offset "
+                                    << pos_ << " in /" << src_ << "/");
+          case -1:
+            CA_THROW("unexpected end of pattern /" << src_ << "/");
+          default:
+            ++pos_;
+            return RegexNode::symbolClass(
+                SymbolSet::of(static_cast<uint8_t>(c)));
+        }
+    }
+
+    RegexNodePtr
+    parseClass()
+    {
+        size_t open = pos_;
+        ++pos_; // '['
+        std::string body;
+        while (true) {
+            int c = peek();
+            CA_FATAL_IF(c == -1, "unterminated '[' at offset "
+                                     << open << " in /" << src_ << "/");
+            // ']' terminates unless it is the first member (POSIX treats a
+            // leading ']', including right after '^', as a literal).
+            if (c == ']' && !body.empty() && body != "^")
+                break;
+            if (c == ']') {
+                body.push_back(']');
+                ++pos_;
+                continue;
+            }
+            if (c == '\\') {
+                body.push_back(static_cast<char>(consume()));
+                CA_FATAL_IF(peek() == -1, "dangling escape in class in /"
+                                              << src_ << "/");
+                char e = consume();
+                body.push_back(e);
+                if (e == 'x') {
+                    CA_FATAL_IF(pos_ + 1 >= src_.size(),
+                                "truncated \\x escape in /" << src_ << "/");
+                    body.push_back(consume());
+                    body.push_back(consume());
+                }
+            } else {
+                body.push_back(static_cast<char>(consume()));
+            }
+        }
+        ++pos_; // ']'
+        return RegexNode::symbolClass(SymbolSet::parseClass(body));
+    }
+
+    const std::string &src_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+RegexPattern
+parseRegex(const std::string &pattern)
+{
+    return Parser(pattern).parse();
+}
+
+} // namespace ca

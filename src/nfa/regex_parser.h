@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Recursive-descent parser for the PCRE-ish subset the benchmark rulesets
+ * use: literals, escapes (\n \t \xNN \d \w \s ...), '.', character classes
+ * [..] with ranges and negation, grouping, alternation, *, +, ?, {m}, {m,},
+ * {m,n}, and ^/$ anchors at the pattern boundaries.
+ */
+#ifndef CA_NFA_REGEX_PARSER_H
+#define CA_NFA_REGEX_PARSER_H
+
+#include <string>
+
+#include "nfa/regex_ast.h"
+
+namespace ca {
+
+/**
+ * Parses @p pattern into an AST.
+ * @throws CaError with a position-annotated message on syntax errors.
+ */
+RegexPattern parseRegex(const std::string &pattern);
+
+} // namespace ca
+
+#endif // CA_NFA_REGEX_PARSER_H

@@ -1,0 +1,276 @@
+#include "nfa/transform.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace ca {
+
+namespace {
+
+/** Attribute key: states may only ever merge when these all agree. */
+uint64_t
+attrHash(const NfaState &s)
+{
+    uint64_t h = s.label.hash();
+    uint64_t report_id = s.report ? s.reportId : 0;
+    uint64_t seed = h ^ (static_cast<uint64_t>(s.start) << 1) ^
+        (static_cast<uint64_t>(s.report) << 2) ^ (report_id << 3);
+    return splitmix64(seed);
+}
+
+bool
+sameAttrs(const NfaState &a, const NfaState &b)
+{
+    // reportId only matters for reporting states.
+    return a.label == b.label && a.start == b.start &&
+        a.report == b.report && (!a.report || a.reportId == b.reportId);
+}
+
+/**
+ * Coarsest bisimulation quotient via partition refinement.
+ *
+ * backward=true computes backward bisimulation (signatures over
+ * predecessor blocks): equivalent states have identical *left* languages,
+ * so they are always active together — this is the prefix-merging
+ * optimization of §3.1, generalized to handle cycles (e.g. the `[^x]*`
+ * gap states shared by SPM rules). backward=false is the dual forward
+ * (suffix) variant over successor blocks.
+ *
+ * Starting from attribute groups, blocks are only ever split, so the
+ * refinement converges to the coarsest partition; the quotient automaton
+ * preserves the (offset, reportId) report stream exactly.
+ */
+TransformStats
+bisimulationQuotient(Nfa &nfa, bool backward)
+{
+    TransformStats st;
+    st.statesBefore = nfa.numStates();
+    const size_t n = nfa.numStates();
+    if (n == 0) {
+        st.statesAfter = 0;
+        return st;
+    }
+
+    // Initial blocks: group by attributes (exact, hash only as a bucket).
+    std::vector<uint32_t> block(n);
+    uint32_t num_blocks = 0;
+    {
+        std::unordered_map<uint64_t, std::vector<StateId>> buckets;
+        for (StateId s = 0; s < n; ++s)
+            buckets[attrHash(nfa.state(s))].push_back(s);
+        std::vector<char> assigned(n, 0);
+        for (auto &[h, members] : buckets) {
+            (void)h;
+            for (size_t i = 0; i < members.size(); ++i) {
+                if (assigned[members[i]])
+                    continue;
+                uint32_t b = num_blocks++;
+                block[members[i]] = b;
+                assigned[members[i]] = 1;
+                for (size_t j = i + 1; j < members.size(); ++j) {
+                    if (!assigned[members[j]] &&
+                        sameAttrs(nfa.state(members[i]),
+                                  nfa.state(members[j]))) {
+                        block[members[j]] = b;
+                        assigned[members[j]] = 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Adjacency in the refinement direction.
+    std::vector<std::vector<StateId>> adj(n);
+    if (backward) {
+        for (StateId s = 0; s < n; ++s)
+            adj[s] = nfa.predecessors(s);
+    } else {
+        for (StateId s = 0; s < n; ++s)
+            adj[s] = nfa.state(s).out;
+    }
+
+    // Refine until stable. Signature = sorted set of adjacent block ids.
+    std::vector<uint32_t> sig_scratch;
+    std::vector<std::vector<uint32_t>> sigs(n);
+    while (true) {
+        ++st.iterations;
+        for (StateId s = 0; s < n; ++s) {
+            sig_scratch.clear();
+            for (StateId t : adj[s])
+                sig_scratch.push_back(block[t]);
+            std::sort(sig_scratch.begin(), sig_scratch.end());
+            sig_scratch.erase(
+                std::unique(sig_scratch.begin(), sig_scratch.end()),
+                sig_scratch.end());
+            sigs[s] = sig_scratch;
+        }
+
+        // Re-block by (old block, signature).
+        std::unordered_map<uint64_t, std::vector<StateId>> buckets;
+        buckets.reserve(n * 2);
+        for (StateId s = 0; s < n; ++s) {
+            uint64_t h = block[s];
+            for (uint32_t b : sigs[s]) {
+                uint64_t seed = h ^ (b + 0x9e3779b97f4a7c15ull);
+                h = splitmix64(seed);
+            }
+            buckets[h].push_back(s);
+        }
+        std::vector<uint32_t> new_block(n, ~uint32_t{0});
+        uint32_t next = 0;
+        for (auto &[h, members] : buckets) {
+            (void)h;
+            for (size_t i = 0; i < members.size(); ++i) {
+                StateId a = members[i];
+                if (new_block[a] != ~uint32_t{0})
+                    continue;
+                uint32_t nb = next++;
+                new_block[a] = nb;
+                for (size_t j = i + 1; j < members.size(); ++j) {
+                    StateId b = members[j];
+                    if (new_block[b] == ~uint32_t{0} &&
+                        block[a] == block[b] && sigs[a] == sigs[b])
+                        new_block[b] = nb;
+                }
+            }
+        }
+        if (next == num_blocks)
+            break; // stable: no block split this round
+        num_blocks = next;
+        block = std::move(new_block);
+    }
+
+    if (num_blocks == n) {
+        st.statesAfter = n;
+        return st;
+    }
+
+    // Quotient construction: one state per block.
+    Nfa out;
+    std::vector<StateId> rep(num_blocks, kInvalidState);
+    std::vector<StateId> new_id(num_blocks, kInvalidState);
+    for (StateId s = 0; s < n; ++s) {
+        uint32_t b = block[s];
+        if (rep[b] == kInvalidState) {
+            rep[b] = s;
+            const NfaState &src = nfa.state(s);
+            new_id[b] = out.addState(src.label, src.start, src.report,
+                                     src.report ? src.reportId : 0,
+                                     src.name);
+        }
+    }
+    for (StateId s = 0; s < n; ++s)
+        for (StateId t : nfa.state(s).out)
+            out.addTransition(new_id[block[s]], new_id[block[t]]);
+    out.dedupeEdges();
+    nfa = std::move(out);
+
+    st.statesAfter = nfa.numStates();
+    return st;
+}
+
+TransformStats
+keepStates(Nfa &nfa, const std::vector<char> &keep)
+{
+    TransformStats st;
+    st.statesBefore = nfa.numStates();
+    std::vector<StateId> survivors;
+    for (StateId s = 0; s < nfa.numStates(); ++s)
+        if (keep[s])
+            survivors.push_back(s);
+    if (survivors.size() != nfa.numStates())
+        nfa = nfa.subAutomaton(survivors);
+    st.statesAfter = nfa.numStates();
+    st.iterations = 1;
+    return st;
+}
+
+} // namespace
+
+TransformStats
+mergePrefixes(Nfa &nfa)
+{
+    return bisimulationQuotient(nfa, /*backward=*/true);
+}
+
+TransformStats
+mergeSuffixes(Nfa &nfa)
+{
+    return bisimulationQuotient(nfa, /*backward=*/false);
+}
+
+TransformStats
+removeUnreachable(Nfa &nfa)
+{
+    const size_t n = nfa.numStates();
+    std::vector<char> reach(n, 0);
+    std::vector<StateId> stack;
+    for (StateId s = 0; s < n; ++s) {
+        if (nfa.state(s).start != StartType::None) {
+            reach[s] = 1;
+            stack.push_back(s);
+        }
+    }
+    while (!stack.empty()) {
+        StateId cur = stack.back();
+        stack.pop_back();
+        for (StateId t : nfa.state(cur).out) {
+            if (!reach[t]) {
+                reach[t] = 1;
+                stack.push_back(t);
+            }
+        }
+    }
+    return keepStates(nfa, reach);
+}
+
+TransformStats
+removeDead(Nfa &nfa)
+{
+    const size_t n = nfa.numStates();
+    std::vector<char> live(n, 0);
+    std::vector<StateId> stack;
+    for (StateId s = 0; s < n; ++s) {
+        if (nfa.state(s).report) {
+            live[s] = 1;
+            stack.push_back(s);
+        }
+    }
+    if (stack.empty()) {
+        // No reports at all: nothing meaningful to prune against.
+        TransformStats st;
+        st.statesBefore = st.statesAfter = n;
+        return st;
+    }
+    while (!stack.empty()) {
+        StateId cur = stack.back();
+        stack.pop_back();
+        for (StateId p : nfa.predecessors(cur)) {
+            if (!live[p]) {
+                live[p] = 1;
+                stack.push_back(p);
+            }
+        }
+    }
+    return keepStates(nfa, live);
+}
+
+TransformStats
+optimizeForSpace(Nfa &nfa)
+{
+    TransformStats total;
+    total.statesBefore = nfa.numStates();
+    removeUnreachable(nfa);
+    removeDead(nfa);
+    TransformStats p = mergePrefixes(nfa);
+    TransformStats s = mergeSuffixes(nfa);
+    total.statesAfter = nfa.numStates();
+    total.iterations = p.iterations + s.iterations;
+    return total;
+}
+
+} // namespace ca

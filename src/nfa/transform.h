@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Semantics-preserving NFA transformations.
+ *
+ * The space-optimized Cache Automaton design (CA_S, §3.1) relies on
+ * *prefix merging*: patterns sharing a common prefix (e.g. "art" and
+ * "artifact") are matched once, collapsing redundant states and shrinking
+ * the average active set. We implement it as a forward-equivalence fixpoint
+ * (two states merge when their label/start/report data and *predecessor
+ * sets* are identical), plus the dual suffix merge and reachability pruning.
+ */
+#ifndef CA_NFA_TRANSFORM_H
+#define CA_NFA_TRANSFORM_H
+
+#include <cstddef>
+
+#include "nfa/nfa.h"
+
+namespace ca {
+
+/** Result of a transformation pass. */
+struct TransformStats
+{
+    size_t statesBefore = 0;
+    size_t statesAfter = 0;
+    size_t iterations = 0;
+
+    size_t removed() const { return statesBefore - statesAfter; }
+};
+
+/**
+ * Merges forward-equivalent states (common prefixes) to fixpoint.
+ *
+ * Two states are merged when they have identical (label, start type,
+ * report flag, report id) and identical predecessor sets. Language and
+ * report offsets/ids are preserved exactly.
+ */
+TransformStats mergePrefixes(Nfa &nfa);
+
+/**
+ * Merges backward-equivalent states (common suffixes): identical
+ * (label, start, report data) and identical successor sets.
+ */
+TransformStats mergeSuffixes(Nfa &nfa);
+
+/** Removes states unreachable from any start state. */
+TransformStats removeUnreachable(Nfa &nfa);
+
+/**
+ * Removes states that cannot reach any reporting state (they can never
+ * contribute to an output).
+ */
+TransformStats removeDead(Nfa &nfa);
+
+/**
+ * The full CA_S pre-mapping pipeline:
+ * removeUnreachable → removeDead → mergePrefixes → mergeSuffixes.
+ */
+TransformStats optimizeForSpace(Nfa &nfa);
+
+} // namespace ca
+
+#endif // CA_NFA_TRANSFORM_H

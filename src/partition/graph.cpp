@@ -1,0 +1,96 @@
+#include "partition/graph.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "core/error.h"
+
+namespace ca {
+
+int64_t
+Graph::totalVertexWeight() const
+{
+    return std::accumulate(vwgt.begin(), vwgt.end(), int64_t{0});
+}
+
+void
+Graph::validate() const
+{
+    const int32_t n = numVertices();
+    CA_FATAL_IF(xadj.size() != static_cast<size_t>(n) + 1,
+                "xadj size mismatch");
+    CA_FATAL_IF(adjncy.size() != adjwgt.size(), "adjwgt size mismatch");
+    CA_FATAL_IF(xadj[0] != 0 ||
+                    xadj[n] != static_cast<int32_t>(adjncy.size()),
+                "xadj bounds corrupt");
+    for (int32_t v = 0; v < n; ++v) {
+        CA_FATAL_IF(xadj[v] > xadj[v + 1], "xadj not monotone at " << v);
+        for (int32_t e = xadj[v]; e < xadj[v + 1]; ++e) {
+            int32_t u = adjncy[e];
+            CA_FATAL_IF(u < 0 || u >= n, "neighbour out of range");
+            CA_FATAL_IF(u == v, "self-loop at vertex " << v);
+            // Symmetry: find v in u's list with the same weight.
+            bool found = false;
+            for (int32_t f = xadj[u]; f < xadj[u + 1]; ++f) {
+                if (adjncy[f] == v && adjwgt[f] == adjwgt[e]) {
+                    found = true;
+                    break;
+                }
+            }
+            CA_FATAL_IF(!found, "asymmetric edge " << v << "-" << u);
+        }
+    }
+}
+
+Graph
+Graph::fromNfaComponent(const Nfa &nfa, const std::vector<StateId> &members)
+{
+    const int32_t n = static_cast<int32_t>(members.size());
+    std::unordered_map<StateId, int32_t> local;
+    local.reserve(members.size() * 2);
+    for (int32_t i = 0; i < n; ++i)
+        local[members[i]] = i;
+
+    // Accumulate undirected edge weights; anti-parallel directed edges sum.
+    std::vector<std::unordered_map<int32_t, int32_t>> weights(n);
+    for (int32_t i = 0; i < n; ++i) {
+        for (StateId t : nfa.state(members[i]).out) {
+            auto it = local.find(t);
+            if (it == local.end() || it->second == i)
+                continue; // outside the component, or self-loop
+            int32_t j = it->second;
+            weights[std::min(i, j)][std::max(i, j)] += 1;
+        }
+    }
+
+    Graph g;
+    g.vwgt.assign(n, 1);
+    g.xadj.assign(n + 1, 0);
+    // First pass: degrees.
+    for (int32_t i = 0; i < n; ++i) {
+        for (const auto &[j, w] : weights[i]) {
+            (void)w;
+            ++g.xadj[i + 1];
+            ++g.xadj[j + 1];
+        }
+    }
+    for (int32_t i = 0; i < n; ++i)
+        g.xadj[i + 1] += g.xadj[i];
+    g.adjncy.resize(g.xadj[n]);
+    g.adjwgt.resize(g.xadj[n]);
+    std::vector<int32_t> cursor(g.xadj.begin(), g.xadj.end() - 1);
+    for (int32_t i = 0; i < n; ++i) {
+        for (const auto &[j, w] : weights[i]) {
+            g.adjncy[cursor[i]] = j;
+            g.adjwgt[cursor[i]] = w;
+            ++cursor[i];
+            g.adjncy[cursor[j]] = i;
+            g.adjwgt[cursor[j]] = w;
+            ++cursor[j];
+        }
+    }
+    return g;
+}
+
+} // namespace ca

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Undirected weighted graph in CSR form — the partitioner's input.
+ *
+ * The Cache Automaton compiler partitions connected components larger than
+ * one 256-STE partition across k cache arrays minimizing inter-array state
+ * transitions (§3.2). The paper uses METIS; this module provides the graph
+ * representation our from-scratch multilevel partitioner consumes.
+ */
+#ifndef CA_PARTITION_GRAPH_H
+#define CA_PARTITION_GRAPH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nfa/nfa.h"
+
+namespace ca {
+
+/**
+ * CSR undirected graph with vertex and edge weights.
+ *
+ * Invariants: adjacency is symmetric (u∈adj(v) ⇔ v∈adj(u)) with matching
+ * edge weights, and self-loops are dropped.
+ */
+struct Graph
+{
+    std::vector<int32_t> xadj;   ///< Size |V|+1; CSR row pointers.
+    std::vector<int32_t> adjncy; ///< Concatenated neighbour lists.
+    std::vector<int32_t> adjwgt; ///< Edge weights, parallel to adjncy.
+    std::vector<int32_t> vwgt;   ///< Vertex weights (state multiplicity).
+
+    int32_t numVertices() const
+    {
+        return static_cast<int32_t>(vwgt.size());
+    }
+
+    int64_t totalVertexWeight() const;
+
+    int32_t degree(int32_t v) const { return xadj[v + 1] - xadj[v]; }
+
+    /** Validates CSR structure and symmetry. @throws CaError on breakage. */
+    void validate() const;
+
+    /**
+     * Builds the symmetrized transition graph of @p nfa restricted to
+     * @p members (a connected component). Vertex i corresponds to
+     * members[i]. A directed edge in either direction yields an undirected
+     * edge; anti-parallel pairs get weight 2 (both directions would cross a
+     * partition boundary).
+     */
+    static Graph fromNfaComponent(const Nfa &nfa,
+                                  const std::vector<StateId> &members);
+};
+
+} // namespace ca
+
+#endif // CA_PARTITION_GRAPH_H

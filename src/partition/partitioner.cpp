@@ -1,0 +1,478 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace ca {
+
+namespace {
+
+/** One coarsening step: heavy-edge matching + contraction. */
+Graph
+coarsenOnce(const Graph &g, std::vector<int32_t> &cmap, Rng &rng)
+{
+    const int32_t n = g.numVertices();
+    std::vector<int32_t> match(n, -1);
+    std::vector<int32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    // Random visit order prevents systematic matching bias.
+    for (int32_t i = n - 1; i > 0; --i)
+        std::swap(order[i], order[rng.below(static_cast<uint64_t>(i) + 1)]);
+
+    for (int32_t v : order) {
+        if (match[v] != -1)
+            continue;
+        int32_t best = -1;
+        int32_t best_w = -1;
+        for (int32_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+            int32_t u = g.adjncy[e];
+            if (match[u] == -1 && g.adjwgt[e] > best_w) {
+                best_w = g.adjwgt[e];
+                best = u;
+            }
+        }
+        if (best != -1) {
+            match[v] = best;
+            match[best] = v;
+        } else {
+            match[v] = v;
+        }
+    }
+
+    // Assign coarse ids: matched pair shares one id.
+    cmap.assign(n, -1);
+    int32_t nc = 0;
+    for (int32_t v = 0; v < n; ++v) {
+        if (cmap[v] != -1)
+            continue;
+        cmap[v] = nc;
+        if (match[v] != v)
+            cmap[match[v]] = nc;
+        ++nc;
+    }
+
+    // Contract: accumulate edge weights between coarse vertices.
+    Graph cg;
+    cg.vwgt.assign(nc, 0);
+    for (int32_t v = 0; v < n; ++v)
+        cg.vwgt[cmap[v]] += g.vwgt[v];
+
+    std::vector<std::pair<int64_t, int32_t>> buf; // (coarse u<<32|..., w)
+    std::vector<int32_t> deg(nc + 1, 0);
+    std::vector<std::vector<std::pair<int32_t, int32_t>>> nbrs(nc);
+    // Merge neighbour maps with a per-coarse-vertex scratch map emulated by
+    // sort+combine (nc is small enough that vectors win over hash maps).
+    for (int32_t v = 0; v < n; ++v) {
+        int32_t cv = cmap[v];
+        for (int32_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+            int32_t cu = cmap[g.adjncy[e]];
+            if (cu != cv)
+                nbrs[cv].emplace_back(cu, g.adjwgt[e]);
+        }
+    }
+    for (int32_t cv = 0; cv < nc; ++cv) {
+        auto &vec = nbrs[cv];
+        std::sort(vec.begin(), vec.end());
+        size_t w = 0;
+        for (size_t r = 0; r < vec.size(); ++r) {
+            if (w > 0 && vec[w - 1].first == vec[r].first)
+                vec[w - 1].second += vec[r].second;
+            else
+                vec[w++] = vec[r];
+        }
+        vec.resize(w);
+        deg[cv + 1] = static_cast<int32_t>(w);
+    }
+    cg.xadj.assign(nc + 1, 0);
+    for (int32_t cv = 0; cv < nc; ++cv)
+        cg.xadj[cv + 1] = cg.xadj[cv] + deg[cv + 1];
+    cg.adjncy.resize(cg.xadj[nc]);
+    cg.adjwgt.resize(cg.xadj[nc]);
+    for (int32_t cv = 0; cv < nc; ++cv) {
+        int32_t p = cg.xadj[cv];
+        for (const auto &[cu, w2] : nbrs[cv]) {
+            cg.adjncy[p] = cu;
+            cg.adjwgt[p] = w2;
+            ++p;
+        }
+    }
+    return cg;
+}
+
+/** Sum of vertex weights on side 0 / side 1. */
+std::pair<int64_t, int64_t>
+sideWeights(const Graph &g, const std::vector<int8_t> &side)
+{
+    int64_t w0 = 0;
+    int64_t w1 = 0;
+    for (int32_t v = 0; v < g.numVertices(); ++v)
+        (side[v] ? w1 : w0) += g.vwgt[v];
+    return {w0, w1};
+}
+
+/** Greedy BFS region growing for the initial bisection. */
+void
+growInitial(const Graph &g, int64_t target0, std::vector<int8_t> &side,
+            Rng &rng)
+{
+    const int32_t n = g.numVertices();
+    side.assign(n, 1);
+    if (n == 0)
+        return;
+
+    int64_t w0 = 0;
+    std::vector<int32_t> frontier;
+    std::vector<char> seen(n, 0);
+    while (w0 < target0) {
+        if (frontier.empty()) {
+            // Seed a new region from an unassigned vertex.
+            int32_t seed = -1;
+            for (int32_t tries = 0; tries < 16 && seed == -1; ++tries) {
+                int32_t cand =
+                    static_cast<int32_t>(rng.below(static_cast<uint64_t>(n)));
+                if (!seen[cand])
+                    seed = cand;
+            }
+            if (seed == -1) {
+                for (int32_t v = 0; v < n && seed == -1; ++v)
+                    if (!seen[v])
+                        seed = v;
+            }
+            if (seed == -1)
+                break; // everything assigned
+            seen[seed] = 1;
+            side[seed] = 0;
+            w0 += g.vwgt[seed];
+            frontier.push_back(seed);
+            continue;
+        }
+        int32_t v = frontier.back();
+        frontier.pop_back();
+        for (int32_t e = g.xadj[v]; e < g.xadj[v + 1] && w0 < target0; ++e) {
+            int32_t u = g.adjncy[e];
+            if (!seen[u]) {
+                seen[u] = 1;
+                side[u] = 0;
+                w0 += g.vwgt[u];
+                frontier.push_back(u);
+            }
+        }
+    }
+}
+
+/** Gain of moving v to the other side: cut reduction (positive = better). */
+int32_t
+moveGain(const Graph &g, const std::vector<int8_t> &side, int32_t v)
+{
+    int32_t internal = 0;
+    int32_t external = 0;
+    for (int32_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+        if (side[g.adjncy[e]] == side[v])
+            internal += g.adjwgt[e];
+        else
+            external += g.adjwgt[e];
+    }
+    return external - internal;
+}
+
+/**
+ * One Fiduccia–Mattheyses pass with rollback: tentatively moves every
+ * vertex once in best-gain order, then keeps the best prefix.
+ *
+ * @return cut improvement achieved (>= 0).
+ */
+int64_t
+fmPass(const Graph &g, std::vector<int8_t> &side, int64_t max_w0,
+       int64_t max_w1)
+{
+    const int32_t n = g.numVertices();
+    auto [w0, w1] = sideWeights(g, side);
+
+    std::vector<int32_t> gain(n);
+    for (int32_t v = 0; v < n; ++v)
+        gain[v] = moveGain(g, side, v);
+
+    std::vector<char> locked(n, 0);
+    std::vector<int32_t> moves;
+    moves.reserve(n);
+    int64_t cur = 0;
+    int64_t best = 0;
+    size_t best_len = 0;
+
+    // Lazy max-heap of (gain, vertex); stale entries are skipped on pop by
+    // comparing against the live gain array.
+    std::vector<std::pair<int32_t, int32_t>> heap;
+    heap.reserve(n * 2);
+    auto push = [&](int32_t v) { heap.emplace_back(gain[v], v);
+        std::push_heap(heap.begin(), heap.end()); };
+    for (int32_t v = 0; v < n; ++v)
+        push(v);
+
+    auto violation = [&](int64_t a, int64_t b) {
+        return std::max<int64_t>(0, a - max_w0) +
+            std::max<int64_t>(0, b - max_w1);
+    };
+    int64_t best_viol = violation(w0, w1);
+
+    // Deferred vertices: movable by gain but blocked by the ceiling now;
+    // they may become movable after other moves, so stash rather than lock.
+    std::vector<int32_t> deferred;
+
+    for (int32_t step = 0; step < n; ++step) {
+        int32_t pick = -1;
+        int32_t pick_gain = 0;
+        bool infeasible = violation(w0, w1) > 0;
+        while (!heap.empty()) {
+            auto [hg, v] = heap.front();
+            std::pop_heap(heap.begin(), heap.end());
+            heap.pop_back();
+            if (locked[v] || hg != gain[v])
+                continue; // stale entry
+            int64_t nw0 = side[v] ? w0 + g.vwgt[v] : w0 - g.vwgt[v];
+            int64_t nw1 = side[v] ? w1 - g.vwgt[v] : w1 + g.vwgt[v];
+            if (infeasible) {
+                // Balance recovery: only moves that shrink the violation.
+                if (violation(nw0, nw1) >= violation(w0, w1)) {
+                    deferred.push_back(v);
+                    continue;
+                }
+            } else if (nw0 > max_w0 || nw1 > max_w1) {
+                deferred.push_back(v);
+                continue;
+            }
+            pick = v;
+            pick_gain = hg;
+            break;
+        }
+        if (pick == -1)
+            break;
+        // Blocked vertices get another chance after this move.
+        for (int32_t v : deferred)
+            if (!locked[v])
+                push(v);
+        deferred.clear();
+
+        // Commit the tentative move.
+        locked[pick] = 1;
+        cur += pick_gain;
+        if (side[pick]) {
+            w0 += g.vwgt[pick];
+            w1 -= g.vwgt[pick];
+        } else {
+            w0 -= g.vwgt[pick];
+            w1 += g.vwgt[pick];
+        }
+        side[pick] = static_cast<int8_t>(1 - side[pick]);
+        moves.push_back(pick);
+        for (int32_t e = g.xadj[pick]; e < g.xadj[pick + 1]; ++e) {
+            int32_t u = g.adjncy[e];
+            if (!locked[u]) {
+                gain[u] = moveGain(g, side, u);
+                push(u);
+            }
+        }
+        // Best prefix: lexicographically (smallest violation, largest
+        // cut improvement). A feasible-but-worse-cut state beats an
+        // infeasible one, so FM doubles as a balance-repair pass.
+        int64_t viol_now = violation(w0, w1);
+        if (viol_now < best_viol ||
+            (viol_now == best_viol && cur > best)) {
+            best_viol = viol_now;
+            best = cur;
+            best_len = moves.size();
+        }
+        // Heuristic cut-off: past the best point with deeply negative
+        // gain (only once feasibility has been reached).
+        if (viol_now == 0 && cur < best - 64 &&
+            moves.size() > best_len + 32)
+            break;
+    }
+
+    // Roll back moves beyond the best prefix.
+    for (size_t i = moves.size(); i > best_len; --i)
+        side[moves[i - 1]] = static_cast<int8_t>(1 - side[moves[i - 1]]);
+    return best;
+}
+
+/** Multilevel 2-way partition of @p g targeting weight @p target0. */
+void
+multilevelBisect(const Graph &g, int64_t target0,
+                 const PartitionOptions &opts, std::vector<int8_t> &side,
+                 int64_t max_w0, int64_t max_w1, Rng &rng)
+{
+    // Coarsening phase.
+    std::vector<Graph> levels;
+    std::vector<std::vector<int32_t>> maps;
+    levels.push_back(g);
+    while (levels.back().numVertices() > opts.coarsenTo) {
+        std::vector<int32_t> cmap;
+        Graph cg = coarsenOnce(levels.back(), cmap, rng);
+        // Stalled coarsening (pathological stars): stop.
+        if (cg.numVertices() >
+            levels.back().numVertices() - levels.back().numVertices() / 20)
+            break;
+        maps.push_back(std::move(cmap));
+        levels.push_back(std::move(cg));
+    }
+
+    // Initial partition at the coarsest level.
+    growInitial(levels.back(), target0, side, rng);
+    for (int p = 0; p < opts.refinementPasses; ++p)
+        if (fmPass(levels.back(), side, max_w0, max_w1) == 0)
+            break;
+
+    // Uncoarsen with refinement.
+    for (size_t li = levels.size() - 1; li > 0; --li) {
+        const std::vector<int32_t> &cmap = maps[li - 1];
+        std::vector<int8_t> fine(levels[li - 1].numVertices());
+        for (int32_t v = 0; v < levels[li - 1].numVertices(); ++v)
+            fine[v] = side[cmap[v]];
+        side = std::move(fine);
+        for (int p = 0; p < opts.refinementPasses; ++p)
+            if (fmPass(levels[li - 1], side, max_w0, max_w1) == 0)
+                break;
+    }
+}
+
+/** Extracts the side-@p s subgraph plus the vertex map into @p g. */
+Graph
+subgraph(const Graph &g, const std::vector<int8_t> &side, int8_t s,
+         std::vector<int32_t> &orig)
+{
+    const int32_t n = g.numVertices();
+    std::vector<int32_t> local(n, -1);
+    orig.clear();
+    for (int32_t v = 0; v < n; ++v) {
+        if (side[v] == s) {
+            local[v] = static_cast<int32_t>(orig.size());
+            orig.push_back(v);
+        }
+    }
+    Graph sg;
+    sg.vwgt.reserve(orig.size());
+    sg.xadj.push_back(0);
+    for (int32_t v : orig) {
+        sg.vwgt.push_back(g.vwgt[v]);
+        for (int32_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e) {
+            int32_t u = g.adjncy[e];
+            if (local[u] != -1) {
+                sg.adjncy.push_back(local[u]);
+                sg.adjwgt.push_back(g.adjwgt[e]);
+            }
+        }
+        sg.xadj.push_back(static_cast<int32_t>(sg.adjncy.size()));
+    }
+    return sg;
+}
+
+/** Recursive bisection driver writing final labels into @p out. */
+void
+recursivePartition(const Graph &g, int32_t k, int32_t label_base,
+                   const PartitionOptions &opts,
+                   const std::vector<int32_t> &orig,
+                   std::vector<int32_t> &out, Rng &rng)
+{
+    if (k == 1) {
+        for (size_t i = 0; i < orig.size(); ++i)
+            out[orig[i]] = label_base;
+        return;
+    }
+    int32_t kl = (k + 1) / 2;
+    int32_t kr = k - kl;
+    int64_t total = g.totalVertexWeight();
+    int64_t target0 = total * kl / k;
+    if (opts.peelToCapacity && opts.partCapacity > 0) {
+        // Peel one capacity-full part; the recursion handles the rest.
+        kl = 1;
+        kr = k - 1;
+        int64_t lo = total - kr * opts.partCapacity; // rest must fit
+        target0 = std::min<int64_t>(opts.partCapacity, total - kr);
+        target0 = std::max(target0, std::max<int64_t>(lo, 1));
+    }
+
+    // Per-side ceilings from balance tolerance and hard capacity.
+    double slack = 1.0 + opts.imbalance;
+    int64_t max_w0 = static_cast<int64_t>(
+        static_cast<double>(target0) * slack) + 1;
+    int64_t max_w1 = static_cast<int64_t>(
+        static_cast<double>(total - target0) * slack) + 1;
+    if (opts.partCapacity > 0) {
+        max_w0 = std::min(max_w0, opts.partCapacity * kl);
+        max_w1 = std::min(max_w1, opts.partCapacity * kr);
+    }
+
+    std::vector<int8_t> side;
+    multilevelBisect(g, target0, opts, side, max_w0, max_w1, rng);
+
+    std::vector<int32_t> orig_l;
+    std::vector<int32_t> orig_r;
+    Graph gl = subgraph(g, side, 0, orig_l);
+    Graph gr = subgraph(g, side, 1, orig_r);
+
+    // Map side-subgraph vertices back to top-level ids.
+    std::vector<int32_t> top_l(orig_l.size());
+    for (size_t i = 0; i < orig_l.size(); ++i)
+        top_l[i] = orig[orig_l[i]];
+    std::vector<int32_t> top_r(orig_r.size());
+    for (size_t i = 0; i < orig_r.size(); ++i)
+        top_r[i] = orig[orig_r[i]];
+
+    recursivePartition(gl, kl, label_base, opts, top_l, out, rng);
+    recursivePartition(gr, kr, label_base + kl, opts, top_r, out, rng);
+}
+
+} // namespace
+
+int64_t
+computeEdgeCut(const Graph &g, const std::vector<int32_t> &part)
+{
+    int64_t cut = 0;
+    for (int32_t v = 0; v < g.numVertices(); ++v)
+        for (int32_t e = g.xadj[v]; e < g.xadj[v + 1]; ++e)
+            if (part[g.adjncy[e]] != part[v])
+                cut += g.adjwgt[e];
+    return cut / 2; // every cut edge counted from both sides
+}
+
+PartitionResult
+partitionGraph(const Graph &g, int32_t k, const PartitionOptions &opts)
+{
+    CA_FATAL_IF(k < 1, "k must be >= 1");
+    const int32_t n = g.numVertices();
+    CA_FATAL_IF(opts.partCapacity > 0 &&
+                    g.totalVertexWeight() > opts.partCapacity * k,
+                "graph weight " << g.totalVertexWeight()
+                                << " cannot fit in " << k << " parts of "
+                                << opts.partCapacity);
+
+    PartitionResult res;
+    res.k = k;
+    res.part.assign(n, 0);
+
+    Rng rng(opts.seed);
+    std::vector<int32_t> orig(n);
+    std::iota(orig.begin(), orig.end(), 0);
+    recursivePartition(g, k, 0, opts, orig, res.part, rng);
+
+    res.partWeights.assign(k, 0);
+    for (int32_t v = 0; v < n; ++v)
+        res.partWeights[res.part[v]] += g.vwgt[v];
+    res.edgeCut = computeEdgeCut(g, res.part);
+
+    if (opts.partCapacity > 0) {
+        for (int32_t p = 0; p < k; ++p) {
+            CA_FATAL_IF(res.partWeights[p] > opts.partCapacity,
+                        "partition " << p << " weight "
+                                     << res.partWeights[p]
+                                     << " exceeds capacity "
+                                     << opts.partCapacity);
+        }
+    }
+    return res;
+}
+
+} // namespace ca

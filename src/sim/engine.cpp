@@ -1,0 +1,250 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace ca {
+
+ActivityStats
+SimResult::activity() const
+{
+    ActivityStats a;
+    if (symbols == 0)
+        return a;
+    double n = static_cast<double>(symbols);
+    a.avgActivePartitions =
+        static_cast<double>(totalActivePartitionCycles) / n;
+    a.avgActiveStates = static_cast<double>(totalActiveStates) / n;
+    a.avgG1Crossings = static_cast<double>(totalG1Crossings) / n;
+    a.avgG4Crossings = static_cast<double>(totalG4Crossings) / n;
+    return a;
+}
+
+double
+SimResult::avgActiveStates() const
+{
+    return symbols == 0
+        ? 0.0
+        : static_cast<double>(totalActiveStates) /
+            static_cast<double>(symbols);
+}
+
+double
+SimResult::seconds(double freq_hz) const
+{
+    return static_cast<double>(cycles) / freq_hz;
+}
+
+CacheAutomatonSim::CacheAutomatonSim(const MappedAutomaton &mapped,
+                                     const SimOptions &opts)
+    : mapped_(mapped), opts_(opts)
+{
+    const Nfa &nfa = mapped.nfa();
+    partition_of_.resize(nfa.numStates());
+    cross_flags_.assign(nfa.numStates(), 0);
+    for (StateId s = 0; s < nfa.numStates(); ++s) {
+        partition_of_[s] = mapped.location(s).partition;
+        if (nfa.state(s).start == StartType::AllInput)
+            all_input_.push_back(s);
+    }
+    for (const CrossEdge &e : mapped.crossEdges())
+        cross_flags_[e.from] |= e.viaG4 ? 2 : 1;
+
+    // Flatten labels, successors, and report attributes so the per-symbol
+    // loop touches dense arrays instead of NfaState objects.
+    labels_.resize(nfa.numStates() * 4);
+    report_info_.resize(nfa.numStates());
+    succ_xadj_.assign(nfa.numStates() + 1, 0);
+    for (StateId s = 0; s < nfa.numStates(); ++s) {
+        const NfaState &st = nfa.state(s);
+        const auto &words = st.label.raw();
+        for (int w = 0; w < 4; ++w)
+            labels_[s * 4 + w] = words[w];
+        report_info_[s] =
+            (static_cast<uint64_t>(st.reportId) << 1) | (st.report ? 1 : 0);
+        succ_xadj_[s + 1] = succ_xadj_[s] +
+            static_cast<uint32_t>(st.out.size());
+    }
+    succ_.resize(succ_xadj_.back());
+    for (StateId s = 0; s < nfa.numStates(); ++s) {
+        uint32_t base = succ_xadj_[s];
+        const auto &out = nfa.state(s).out;
+        for (size_t i = 0; i < out.size(); ++i)
+            succ_[base + i] = out[i];
+    }
+
+    enabled_mask_ = BitVector(nfa.numStates());
+    partition_epoch_.assign(mapped.numPartitions(), ~0ull);
+    reset();
+}
+
+void
+CacheAutomatonSim::reset()
+{
+    const Nfa &nfa = mapped_.nfa();
+    for (StateId s : enabled_)
+        enabled_mask_.reset(s);
+    enabled_.clear();
+    for (StateId s = 0; s < nfa.numStates(); ++s) {
+        if (nfa.state(s).start != StartType::None &&
+            !enabled_mask_.test(s)) {
+            enabled_mask_.set(s);
+            enabled_.push_back(s);
+        }
+    }
+    pending_reports_ = 0;
+    stream_offset_ = 0;
+    acc_ = SimResult{};
+}
+
+void
+CacheAutomatonSim::feed(const uint8_t *data, size_t size)
+{
+    for (size_t i = 0; i < size; ++i) {
+        uint8_t c = data[i];
+        const uint64_t label_bit = uint64_t{1} << (c & 63);
+        const size_t label_word = c >> 6;
+
+        // FIFO refill accounting: one cache-block read per refill batch
+        // (aligned to the absolute stream offset).
+        if (stream_offset_ % static_cast<uint64_t>(opts_.fifoRefillSymbols)
+            == 0)
+            ++acc_.fifoRefills;
+
+        // A partition is active (performs an array read + L-switch
+        // access) when its active-state vector has any bit set (§5.3).
+        uint64_t epoch = ++epoch_counter_;
+        uint32_t active_partitions = 0;
+        for (StateId s : enabled_) {
+            uint32_t p = partition_of_[s];
+            if (partition_epoch_[p] != epoch) {
+                partition_epoch_[p] = epoch;
+                ++active_partitions;
+            }
+        }
+        acc_.totalActivePartitionCycles += active_partitions;
+
+        // State-match phase.
+        active_scratch_.clear();
+        uint32_t g1 = 0;
+        uint32_t g4 = 0;
+        uint32_t fired = 0;
+        for (StateId s : enabled_) {
+            if (!(labels_[s * 4 + label_word] & label_bit))
+                continue;
+            active_scratch_.push_back(s);
+            uint8_t flags = cross_flags_[s];
+            if (flags & 1)
+                ++g1;
+            if (flags & 2)
+                ++g4;
+            uint64_t rinfo = report_info_[s];
+            if (rinfo & 1) {
+                ++fired;
+                if (opts_.collectReports)
+                    acc_.reports.push_back(Report{
+                        stream_offset_,
+                        static_cast<uint32_t>(rinfo >> 1), s});
+                ++pending_reports_;
+                if (pending_reports_ >=
+                    static_cast<uint64_t>(opts_.outputBufferDepth)) {
+                    ++acc_.outputBufferInterrupts;
+                    pending_reports_ = 0;
+                }
+            }
+        }
+        acc_.totalActiveStates += active_scratch_.size();
+        acc_.totalG1Crossings += g1;
+        acc_.totalG4Crossings += g4;
+
+        if (opts_.recordTrace) {
+            acc_.trace.push_back(CycleTrace{
+                active_partitions,
+                static_cast<uint32_t>(active_scratch_.size()), g1, g4,
+                fired});
+        }
+
+        // State-transition phase. Clear only the bits set last cycle (the
+        // mask is as wide as the NFA; a full clear would dominate).
+        for (StateId s : enabled_)
+            enabled_mask_.resetUnchecked(s);
+        enabled_.clear();
+        for (StateId s : active_scratch_) {
+            uint32_t end = succ_xadj_[s + 1];
+            for (uint32_t e = succ_xadj_[s]; e < end; ++e) {
+                StateId t = succ_[e];
+                if (!enabled_mask_.testUnchecked(t)) {
+                    enabled_mask_.setUnchecked(t);
+                    enabled_.push_back(t);
+                }
+            }
+        }
+        for (StateId s : all_input_) {
+            if (!enabled_mask_.testUnchecked(s)) {
+                enabled_mask_.setUnchecked(s);
+                enabled_.push_back(s);
+            }
+        }
+        ++acc_.symbols;
+        ++stream_offset_;
+    }
+}
+
+SimResult
+CacheAutomatonSim::result() const
+{
+    SimResult out = acc_;
+    // 3-stage pipeline: the last symbol completes 2 cycles after issue.
+    out.cycles = out.symbols == 0 ? 0 : out.symbols + 2;
+    return out;
+}
+
+SimResult
+CacheAutomatonSim::run(const uint8_t *data, size_t size)
+{
+    reset();
+    feed(data, size);
+    return result();
+}
+
+SimResult
+CacheAutomatonSim::run(const uint8_t *data, size_t size,
+                       const SimOptions &opts)
+{
+    opts_ = opts;
+    return run(data, size);
+}
+
+SimCheckpoint
+CacheAutomatonSim::checkpoint() const
+{
+    SimCheckpoint ckpt;
+    ckpt.symbolOffset = stream_offset_;
+    ckpt.enabledStates = enabled_;
+    std::sort(ckpt.enabledStates.begin(), ckpt.enabledStates.end());
+    return ckpt;
+}
+
+void
+CacheAutomatonSim::restore(const SimCheckpoint &ckpt)
+{
+    const Nfa &nfa = mapped_.nfa();
+    for (StateId s : enabled_)
+        enabled_mask_.reset(s);
+    enabled_.clear();
+    for (StateId s : ckpt.enabledStates) {
+        CA_FATAL_IF(s >= nfa.numStates(),
+                    "checkpoint references state " << s
+                                                   << " outside automaton");
+        if (!enabled_mask_.test(s)) {
+            enabled_mask_.set(s);
+            enabled_.push_back(s);
+        }
+    }
+    pending_reports_ = 0;
+    acc_ = SimResult{};
+    stream_offset_ = ckpt.symbolOffset;
+}
+
+} // namespace ca

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Cycle-level Cache Automaton simulator.
+ *
+ * Executes a *mapped* automaton the way the hardware does (§2.2-2.5):
+ * every cycle, partitions with a non-zero active-state vector perform an
+ * array read (state match), matched states traverse the L-switch, and
+ * cross-partition transitions traverse the G-switches. The simulator's
+ * per-cycle activity statistics (active partitions, active states, G1/G4
+ * crossings) are exactly what the energy model consumes — the same
+ * methodology the paper uses (VASim activity feeding derived constants).
+ *
+ * The engine is incremental: feed() consumes stream chunks, and the §2.9
+ * suspend/resume model is supported by checkpoint()/restore() (the
+ * hardware records the active-state vector and input symbol counter).
+ *
+ * Functional behaviour (the report stream) is bit-identical to the CPU
+ * oracle engine; the test suite enforces this on randomized automata.
+ */
+#ifndef CA_SIM_ENGINE_H
+#define CA_SIM_ENGINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/energy.h"
+#include "baseline/nfa_engine.h"
+#include "compiler/mapping.h"
+#include "core/bitvector.h"
+
+namespace ca {
+
+/** Simulation controls. */
+struct SimOptions
+{
+    bool collectReports = true;
+    /** Record a per-cycle activity trace (costly; for tests/ablations). */
+    bool recordTrace = false;
+    /** Input FIFO depth (§2.8). */
+    int fifoDepth = 128;
+    /** Symbols refilled per cache-block fetch into the FIFO. */
+    int fifoRefillSymbols = 64;
+    /** Output buffer entries before an interrupt fires (§2.8). */
+    int outputBufferDepth = 64;
+};
+
+/** One cycle of recorded activity (when SimOptions::recordTrace). */
+struct CycleTrace
+{
+    uint32_t activePartitions = 0;
+    uint32_t activeStates = 0;
+    uint32_t g1Crossings = 0;
+    uint32_t g4Crossings = 0;
+    uint32_t reportsFired = 0;
+};
+
+/** Results of a simulated stream (cumulative since reset). */
+struct SimResult
+{
+    uint64_t symbols = 0;
+    /** Pipeline cycles = symbols + fill (3-stage pipeline, §2.5). */
+    uint64_t cycles = 0;
+
+    std::vector<Report> reports;
+
+    // Totals over all symbols.
+    uint64_t totalActivePartitionCycles = 0;
+    uint64_t totalActiveStates = 0;
+    uint64_t totalG1Crossings = 0;
+    uint64_t totalG4Crossings = 0;
+
+    // System-integration counters (§2.8).
+    uint64_t fifoRefills = 0;
+    uint64_t outputBufferInterrupts = 0;
+
+    std::vector<CycleTrace> trace;
+
+    /** Mean activity factors for the energy model. */
+    ActivityStats activity() const;
+
+    /** Average active states per symbol (Table 1's rightmost columns). */
+    double avgActiveStates() const;
+
+    /** Wall-clock seconds at @p freq_hz (1 symbol per cycle). */
+    double seconds(double freq_hz) const;
+};
+
+/**
+ * Suspend/resume snapshot (§2.9): the active-state vector (here: the
+ * enabled frontier) and the input symbol counter. Restoring into a fresh
+ * simulator bound to the same mapped automaton continues the stream
+ * exactly where it left off.
+ */
+struct SimCheckpoint
+{
+    uint64_t symbolOffset = 0;
+    std::vector<StateId> enabledStates;
+};
+
+/** Cycle-level simulator bound to one mapped automaton. */
+class CacheAutomatonSim
+{
+  public:
+    explicit CacheAutomatonSim(const MappedAutomaton &mapped,
+                               const SimOptions &opts = {});
+
+    /** Rewinds to offset 0 (start states enabled, counters cleared). */
+    void reset();
+
+    /** Consumes one chunk of the stream; callable repeatedly. */
+    void feed(const uint8_t *data, size_t size);
+
+    /**
+     * Finishes accounting (pipeline drain) and returns the cumulative
+     * result; the simulator remains usable (feed() continues the stream).
+     */
+    SimResult result() const;
+
+    /** Convenience: reset, feed the whole buffer, return the result. */
+    SimResult run(const uint8_t *data, size_t size);
+
+    /** run() with one-off options (replaces the bound options). */
+    SimResult run(const uint8_t *data, size_t size,
+                  const SimOptions &opts);
+
+    SimResult
+    run(const std::vector<uint8_t> &input)
+    {
+        return run(input.data(), input.size());
+    }
+
+    /** Captures the §2.9 suspend state. */
+    SimCheckpoint checkpoint() const;
+
+    /**
+     * Restores a checkpoint taken from a simulator of the same mapped
+     * automaton. Counters and reports restart from zero (the OS keeps the
+     * already-drained output buffer); the frontier and offset resume.
+     */
+    void restore(const SimCheckpoint &ckpt);
+
+    const MappedAutomaton &mapped() const { return mapped_; }
+
+  private:
+    const MappedAutomaton &mapped_;
+    SimOptions opts_;
+
+    // Per-state precomputation, flattened for locality in the hot loop.
+    std::vector<uint32_t> partition_of_;
+    std::vector<uint8_t> cross_flags_; ///< bit0: G1 source, bit1: G4 source.
+    std::vector<StateId> all_input_;
+    /** Flat 4-word label images: labels_[s*4 + w]. */
+    std::vector<uint64_t> labels_;
+    /** CSR successor lists. */
+    std::vector<uint32_t> succ_xadj_;
+    std::vector<StateId> succ_;
+    /** Report flag + id packed: (id << 1) | report. */
+    std::vector<uint64_t> report_info_;
+
+    // Stream state.
+    std::vector<StateId> enabled_;
+    BitVector enabled_mask_;
+    std::vector<StateId> active_scratch_;
+    std::vector<uint64_t> partition_epoch_;
+    uint64_t epoch_counter_ = 0;
+    uint64_t pending_reports_ = 0;
+    /** Absolute stream position (survives restore; stamps reports). */
+    uint64_t stream_offset_ = 0;
+
+    SimResult acc_;
+};
+
+} // namespace ca
+
+#endif // CA_SIM_ENGINE_H

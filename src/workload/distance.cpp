@@ -1,0 +1,116 @@
+#include "workload/distance.h"
+
+#include <vector>
+
+#include "core/error.h"
+#include "nfa/classical.h"
+
+namespace ca {
+
+Nfa
+hammingNfa(const std::string &pattern, int k, uint32_t report_id,
+           bool anchored)
+{
+    const StartType start_type =
+        anchored ? StartType::StartOfData : StartType::AllInput;
+    const int m = static_cast<int>(pattern.size());
+    CA_FATAL_IF(m == 0, "empty Hamming pattern");
+    CA_FATAL_IF(k < 0 || k >= m, "Hamming distance k=" << k
+                                                       << " out of range");
+
+    Nfa nfa;
+    // match_id[i][e] / mis_id[i][e]: consuming position i with error
+    // budget e already spent (after this symbol for mis: e+1).
+    std::vector<std::vector<StateId>> match_id(
+        m, std::vector<StateId>(k + 1, kInvalidState));
+    std::vector<std::vector<StateId>> mis_id(
+        m, std::vector<StateId>(k + 1, kInvalidState));
+
+    for (int i = 0; i < m; ++i) {
+        SymbolSet sym = SymbolSet::of(static_cast<uint8_t>(pattern[i]));
+        SymbolSet mis = ~sym;
+        for (int e = 0; e <= k; ++e) {
+            // e errors spent *before* consuming position i.
+            if (e > i)
+                continue; // cannot have spent more errors than symbols
+            bool accept = i == m - 1;
+            match_id[i][e] = nfa.addState(
+                sym, i == 0 ? start_type : StartType::None, accept,
+                report_id);
+            if (e < k) {
+                mis_id[i][e] = nfa.addState(
+                    mis, i == 0 ? start_type : StartType::None, accept,
+                    report_id);
+            }
+        }
+    }
+
+    for (int i = 0; i + 1 < m; ++i) {
+        for (int e = 0; e <= k; ++e) {
+            if (e > i)
+                continue;
+            // After a correct match at (i, e): budget still e.
+            if (match_id[i][e] != kInvalidState) {
+                if (match_id[i + 1][e] != kInvalidState)
+                    nfa.addTransition(match_id[i][e], match_id[i + 1][e]);
+                if (e < k && mis_id[i + 1][e] != kInvalidState)
+                    nfa.addTransition(match_id[i][e], mis_id[i + 1][e]);
+            }
+            // After a mismatch at (i, e): budget becomes e + 1.
+            if (e < k && mis_id[i][e] != kInvalidState) {
+                if (match_id[i + 1][e + 1] != kInvalidState)
+                    nfa.addTransition(mis_id[i][e], match_id[i + 1][e + 1]);
+                if (e + 1 < k && mis_id[i + 1][e + 1] != kInvalidState)
+                    nfa.addTransition(mis_id[i][e], mis_id[i + 1][e + 1]);
+            }
+        }
+    }
+
+    nfa.dedupeEdges();
+    return nfa;
+}
+
+Nfa
+levenshteinNfa(const std::string &pattern, int k, uint32_t report_id,
+               bool anchored)
+{
+    const int m = static_cast<int>(pattern.size());
+    CA_FATAL_IF(m == 0, "empty Levenshtein pattern");
+    CA_FATAL_IF(k < 0 || k >= m,
+                "Levenshtein distance k=" << k << " out of range");
+
+    ClassicalNfa c;
+    // Grid state (i, e): i symbols of the pattern consumed, e edits spent.
+    std::vector<std::vector<uint32_t>> id(
+        m + 1, std::vector<uint32_t>(k + 1));
+    for (int i = 0; i <= m; ++i)
+        for (int e = 0; e <= k; ++e)
+            id[i][e] = c.addState(i == m, report_id);
+    c.markStart(id[0][0]);
+
+    SymbolSet any = SymbolSet::all();
+    for (int i = 0; i <= m; ++i) {
+        for (int e = 0; e <= k; ++e) {
+            if (i < m) {
+                SymbolSet sym =
+                    SymbolSet::of(static_cast<uint8_t>(pattern[i]));
+                // Match.
+                c.addEdge(id[i][e], id[i + 1][e], sym);
+                if (e < k) {
+                    // Substitution consumes a wrong symbol.
+                    c.addEdge(id[i][e], id[i + 1][e + 1], ~sym);
+                    // Deletion skips pattern[i] without consuming input.
+                    c.addEpsilon(id[i][e], id[i + 1][e + 1]);
+                }
+            }
+            if (e < k) {
+                // Insertion consumes an extra input symbol.
+                c.addEdge(id[i][e], id[i][e + 1], any);
+            }
+        }
+    }
+
+    return c.homogenize(anchored);
+}
+
+} // namespace ca

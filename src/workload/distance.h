@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Approximate-match automata: Hamming and Levenshtein distance.
+ *
+ * Two of the paper's benchmarks (Table 1 rows 14-15) are distance automata
+ * used for DNA/protein alignment on the AP. These are the real textbook
+ * constructions, not statistical look-alikes: the Hamming automaton is a
+ * (positions x errors) grid built directly in homogeneous form, and the
+ * Levenshtein automaton is built as a classical NFA (match / substitute /
+ * insert edges and delete epsilons) then homogenized.
+ */
+#ifndef CA_WORKLOAD_DISTANCE_H
+#define CA_WORKLOAD_DISTANCE_H
+
+#include <cstdint>
+#include <string>
+
+#include "nfa/nfa.h"
+
+namespace ca {
+
+/**
+ * Automaton accepting strings within Hamming distance @p k of @p pattern
+ * (same length, at most k substitutions). Anchored at start of data.
+ *
+ * States: match state M(i,e) labelled pattern[i] and mismatch state X(i,e)
+ * labelled the complement, for each position i and error budget e.
+ */
+Nfa hammingNfa(const std::string &pattern, int k, uint32_t report_id = 0,
+               bool anchored = true);
+
+/**
+ * Automaton accepting strings within Levenshtein distance @p k of
+ * @p pattern (substitutions, insertions, deletions). Anchored.
+ */
+Nfa levenshteinNfa(const std::string &pattern, int k,
+                   uint32_t report_id = 0, bool anchored = true);
+
+} // namespace ca
+
+#endif // CA_WORKLOAD_DISTANCE_H

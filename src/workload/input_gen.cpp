@@ -1,0 +1,114 @@
+#include "workload/input_gen.h"
+
+#include <cstdlib>
+
+#include "workload/rulegen.h"
+#include "workload/witness.h"
+
+namespace ca {
+
+namespace {
+
+void
+appendNoise(std::vector<uint8_t> &out, StreamKind kind, size_t n, Rng &rng)
+{
+    switch (kind) {
+      case StreamKind::Text: {
+        const auto &lex = wordLexicon();
+        while (n > 0) {
+            const std::string &w = lex[rng.below(lex.size())];
+            for (char c : w) {
+                if (n == 0)
+                    break;
+                out.push_back(static_cast<uint8_t>(c));
+                --n;
+            }
+            if (n > 0) {
+                out.push_back(' ');
+                --n;
+            }
+        }
+        break;
+      }
+      case StreamKind::Payload: {
+        static const char pool[] =
+            "abcdefghijklmnopqrstuvwxyz"
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ./:=&%-_\r\n";
+        for (size_t i = 0; i < n; ++i)
+            out.push_back(
+                static_cast<uint8_t>(pool[rng.below(sizeof(pool) - 1)]));
+        break;
+      }
+      case StreamKind::Binary:
+        for (size_t i = 0; i < n; ++i)
+            out.push_back(rng.byte());
+        break;
+      case StreamKind::Digits:
+        for (size_t i = 0; i < n; ++i)
+            out.push_back(static_cast<uint8_t>('0' + rng.below(10)));
+        break;
+      case StreamKind::Amino: {
+        const std::string &aa = aminoAlphabet();
+        for (size_t i = 0; i < n; ++i)
+            out.push_back(static_cast<uint8_t>(aa[rng.below(aa.size())]));
+        break;
+      }
+      case StreamKind::Transactions:
+        for (size_t i = 0; i < n; ++i) {
+            if (rng.chance(0.08))
+                out.push_back(';');
+            else
+                out.push_back(static_cast<uint8_t>('a' + rng.below(20)));
+        }
+        break;
+      case StreamKind::Dna: {
+        static const char bases[] = "ACGT";
+        for (size_t i = 0; i < n; ++i)
+            out.push_back(static_cast<uint8_t>(bases[rng.below(4)]));
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::vector<uint8_t>
+buildInput(const InputSpec &spec, size_t bytes, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> out;
+    out.reserve(bytes + 256);
+
+    const size_t chunk = 4096;
+    while (out.size() < bytes) {
+        size_t noise = std::min(chunk, bytes - out.size());
+        appendNoise(out, spec.kind, noise, rng);
+        if (!spec.plantPatterns.empty() && out.size() < bytes) {
+            // Poisson-ish planting: plantsPer4k expected witnesses.
+            double expect = spec.plantsPer4k;
+            while (expect > 0.0) {
+                if (rng.uniform() < expect) {
+                    const std::string &pat = spec.plantPatterns[rng.below(
+                        spec.plantPatterns.size())];
+                    std::string w = sampleWitness(pat, rng);
+                    for (char c : w)
+                        out.push_back(static_cast<uint8_t>(c));
+                }
+                expect -= 1.0;
+            }
+        }
+    }
+    out.resize(bytes);
+    return out;
+}
+
+size_t
+defaultStreamBytes()
+{
+    const char *full = std::getenv("CA_FULL_INPUT");
+    if (full && full[0] == '1')
+        return 10u << 20;
+    return 1u << 20;
+}
+
+} // namespace ca

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Input-stream generators for the benchmark suite.
+ *
+ * Streams are domain-shaped (text, packet payloads, DNA/protein residues,
+ * transaction logs, numeric hit streams) and plant genuine rule witnesses
+ * at a configurable rate so reporting paths fire. Deterministic in the
+ * seed; the evaluation defaults to 1 MB streams (rate metrics are
+ * length-independent) with 10 MB available via CA_FULL_INPUT.
+ */
+#ifndef CA_WORKLOAD_INPUT_GEN_H
+#define CA_WORKLOAD_INPUT_GEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace ca {
+
+/** Background-noise character distributions. */
+enum class StreamKind {
+    Text,        ///< Lexicon words separated by spaces.
+    Payload,     ///< Printable network-payload bytes.
+    Binary,      ///< Uniform random bytes.
+    Digits,      ///< '0'..'9'.
+    Amino,       ///< 20-letter protein residues.
+    Transactions,///< Itemset characters with ';' separators.
+    Dna,         ///< ACGT.
+};
+
+/** Stream configuration. */
+struct InputSpec
+{
+    StreamKind kind = StreamKind::Payload;
+    /** Patterns whose witnesses are planted into the stream. */
+    std::vector<std::string> plantPatterns;
+    /** Approximate planted matches per 4 KB of stream. */
+    double plantsPer4k = 1.0;
+};
+
+/** Builds a stream of @p bytes bytes per @p spec, seeded deterministically. */
+std::vector<uint8_t> buildInput(const InputSpec &spec, size_t bytes,
+                                uint64_t seed);
+
+/** Resolves the evaluation stream size: 1 MB, or 10 MB if CA_FULL_INPUT. */
+size_t defaultStreamBytes();
+
+} // namespace ca
+
+#endif // CA_WORKLOAD_INPUT_GEN_H

@@ -1,0 +1,503 @@
+#include "workload/rulegen.h"
+
+#include <array>
+
+#include "core/error.h"
+
+namespace ca {
+
+namespace {
+
+/** Characters safe to emit literally inside our regex dialect. */
+bool
+isPlainLiteral(char c)
+{
+    switch (c) {
+      case '.': case '*': case '+': case '?': case '(': case ')':
+      case '[': case ']': case '{': case '}': case '|': case '^':
+      case '$': case '\\': case '-':
+        return false;
+      default:
+        return c >= 0x20 && c < 0x7f;
+    }
+}
+
+/** Appends @p c, escaping regex metacharacters. */
+void
+appendLiteral(std::string &out, char c)
+{
+    if (isPlainLiteral(c)) {
+        out.push_back(c);
+    } else {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\x%02x",
+                      static_cast<unsigned char>(c));
+        out += buf;
+    }
+}
+
+std::string
+randomWordLiteral(Rng &rng, int len)
+{
+    std::string s;
+    for (int i = 0; i < len; ++i)
+        s.push_back(rng.lowercase());
+    return s;
+}
+
+/** A printable literal mixing letters, digits and punctuation. */
+std::string
+randomPayloadLiteral(Rng &rng, int len)
+{
+    static const char pool[] =
+        "abcdefghijklmnopqrstuvwxyz"
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _/:=&%";
+    std::string s;
+    for (int i = 0; i < len; ++i) {
+        char c = pool[rng.below(sizeof(pool) - 1)];
+        std::string tmp;
+        appendLiteral(tmp, c);
+        s += tmp;
+    }
+    return s;
+}
+
+/** A short [x-y] range class over lowercase letters or digits. */
+std::string
+randomRangeClass(Rng &rng)
+{
+    bool digits = rng.chance(0.3);
+    char base = digits ? '0' : 'a';
+    int span = digits ? 10 : 26;
+    int lo = static_cast<int>(rng.below(span - 2));
+    int width = 2 + static_cast<int>(rng.below(
+        static_cast<uint64_t>(span - lo - 1)));
+    std::string s = "[";
+    s.push_back(static_cast<char>(base + lo));
+    s.push_back('-');
+    s.push_back(static_cast<char>(base + lo + width - 1));
+    s.push_back(']');
+    return s;
+}
+
+int
+jitteredLen(Rng &rng, int avg)
+{
+    int lo = std::max(2, avg - avg / 3);
+    int hi = avg + avg / 3;
+    return static_cast<int>(rng.range(lo, hi));
+}
+
+} // namespace
+
+std::vector<std::string>
+genDotstarRules(int rules, double dotstar_prob, int avg_len, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::string> out;
+    out.reserve(rules);
+    for (int r = 0; r < rules; ++r) {
+        int len = jitteredLen(rng, avg_len);
+        std::string pat;
+        // Becchi-style: with probability dotstar_prob the rule carries an
+        // unbounded .* gap (possibly more than one for long rules).
+        bool has_dot = rng.chance(dotstar_prob);
+        int dot_at = has_dot ? 2 + static_cast<int>(rng.below(len - 3)) : -1;
+        int second_dot =
+            has_dot && len > 24 && rng.chance(0.4)
+                ? dot_at + 4 +
+                    static_cast<int>(rng.below(len - dot_at - 5))
+                : -1;
+        for (int i = 0; i < len; ++i) {
+            if (i == dot_at || i == second_dot)
+                pat += ".*";
+            appendLiteral(pat, "etaoinshrdlcum"[rng.below(14)]);
+        }
+        out.push_back(pat);
+    }
+    return out;
+}
+
+std::vector<std::string>
+genRangesRules(int rules, double range_prob, int avg_len, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::string> out;
+    out.reserve(rules);
+    for (int r = 0; r < rules; ++r) {
+        int len = jitteredLen(rng, avg_len);
+        std::string pat;
+        for (int i = 0; i < len; ++i) {
+            if (rng.chance(range_prob))
+                pat += randomRangeClass(rng);
+            else
+                appendLiteral(pat, rng.lowercase());
+        }
+        out.push_back(pat);
+    }
+    return out;
+}
+
+std::vector<std::string>
+genExactMatchRules(int rules, int avg_len, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::string> out;
+    out.reserve(rules);
+    for (int r = 0; r < rules; ++r) {
+        int len = jitteredLen(rng, avg_len);
+        std::string pat;
+        for (int i = 0; i < len; ++i)
+            appendLiteral(pat, rng.lowercase());
+        out.push_back(pat);
+    }
+    return out;
+}
+
+std::vector<std::string>
+genBroRules(int rules, uint64_t seed)
+{
+    Rng rng(seed);
+    static const char *kMethods[] = {"GET ", "POST ", "HEAD ", "PUT "};
+    static const char *kHeaders[] = {
+        "UserxAgent: ", "Host: ", "Cookie: ", "Referer: ",
+        "ContentxType: "};
+    std::vector<std::string> out;
+    out.reserve(rules);
+    for (int r = 0; r < rules; ++r) {
+        std::string pat;
+        if (rng.chance(0.5)) {
+            pat += kMethods[rng.below(4)];
+            pat += "/";
+            pat += randomWordLiteral(rng, 5 + rng.below(6));
+        } else {
+            pat += kHeaders[rng.below(5)];
+            pat += randomWordLiteral(rng, 4 + rng.below(6));
+        }
+        // A few long URI rules reproduce Bro's component tail (~84).
+        if (r % 47 == 0) {
+            pat += "/";
+            pat += randomWordLiteral(rng, 55 + rng.below(20));
+        }
+        out.push_back(pat);
+    }
+    return out;
+}
+
+std::vector<std::string>
+genTcpRules(int rules, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::string> out;
+    out.reserve(rules);
+    for (int r = 0; r < rules; ++r) {
+        std::string pat = randomPayloadLiteral(rng, 14 + rng.below(14));
+        // A sprinkling of very large rules reproduces TCP's heavy tail
+        // (Table 1's largest CA_P component is 391 states).
+        if (r % 97 == 0) {
+            pat += "[a-z]{";
+            pat += std::to_string(180 + rng.below(160));
+            pat += "}";
+            pat += randomWordLiteral(rng, 6);
+        } else if (rng.chance(0.4)) {
+            pat += randomRangeClass(rng);
+            pat += "{";
+            pat += std::to_string(4 + rng.below(12));
+            pat += "}";
+            pat += randomWordLiteral(rng, 5);
+        }
+        out.push_back(pat);
+    }
+    return out;
+}
+
+std::vector<std::string>
+genSnortRules(int rules, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::string> out;
+    out.reserve(rules);
+    for (int r = 0; r < rules; ++r) {
+        std::string pat = randomPayloadLiteral(rng, 8 + rng.below(10));
+        if (rng.chance(0.5)) {
+            pat += ".*";
+            pat += randomPayloadLiteral(rng, 6 + rng.below(10));
+        }
+        if (rng.chance(0.4)) {
+            pat += "[0-9a-f]{";
+            pat += std::to_string(3 + rng.below(8));
+            pat += "}";
+        }
+        if (rng.chance(0.3)) {
+            pat += "(";
+            pat += randomWordLiteral(rng, 5);
+            pat += "|";
+            pat += randomWordLiteral(rng, 6);
+            pat += ")";
+        }
+        // Shell-code style rules with long bounded gaps form the tail
+        // (largest CA_P component ~222 in Table 1).
+        if (r % 101 == 0) {
+            pat += "[^\\x0a]{";
+            pat += std::to_string(120 + rng.below(60));
+            pat += "}";
+            pat += randomWordLiteral(rng, 8);
+        }
+        out.push_back(pat);
+    }
+    return out;
+}
+
+std::vector<std::string>
+genClamAvRules(int rules, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::string> out;
+    out.reserve(rules);
+    for (int r = 0; r < rules; ++r) {
+        // Hex byte-string signatures with bounded wildcard gaps; ClamAV
+        // components are long (avg ~96, largest 542 in Table 1).
+        int segs = 2 + static_cast<int>(rng.below(3));
+        int total = 44 + static_cast<int>(rng.below(64));
+        if (r % 103 == 0)
+            total = 420 + static_cast<int>(rng.below(100));
+        std::string pat;
+        for (int s = 0; s < segs; ++s) {
+            int seg_len = total / segs;
+            for (int i = 0; i < seg_len; ++i) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\x%02x",
+                              static_cast<unsigned>(rng.below(256)));
+                pat += buf;
+            }
+            if (s + 1 < segs) {
+                pat += ".{";
+                pat += std::to_string(1 + rng.below(4));
+                pat += ",";
+                pat += std::to_string(5 + rng.below(6));
+                pat += "}";
+            }
+        }
+        out.push_back(pat);
+    }
+    return out;
+}
+
+std::vector<std::string>
+genPowerEnRules(int rules, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::string> out;
+    out.reserve(rules);
+    for (int r = 0; r < rules; ++r) {
+        std::string pat = randomWordLiteral(rng, 7 + rng.below(7));
+        if (rng.chance(0.6)) {
+            pat += "[a-z0-9]";
+            if (rng.chance(0.5))
+                pat += "+";
+            pat += randomWordLiteral(rng, 4 + rng.below(5));
+        }
+        // Occasional longer rules give PowerEN its ~48-state components.
+        if (r % 29 == 0)
+            pat += randomWordLiteral(rng, 24 + rng.below(16));
+        out.push_back(pat);
+    }
+    return out;
+}
+
+const std::vector<std::string> &
+wordLexicon()
+{
+    static const std::vector<std::string> lex = [] {
+        // A compact synthetic lexicon: deterministic pseudo-words with a
+        // Zipf-ish mix of short frequent and longer rare tokens.
+        std::vector<std::string> words;
+        Rng rng(0xB111);
+        static const char *kCommon[] = {
+            "the", "of", "and", "to", "in", "is", "was", "for", "that",
+            "on", "with", "as", "by", "at", "from", "are", "this", "be",
+            "or", "an"};
+        for (const char *w : kCommon)
+            words.push_back(w);
+        for (int i = 0; i < 480; ++i) {
+            int len = 3 + static_cast<int>(rng.below(7));
+            std::string w;
+            for (int j = 0; j < len; ++j)
+                w.push_back(rng.lowercase());
+            words.push_back(w);
+        }
+        return words;
+    }();
+    return lex;
+}
+
+std::vector<std::string>
+genBrillRules(int rules, uint64_t seed)
+{
+    Rng rng(seed);
+    const auto &lex = wordLexicon();
+    std::vector<std::string> out;
+    out.reserve(rules);
+    for (int r = 0; r < rules; ++r) {
+        // Brill transformation rules trigger on short word contexts:
+        // " word1 word2 " or " word tag ".
+        std::string pat = " ";
+        pat += lex[rng.below(lex.size())];
+        pat += " ";
+        pat += lex[rng.below(lex.size())];
+        if (rng.chance(0.7)) {
+            pat += " ";
+            pat += rng.chance(0.6) ? lex[rng.below(lex.size())]
+                                   : randomWordLiteral(rng, 4);
+        }
+        if (rng.chance(0.5))
+            pat += " ";
+        // Long multi-word contexts form the tail (largest ~67 states).
+        if (r % 83 == 0)
+            for (int w = 0; w < 6; ++w)
+                pat += lex[rng.below(lex.size())] + " ";
+        out.push_back(pat);
+    }
+    return out;
+}
+
+std::vector<std::string>
+genEntityResolutionRules(int rules, uint64_t seed)
+{
+    Rng rng(seed);
+    const auto &lex = wordLexicon();
+    std::vector<std::string> out;
+    out.reserve(rules);
+    for (int r = 0; r < rules; ++r) {
+        // A person record matched in both token orders with an optional
+        // middle initial; alternation of long branches gives the high
+        // fan-out / ~95-state components Table 1 reports.
+        std::string first =
+            lex[rng.below(lex.size())] + lex[rng.below(lex.size())];
+        std::string last =
+            lex[rng.below(lex.size())] + lex[rng.below(lex.size())];
+        std::string mid(1, rng.lowercase());
+        std::string pat = "(";
+        pat += first + " (" + mid + "[a-z]* )?" + last;
+        pat += "|";
+        pat += last + " (" + mid + "[a-z]* )?" + first;
+        pat += "|";
+        pat += first + "[a-z]{0,2} " + last;
+        pat += "|";
+        pat += last + ", " + first;
+        // The shared record terminator joins the alternation branches into
+        // one connected component per record (Table 1: 1000 components).
+        pat += ") ";
+        out.push_back(pat);
+    }
+    return out;
+}
+
+std::vector<std::string>
+genFermiRules(int rules, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::string> out;
+    out.reserve(rules);
+    for (int r = 0; r < rules; ++r) {
+        // Short hit-coordinate chains over digits: nearly every input
+        // symbol extends some chain, giving Fermi's very large active set.
+        int len = 12 + static_cast<int>(rng.below(8));
+        std::string pat;
+        for (int i = 0; i < len; ++i) {
+            if (rng.chance(0.7))
+                pat += "[0-9]";
+            else
+                pat.push_back(static_cast<char>('0' + rng.below(10)));
+        }
+        out.push_back(pat);
+    }
+    return out;
+}
+
+std::vector<std::string>
+genSpmRules(int rules, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::string> out;
+    out.reserve(rules);
+    for (int r = 0; r < rules; ++r) {
+        // Frequent-itemset sequence: items separated by arbitrary-length
+        // non-separator gaps; ';' terminates a transaction.
+        int items = 10 + static_cast<int>(rng.below(2));
+        std::string pat;
+        for (int i = 0; i < items; ++i) {
+            pat.push_back(static_cast<char>('a' + rng.below(20)));
+            if (i + 1 < items)
+                pat += "[^;]*";
+        }
+        out.push_back(pat);
+    }
+    return out;
+}
+
+std::vector<std::string>
+genRandomForestRules(int rules, int chain_len, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::string> out;
+    out.reserve(rules);
+    for (int r = 0; r < rules; ++r) {
+        // One root-to-leaf decision path: a fixed-length chain of feature
+        // outcomes over a small alphabet.
+        std::string pat;
+        for (int i = 0; i < chain_len; ++i)
+            pat.push_back(static_cast<char>('p' + rng.below(5)));
+        out.push_back(pat);
+    }
+    return out;
+}
+
+const std::string &
+aminoAlphabet()
+{
+    static const std::string alpha = "ACDEFGHIKLMNPQRSTVWY";
+    return alpha;
+}
+
+std::vector<std::string>
+genProtomataRules(int rules, uint64_t seed)
+{
+    Rng rng(seed);
+    const std::string &aa = aminoAlphabet();
+    std::vector<std::string> out;
+    out.reserve(rules);
+    for (int r = 0; r < rules; ++r) {
+        // PROSITE-style motif: residues, residue classes, x gaps and
+        // bounded x(i,j) repetitions.
+        int elems = 10 + static_cast<int>(rng.below(8));
+        if (r % 97 == 0)
+            elems = 60 + static_cast<int>(rng.below(25));
+        std::string pat;
+        for (int i = 0; i < elems; ++i) {
+            double roll = rng.uniform();
+            if (roll < 0.55) {
+                pat.push_back(aa[rng.below(aa.size())]);
+            } else if (roll < 0.8) {
+                int k = 2 + static_cast<int>(rng.below(3));
+                pat += "[";
+                for (int j = 0; j < k; ++j)
+                    pat.push_back(aa[rng.below(aa.size())]);
+                pat += "]";
+            } else if (roll < 0.93) {
+                pat += "[A-Y]"; // x: any residue
+            } else {
+                pat += "[A-Y]{";
+                int lo = 1 + static_cast<int>(rng.below(3));
+                pat += std::to_string(lo);
+                pat += ",";
+                pat += std::to_string(lo + 1 + rng.below(3));
+                pat += "}";
+            }
+        }
+        out.push_back(pat);
+    }
+    return out;
+}
+
+} // namespace ca

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ruleset generators for the benchmark families.
+ *
+ * The ANMLZoo / Regex suite files the paper evaluates are not shipped with
+ * this repository, so each family is *synthesized* to match the published
+ * Table 1 structure (rule counts, states per rule, largest component) and
+ * the domain's pattern style: dot-star and range rules (Becchi's Regex
+ * suite), exact-match strings, Bro/Snort-like signatures, ClamAV byte
+ * signatures, Brill tagging rules, PowerEN rules, PROSITE-style motifs,
+ * SPM itemset sequences, RandomForest decision chains and Fermi detector
+ * paths. All generators are deterministic in the seed.
+ */
+#ifndef CA_WORKLOAD_RULEGEN_H
+#define CA_WORKLOAD_RULEGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace ca {
+
+/**
+ * Becchi-style synthetic rules: literal runs with `.*` gaps inserted with
+ * probability @p dotstar_prob per rule (the 03/06/09 suffix in Table 1).
+ */
+std::vector<std::string> genDotstarRules(int rules, double dotstar_prob,
+                                         int avg_len, uint64_t seed);
+
+/** Rules where each position is a character range with prob @p range_prob. */
+std::vector<std::string> genRangesRules(int rules, double range_prob,
+                                        int avg_len, uint64_t seed);
+
+/** Pure literal strings (ExactMatch). */
+std::vector<std::string> genExactMatchRules(int rules, int avg_len,
+                                            uint64_t seed);
+
+/** Bro-like HTTP signature rules (short literals, few classes). */
+std::vector<std::string> genBroRules(int rules, uint64_t seed);
+
+/** TCP-stream rules: mixed literals/classes with counted repetitions. */
+std::vector<std::string> genTcpRules(int rules, uint64_t seed);
+
+/** Snort-like payload rules (anchors, classes, dotstars, repeats). */
+std::vector<std::string> genSnortRules(int rules, uint64_t seed);
+
+/** ClamAV-style byte signatures (hex escapes, wildcard gaps). */
+std::vector<std::string> genClamAvRules(int rules, uint64_t seed);
+
+/** PowerEN-style moderate rules. */
+std::vector<std::string> genPowerEnRules(int rules, uint64_t seed);
+
+/** Brill transformation-rule context patterns over words. */
+std::vector<std::string> genBrillRules(int rules, uint64_t seed);
+
+/**
+ * Entity-resolution rules: person-name records matched in both token
+ * orders with optional middle initials (high fan-out alternations).
+ */
+std::vector<std::string> genEntityResolutionRules(int rules, uint64_t seed);
+
+/** Fermi detector path patterns: short always-active numeric chains. */
+std::vector<std::string> genFermiRules(int rules, uint64_t seed);
+
+/** Sequential-pattern-mining itemset sequences with [^sep]* gaps. */
+std::vector<std::string> genSpmRules(int rules, uint64_t seed);
+
+/** RandomForest decision chains: fixed-length exact feature sequences. */
+std::vector<std::string> genRandomForestRules(int rules, int chain_len,
+                                              uint64_t seed);
+
+/** PROSITE-style protein motifs over the 20-letter amino alphabet. */
+std::vector<std::string> genProtomataRules(int rules, uint64_t seed);
+
+/** The amino-acid alphabet used by Protomata rules and inputs. */
+const std::string &aminoAlphabet();
+
+/** Lowercase word list used by Brill/EntityResolution rules and inputs. */
+const std::vector<std::string> &wordLexicon();
+
+} // namespace ca
+
+#endif // CA_WORKLOAD_RULEGEN_H

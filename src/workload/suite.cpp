@@ -1,0 +1,253 @@
+#include "workload/suite.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "nfa/glushkov.h"
+#include "workload/distance.h"
+#include "workload/rulegen.h"
+
+namespace ca {
+
+namespace {
+
+int
+scaled(size_t count, double scale)
+{
+    return std::max(1, static_cast<int>(std::lround(
+        static_cast<double>(count) * scale)));
+}
+
+/** DNA pattern strings for the distance benchmarks. */
+std::vector<std::string>
+dnaPatterns(int count, int len, uint64_t seed)
+{
+    Rng rng(seed);
+    static const char bases[] = "ACGT";
+    std::vector<std::string> out;
+    out.reserve(count);
+    for (int i = 0; i < count; ++i) {
+        std::string p;
+        for (int j = 0; j < len; ++j)
+            p.push_back(bases[rng.below(4)]);
+        out.push_back(p);
+    }
+    return out;
+}
+
+Benchmark
+regexBenchmark(std::string name, std::string domain, PaperRow perf,
+               PaperRow space, StreamKind stream, double plants,
+               std::function<std::vector<std::string>(int, uint64_t)> gen)
+{
+    Benchmark b;
+    b.name = std::move(name);
+    b.domain = std::move(domain);
+    b.paperPerf = perf;
+    b.paperSpace = space;
+    b.stream = stream;
+    b.plantsPer4k = plants;
+    size_t rules = perf.connectedComponents;
+    b.rules = [gen, rules](double scale, uint64_t seed) {
+        return gen(scaled(rules, scale), seed);
+    };
+    b.build = [b_rules = b.rules](double scale, uint64_t seed) {
+        return compileRuleset(b_rules(scale, seed));
+    };
+    return b;
+}
+
+std::vector<Benchmark>
+makeSuite()
+{
+    std::vector<Benchmark> s;
+
+    s.push_back(regexBenchmark(
+        "Dotstar03", "regex (Becchi)",
+        PaperRow{12144, 299, 92, 3.78}, PaperRow{11124, 56, 1639, 0.84},
+        StreamKind::Payload, 0.5,
+        [](int rules, uint64_t seed) {
+            return genDotstarRules(rules, 0.3, 38, seed);
+        }));
+    s.push_back(regexBenchmark(
+        "Dotstar06", "regex (Becchi)",
+        PaperRow{12640, 298, 104, 37.55}, PaperRow{11598, 54, 1595, 3.40},
+        StreamKind::Payload, 0.5,
+        [](int rules, uint64_t seed) {
+            return genDotstarRules(rules, 0.6, 39, seed);
+        }));
+    s.push_back(regexBenchmark(
+        "Dotstar09", "regex (Becchi)",
+        PaperRow{12431, 297, 104, 38.07}, PaperRow{11229, 59, 1509, 4.39},
+        StreamKind::Payload, 0.5,
+        [](int rules, uint64_t seed) {
+            return genDotstarRules(rules, 0.9, 39, seed);
+        }));
+    s.push_back(regexBenchmark(
+        "Ranges05", "regex (Becchi)",
+        PaperRow{12439, 299, 94, 6.00}, PaperRow{11596, 63, 1197, 1.53},
+        StreamKind::Payload, 0.5,
+        [](int rules, uint64_t seed) {
+            return genRangesRules(rules, 0.5, 38, seed);
+        }));
+    s.push_back(regexBenchmark(
+        "Ranges1", "regex (Becchi)",
+        PaperRow{12464, 297, 96, 6.43}, PaperRow{11418, 57, 1820, 1.46},
+        StreamKind::Payload, 0.5,
+        [](int rules, uint64_t seed) {
+            return genRangesRules(rules, 1.0, 38, seed);
+        }));
+    s.push_back(regexBenchmark(
+        "ExactMatch", "regex (Becchi)",
+        PaperRow{12439, 297, 87, 5.99}, PaperRow{11270, 53, 998, 1.42},
+        StreamKind::Payload, 0.5,
+        [](int rules, uint64_t seed) {
+            return genExactMatchRules(rules, 40, seed);
+        }));
+    s.push_back(regexBenchmark(
+        "Bro217", "network IDS",
+        PaperRow{2312, 187, 84, 3.40}, PaperRow{1893, 59, 245, 1.89},
+        StreamKind::Payload, 1.0, genBroRules));
+    s.push_back(regexBenchmark(
+        "TCP", "network IDS",
+        PaperRow{19704, 715, 391, 12.94}, PaperRow{13819, 47, 3898, 2.21},
+        StreamKind::Payload, 1.0, genTcpRules));
+    s.push_back(regexBenchmark(
+        "Snort", "network IDS",
+        PaperRow{69029, 2585, 222, 431.43},
+        PaperRow{34480, 73, 10513, 29.59}, StreamKind::Payload, 1.5,
+        genSnortRules));
+    s.push_back(regexBenchmark(
+        "Brill", "natural language",
+        PaperRow{42568, 1962, 67, 1662.76},
+        PaperRow{26364, 1, 26364, 14.29}, StreamKind::Text, 2.0,
+        genBrillRules));
+    s.push_back(regexBenchmark(
+        "ClamAV", "antivirus",
+        PaperRow{49538, 515, 542, 82.84},
+        PaperRow{42543, 41, 11965, 4.30}, StreamKind::Binary, 0.5,
+        genClamAvRules));
+    s.push_back(regexBenchmark(
+        "Dotstar", "regex (Becchi)",
+        PaperRow{96438, 2837, 95, 45.05}, PaperRow{38951, 90, 2977, 3.25},
+        StreamKind::Payload, 0.5,
+        [](int rules, uint64_t seed) {
+            return genDotstarRules(rules, 0.2, 33, seed);
+        }));
+    s.push_back(regexBenchmark(
+        "EntityResolution", "databases",
+        PaperRow{95136, 1000, 96, 1192.84}, PaperRow{5672, 5, 4568, 7.88},
+        StreamKind::Text, 2.0, genEntityResolutionRules));
+
+    // Levenshtein: 24 patterns; the real edit-distance construction.
+    {
+        Benchmark b;
+        b.name = "Levenshtein";
+        b.domain = "bioinformatics";
+        b.paperPerf = PaperRow{2784, 24, 116, 114.21};
+        b.paperSpace = PaperRow{2784, 1, 2605, 114.21};
+        b.stream = StreamKind::Dna;
+        b.plantsPer4k = 2.0;
+        b.rules = [](double scale, uint64_t seed) {
+            return dnaPatterns(scaled(24, scale), 13, seed);
+        };
+        b.build = [rules = b.rules](double scale, uint64_t seed) {
+            Nfa combined;
+            auto pats = rules(scale, seed);
+            for (size_t i = 0; i < pats.size(); ++i)
+                combined.merge(levenshteinNfa(pats[i], 2,
+                    static_cast<uint32_t>(i), /*anchored=*/false));
+            return combined;
+        };
+        s.push_back(std::move(b));
+    }
+
+    // Hamming: 93 patterns, substitutions only.
+    {
+        Benchmark b;
+        b.name = "Hamming";
+        b.domain = "bioinformatics";
+        b.paperPerf = PaperRow{11346, 93, 122, 285.1};
+        b.paperSpace = PaperRow{11254, 69, 11254, 240.09};
+        b.stream = StreamKind::Dna;
+        b.plantsPer4k = 2.0;
+        b.rules = [](double scale, uint64_t seed) {
+            return dnaPatterns(scaled(93, scale), 41, seed);
+        };
+        b.build = [rules = b.rules](double scale, uint64_t seed) {
+            Nfa combined;
+            auto pats = rules(scale, seed);
+            for (size_t i = 0; i < pats.size(); ++i)
+                combined.merge(hammingNfa(pats[i], 1,
+                    static_cast<uint32_t>(i), /*anchored=*/false));
+            return combined;
+        };
+        s.push_back(std::move(b));
+    }
+
+    s.push_back(regexBenchmark(
+        "Fermi", "high-energy physics",
+        PaperRow{40783, 2399, 17, 4715.96},
+        PaperRow{39032, 648, 39038, 4715.96}, StreamKind::Digits, 0.5,
+        genFermiRules));
+    s.push_back(regexBenchmark(
+        "SPM", "data mining",
+        PaperRow{100500, 5025, 20, 6964.47},
+        PaperRow{18126, 1, 18126, 1432.55}, StreamKind::Transactions, 0.5,
+        genSpmRules));
+    s.push_back(regexBenchmark(
+        "RandomForest", "machine learning",
+        PaperRow{33220, 1661, 20, 398.24},
+        PaperRow{33220, 1, 33220, 398.24}, StreamKind::Payload, 0.5,
+        [](int rules, uint64_t seed) {
+            return genRandomForestRules(rules, 20, seed);
+        }));
+    s.push_back(regexBenchmark(
+        "PowerEN", "regex (IBM)",
+        PaperRow{14109, 1000, 48, 61.02},
+        PaperRow{12194, 62, 357, 30.02}, StreamKind::Payload, 1.0,
+        genPowerEnRules));
+    s.push_back(regexBenchmark(
+        "Protomata", "bioinformatics",
+        PaperRow{42011, 2340, 123, 1578.51},
+        PaperRow{38243, 513, 3745, 594.68}, StreamKind::Amino, 1.0,
+        genProtomataRules));
+
+    return s;
+}
+
+} // namespace
+
+const std::vector<Benchmark> &
+benchmarkSuite()
+{
+    static const std::vector<Benchmark> suite = makeSuite();
+    return suite;
+}
+
+const Benchmark &
+findBenchmark(const std::string &name)
+{
+    for (const Benchmark &b : benchmarkSuite())
+        if (b.name == name)
+            return b;
+    CA_THROW("unknown benchmark '" << name << "'");
+}
+
+std::vector<uint8_t>
+benchmarkInput(const Benchmark &b, size_t bytes, uint64_t input_seed,
+               double scale, uint64_t rule_seed)
+{
+    InputSpec spec;
+    spec.kind = b.stream;
+    spec.plantsPer4k = b.plantsPer4k;
+    // Plant witnesses from a subsample of the rules (sampling all 5000
+    // patterns every 4 KB would swamp the noise distribution).
+    auto rules = b.rules(scale, rule_seed);
+    size_t take = std::min<size_t>(rules.size(), 64);
+    spec.plantPatterns.assign(rules.begin(),
+                              rules.begin() + static_cast<long>(take));
+    return buildInput(spec, bytes, input_seed);
+}
+
+} // namespace ca

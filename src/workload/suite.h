@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The 20-benchmark evaluation suite (Table 1).
+ *
+ * Each entry synthesizes an NFA matching the published structure of the
+ * corresponding ANMLZoo/Regex benchmark (rule counts, states-per-component,
+ * component tails) together with a domain-shaped input stream. The paper's
+ * Table 1 values are carried alongside so benches can print
+ * paper-vs-measured deltas. Scale < 1 shrinks rule counts proportionally
+ * (used by tests); scale = 1 is the full published size.
+ */
+#ifndef CA_WORKLOAD_SUITE_H
+#define CA_WORKLOAD_SUITE_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nfa/nfa.h"
+#include "workload/input_gen.h"
+
+namespace ca {
+
+/** One row of the paper's Table 1 (either design variant). */
+struct PaperRow
+{
+    size_t states = 0;
+    size_t connectedComponents = 0;
+    size_t largestComponent = 0;
+    double avgActiveStates = 0.0;
+};
+
+/** One benchmark: generator + input shape + published reference rows. */
+struct Benchmark
+{
+    std::string name;
+    std::string domain;
+    PaperRow paperPerf;  ///< Table 1, performance-optimized columns.
+    PaperRow paperSpace; ///< Table 1, space-optimized columns.
+    StreamKind stream = StreamKind::Payload;
+    double plantsPer4k = 1.0;
+
+    /** Rule/pattern texts at @p scale (used for witness planting too). */
+    std::function<std::vector<std::string>(double scale, uint64_t seed)>
+        rules;
+    /** Builds the NFA at @p scale. Defaults to compiling rules(). */
+    std::function<Nfa(double scale, uint64_t seed)> build;
+};
+
+/** The full 20-benchmark suite, in Table 1 order. */
+const std::vector<Benchmark> &benchmarkSuite();
+
+/** Lookup by name. @throws CaError when unknown. */
+const Benchmark &findBenchmark(const std::string &name);
+
+/** Canonical rule seed benches/tests use so inputs and NFAs agree. */
+constexpr uint64_t kDefaultRuleSeed = 0xCA11;
+
+/**
+ * Builds the benchmark's input stream with witnesses planted from the
+ * same ruleset the NFA was built from — pass the same @p scale and
+ * @p rule_seed given to Benchmark::build so planted matches really fire.
+ */
+std::vector<uint8_t> benchmarkInput(const Benchmark &b, size_t bytes,
+                                    uint64_t input_seed, double scale = 1.0,
+                                    uint64_t rule_seed = kDefaultRuleSeed);
+
+} // namespace ca
+
+#endif // CA_WORKLOAD_SUITE_H

@@ -1,0 +1,98 @@
+#include "workload/witness.h"
+
+#include "core/error.h"
+#include "nfa/regex_parser.h"
+
+namespace ca {
+
+namespace {
+
+/** Uniform random member of a non-empty symbol set. */
+char
+sampleSymbol(const SymbolSet &s, Rng &rng)
+{
+    int n = s.count();
+    CA_ASSERT(n > 0);
+    uint64_t pick = rng.below(static_cast<uint64_t>(n));
+    int c = s.first();
+    while (pick-- > 0)
+        c = s.next(c);
+    return static_cast<char>(c);
+}
+
+/** Geometric draw with p = 0.5 capped at @p cap (mean ~1). */
+int
+geometric(Rng &rng, int cap)
+{
+    int n = 0;
+    while (n < cap && rng.chance(0.5))
+        ++n;
+    return n;
+}
+
+void
+sample(const RegexNode &node, Rng &rng, std::string &out)
+{
+    switch (node.op) {
+      case RegexOp::Empty:
+        break;
+      case RegexOp::Class:
+        out.push_back(sampleSymbol(node.cls, rng));
+        break;
+      case RegexOp::Concat:
+        for (const auto &c : node.children)
+            sample(*c, rng, out);
+        break;
+      case RegexOp::Alt: {
+        size_t pick = rng.below(node.children.size());
+        sample(*node.children[pick], rng, out);
+        break;
+      }
+      case RegexOp::Star: {
+        int reps = geometric(rng, 4);
+        for (int i = 0; i < reps; ++i)
+            sample(*node.children[0], rng, out);
+        break;
+      }
+      case RegexOp::Plus: {
+        int reps = 1 + geometric(rng, 3);
+        for (int i = 0; i < reps; ++i)
+            sample(*node.children[0], rng, out);
+        break;
+      }
+      case RegexOp::Opt:
+        if (rng.chance(0.5))
+            sample(*node.children[0], rng, out);
+        break;
+      case RegexOp::Repeat: {
+        int max = node.repeatMax == RegexNode::kUnbounded
+            ? node.repeatMin + geometric(rng, 3)
+            : node.repeatMax;
+        int reps = node.repeatMin +
+            static_cast<int>(rng.below(
+                static_cast<uint64_t>(max - node.repeatMin) + 1));
+        for (int i = 0; i < reps; ++i)
+            sample(*node.children[0], rng, out);
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+sampleWitness(const RegexNode &node, Rng &rng)
+{
+    std::string out;
+    sample(node, rng, out);
+    return out;
+}
+
+std::string
+sampleWitness(const std::string &pattern, Rng &rng)
+{
+    RegexPattern pat = parseRegex(pattern);
+    return sampleWitness(*pat.root, rng);
+}
+
+} // namespace ca

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Witness sampling: generate a random string matching a regex.
+ *
+ * Input streams for the benchmark suite plant genuine matches at a
+ * configurable rate so report paths are exercised end to end; this module
+ * draws those witnesses uniformly-ish by walking the pattern AST.
+ */
+#ifndef CA_WORKLOAD_WITNESS_H
+#define CA_WORKLOAD_WITNESS_H
+
+#include <string>
+
+#include "core/rng.h"
+#include "nfa/regex_ast.h"
+
+namespace ca {
+
+/**
+ * Samples one string matched by @p node.
+ *
+ * Unbounded repetitions draw geometric lengths (mean ~2 extra copies).
+ * The result is guaranteed to be accepted by the pattern's NFA.
+ */
+std::string sampleWitness(const RegexNode &node, Rng &rng);
+
+/** Parses @p pattern and samples a witness. */
+std::string sampleWitness(const std::string &pattern, Rng &rng);
+
+} // namespace ca
+
+#endif // CA_WORKLOAD_WITNESS_H

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the ANML reader/writer.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "baseline/nfa_engine.h"
+#include "core/error.h"
+#include "nfa/anml.h"
+#include "nfa/glushkov.h"
+
+namespace ca {
+namespace {
+
+const char *kSample = R"(<anml version="1.0">
+<automata-network id="example">
+  <state-transition-element id="s0" symbol-set="[ab]" start="all-input">
+    <activate-on-match element="s1"/>
+  </state-transition-element>
+  <state-transition-element id="s1" symbol-set="[c]">
+    <activate-on-match element="s2"/>
+    <activate-on-match element="s1"/>
+  </state-transition-element>
+  <state-transition-element id="s2" symbol-set="*">
+    <report-on-match reportcode="42"/>
+  </state-transition-element>
+</automata-network>
+</anml>)";
+
+TEST(Anml, ParsesStatesAndAttributes)
+{
+    Nfa nfa = parseAnml(kSample);
+    ASSERT_EQ(nfa.numStates(), 3u);
+    EXPECT_EQ(nfa.state(0).name, "s0");
+    EXPECT_EQ(nfa.state(0).start, StartType::AllInput);
+    EXPECT_TRUE(nfa.state(0).label.test('a'));
+    EXPECT_TRUE(nfa.state(0).label.test('b'));
+    EXPECT_FALSE(nfa.state(0).label.test('c'));
+    EXPECT_EQ(nfa.state(1).start, StartType::None);
+    EXPECT_TRUE(nfa.state(2).label.isAll());
+    EXPECT_TRUE(nfa.state(2).report);
+    EXPECT_EQ(nfa.state(2).reportId, 42u);
+}
+
+TEST(Anml, ParsesTransitionsIncludingSelfLoop)
+{
+    Nfa nfa = parseAnml(kSample);
+    ASSERT_EQ(nfa.state(0).out.size(), 1u);
+    ASSERT_EQ(nfa.state(1).out.size(), 2u);
+    EXPECT_EQ(nfa.numTransitions(), 3u);
+}
+
+TEST(Anml, ParsedAutomatonExecutes)
+{
+    Nfa nfa = parseAnml(kSample);
+    NfaEngine eng(nfa);
+    std::string text = "xacy";
+    auto reports = eng.run(
+        reinterpret_cast<const uint8_t *>(text.data()), text.size());
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(reports[0].offset, 3u);
+    EXPECT_EQ(reports[0].reportId, 42u);
+}
+
+TEST(Anml, ForwardReferencesResolve)
+{
+    const char *doc = R"(<anml><automata-network id="f">
+      <state-transition-element id="a" symbol-set="[x]" start="all-input">
+        <activate-on-match element="zzz"/>
+      </state-transition-element>
+      <state-transition-element id="zzz" symbol-set="[y]">
+        <report-on-match reportcode="1"/>
+      </state-transition-element>
+    </automata-network></anml>)";
+    Nfa nfa = parseAnml(doc);
+    EXPECT_EQ(nfa.numTransitions(), 1u);
+    EXPECT_EQ(nfa.state(0).out.at(0), 1u);
+}
+
+TEST(Anml, StartOfDataParsed)
+{
+    const char *doc = R"(<anml>
+      <state-transition-element id="a" symbol-set="[x]"
+          start="start-of-data">
+        <report-on-match reportcode="0"/>
+      </state-transition-element></anml>)";
+    Nfa nfa = parseAnml(doc);
+    EXPECT_EQ(nfa.state(0).start, StartType::StartOfData);
+}
+
+TEST(Anml, MalformedDocumentsThrow)
+{
+    EXPECT_THROW(parseAnml("<state-transition-element symbol-set=\"[a]\"/>"),
+                 CaError);  // missing id
+    EXPECT_THROW(parseAnml("<state-transition-element id=\"a\"/>"),
+                 CaError);  // missing symbol-set
+    EXPECT_THROW(
+        parseAnml(R"(<state-transition-element id="a" symbol-set="[x]">
+                       <activate-on-match element="nope"/>
+                     </state-transition-element>)"),
+        CaError);  // unknown reference
+    EXPECT_THROW(
+        parseAnml(R"(<state-transition-element id="a" symbol-set="[x]"/>
+                     <state-transition-element id="a" symbol-set="[y]"/>)"),
+        CaError);  // duplicate id
+    EXPECT_THROW(parseAnml("<unterminated"), CaError);
+}
+
+TEST(Anml, BadStartTypeThrows)
+{
+    EXPECT_THROW(parseAnml(
+        R"(<state-transition-element id="a" symbol-set="[x]"
+            start="sometimes"/>)"), CaError);
+}
+
+TEST(Anml, CommentsSkipped)
+{
+    const char *doc = R"(<anml><!-- a <comment> with tags -->
+      <state-transition-element id="a" symbol-set="[x]"
+        start="all-input"/></anml>)";
+    EXPECT_EQ(parseAnml(doc).numStates(), 1u);
+}
+
+TEST(Anml, EntitiesUnescaped)
+{
+    const char *doc = R"(<state-transition-element id="x&amp;y"
+        symbol-set="[a]" start="all-input"/>)";
+    Nfa nfa = parseAnml(doc);
+    EXPECT_EQ(nfa.state(0).name, "x&y");
+}
+
+TEST(Anml, RoundTripPreservesStructure)
+{
+    Nfa orig = compileRuleset({"ab+c", "[x-z]{2}q"});
+    std::string doc = writeAnml(orig, "rt");
+    Nfa back = parseAnml(doc);
+    ASSERT_EQ(back.numStates(), orig.numStates());
+    ASSERT_EQ(back.numTransitions(), orig.numTransitions());
+    for (StateId s = 0; s < orig.numStates(); ++s) {
+        EXPECT_EQ(back.state(s).label, orig.state(s).label) << "state " << s;
+        EXPECT_EQ(back.state(s).start, orig.state(s).start);
+        EXPECT_EQ(back.state(s).report, orig.state(s).report);
+        EXPECT_EQ(back.state(s).reportId, orig.state(s).reportId);
+    }
+}
+
+TEST(Anml, RoundTripPreservesBehaviour)
+{
+    Nfa orig = compileRuleset({"he[l1]lo", "wor.d"});
+    Nfa back = parseAnml(writeAnml(orig));
+    std::string text = "xx hello world he1lo worxd";
+    NfaEngine a(orig);
+    NfaEngine b(back);
+    EXPECT_EQ(a.run(reinterpret_cast<const uint8_t *>(text.data()),
+                    text.size()),
+              b.run(reinterpret_cast<const uint8_t *>(text.data()),
+                    text.size()));
+}
+
+TEST(Anml, FileRoundTrip)
+{
+    Nfa orig = compileRuleset({"abc"});
+    std::string path = ::testing::TempDir() + "/ca_anml_test.anml";
+    saveAnmlFile(orig, path);
+    Nfa back = loadAnmlFile(path);
+    EXPECT_EQ(back.numStates(), orig.numStates());
+    std::remove(path.c_str());
+}
+
+TEST(Anml, MissingFileThrows)
+{
+    EXPECT_THROW(loadAnmlFile("/nonexistent/path.anml"), CaError);
+}
+
+} // namespace
+} // namespace ca

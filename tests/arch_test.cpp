@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Tests for the architecture models: switch specs (Table 2), pipeline
+ * timing (Tables 3 & 4), reachability/area (Figure 10), geometry, energy,
+ * and the accelerator comparison constants (Table 5).
+ */
+#include <gtest/gtest.h>
+
+#include "arch/comparison.h"
+#include "arch/design.h"
+#include "arch/energy.h"
+#include "arch/geometry.h"
+#include "arch/params.h"
+#include "arch/sram_timing.h"
+#include "arch/switch_model.h"
+#include "core/error.h"
+
+namespace ca {
+namespace {
+
+// ---------------------------------------------------------------- Table 2
+
+TEST(SwitchModel, LSwitchMatchesTable2)
+{
+    SwitchSpec s = lSwitchSpec();
+    EXPECT_EQ(s.inputs, 280);
+    EXPECT_EQ(s.outputs, 256);
+    EXPECT_DOUBLE_EQ(s.delayPs, 163.5);
+    EXPECT_DOUBLE_EQ(s.energyPjPerBit, 0.191);
+    EXPECT_DOUBLE_EQ(s.areaMm2, 0.033);
+    EXPECT_EQ(s.configBits(), 280LL * 256);
+}
+
+TEST(SwitchModel, GSwitchesMatchTable2)
+{
+    SwitchSpec g1p = gSwitch1WayPerf();
+    EXPECT_DOUBLE_EQ(g1p.delayPs, 128.0);
+    EXPECT_DOUBLE_EQ(g1p.energyPjPerBit, 0.16);
+    EXPECT_DOUBLE_EQ(g1p.areaMm2, 0.011);
+
+    SwitchSpec g1s = gSwitch1WaySpace();
+    EXPECT_DOUBLE_EQ(g1s.delayPs, 163.0);
+    EXPECT_DOUBLE_EQ(g1s.areaMm2, 0.032);
+
+    SwitchSpec g4 = gSwitch4WaySpace();
+    EXPECT_DOUBLE_EQ(g4.delayPs, 327.0);
+    EXPECT_DOUBLE_EQ(g4.energyPjPerBit, 0.381);
+    EXPECT_DOUBLE_EQ(g4.areaMm2, 0.1293);
+}
+
+TEST(SwitchModel, InterpolationMonotone)
+{
+    double d64 = modelSwitch("x", 64, 64).delayPs;
+    double d128 = modelSwitch("x", 128, 128).delayPs;
+    double d256 = modelSwitch("x", 256, 256).delayPs;
+    double d1024 = modelSwitch("x", 1024, 1024).delayPs;
+    EXPECT_LT(d64, d128);
+    EXPECT_LT(d128, d256);
+    EXPECT_LT(d256, d1024);
+}
+
+TEST(SwitchModel, AnchorsReproducedByInterpolator)
+{
+    EXPECT_NEAR(modelSwitch("x", 128, 128).delayPs, 128.0, 1e-9);
+    EXPECT_NEAR(modelSwitch("x", 256, 256).delayPs, 163.5, 1e-9);
+    EXPECT_NEAR(modelSwitch("x", 512, 512).delayPs, 327.0, 1e-9);
+}
+
+TEST(SwitchModel, RectangularAreaScalesByCrossPoints)
+{
+    double square = modelSwitch("x", 256, 256).areaMm2;
+    double half = modelSwitch("x", 256, 128).areaMm2;
+    EXPECT_NEAR(half, square / 2, 1e-12);
+}
+
+TEST(SwitchModel, InvalidRadixThrows)
+{
+    EXPECT_THROW(modelSwitch("x", 0, 4), CaError);
+    EXPECT_THROW(modelSwitch("x", 4, -1), CaError);
+}
+
+// ---------------------------------------------------------------- Table 3
+
+TEST(Timing, CaPStageDelaysMatchTable3)
+{
+    PipelineTiming t = computeTiming(designCaP());
+    EXPECT_NEAR(t.stateMatchPs, 438.0, 1.0);
+    EXPECT_NEAR(t.gSwitchPs, 227.0, 1.0);
+    EXPECT_NEAR(t.lSwitchPs, 263.0, 1.0);
+    // Max frequency ~2.3 GHz; operated at 2 GHz.
+    EXPECT_NEAR(t.maxFreqHz() / 1e9, 2.28, 0.05);
+    EXPECT_DOUBLE_EQ(designCaP().operatingFreqHz, 2.0e9);
+}
+
+TEST(Timing, CaSStageDelaysMatchTable3)
+{
+    PipelineTiming t = computeTiming(designCaS());
+    EXPECT_NEAR(t.stateMatchPs, 687.0, 2.0);
+    EXPECT_NEAR(t.gSwitchPs, 468.0, 2.0);
+    EXPECT_NEAR(t.lSwitchPs, 304.0, 2.0);
+    EXPECT_NEAR(t.maxFreqHz() / 1e9, 1.4, 0.06);
+    EXPECT_DOUBLE_EQ(designCaS().operatingFreqHz, 1.2e9);
+}
+
+TEST(Timing, ClockPeriodIsSlowestStage)
+{
+    PipelineTiming t = computeTiming(designCaP());
+    EXPECT_DOUBLE_EQ(t.clockPeriodPs(), t.stateMatchPs);
+}
+
+// ---------------------------------------------------------------- Table 4
+
+TEST(Timing, WithoutSenseAmpCyclingMatchesTable4)
+{
+    TimingOptions opts;
+    opts.senseAmpCycling = false;
+    // CA_P: 4 full array cycles = 1024 ps -> ~1 GHz.
+    PipelineTiming tp = computeTiming(designCaP(), opts);
+    EXPECT_NEAR(tp.stateMatchPs, 1024.0, 1.0);
+    EXPECT_NEAR(tp.maxFreqHz() / 1e9, 1.0, 0.05);
+    // CA_S: 8 cycles = 2048 ps -> ~500 MHz.
+    PipelineTiming ts = computeTiming(designCaS(), opts);
+    EXPECT_NEAR(ts.stateMatchPs, 2048.0, 1.0);
+    EXPECT_NEAR(ts.maxFreqHz() / 1e9, 0.5, 0.03);
+}
+
+TEST(Timing, HBusWiresMatchTable4)
+{
+    TimingOptions opts;
+    opts.useHBusWires = true;
+    // CA_P with 300 ps/mm H-Bus: G stage 128 + 450 = 578 ps -> ~1.7 GHz
+    // max (operated 1.5 GHz in the paper).
+    PipelineTiming tp = computeTiming(designCaP(), opts);
+    EXPECT_NEAR(tp.gSwitchPs, 578.0, 2.0);
+    EXPECT_GT(tp.maxFreqHz() / 1e9, 1.5);
+    // CA_S: 327 + 2.14*300 = 969 ps -> ~1 GHz.
+    PipelineTiming ts = computeTiming(designCaS(), opts);
+    EXPECT_NEAR(ts.gSwitchPs, 969.0, 3.0);
+    EXPECT_NEAR(ts.maxFreqHz() / 1e9, 1.0, 0.05);
+}
+
+// ---------------------------------------------------------------- Figure 10
+
+TEST(Design, ReachabilityTradeoff)
+{
+    double r4g = designReachability(designCa4GHz());
+    double rp = designReachability(designCaP());
+    double rs = designReachability(designCaS());
+    EXPECT_DOUBLE_EQ(r4g, 64.0);
+    // Paper: 361 for CA_P, 936 for CA_S; our analytic formula lands within
+    // a few percent (368 / ~880).
+    EXPECT_NEAR(rp, 361.0, 15.0);
+    EXPECT_NEAR(rs, 936.0, 80.0);
+    // Monotone trade-off: more reachability, lower frequency.
+    EXPECT_LT(r4g, rp);
+    EXPECT_LT(rp, rs);
+}
+
+TEST(Design, ReachabilityBeatsApAt2GHz)
+{
+    EXPECT_GT(designReachability(designCaP()), defaultTech().apReachability);
+}
+
+TEST(Design, FanInIs256)
+{
+    EXPECT_EQ(designMaxFanIn(designCaP()), 256);
+    EXPECT_EQ(designMaxFanIn(designCaS()), 256);
+    EXPECT_GT(designMaxFanIn(designCaP()), defaultTech().apMaxFanIn);
+}
+
+TEST(Design, Area32kMatchesFigure10)
+{
+    // Paper: 4.3 mm^2 (CA_P) and 4.6 mm^2 (CA_S), far below AP's 38 mm^2.
+    EXPECT_NEAR(designArea32k(designCaP()), 4.3, 0.15);
+    EXPECT_NEAR(designArea32k(designCaS()), 4.6, 0.1);
+    EXPECT_LT(designArea32k(designCaS()), defaultTech().apAreaMm2 / 5);
+}
+
+
+// ---------------------------------------------------------------- SRAM read
+
+TEST(SramTiming, CyclingMatchesPipelineModel)
+{
+    // The structural schedule and the pipeline model's state-match stage
+    // must agree: 256 STEs = 4 groups of 64 -> 438 ps; 512 -> 687 ps.
+    ReadSequence r4 = planArrayRead(4, true);
+    EXPECT_NEAR(r4.totalPs, computeTiming(designCaP()).stateMatchPs, 0.5);
+    ReadSequence r8 = planArrayRead(8, true);
+    EXPECT_NEAR(r8.totalPs, computeTiming(designCaS()).stateMatchPs, 0.5);
+}
+
+TEST(SramTiming, BaselineMatchesPipelineModel)
+{
+    TimingOptions no_sa;
+    no_sa.senseAmpCycling = false;
+    ReadSequence r4 = planArrayRead(4, false);
+    EXPECT_NEAR(r4.totalPs,
+                computeTiming(designCaP(), no_sa).stateMatchPs, 0.5);
+}
+
+TEST(SramTiming, CyclingPulsesAreBackToBack)
+{
+    ReadSequence seq = planArrayRead(4, true);
+    // Exactly one DEC/PCH/RWL phase, then 4 SAE and 4 SEL pulses.
+    int sae = 0;
+    double prev_end = -1.0;
+    for (const SignalPulse &p : seq.pulses) {
+        if (p.signal == "SAE") {
+            if (sae > 0) {
+                EXPECT_NEAR(p.startPs, prev_end, 1e-9);
+            }
+            prev_end = p.endPs();
+            ++sae;
+        }
+    }
+    EXPECT_EQ(sae, 4);
+    EXPECT_DOUBLE_EQ(seq.pulses.back().endPs(), seq.totalPs);
+}
+
+TEST(SramTiming, SelTracksGroupOrder)
+{
+    ReadSequence seq = planArrayRead(3, true);
+    int expected = 0;
+    for (const SignalPulse &p : seq.pulses) {
+        if (p.signal == "SEL") {
+            EXPECT_EQ(p.group, expected++);
+        }
+    }
+    EXPECT_EQ(expected, 3);
+}
+
+TEST(SramTiming, InvalidGroupsThrow)
+{
+    EXPECT_THROW(planArrayRead(0, true), CaError);
+}
+
+TEST(SramTiming, FormatterMentionsMode)
+{
+    std::string txt = formatReadSequence(planArrayRead(2, true));
+    EXPECT_NE(txt.find("sense-amp cycling"), std::string::npos);
+    EXPECT_NE(txt.find("SAE[1]"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- geometry
+
+TEST(Geometry, PartitionsPerWay)
+{
+    CacheGeometry perf(defaultTech(), 256);
+    EXPECT_EQ(perf.partitionsPerSubArray(), 1);
+    EXPECT_EQ(perf.partitionsPerWay(), 8);
+    CacheGeometry space(defaultTech(), 512);
+    EXPECT_EQ(space.partitionsPerSubArray(), 2);
+    EXPECT_EQ(space.partitionsPerWay(), 16);
+}
+
+TEST(Geometry, MegabytesPerPartition)
+{
+    CacheGeometry g(defaultTech(), 256);
+    EXPECT_DOUBLE_EQ(g.megabytes(128), 1.0); // 128 x 8 KB = 1 MB
+}
+
+TEST(Geometry, CapacityMatchesPaperPrototype)
+{
+    // §5.3: 8 ways of a slice store 128K STEs (CA_S density over 8 slices).
+    CacheGeometry g(defaultTech(), 512);
+    EXPECT_EQ(g.capacityStes(8, 8), 8LL * 16 * 8 * 256);
+}
+
+TEST(Geometry, FootprintRollsUp)
+{
+    CacheGeometry g(defaultTech(), 256);
+    CacheFootprint fp = g.footprint(20, 8);
+    EXPECT_EQ(fp.subArrays, 20);
+    EXPECT_EQ(fp.ways, 3);
+    EXPECT_EQ(fp.slices, 1);
+}
+
+TEST(Geometry, InvalidSubArrayCapacityThrows)
+{
+    EXPECT_THROW(CacheGeometry(defaultTech(), 300), CaError);
+    EXPECT_THROW(CacheGeometry(defaultTech(), 1024), CaError);
+}
+
+// ---------------------------------------------------------------- energy
+
+TEST(Energy, ZeroActivityZeroEnergy)
+{
+    EnergyBreakdown e = computeEnergyPerSymbol(designCaP(), ActivityStats{});
+    EXPECT_DOUBLE_EQ(e.totalPj(), 0.0);
+}
+
+TEST(Energy, ScalesWithActivePartitions)
+{
+    ActivityStats one;
+    one.avgActivePartitions = 1.0;
+    ActivityStats ten;
+    ten.avgActivePartitions = 10.0;
+    double e1 = computeEnergyPerSymbol(designCaP(), one).totalPj();
+    double e10 = computeEnergyPerSymbol(designCaP(), ten).totalPj();
+    EXPECT_NEAR(e10, 10 * e1, 1e-9);
+}
+
+TEST(Energy, PerPartitionCostDominatedByArrayAndLSwitch)
+{
+    ActivityStats a;
+    a.avgActivePartitions = 1.0;
+    EnergyBreakdown e = computeEnergyPerSymbol(designCaP(), a);
+    EXPECT_DOUBLE_EQ(e.arrayPj, 22.0);
+    EXPECT_NEAR(e.lSwitchPj, 256 * 0.191, 1e-9);
+    EXPECT_EQ(e.gSwitchPj, 0.0);
+}
+
+TEST(Energy, IdealApIs3xCa)
+{
+    // §5.3: CA consumes ~3x less than Ideal AP under the same mapping.
+    ActivityStats a;
+    a.avgActivePartitions = 30.0;
+    double ca = computeEnergyPerSymbol(designCaS(), a).totalPj();
+    double ap = idealApEnergyPerSymbolPj(a, designCaS());
+    EXPECT_NEAR(ap / ca, 3.0, 0.8);
+}
+
+TEST(Energy, AveragePower)
+{
+    // 1 nJ/symbol at 1 GHz = 1 W.
+    EXPECT_DOUBLE_EQ(averagePowerW(1000.0, 1e9), 1.0);
+}
+
+TEST(Energy, PeakPowerBelowTdp)
+{
+    // §5.3: the 8-way prototype peaks well below the 160 W Xeon TDP.
+    CacheGeometry g(defaultTech(), 512);
+    int parts = g.partitionsPerSlice(8) * 8; // 8 slices
+    EXPECT_LT(peakPowerW(designCaS(), parts), 160.0);
+}
+
+// ---------------------------------------------------------------- Table 5 / Fig 7
+
+TEST(Comparison, ThroughputFromFrequency)
+{
+    EXPECT_DOUBLE_EQ(throughputGbps(2.0e9), 16.0);
+    EXPECT_NEAR(apThroughputGbps(), 1.064, 0.001);
+}
+
+TEST(Comparison, HeadlineSpeedups)
+{
+    // §5.1: 15x (CA_P) and 9x (CA_S) over AP; 3840x over CPU.
+    EXPECT_NEAR(speedupOverAp(designCaP()), 15.0, 0.1);
+    EXPECT_NEAR(speedupOverAp(designCaS()), 9.0, 0.1);
+    EXPECT_NEAR(speedupOverCpu(designCaP()), 3840.0, 30.0);
+}
+
+TEST(Comparison, PublishedTable5Rows)
+{
+    AcceleratorPoint hare = harePublished();
+    EXPECT_DOUBLE_EQ(hare.throughputGbps, 3.9);
+    EXPECT_DOUBLE_EQ(hare.areaMm2, 80.0);
+    AcceleratorPoint uap = uapPublished();
+    EXPECT_DOUBLE_EQ(uap.powerW, 0.507);
+}
+
+
+TEST(Design, CustomPointReproducesCaPCorner)
+{
+    // The 256/16/0 custom point should look like CA_P (same partition,
+    // same G1 budget): ~2.2 GHz derated max, reachability 368.
+    Design d = designCustom(256, 16, 0);
+    EXPECT_NEAR(d.operatingFreqHz / 1e9, 2.2, 0.11);
+    EXPECT_NEAR(designReachability(d), designReachability(designCaP()),
+                1e-9);
+}
+
+TEST(Design, CustomSweepIsMonotone)
+{
+    // More connectivity -> more reachability, lower (or equal) frequency,
+    // more area.
+    Design a = designCustom(64, 0, 0);
+    Design b = designCustom(256, 16, 0);
+    Design c = designCustom(256, 16, 8);
+    EXPECT_LT(designReachability(a), designReachability(b));
+    EXPECT_LT(designReachability(b), designReachability(c));
+    EXPECT_GE(a.operatingFreqHz, b.operatingFreqHz);
+    EXPECT_GE(b.operatingFreqHz, c.operatingFreqHz);
+    EXPECT_LT(designArea32k(a), designArea32k(b));
+    EXPECT_LT(designArea32k(b), designArea32k(c));
+}
+
+TEST(Design, CustomInvalidPartitionThrows)
+{
+    EXPECT_THROW(designCustom(0, 8, 0), CaError);
+    EXPECT_THROW(designCustom(1024, 8, 0), CaError);
+}
+
+TEST(Design, CustomNoGSwitchHasNoGStage)
+{
+    Design d = designCustom(64, 0, 0);
+    PipelineTiming t = computeTiming(d);
+    EXPECT_DOUBLE_EQ(t.gSwitchPs, 0.0);
+    EXPECT_NEAR(t.maxFreqHz() / 1e9, 4.0, 0.1);
+}
+
+TEST(Comparison, CaRowDerivedFromModels)
+{
+    AcceleratorPoint p = caTable5Row(designCaP(), 4.0);
+    EXPECT_DOUBLE_EQ(p.throughputGbps, 16.0);
+    EXPECT_NEAR(p.runtimeMsFor10MB, 5.24, 0.1);
+    EXPECT_NEAR(p.powerW, 8.0, 0.1); // 4 nJ x 2 GHz
+    EXPECT_NEAR(p.areaMm2, 4.3, 0.15);
+    // Shape vs ASICs: CA_P beats both HARE and UAP throughput (3.9x/3x).
+    EXPECT_GT(p.throughputGbps / harePublished().throughputGbps, 3.5);
+    EXPECT_GT(p.throughputGbps / uapPublished().throughputGbps, 2.5);
+}
+
+} // namespace
+} // namespace ca

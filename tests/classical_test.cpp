@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the classical NFA representation and homogenization.
+ */
+#include <gtest/gtest.h>
+
+#include "baseline/nfa_engine.h"
+#include "core/error.h"
+#include "nfa/classical.h"
+
+namespace ca {
+namespace {
+
+bool
+accepts(const Nfa &nfa, const std::string &text)
+{
+    NfaEngine eng(nfa);
+    auto reports = eng.run(
+        reinterpret_cast<const uint8_t *>(text.data()), text.size());
+    // Anchored acceptance: report exactly at the final symbol.
+    for (const Report &r : reports)
+        if (r.offset == text.size() - 1)
+            return true;
+    return false;
+}
+
+ClassicalNfa
+literalChain(const std::string &word)
+{
+    ClassicalNfa c;
+    uint32_t prev = c.addState();
+    c.markStart(prev);
+    for (size_t i = 0; i < word.size(); ++i) {
+        uint32_t next = c.addState(i + 1 == word.size());
+        c.addEdge(prev, next, SymbolSet::of(
+            static_cast<uint8_t>(word[i])));
+        prev = next;
+    }
+    return c;
+}
+
+TEST(Classical, LiteralChainHomogenizes)
+{
+    Nfa nfa = literalChain("abc").homogenize(/*anchored=*/true);
+    EXPECT_EQ(nfa.numStates(), 3u);
+    EXPECT_TRUE(accepts(nfa, "abc"));
+    EXPECT_FALSE(accepts(nfa, "abd"));
+    EXPECT_FALSE(accepts(nfa, "ab"));
+    EXPECT_NO_THROW(nfa.validate());
+}
+
+TEST(Classical, UnanchoredMatchesMidStream)
+{
+    Nfa nfa = literalChain("ab").homogenize(/*anchored=*/false);
+    NfaEngine eng(nfa);
+    std::string text = "xxabxx";
+    auto reports = eng.run(
+        reinterpret_cast<const uint8_t *>(text.data()), text.size());
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(reports[0].offset, 3u);
+}
+
+TEST(Classical, SharedLabelsIntoSameTargetShareOneSte)
+{
+    // Two edges labelled 'a' into one target produce a single STE.
+    ClassicalNfa c;
+    uint32_t s0 = c.addState();
+    uint32_t s1 = c.addState();
+    uint32_t t = c.addState(true);
+    c.markStart(s0);
+    c.markStart(s1);
+    c.addEdge(s0, t, SymbolSet::of('a'));
+    c.addEdge(s1, t, SymbolSet::of('a'));
+    Nfa nfa = c.homogenize();
+    EXPECT_EQ(nfa.numStates(), 1u);
+    EXPECT_TRUE(accepts(nfa, "a"));
+}
+
+TEST(Classical, DistinctLabelsIntoSameTargetSplit)
+{
+    ClassicalNfa c;
+    uint32_t s0 = c.addState();
+    uint32_t t = c.addState(true);
+    c.markStart(s0);
+    c.addEdge(s0, t, SymbolSet::of('a'));
+    c.addEdge(s0, t, SymbolSet::of('b'));
+    Nfa nfa = c.homogenize();
+    EXPECT_EQ(nfa.numStates(), 2u);
+    EXPECT_TRUE(accepts(nfa, "a"));
+    EXPECT_TRUE(accepts(nfa, "b"));
+    EXPECT_FALSE(accepts(nfa, "c"));
+}
+
+TEST(Classical, EpsilonClosureEliminated)
+{
+    // s0 --a--> s1 --eps--> s2 --b--> s3(accept): language is "ab".
+    ClassicalNfa c;
+    uint32_t s0 = c.addState();
+    uint32_t s1 = c.addState();
+    uint32_t s2 = c.addState();
+    uint32_t s3 = c.addState(true);
+    c.markStart(s0);
+    c.addEdge(s0, s1, SymbolSet::of('a'));
+    c.addEpsilon(s1, s2);
+    c.addEdge(s2, s3, SymbolSet::of('b'));
+    Nfa nfa = c.homogenize();
+    EXPECT_TRUE(accepts(nfa, "ab"));
+    EXPECT_FALSE(accepts(nfa, "a"));
+    EXPECT_FALSE(accepts(nfa, "b"));
+}
+
+TEST(Classical, EpsilonToAcceptPropagatesAcceptance)
+{
+    // s0 --a--> s1 --eps--> accept: "a" is accepted.
+    ClassicalNfa c;
+    uint32_t s0 = c.addState();
+    uint32_t s1 = c.addState();
+    uint32_t s2 = c.addState(true);
+    c.markStart(s0);
+    c.addEdge(s0, s1, SymbolSet::of('a'));
+    c.addEpsilon(s1, s2);
+    Nfa nfa = c.homogenize();
+    EXPECT_TRUE(accepts(nfa, "a"));
+}
+
+TEST(Classical, EpsilonChainFromStart)
+{
+    // start --eps--> s1 --b--> accept: "b" accepted via closure of start.
+    ClassicalNfa c;
+    uint32_t s0 = c.addState();
+    uint32_t s1 = c.addState();
+    uint32_t s2 = c.addState(true);
+    c.markStart(s0);
+    c.addEpsilon(s0, s1);
+    c.addEdge(s1, s2, SymbolSet::of('b'));
+    Nfa nfa = c.homogenize();
+    EXPECT_TRUE(accepts(nfa, "b"));
+    EXPECT_FALSE(accepts(nfa, "a"));
+}
+
+TEST(Classical, EmptyStringAcceptanceThrows)
+{
+    ClassicalNfa c;
+    uint32_t s0 = c.addState();
+    uint32_t s1 = c.addState(true);
+    c.markStart(s0);
+    c.addEpsilon(s0, s1);
+    EXPECT_THROW(c.homogenize(), CaError);
+}
+
+TEST(Classical, EmptyEdgeLabelRejected)
+{
+    ClassicalNfa c;
+    uint32_t s0 = c.addState();
+    uint32_t s1 = c.addState(true);
+    EXPECT_THROW(c.addEdge(s0, s1, SymbolSet{}), CaError);
+}
+
+TEST(Classical, BranchingWithCycle)
+{
+    // (ab)+ as a classical cycle.
+    ClassicalNfa c;
+    uint32_t s0 = c.addState();
+    uint32_t s1 = c.addState();
+    uint32_t s2 = c.addState(true);
+    c.markStart(s0);
+    c.addEdge(s0, s1, SymbolSet::of('a'));
+    c.addEdge(s1, s2, SymbolSet::of('b'));
+    c.addEpsilon(s2, s0);
+    Nfa nfa = c.homogenize();
+    EXPECT_TRUE(accepts(nfa, "ab"));
+    EXPECT_TRUE(accepts(nfa, "abab"));
+    EXPECT_FALSE(accepts(nfa, "aba"));
+    EXPECT_FALSE(accepts(nfa, "ba"));
+}
+
+} // namespace
+} // namespace ca

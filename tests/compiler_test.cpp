@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for the mapping compiler and configuration-image emission.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compiler/config_image.h"
+#include "compiler/mapping.h"
+#include "core/error.h"
+#include "nfa/analysis.h"
+#include "nfa/glushkov.h"
+#include "nfa/regex_parser.h"
+#include "workload/rulegen.h"
+
+namespace ca {
+namespace {
+
+/** Every state is placed exactly once and slots are consistent. */
+void
+checkPlacementConsistent(const MappedAutomaton &m)
+{
+    const Nfa &nfa = m.nfa();
+    std::set<std::pair<uint32_t, uint16_t>> seen;
+    for (StateId s = 0; s < nfa.numStates(); ++s) {
+        const SteLocation &loc = m.location(s);
+        ASSERT_LT(loc.partition, m.numPartitions());
+        const PartitionInfo &p = m.partitions()[loc.partition];
+        ASSERT_LT(loc.slot, p.states.size());
+        EXPECT_EQ(p.states[loc.slot], s);
+        EXPECT_TRUE(seen.emplace(loc.partition, loc.slot).second)
+            << "slot double-booked";
+    }
+    size_t placed = 0;
+    for (const PartitionInfo &p : m.partitions()) {
+        EXPECT_LE(p.states.size(),
+                  static_cast<size_t>(m.design().partitionStes));
+        placed += p.states.size();
+    }
+    EXPECT_EQ(placed, nfa.numStates());
+}
+
+TEST(Mapper, SmallRulesetSinglePartition)
+{
+    Nfa nfa = compileRuleset({"abc", "de+f", "[x-z]{3}"});
+    MappedAutomaton m = mapPerformance(nfa);
+    EXPECT_EQ(m.numPartitions(), 1u);
+    EXPECT_EQ(m.crossEdges().size(), 0u);
+    checkPlacementConsistent(m);
+    EXPECT_DOUBLE_EQ(m.utilizationMB(), 8.0 / 1024);
+}
+
+TEST(Mapper, ComponentsNeverSplitWhenTheyFit)
+{
+    // Several 40-state CCs: each stays whole inside some partition.
+    auto rules = genExactMatchRules(20, 40, 11);
+    Nfa nfa = compileRuleset(rules);
+    MappedAutomaton m = mapPerformance(nfa);
+    ComponentInfo cc = connectedComponents(nfa);
+    for (uint32_t c = 0; c < cc.numComponents(); ++c) {
+        std::set<uint32_t> parts;
+        for (StateId s : cc.members[c])
+            parts.insert(m.location(s).partition);
+        EXPECT_EQ(parts.size(), 1u) << "CC " << c << " was split";
+    }
+    checkPlacementConsistent(m);
+}
+
+TEST(Mapper, LargeComponentSplitsWithFewCutEdges)
+{
+    // One long literal (a 600-state chain) must span >= 3 partitions with
+    // exactly one cut edge per adjacent chunk pair.
+    std::string rule(600, 'a');
+    Nfa nfa = compileRuleset({rule});
+    MappedAutomaton m = mapPerformance(nfa);
+    EXPECT_GE(m.numPartitions(), 3u);
+    EXPECT_LE(m.crossEdges().size(), 4u);
+    EXPECT_EQ(m.stats().budgetViolations, 0u);
+    checkPlacementConsistent(m);
+}
+
+TEST(Mapper, UtilizationTracksPartitionCount)
+{
+    auto rules = genExactMatchRules(40, 40, 5);
+    Nfa nfa = compileRuleset(rules);
+    MappedAutomaton m = mapPerformance(nfa);
+    EXPECT_DOUBLE_EQ(m.utilizationMB(),
+                     m.numPartitions() * 8.0 / 1024.0);
+}
+
+TEST(Mapper, SpacePolicyNeverUsesMoreStates)
+{
+    auto rules = genBrillRules(100, 3);
+    Nfa nfa = compileRuleset(rules);
+    MappedAutomaton p = mapPerformance(nfa);
+    MappedAutomaton s = mapSpace(nfa);
+    EXPECT_LE(s.nfa().numStates(), p.nfa().numStates());
+    checkPlacementConsistent(s);
+}
+
+TEST(Mapper, StatsPopulated)
+{
+    auto rules = genExactMatchRules(30, 30, 5);
+    Nfa nfa = compileRuleset(rules);
+    MappedAutomaton m = mapPerformance(nfa);
+    const MappingStats &st = m.stats();
+    EXPECT_EQ(st.states, nfa.numStates());
+    EXPECT_EQ(st.connectedComponents, 30u);
+    EXPECT_EQ(st.partitions, m.numPartitions());
+    EXPECT_GT(st.intraPartitionEdges, 0u);
+}
+
+TEST(Mapper, WireUsageWithinBudgetCounted)
+{
+    std::string rule(600, 'a');
+    Nfa nfa = compileRuleset({rule});
+    MappedAutomaton m = mapPerformance(nfa);
+    for (const PartitionInfo &p : m.partitions()) {
+        EXPECT_LE(p.g1OutWires, m.design().g1WiresPerPartition);
+        EXPECT_LE(p.g1InWires, m.design().g1WiresPerPartition);
+    }
+}
+
+TEST(Mapper, CrossEdgeClassification)
+{
+    // CA_P: all cross edges must be intra-way (G1).
+    std::string rule(600, 'b');
+    Nfa nfa = compileRuleset({rule});
+    MappedAutomaton m = mapPerformance(nfa);
+    for (const CrossEdge &e : m.crossEdges())
+        EXPECT_FALSE(e.viaG4);
+}
+
+TEST(Mapper, DeterministicForFixedSeed)
+{
+    auto rules = genSnortRules(60, 9);
+    Nfa nfa = compileRuleset(rules);
+    MapperOptions opts;
+    opts.seed = 5;
+    MappedAutomaton a = mapPerformance(nfa, opts);
+    MappedAutomaton b = mapPerformance(nfa, opts);
+    ASSERT_EQ(a.numPartitions(), b.numPartitions());
+    for (StateId s = 0; s < nfa.numStates(); ++s) {
+        EXPECT_EQ(a.location(s).partition, b.location(s).partition);
+        EXPECT_EQ(a.location(s).slot, b.location(s).slot);
+    }
+}
+
+// ---------------------------------------------------------------- config
+
+TEST(ConfigImage, SteRowsEncodeLabels)
+{
+    Nfa nfa = compileRuleset({"ab"});
+    MappedAutomaton m = mapPerformance(nfa);
+    ConfigImage img = buildConfigImage(m);
+    ASSERT_EQ(img.partitions.size(), 1u);
+    const PartitionConfig &cfg = img.partitions[0];
+
+    // State 0 has label 'a' -> row 'a' bit at its slot set.
+    const SteLocation &loc = m.location(0);
+    EXPECT_TRUE(cfg.steRows['a'].test(loc.slot));
+    EXPECT_FALSE(cfg.steRows['b'].test(loc.slot));
+    // One-hot column: exactly one row bit set for a singleton label.
+    int rows_set = 0;
+    for (int r = 0; r < 256; ++r)
+        rows_set += cfg.steRows[r].test(loc.slot);
+    EXPECT_EQ(rows_set, 1);
+}
+
+TEST(ConfigImage, LSwitchEncodesIntraPartitionEdges)
+{
+    Nfa nfa = compileRuleset({"abc"});
+    MappedAutomaton m = mapPerformance(nfa);
+    ConfigImage img = buildConfigImage(m);
+    const PartitionConfig &cfg = img.partitions[0];
+    // Edges 0->1, 1->2 in slot space.
+    auto slot = [&](StateId s) { return m.location(s).slot; };
+    EXPECT_TRUE(cfg.lSwitch.isSet(slot(0), slot(1)));
+    EXPECT_TRUE(cfg.lSwitch.isSet(slot(1), slot(2)));
+    EXPECT_EQ(cfg.lSwitch.enabledCount(), 2u);
+}
+
+TEST(ConfigImage, MasksReflectStartAndReport)
+{
+    GlushkovOptions opts;
+    opts.reportId = 3;
+    Nfa nfa = buildGlushkov(parseRegex("^ab"), opts);
+    nfa.merge(buildGlushkov(parseRegex("cd"), opts));
+    MappedAutomaton m = mapPerformance(nfa);
+    ConfigImage img = buildConfigImage(m);
+    const PartitionConfig &cfg = img.partitions[0];
+    EXPECT_EQ(cfg.startOfDataMask.count(), 1u); // ^ab head
+    EXPECT_EQ(cfg.allInputMask.count(), 1u);    // cd head
+    EXPECT_EQ(cfg.reportMask.count(), 2u);      // b and d
+}
+
+TEST(ConfigImage, CrossEdgesAllocateGWires)
+{
+    std::string rule(600, 'c');
+    Nfa nfa = compileRuleset({rule});
+    MappedAutomaton m = mapPerformance(nfa);
+    ConfigImage img = buildConfigImage(m);
+    ASSERT_FALSE(img.routes.empty());
+    for (const auto &r : img.routes) {
+        const PartitionConfig &src = img.partitions[r.srcPartition];
+        const PartitionConfig &dst = img.partitions[r.dstPartition];
+        EXPECT_GE(src.g1Sources.at(r.srcWire), 0);
+        EXPECT_FALSE(dst.g1Targets.at(r.dstWire).empty());
+        // Destination L-switch row programmed for this wire.
+        int row = m.design().partitionStes + r.dstWire;
+        EXPECT_GT(dst.lSwitch.rowBits[row].count(), 0u);
+    }
+}
+
+TEST(ConfigImage, CrossEdgesCoveredBySwitchConfig)
+{
+    // Every cross edge must appear as (source wire) + (dest row bit).
+    std::string rule(520, 'd');
+    Nfa nfa = compileRuleset({rule});
+    MappedAutomaton m = mapPerformance(nfa);
+    ConfigImage img = buildConfigImage(m);
+    for (const CrossEdge &e : m.crossEdges()) {
+        const SteLocation &src = m.location(e.from);
+        const SteLocation &dst = m.location(e.to);
+        const PartitionConfig &scfg = img.partitions[src.partition];
+        bool found_src = false;
+        for (int w = 0; w < static_cast<int>(scfg.g1Sources.size()); ++w)
+            if (scfg.g1Sources[w] == src.slot)
+                found_src = true;
+        EXPECT_TRUE(found_src);
+        const PartitionConfig &dcfg = img.partitions[dst.partition];
+        bool found_dst = false;
+        for (const auto &targets : dcfg.g1Targets)
+            for (int t : targets)
+                if (t == dst.slot)
+                    found_dst = true;
+        EXPECT_TRUE(found_dst);
+    }
+}
+
+TEST(ConfigImage, SerializeStableAndNonEmpty)
+{
+    Nfa nfa = compileRuleset({"ab", "cd"});
+    MappedAutomaton m = mapPerformance(nfa);
+    ConfigImage img = buildConfigImage(m);
+    auto bytes1 = img.serialize();
+    auto bytes2 = img.serialize();
+    EXPECT_EQ(bytes1, bytes2);
+    EXPECT_GT(bytes1.size(), 256u * 256 / 8);
+    EXPECT_GT(img.totalBits(), 0u);
+}
+
+} // namespace
+} // namespace ca

@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Unit tests for the core module: SymbolSet, BitVector, Rng, string utils.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/bitvector.h"
+#include "core/error.h"
+#include "core/rng.h"
+#include "core/string_utils.h"
+#include "core/symbol_set.h"
+
+namespace ca {
+namespace {
+
+// ---------------------------------------------------------------- SymbolSet
+
+TEST(SymbolSet, DefaultIsEmpty)
+{
+    SymbolSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0);
+    EXPECT_EQ(s.first(), -1);
+    EXPECT_FALSE(s.isAll());
+}
+
+TEST(SymbolSet, AllContainsEverySymbol)
+{
+    SymbolSet s = SymbolSet::all();
+    EXPECT_TRUE(s.isAll());
+    EXPECT_EQ(s.count(), 256);
+    for (int c = 0; c < 256; ++c)
+        EXPECT_TRUE(s.test(static_cast<uint8_t>(c)));
+}
+
+TEST(SymbolSet, OfSingleton)
+{
+    SymbolSet s = SymbolSet::of('x');
+    EXPECT_EQ(s.count(), 1);
+    EXPECT_TRUE(s.test('x'));
+    EXPECT_FALSE(s.test('y'));
+    EXPECT_EQ(s.first(), 'x');
+}
+
+TEST(SymbolSet, RangeInclusive)
+{
+    SymbolSet s = SymbolSet::range('a', 'f');
+    EXPECT_EQ(s.count(), 6);
+    EXPECT_TRUE(s.test('a'));
+    EXPECT_TRUE(s.test('f'));
+    EXPECT_FALSE(s.test('g'));
+}
+
+TEST(SymbolSet, RangeAcrossWordBoundary)
+{
+    // 63/64 and 127/128 are word boundaries of the backing u64s.
+    SymbolSet s = SymbolSet::range(60, 130);
+    EXPECT_EQ(s.count(), 71);
+    EXPECT_TRUE(s.test(63));
+    EXPECT_TRUE(s.test(64));
+    EXPECT_TRUE(s.test(127));
+    EXPECT_TRUE(s.test(128));
+    EXPECT_FALSE(s.test(131));
+}
+
+TEST(SymbolSet, ReversedRangeThrows)
+{
+    EXPECT_THROW(SymbolSet::range('z', 'a'), CaError);
+}
+
+TEST(SymbolSet, UnionIntersectionComplement)
+{
+    SymbolSet a = SymbolSet::range('a', 'm');
+    SymbolSet b = SymbolSet::range('g', 'z');
+    SymbolSet u = a | b;
+    SymbolSet i = a & b;
+    EXPECT_EQ(u.count(), 26);
+    EXPECT_EQ(i.count(), 'm' - 'g' + 1);
+    EXPECT_TRUE((~a).test('z'));
+    EXPECT_FALSE((~a).test('a'));
+    EXPECT_EQ((~~a), a);
+}
+
+TEST(SymbolSet, IntersectsDetectsOverlap)
+{
+    SymbolSet a = SymbolSet::range('a', 'c');
+    SymbolSet b = SymbolSet::range('c', 'e');
+    SymbolSet c = SymbolSet::range('x', 'z');
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(SymbolSet, NextIteratesMembers)
+{
+    SymbolSet s;
+    s.set(3);
+    s.set(64);
+    s.set(255);
+    EXPECT_EQ(s.first(), 3);
+    EXPECT_EQ(s.next(3), 64);
+    EXPECT_EQ(s.next(64), 255);
+    EXPECT_EQ(s.next(255), -1);
+}
+
+TEST(SymbolSetParse, SimpleMembers)
+{
+    SymbolSet s = SymbolSet::parseClass("abc");
+    EXPECT_EQ(s.count(), 3);
+    EXPECT_TRUE(s.test('a'));
+    EXPECT_TRUE(s.test('c'));
+}
+
+TEST(SymbolSetParse, Ranges)
+{
+    SymbolSet s = SymbolSet::parseClass("a-z0-9");
+    EXPECT_EQ(s.count(), 36);
+}
+
+TEST(SymbolSetParse, Negation)
+{
+    SymbolSet s = SymbolSet::parseClass("^a");
+    EXPECT_EQ(s.count(), 255);
+    EXPECT_FALSE(s.test('a'));
+}
+
+TEST(SymbolSetParse, HexEscapes)
+{
+    SymbolSet s = SymbolSet::parseClass("\\x00-\\x1f");
+    EXPECT_EQ(s.count(), 32);
+    EXPECT_TRUE(s.test(0));
+    EXPECT_TRUE(s.test(31));
+    EXPECT_FALSE(s.test(32));
+}
+
+TEST(SymbolSetParse, ClassEscapes)
+{
+    EXPECT_EQ(SymbolSet::parseClass("\\d").count(), 10);
+    EXPECT_EQ(SymbolSet::parseClass("\\w").count(), 63);
+    EXPECT_EQ(SymbolSet::parseClass("\\s").count(), 6);
+    EXPECT_EQ(SymbolSet::parseClass("\\D").count(), 246);
+}
+
+TEST(SymbolSetParse, EscapedMetacharacters)
+{
+    SymbolSet s = SymbolSet::parseClass("\\-\\]\\\\");
+    EXPECT_TRUE(s.test('-'));
+    EXPECT_TRUE(s.test(']'));
+    EXPECT_TRUE(s.test('\\'));
+    EXPECT_EQ(s.count(), 3);
+}
+
+TEST(SymbolSetParse, LiteralDashAtEdges)
+{
+    // Trailing '-' has no upper endpoint and is literal.
+    SymbolSet s = SymbolSet::parseClass("a-");
+    EXPECT_TRUE(s.test('a'));
+    EXPECT_TRUE(s.test('-'));
+}
+
+TEST(SymbolSetParse, MalformedThrows)
+{
+    EXPECT_THROW(SymbolSet::parseClass("z-a"), CaError);
+    EXPECT_THROW(SymbolSet::parseClass("abc\\"), CaError);
+    EXPECT_THROW(SymbolSet::parseClass("\\xZZ"), CaError);
+    EXPECT_THROW(SymbolSet::parseClass("\\x1"), CaError);
+}
+
+TEST(SymbolSetParse, RoundTripThroughToString)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 50; ++trial) {
+        SymbolSet s;
+        int members = 1 + static_cast<int>(rng.below(40));
+        for (int i = 0; i < members; ++i)
+            s.set(rng.byte());
+        std::string str = s.toString();
+        ASSERT_GE(str.size(), 2u);
+        SymbolSet back =
+            SymbolSet::parseClass(str.substr(1, str.size() - 2));
+        EXPECT_EQ(back, s) << "round trip failed for " << str;
+    }
+}
+
+TEST(SymbolSetParse, AllRoundTrip)
+{
+    EXPECT_EQ(SymbolSet::all().toString(), "[*]");
+}
+
+TEST(SymbolSet, HashDiffersForDifferentSets)
+{
+    // Not a guarantee, but collisions across these simple sets would
+    // indicate a broken mix.
+    std::set<size_t> hashes;
+    for (int c = 0; c < 256; ++c)
+        hashes.insert(SymbolSet::of(static_cast<uint8_t>(c)).hash());
+    EXPECT_EQ(hashes.size(), 256u);
+}
+
+// ---------------------------------------------------------------- BitVector
+
+TEST(BitVector, SetResetTest)
+{
+    BitVector v(100);
+    EXPECT_EQ(v.size(), 100u);
+    EXPECT_TRUE(v.none());
+    v.set(0);
+    v.set(63);
+    v.set(64);
+    v.set(99);
+    EXPECT_EQ(v.count(), 4u);
+    v.reset(63);
+    EXPECT_EQ(v.count(), 3u);
+    EXPECT_FALSE(v.test(63));
+    EXPECT_TRUE(v.test(64));
+}
+
+TEST(BitVector, OutOfRangeThrows)
+{
+    BitVector v(10);
+    EXPECT_THROW(v.set(10), CaInternalError);
+    EXPECT_THROW(v.test(11), CaInternalError);
+}
+
+TEST(BitVector, SetAllRespectsSize)
+{
+    BitVector v(70);
+    v.setAll();
+    EXPECT_EQ(v.count(), 70u);
+    v.clearAll();
+    EXPECT_TRUE(v.none());
+}
+
+TEST(BitVector, FirstNextIteration)
+{
+    BitVector v(200);
+    v.set(5);
+    v.set(64);
+    v.set(199);
+    EXPECT_EQ(v.first(), 5);
+    EXPECT_EQ(v.next(5), 64);
+    EXPECT_EQ(v.next(64), 199);
+    EXPECT_EQ(v.next(199), -1);
+}
+
+TEST(BitVector, ForEachSetVisitsAscending)
+{
+    BitVector v(300);
+    std::vector<size_t> want = {0, 1, 63, 64, 128, 299};
+    for (size_t i : want)
+        v.set(i);
+    std::vector<size_t> got;
+    v.forEachSet([&](size_t i) { got.push_back(i); });
+    EXPECT_EQ(got, want);
+}
+
+TEST(BitVector, BulkOps)
+{
+    BitVector a(128);
+    BitVector b(128);
+    a.set(1);
+    a.set(2);
+    b.set(2);
+    b.set(3);
+
+    BitVector o = a;
+    o |= b;
+    EXPECT_EQ(o.count(), 3u);
+
+    BitVector i = a;
+    i &= b;
+    EXPECT_EQ(i.count(), 1u);
+    EXPECT_TRUE(i.test(2));
+
+    BitVector x = a;
+    x ^= b;
+    EXPECT_EQ(x.count(), 2u);
+    EXPECT_TRUE(x.test(1));
+    EXPECT_TRUE(x.test(3));
+
+    BitVector an = a;
+    an.andNot(b);
+    EXPECT_EQ(an.count(), 1u);
+    EXPECT_TRUE(an.test(1));
+}
+
+TEST(BitVector, IntersectsWithoutMaterializing)
+{
+    BitVector a(64);
+    BitVector b(64);
+    a.set(10);
+    b.set(11);
+    EXPECT_FALSE(a.intersects(b));
+    b.set(10);
+    EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(BitVector, SizeMismatchThrows)
+{
+    BitVector a(64);
+    BitVector b(65);
+    EXPECT_THROW(a |= b, CaInternalError);
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowIsInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(7);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    for (int i = 0; i < 500; ++i) {
+        int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(StringUtils, Split)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtils, SplitNoSeparator)
+{
+    auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtils, Trim)
+{
+    EXPECT_EQ(trim("  x y \t\n"), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(StringUtils, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("foobar", "foo"));
+    EXPECT_FALSE(startsWith("fo", "foo"));
+    EXPECT_TRUE(endsWith("foobar", "bar"));
+    EXPECT_FALSE(endsWith("ar", "bar"));
+}
+
+TEST(StringUtils, XmlEscape)
+{
+    EXPECT_EQ(xmlEscape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+}
+
+TEST(StringUtils, FormatSi)
+{
+    EXPECT_EQ(formatSi(2.0e9, "Hz"), "2.00 GHz");
+    EXPECT_EQ(formatSi(1.5e-12, "J"), "1.50 pJ");
+    EXPECT_EQ(formatSi(0.0, "b"), "0 b");
+}
+
+// ---------------------------------------------------------------- errors
+
+TEST(Error, ThrowMacroCarriesMessage)
+{
+    try {
+        CA_THROW("value is " << 42);
+        FAIL() << "should have thrown";
+    } catch (const CaError &e) {
+        EXPECT_NE(std::string(e.what()).find("value is 42"),
+                  std::string::npos);
+    }
+}
+
+TEST(Error, FatalIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(CA_FATAL_IF(false, "never"));
+    EXPECT_THROW(CA_FATAL_IF(true, "always"), CaError);
+}
+
+TEST(Error, AssertDistinguishesInternal)
+{
+    EXPECT_THROW(CA_ASSERT(1 == 2), CaInternalError);
+    EXPECT_NO_THROW(CA_ASSERT(1 == 1));
+}
+
+} // namespace
+} // namespace ca

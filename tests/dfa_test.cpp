@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for subset construction and the DFA engine, cross-checked against
+ * the NFA oracle on randomized patterns and inputs.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/dfa_engine.h"
+#include "baseline/nfa_engine.h"
+#include "core/error.h"
+#include "nfa/dfa.h"
+#include "nfa/regex_parser.h"
+#include "nfa/glushkov.h"
+#include "workload/input_gen.h"
+
+namespace ca {
+namespace {
+
+std::set<std::pair<uint64_t, uint32_t>>
+asSet(const std::vector<Report> &reports)
+{
+    std::set<std::pair<uint64_t, uint32_t>> out;
+    for (const Report &r : reports)
+        out.emplace(r.offset, r.reportId);
+    return out;
+}
+
+TEST(Dfa, LiteralPattern)
+{
+    Nfa nfa = compileRuleset({"cat"});
+    Dfa dfa = buildDfa(nfa);
+    std::string text = "the cat sat";
+    auto reports = runDfa(
+        dfa, reinterpret_cast<const uint8_t *>(text.data()), text.size());
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(reports[0].offset, 6u);
+    EXPECT_EQ(reports[0].reportId, 0u);
+}
+
+TEST(Dfa, StartStateIsZero)
+{
+    Nfa nfa = compileRuleset({"ab"});
+    Dfa dfa = buildDfa(nfa);
+    EXPECT_EQ(dfa.startState(), 0u);
+    EXPECT_GE(dfa.numStates(), 2u);
+}
+
+TEST(Dfa, TableBytesMatchesStateCount)
+{
+    Nfa nfa = compileRuleset({"abc"});
+    Dfa dfa = buildDfa(nfa);
+    EXPECT_EQ(dfa.tableBytes(), dfa.numStates() * 256 * sizeof(uint32_t));
+}
+
+TEST(Dfa, StateCapEnforced)
+{
+    // Unanchored a.{12}b must track 'a' offsets in a 13-symbol window:
+    // the DFA needs ~2^12 states, far past the cap.
+    Nfa nfa = compileRuleset({"a.{12}b"});
+    EXPECT_THROW(buildDfa(nfa, 64), CaError);
+}
+
+TEST(Dfa, AnchoredPattern)
+{
+    GlushkovOptions opts;
+    Nfa nfa = buildGlushkov(parseRegex("^ab"), opts);
+    Dfa dfa = buildDfa(nfa);
+    std::string hit = "abxx";
+    std::string miss = "xabx";
+    EXPECT_EQ(runDfa(dfa, reinterpret_cast<const uint8_t *>(hit.data()),
+                     hit.size())
+                  .size(),
+              1u);
+    EXPECT_EQ(runDfa(dfa, reinterpret_cast<const uint8_t *>(miss.data()),
+                     miss.size())
+                  .size(),
+              0u);
+}
+
+TEST(Dfa, MultiPatternReportIds)
+{
+    Nfa nfa = compileRuleset({"aa", "bb", "cc"});
+    Dfa dfa = buildDfa(nfa);
+    std::string text = "aa bb cc";
+    auto reports = runDfa(
+        dfa, reinterpret_cast<const uint8_t *>(text.data()), text.size());
+    ASSERT_EQ(reports.size(), 3u);
+    std::set<uint32_t> ids;
+    for (const auto &r : reports)
+        ids.insert(r.reportId);
+    EXPECT_EQ(ids, (std::set<uint32_t>{0, 1, 2}));
+}
+
+TEST(Dfa, OverlappingMatchesAllReported)
+{
+    Nfa nfa = compileRuleset({"aa"});
+    Dfa dfa = buildDfa(nfa);
+    std::string text = "aaaa";
+    auto reports = runDfa(
+        dfa, reinterpret_cast<const uint8_t *>(text.data()), text.size());
+    EXPECT_EQ(reports.size(), 3u);
+}
+
+// Property: DFA and NFA report identical (offset, id) streams.
+class DfaEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DfaEquivalence, MatchesNfaOracle)
+{
+    Rng rng(GetParam() * 2654435761u + 99);
+    // Every block contains at least one mandatory symbol so the combined
+    // pattern never matches the empty string (which Glushkov rejects).
+    static const char *kBlocks[] = {
+        "ab", "cq?", "(d|e)", "[f-h]{1,2}", "[ij]+", "k",
+    };
+    std::vector<std::string> rules;
+    int n_rules = 1 + static_cast<int>(rng.below(4));
+    for (int r = 0; r < n_rules; ++r) {
+        std::string pat;
+        int blocks = 1 + static_cast<int>(rng.below(4));
+        for (int b = 0; b < blocks; ++b)
+            pat += kBlocks[rng.below(std::size(kBlocks))];
+        rules.push_back(pat);
+    }
+
+    Nfa nfa = compileRuleset(rules);
+    Dfa dfa = buildDfa(nfa, 1 << 14);
+
+    InputSpec spec;
+    spec.kind = StreamKind::Text;
+    spec.plantPatterns = rules;
+    spec.plantsPer4k = 32.0;
+    auto input = buildInput(spec, 4 << 10, GetParam() + 1);
+
+    NfaEngine oracle(nfa);
+    EXPECT_EQ(asSet(runDfa(dfa, input)), asSet(oracle.run(input)));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPatterns, DfaEquivalence,
+                         ::testing::Range(0, 25));
+
+} // namespace
+} // namespace ca

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the Hamming and Levenshtein automata against brute-force
+ * distance computations.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "baseline/nfa_engine.h"
+#include "core/error.h"
+#include "core/rng.h"
+#include "workload/distance.h"
+
+namespace ca {
+namespace {
+
+int
+hammingDistance(const std::string &a, const std::string &b)
+{
+    EXPECT_EQ(a.size(), b.size());
+    int d = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        d += a[i] != b[i];
+    return d;
+}
+
+int
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::vector<int>> dp(a.size() + 1,
+                                     std::vector<int>(b.size() + 1));
+    for (size_t i = 0; i <= a.size(); ++i)
+        dp[i][0] = static_cast<int>(i);
+    for (size_t j = 0; j <= b.size(); ++j)
+        dp[0][j] = static_cast<int>(j);
+    for (size_t i = 1; i <= a.size(); ++i)
+        for (size_t j = 1; j <= b.size(); ++j)
+            dp[i][j] = std::min({dp[i - 1][j] + 1, dp[i][j - 1] + 1,
+                                 dp[i - 1][j - 1] +
+                                     (a[i - 1] != b[j - 1] ? 1 : 0)});
+    return dp[a.size()][b.size()];
+}
+
+/** Anchored whole-string acceptance: a report at the final offset. */
+bool
+acceptsWhole(const Nfa &nfa, const std::string &text)
+{
+    if (text.empty())
+        return false;
+    NfaEngine eng(nfa);
+    auto reports = eng.run(
+        reinterpret_cast<const uint8_t *>(text.data()), text.size());
+    return std::any_of(reports.begin(), reports.end(), [&](const Report &r) {
+        return r.offset == text.size() - 1;
+    });
+}
+
+std::string
+randomDna(Rng &rng, size_t len)
+{
+    static const char bases[] = "ACGT";
+    std::string s;
+    for (size_t i = 0; i < len; ++i)
+        s.push_back(bases[rng.below(4)]);
+    return s;
+}
+
+/** Applies exactly @p subs random substitutions. */
+std::string
+mutate(const std::string &s, int subs, Rng &rng)
+{
+    std::string out = s;
+    std::vector<size_t> idx(s.size());
+    for (size_t i = 0; i < s.size(); ++i)
+        idx[i] = i;
+    for (int k = 0; k < subs; ++k) {
+        size_t pick = k + rng.below(idx.size() - k);
+        std::swap(idx[k], idx[pick]);
+        char old = out[idx[k]];
+        char repl;
+        do {
+            repl = "ACGT"[rng.below(4)];
+        } while (repl == old);
+        out[idx[k]] = repl;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------- Hamming
+
+TEST(Hamming, ExactMatchAccepted)
+{
+    Nfa nfa = hammingNfa("ACGT", 1);
+    EXPECT_TRUE(acceptsWhole(nfa, "ACGT"));
+}
+
+TEST(Hamming, WithinDistanceAccepted)
+{
+    Nfa nfa = hammingNfa("ACGTACGT", 2);
+    EXPECT_TRUE(acceptsWhole(nfa, "ACGTACGA"));  // d=1
+    EXPECT_TRUE(acceptsWhole(nfa, "TCGTACGA"));  // d=2
+    EXPECT_FALSE(acceptsWhole(nfa, "TCGAACGA")); // d=3
+}
+
+TEST(Hamming, ShorterStringRejected)
+{
+    Nfa nfa = hammingNfa("ACGT", 1);
+    EXPECT_FALSE(acceptsWhole(nfa, "ACG"));
+}
+
+TEST(Hamming, ZeroDistanceIsExactMatch)
+{
+    Nfa nfa = hammingNfa("ACG", 0);
+    EXPECT_TRUE(acceptsWhole(nfa, "ACG"));
+    EXPECT_FALSE(acceptsWhole(nfa, "ACT"));
+}
+
+TEST(Hamming, InvalidParamsThrow)
+{
+    EXPECT_THROW(hammingNfa("", 0), CaError);
+    EXPECT_THROW(hammingNfa("AC", 2), CaError);
+    EXPECT_THROW(hammingNfa("AC", -1), CaError);
+}
+
+TEST(Hamming, StateCountGrid)
+{
+    // m=10, k=1: match states 10*2-1=19, mismatch states 10.
+    Nfa nfa = hammingNfa("ACGTACGTAC", 1);
+    EXPECT_EQ(nfa.numStates(), 29u);
+}
+
+TEST(Hamming, UnanchoredMatchesMidStream)
+{
+    Nfa nfa = hammingNfa("ACGT", 1, 0, /*anchored=*/false);
+    NfaEngine eng(nfa);
+    std::string text = "TTTTACGTTTT";
+    auto reports = eng.run(
+        reinterpret_cast<const uint8_t *>(text.data()), text.size());
+    EXPECT_FALSE(reports.empty());
+}
+
+class HammingProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HammingProperty, AgreesWithBruteForce)
+{
+    Rng rng(GetParam() * 6151 + 2);
+    int m = 6 + static_cast<int>(rng.below(10));
+    int k = 1 + static_cast<int>(rng.below(2));
+    std::string pattern = randomDna(rng, m);
+    Nfa nfa = hammingNfa(pattern, k);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::string candidate =
+            rng.chance(0.5) ? mutate(pattern,
+                                     static_cast<int>(rng.below(k + 2)),
+                                     rng)
+                            : randomDna(rng, m);
+        bool want = hammingDistance(pattern, candidate) <= k;
+        EXPECT_EQ(acceptsWhole(nfa, candidate), want)
+            << "pattern " << pattern << " candidate " << candidate
+            << " k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, HammingProperty, ::testing::Range(0, 15));
+
+// ---------------------------------------------------------------- Levenshtein
+
+TEST(Levenshtein, ExactMatchAccepted)
+{
+    Nfa nfa = levenshteinNfa("ACGT", 1);
+    EXPECT_TRUE(acceptsWhole(nfa, "ACGT"));
+}
+
+TEST(Levenshtein, SubstitutionInsertionDeletion)
+{
+    Nfa nfa = levenshteinNfa("ACGT", 1);
+    EXPECT_TRUE(acceptsWhole(nfa, "AGGT"));  // substitution
+    EXPECT_TRUE(acceptsWhole(nfa, "AACGT")); // insertion
+    EXPECT_TRUE(acceptsWhole(nfa, "ACT"));   // deletion
+    EXPECT_FALSE(acceptsWhole(nfa, "AGGA")); // d=2
+}
+
+TEST(Levenshtein, InvalidParamsThrow)
+{
+    EXPECT_THROW(levenshteinNfa("", 0), CaError);
+    EXPECT_THROW(levenshteinNfa("AC", 2), CaError);
+}
+
+class LevenshteinProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LevenshteinProperty, AgreesWithEditDistance)
+{
+    Rng rng(GetParam() * 7723 + 9);
+    int m = 5 + static_cast<int>(rng.below(6));
+    int k = 1 + static_cast<int>(rng.below(2));
+    std::string pattern = randomDna(rng, m);
+    Nfa nfa = levenshteinNfa(pattern, k);
+    for (int trial = 0; trial < 15; ++trial) {
+        // Candidates near the pattern length exercise all three edits.
+        int len = std::max(
+            1, m + static_cast<int>(rng.range(-k - 1, k + 1)));
+        std::string candidate = randomDna(rng, len);
+        if (rng.chance(0.5)) {
+            // Bias toward near-misses: start from the pattern and edit.
+            candidate = pattern;
+            int edits = static_cast<int>(rng.below(k + 2));
+            for (int e = 0; e < edits && !candidate.empty(); ++e) {
+                int kind = static_cast<int>(rng.below(3));
+                size_t pos = rng.below(candidate.size());
+                if (kind == 0)
+                    candidate[pos] = "ACGT"[rng.below(4)];
+                else if (kind == 1)
+                    candidate.insert(candidate.begin() + pos,
+                                     "ACGT"[rng.below(4)]);
+                else
+                    candidate.erase(candidate.begin() + pos);
+            }
+            if (candidate.empty())
+                continue;
+        }
+        bool want = editDistance(pattern, candidate) <= k;
+        EXPECT_EQ(acceptsWhole(nfa, candidate), want)
+            << "pattern " << pattern << " candidate " << candidate
+            << " k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, LevenshteinProperty,
+                         ::testing::Range(0, 15));
+
+} // namespace
+} // namespace ca

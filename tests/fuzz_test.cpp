@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Failure-injection / fuzz-robustness tests: hostile or corrupted inputs
+ * to every parser must produce a clean CaError (never a crash, hang, or
+ * silent acceptance of malformed data).
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "nfa/anml.h"
+#include "nfa/regex_parser.h"
+#include "nfa/glushkov.h"
+
+namespace ca {
+namespace {
+
+/** Runs @p fn and requires it to either succeed or throw CaError. */
+template <typename Fn>
+void
+mustNotCrash(Fn &&fn, const std::string &context)
+{
+    try {
+        fn();
+    } catch (const CaError &) {
+        // Expected failure mode.
+    } catch (const CaInternalError &e) {
+        FAIL() << "internal invariant tripped on hostile input ("
+               << context << "): " << e.what();
+    } catch (const std::exception &e) {
+        FAIL() << "unexpected exception type on " << context << ": "
+               << e.what();
+    }
+}
+
+std::string
+randomBytes(Rng &rng, size_t len)
+{
+    std::string s;
+    for (size_t i = 0; i < len; ++i)
+        s.push_back(static_cast<char>(rng.below(256)));
+    return s;
+}
+
+/** Random string over regex-relevant characters (denser in metachars). */
+std::string
+randomRegexSoup(Rng &rng, size_t len)
+{
+    static const char pool[] = "ab01(){}[]|*+?.^$-\\,x";
+    std::string s;
+    for (size_t i = 0; i < len; ++i)
+        s.push_back(pool[rng.below(sizeof(pool) - 1)]);
+    return s;
+}
+
+class RegexFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RegexFuzz, ParserNeverCrashes)
+{
+    Rng rng(GetParam() * 77023 + 3);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::string pat = randomRegexSoup(rng, 1 + rng.below(40));
+        mustNotCrash(
+            [&] {
+                GlushkovOptions opts;
+                opts.maxPositions = 4096;
+                buildGlushkov(parseRegex(pat), opts);
+            },
+            "regex soup /" + pat + "/");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegexFuzz, ::testing::Range(0, 5));
+
+class AnmlFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AnmlFuzz, ParserNeverCrashesOnGarbage)
+{
+    Rng rng(GetParam() * 50021 + 7);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::string doc = randomBytes(rng, 1 + rng.below(200));
+        mustNotCrash([&] { parseAnml(doc); }, "random bytes as ANML");
+    }
+}
+
+TEST_P(AnmlFuzz, ParserNeverCrashesOnMutatedDocuments)
+{
+    Rng rng(GetParam() * 4409 + 13);
+    const std::string base = writeAnml(compileRuleset({"ab+c", "[x-z]q"}));
+    for (int trial = 0; trial < 100; ++trial) {
+        std::string doc = base;
+        // Corrupt a few positions: delete, flip, or insert.
+        int edits = 1 + static_cast<int>(rng.below(6));
+        for (int e = 0; e < edits && !doc.empty(); ++e) {
+            size_t pos = rng.below(doc.size());
+            switch (rng.below(3)) {
+              case 0:
+                doc.erase(doc.begin() + pos);
+                break;
+              case 1:
+                doc[pos] = static_cast<char>(rng.below(256));
+                break;
+              default:
+                doc.insert(doc.begin() + pos,
+                           static_cast<char>(rng.below(128)));
+            }
+        }
+        mustNotCrash([&] { parseAnml(doc); }, "mutated ANML");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnmlFuzz, ::testing::Range(0, 5));
+
+TEST(SymbolSetFuzz, ClassParserNeverCrashes)
+{
+    Rng rng(99);
+    static const char pool[] = "abz09^-]\\x[";
+    for (int trial = 0; trial < 500; ++trial) {
+        std::string body;
+        size_t len = 1 + rng.below(12);
+        for (size_t i = 0; i < len; ++i)
+            body.push_back(pool[rng.below(sizeof(pool) - 1)]);
+        mustNotCrash([&] { SymbolSet::parseClass(body); },
+                     "class body '" + body + "'");
+    }
+}
+
+} // namespace
+} // namespace ca

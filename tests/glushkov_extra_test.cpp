@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Additional regex/Glushkov edge-case tests: escapes, nested quantifier
+ * structures, multi-byte classes, and language-level properties checked
+ * against the DFA (which is built by an independent algorithm).
+ */
+#include <gtest/gtest.h>
+
+#include "baseline/dfa_engine.h"
+#include "baseline/nfa_engine.h"
+#include "baseline/report_utils.h"
+#include "core/rng.h"
+#include "nfa/dfa.h"
+#include "nfa/glushkov.h"
+#include "nfa/regex_parser.h"
+#include "workload/witness.h"
+
+namespace ca {
+namespace {
+
+bool
+matches(const Nfa &nfa, const std::string &text)
+{
+    NfaEngine eng(nfa);
+    return !eng.run(reinterpret_cast<const uint8_t *>(text.data()),
+                    text.size())
+                .empty();
+}
+
+Nfa
+one(const std::string &pattern)
+{
+    GlushkovOptions opts;
+    return buildGlushkov(parseRegex(pattern), opts);
+}
+
+TEST(GlushkovEdge, EscapedMetacharactersLiteral)
+{
+    Nfa nfa = one("a\\.b\\*c");
+    EXPECT_TRUE(matches(nfa, "a.b*c"));
+    EXPECT_FALSE(matches(nfa, "axb*c"));
+}
+
+TEST(GlushkovEdge, HexEscapesInPattern)
+{
+    Nfa nfa = one("\\x00\\xff"); // NUL followed by 0xFF
+    std::string text;
+    text.push_back('\0');
+    text.push_back(static_cast<char>(0xff));
+    EXPECT_TRUE(matches(nfa, text));
+}
+
+TEST(GlushkovEdge, NestedGroups)
+{
+    Nfa nfa = one("((a|b)(c|d))+e");
+    EXPECT_TRUE(matches(nfa, "ace"));
+    EXPECT_TRUE(matches(nfa, "bdace"));
+    EXPECT_FALSE(matches(nfa, "abe"));
+}
+
+TEST(GlushkovEdge, QuantifiedGroups)
+{
+    Nfa nfa = one("^(ab){2}c");
+    EXPECT_TRUE(matches(nfa, "ababc"));
+    EXPECT_FALSE(matches(nfa, "abc"));
+    EXPECT_FALSE(matches(nfa, "abababc")); // anchored, count must be 2
+}
+
+TEST(GlushkovEdge, OptionalChain)
+{
+    Nfa nfa = one("^a?b?c?d");
+    EXPECT_TRUE(matches(nfa, "d"));
+    EXPECT_TRUE(matches(nfa, "abcd"));
+    EXPECT_TRUE(matches(nfa, "acd"));
+    EXPECT_TRUE(matches(nfa, "ad"));
+    EXPECT_FALSE(matches(nfa, "ba")); // wrong order, no 'd'
+}
+
+TEST(GlushkovEdge, AlternationOfDifferentLengths)
+{
+    Nfa nfa = one("^(a|bc|def)x");
+    EXPECT_TRUE(matches(nfa, "ax"));
+    EXPECT_TRUE(matches(nfa, "bcx"));
+    EXPECT_TRUE(matches(nfa, "defx"));
+    EXPECT_FALSE(matches(nfa, "bx"));
+}
+
+TEST(GlushkovEdge, StarOfAlternation)
+{
+    Nfa nfa = one("^x(ab|cd)*y");
+    EXPECT_TRUE(matches(nfa, "xy"));
+    EXPECT_TRUE(matches(nfa, "xabcdaby"));
+    EXPECT_FALSE(matches(nfa, "xacy"));
+    EXPECT_FALSE(matches(nfa, "xay"));
+}
+
+TEST(GlushkovEdge, CountedClassRepeat)
+{
+    Nfa nfa = one("^[0-9]{3,5}z");
+    EXPECT_FALSE(matches(nfa, "12z"));
+    EXPECT_TRUE(matches(nfa, "123z"));
+    EXPECT_TRUE(matches(nfa, "12345z"));
+    // 6 digits anchored: the first 5 digits + 'z' never align.
+    EXPECT_FALSE(matches(nfa, "123456z"));
+}
+
+TEST(GlushkovEdge, HighBytesInClasses)
+{
+    Nfa nfa = one("[\\x80-\\xff]{2}");
+    std::string hit;
+    hit.push_back(static_cast<char>(0x90));
+    hit.push_back(static_cast<char>(0xfe));
+    EXPECT_TRUE(matches(nfa, hit));
+    EXPECT_FALSE(matches(nfa, "ab"));
+}
+
+// Language-level property: the Glushkov NFA and the subset-constructed
+// DFA accept exactly the same witness strings and reject the same
+// mutations, across random patterns.
+class GlushkovDfaAgreement : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GlushkovDfaAgreement, WitnessesAndMutationsAgree)
+{
+    Rng rng(GetParam() * 33391 + 41);
+    static const char *kBlocks[] = {
+        "ab", "[cd]{1,2}", "(e|fg)", "h+", "i?j",
+    };
+    std::string pat;
+    int blocks = 1 + static_cast<int>(rng.below(4));
+    for (int b = 0; b < blocks; ++b)
+        pat += kBlocks[rng.below(std::size(kBlocks))];
+
+    Nfa nfa = compileRuleset({pat});
+    Dfa dfa = buildDfa(nfa, 1 << 14);
+
+    for (int trial = 0; trial < 12; ++trial) {
+        std::string s = sampleWitness(pat, rng);
+        // Randomly mutate half the trials.
+        if (trial % 2 == 1 && !s.empty())
+            s[rng.below(s.size())] =
+                static_cast<char>('a' + rng.below(26));
+        NfaEngine eng(nfa);
+        auto nr = eng.run(reinterpret_cast<const uint8_t *>(s.data()),
+                          s.size());
+        auto dr = runDfa(dfa, reinterpret_cast<const uint8_t *>(s.data()),
+                         s.size());
+        EXPECT_TRUE(sameReportEvents(nr, dr))
+            << "disagreement on '" << s << "' for /" << pat << "/";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPatterns, GlushkovDfaAgreement,
+                         ::testing::Range(0, 20));
+
+} // namespace
+} // namespace ca

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * End-to-end integration tests: build → map → configure → simulate →
+ * cross-check, on scaled-down versions of the paper's benchmarks, under
+ * both design policies.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/comparison.h"
+#include "arch/energy.h"
+#include "baseline/dfa_engine.h"
+#include "baseline/nfa_engine.h"
+#include "compiler/config_image.h"
+#include "compiler/mapping.h"
+#include "nfa/analysis.h"
+#include "nfa/dfa.h"
+#include "nfa/glushkov.h"
+#include "sim/engine.h"
+#include "workload/suite.h"
+
+namespace ca {
+namespace {
+
+constexpr double kScale = 0.05;
+constexpr uint64_t kSeed = 1;
+
+std::set<std::pair<uint64_t, uint32_t>>
+asSet(const std::vector<Report> &reports)
+{
+    std::set<std::pair<uint64_t, uint32_t>> out;
+    for (const Report &r : reports)
+        out.emplace(r.offset, r.reportId);
+    return out;
+}
+
+/** Full pipeline on one benchmark at small scale under one policy. */
+void
+runPipeline(const Benchmark &b, bool space)
+{
+    Nfa nfa = b.build(kScale, kSeed);
+    nfa.validate();
+
+    MappedAutomaton m = space ? mapSpace(nfa) : mapPerformance(nfa);
+    ASSERT_GT(m.numPartitions(), 0u);
+
+    // Configuration image must materialize without wire exhaustion.
+    ConfigImage img = buildConfigImage(m);
+    EXPECT_EQ(img.partitions.size(), m.numPartitions());
+
+    auto input = benchmarkInput(b, 32 << 10, 7, kScale, kSeed);
+    CacheAutomatonSim sim(m);
+    SimResult res = sim.run(input);
+
+    NfaEngine oracle(m.nfa());
+    EXPECT_EQ(res.reports, oracle.run(input)) << b.name;
+}
+
+class EndToEnd : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EndToEnd, PerformancePolicy)
+{
+    runPipeline(benchmarkSuite()[GetParam()], /*space=*/false);
+}
+
+TEST_P(EndToEnd, SpacePolicy)
+{
+    runPipeline(benchmarkSuite()[GetParam()], /*space=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, EndToEnd, ::testing::Range(0, 20),
+                         [](const auto &info) {
+                             return benchmarkSuite()[info.param].name;
+                         });
+
+TEST(EndToEnd, SpaceAndPerformanceAgreeOnReports)
+{
+    // The two policies run *different* automata (CA_S is optimized) but
+    // must produce the same (offset, reportId) stream.
+    const Benchmark &b = findBenchmark("EntityResolution");
+    Nfa nfa = b.build(kScale, kSeed);
+    MappedAutomaton mp = mapPerformance(nfa);
+    MappedAutomaton ms = mapSpace(nfa);
+    auto input = benchmarkInput(b, 32 << 10, 3, kScale, kSeed);
+    CacheAutomatonSim simp(mp);
+    CacheAutomatonSim sims(ms);
+    auto rp = asSet(simp.run(input).reports);
+    auto rs = asSet(sims.run(input).reports);
+    EXPECT_EQ(rp, rs);
+    EXPECT_FALSE(rp.empty());
+}
+
+TEST(EndToEnd, DfaBaselineAgreesOnSmallBenchmark)
+{
+    const Benchmark &b = findBenchmark("Bro217");
+    Nfa nfa = b.build(kScale, kSeed);
+    Dfa dfa = buildDfa(nfa, 1 << 16);
+    auto input = benchmarkInput(b, 16 << 10, 9, kScale, kSeed);
+    NfaEngine oracle(nfa);
+    EXPECT_EQ(asSet(runDfa(dfa, input)), asSet(oracle.run(input)));
+}
+
+TEST(EndToEnd, SpaceUsesFewerOrEqualStatesEverywhere)
+{
+    for (const Benchmark &b : benchmarkSuite()) {
+        Nfa nfa = b.build(kScale, kSeed);
+        MappedAutomaton mp = mapPerformance(nfa);
+        MappedAutomaton ms = mapSpace(nfa);
+        EXPECT_LE(ms.nfa().numStates(), mp.nfa().numStates()) << b.name;
+    }
+}
+
+TEST(EndToEnd, EnergyPipelineProducesSaneNumbers)
+{
+    const Benchmark &b = findBenchmark("Brill");
+    Nfa nfa = b.build(kScale, kSeed);
+    MappedAutomaton m = mapSpace(nfa);
+    auto input = benchmarkInput(b, 32 << 10, 5, kScale, kSeed);
+    CacheAutomatonSim sim(m);
+    SimResult res = sim.run(input);
+
+    EnergyBreakdown e =
+        computeEnergyPerSymbol(m.design(), res.activity());
+    EXPECT_GT(e.totalPj(), 0.0);
+    // Ideal AP with the same mapping must cost more (§5.3: ~3x).
+    double ap = idealApEnergyPerSymbolPj(res.activity(), m.design());
+    EXPECT_GT(ap, e.totalPj());
+    // Average power below the slice's share of TDP.
+    EXPECT_LT(averagePowerW(e.totalPj(), m.design().operatingFreqHz),
+              160.0);
+}
+
+TEST(EndToEnd, CaseStudyEntityResolutionSpansFewPartitions)
+{
+    // §3.3: CA_S EntityResolution packs densely; at 5% scale the space
+    // mapping must use at most half the partitions of the performance
+    // mapping (paper: 5672 vs 95136 states).
+    const Benchmark &b = findBenchmark("EntityResolution");
+    Nfa nfa = b.build(kScale, kSeed);
+    MappedAutomaton mp = mapPerformance(nfa);
+    MappedAutomaton ms = mapSpace(nfa);
+    EXPECT_LT(ms.nfa().numStates(), mp.nfa().numStates() * 3 / 4);
+    EXPECT_LE(ms.numPartitions(), mp.numPartitions());
+}
+
+TEST(EndToEnd, ThroughputIndependentOfBenchmark)
+{
+    // Deterministic 1 symbol/cycle: simulated cycle count depends only on
+    // stream length, not on the automaton.
+    auto input_len = 4096u;
+    for (const char *name : {"Fermi", "ExactMatch"}) {
+        const Benchmark &b = findBenchmark(name);
+        Nfa nfa = b.build(kScale, kSeed);
+        MappedAutomaton m = mapPerformance(nfa);
+        CacheAutomatonSim sim(m);
+        auto input = benchmarkInput(b, input_len, 2, kScale, kSeed);
+        SimResult res = sim.run(input);
+        EXPECT_EQ(res.cycles, input_len + 2) << name;
+    }
+}
+
+} // namespace
+} // namespace ca

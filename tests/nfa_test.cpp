@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the NFA IR and structural analyses.
+ */
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "nfa/analysis.h"
+#include "nfa/nfa.h"
+
+namespace ca {
+namespace {
+
+Nfa
+chain(int n, bool report_last = true)
+{
+    Nfa nfa;
+    for (int i = 0; i < n; ++i) {
+        nfa.addState(SymbolSet::of(static_cast<uint8_t>('a' + i % 26)),
+                     i == 0 ? StartType::AllInput : StartType::None,
+                     report_last && i == n - 1);
+    }
+    for (int i = 0; i + 1 < n; ++i)
+        nfa.addTransition(i, i + 1);
+    return nfa;
+}
+
+TEST(Nfa, AddStateAndTransition)
+{
+    Nfa nfa = chain(3);
+    EXPECT_EQ(nfa.numStates(), 3u);
+    EXPECT_EQ(nfa.numTransitions(), 2u);
+    EXPECT_EQ(nfa.startStates().size(), 1u);
+    EXPECT_EQ(nfa.reportStates().size(), 1u);
+}
+
+TEST(Nfa, DedupeEdges)
+{
+    Nfa nfa = chain(2);
+    nfa.addTransition(0, 1);
+    nfa.addTransition(0, 1);
+    EXPECT_EQ(nfa.numTransitions(), 3u);
+    nfa.dedupeEdges();
+    EXPECT_EQ(nfa.numTransitions(), 1u);
+}
+
+TEST(Nfa, PredecessorsLazyAndCorrect)
+{
+    Nfa nfa = chain(4);
+    nfa.addTransition(0, 2);
+    nfa.dedupeEdges();
+    EXPECT_EQ(nfa.predecessors(0).size(), 0u);
+    EXPECT_EQ(nfa.predecessors(1).size(), 1u);
+    ASSERT_EQ(nfa.predecessors(2).size(), 2u);
+}
+
+TEST(Nfa, PredecessorsInvalidatedByMutation)
+{
+    Nfa nfa = chain(3);
+    EXPECT_EQ(nfa.predecessors(2).size(), 1u);
+    nfa.addTransition(0, 2);
+    EXPECT_EQ(nfa.predecessors(2).size(), 2u);
+}
+
+TEST(Nfa, StatsAggregates)
+{
+    Nfa nfa = chain(5);
+    nfa.addTransition(0, 2);
+    nfa.addTransition(0, 3);
+    nfa.dedupeEdges();
+    NfaStats st = nfa.stats();
+    EXPECT_EQ(st.numStates, 5u);
+    EXPECT_EQ(st.numTransitions, 6u);
+    EXPECT_EQ(st.maxFanOut, 3u); // state 0 -> {1,2,3}
+    EXPECT_EQ(st.maxFanIn, 2u);  // states 2 and 3 each have two in-edges
+    EXPECT_DOUBLE_EQ(st.avgFanOut, 6.0 / 5.0);
+}
+
+TEST(Nfa, ValidatePassesOnWellFormed)
+{
+    EXPECT_NO_THROW(chain(10).validate());
+}
+
+TEST(Nfa, ValidateRejectsNoStart)
+{
+    Nfa nfa;
+    nfa.addState(SymbolSet::of('a'));
+    EXPECT_THROW(nfa.validate(), CaError);
+}
+
+TEST(Nfa, ValidateRejectsUnreachableReport)
+{
+    Nfa nfa = chain(2);
+    nfa.addState(SymbolSet::of('z'), StartType::None, /*report=*/true);
+    EXPECT_THROW(nfa.validate(), CaError);
+}
+
+TEST(Nfa, ValidateRejectsDuplicateEdges)
+{
+    Nfa nfa = chain(2);
+    nfa.addTransition(0, 1); // duplicate, not deduped
+    EXPECT_THROW(nfa.validate(), CaError);
+}
+
+TEST(Nfa, MergeRemapsIds)
+{
+    Nfa a = chain(3);
+    Nfa b = chain(2);
+    StateId offset = a.merge(b);
+    EXPECT_EQ(offset, 3u);
+    EXPECT_EQ(a.numStates(), 5u);
+    EXPECT_EQ(a.numTransitions(), 3u);
+    // b's edge 0->1 became 3->4.
+    EXPECT_EQ(a.state(3).out.at(0), 4u);
+    EXPECT_NO_THROW(a.validate());
+}
+
+TEST(Nfa, SubAutomatonCompactsAndFilters)
+{
+    Nfa nfa = chain(4);
+    Nfa sub = nfa.subAutomaton({0, 1, 3});
+    EXPECT_EQ(sub.numStates(), 3u);
+    // Edge 1->2 dropped (2 excluded); 2->3 dropped; only 0->1 remains.
+    EXPECT_EQ(sub.numTransitions(), 1u);
+}
+
+// ---------------------------------------------------------------- analysis
+
+TEST(Analysis, SingleComponentChain)
+{
+    Nfa nfa = chain(6);
+    ComponentInfo cc = connectedComponents(nfa);
+    EXPECT_EQ(cc.numComponents(), 1u);
+    EXPECT_EQ(cc.largestSize(), 6u);
+}
+
+TEST(Analysis, DisjointComponents)
+{
+    Nfa a = chain(3);
+    a.merge(chain(4));
+    a.merge(chain(2));
+    ComponentInfo cc = connectedComponents(a);
+    EXPECT_EQ(cc.numComponents(), 3u);
+    EXPECT_EQ(cc.largestSize(), 4u);
+    // Membership covers every state exactly once.
+    size_t total = 0;
+    for (const auto &m : cc.members)
+        total += m.size();
+    EXPECT_EQ(total, a.numStates());
+}
+
+TEST(Analysis, ComponentsAreUndirected)
+{
+    // 0 -> 1 <- 2: all one component despite no directed path 0..2.
+    Nfa nfa;
+    nfa.addState(SymbolSet::of('a'), StartType::AllInput);
+    nfa.addState(SymbolSet::of('b'));
+    nfa.addState(SymbolSet::of('c'), StartType::AllInput);
+    nfa.addTransition(0, 1);
+    nfa.addTransition(2, 1);
+    ComponentInfo cc = connectedComponents(nfa);
+    EXPECT_EQ(cc.numComponents(), 1u);
+}
+
+TEST(Analysis, ComponentIndexConsistent)
+{
+    Nfa a = chain(3);
+    a.merge(chain(3));
+    ComponentInfo cc = connectedComponents(a);
+    for (uint32_t c = 0; c < cc.numComponents(); ++c)
+        for (StateId s : cc.members[c])
+            EXPECT_EQ(cc.component[s], c);
+}
+
+TEST(Analysis, ReachableCount)
+{
+    Nfa nfa = chain(5);
+    EXPECT_EQ(reachableCount(nfa, 0), 5u);
+    EXPECT_EQ(reachableCount(nfa, 4), 1u);
+}
+
+TEST(Analysis, ReachableCountWithCycle)
+{
+    Nfa nfa = chain(3);
+    nfa.addTransition(2, 0);
+    nfa.dedupeEdges();
+    EXPECT_EQ(reachableCount(nfa, 2), 3u);
+}
+
+TEST(Analysis, AverageReachableSet)
+{
+    Nfa nfa = chain(4);
+    // Reachable sets: 4, 3, 2, 1 -> avg 2.5.
+    EXPECT_DOUBLE_EQ(averageReachableSet(nfa), 2.5);
+}
+
+} // namespace
+} // namespace ca

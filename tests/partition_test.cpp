@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Tests for the graph IR and the multilevel k-way partitioner.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "nfa/glushkov.h"
+#include "partition/graph.h"
+#include "partition/partitioner.h"
+
+namespace ca {
+namespace {
+
+/** A ring of n vertices with unit weights. */
+Graph
+ring(int32_t n)
+{
+    Graph g;
+    g.vwgt.assign(n, 1);
+    g.xadj.push_back(0);
+    for (int32_t v = 0; v < n; ++v) {
+        g.adjncy.push_back((v + n - 1) % n);
+        g.adjwgt.push_back(1);
+        g.adjncy.push_back((v + 1) % n);
+        g.adjwgt.push_back(1);
+        g.xadj.push_back(static_cast<int32_t>(g.adjncy.size()));
+    }
+    return g;
+}
+
+/** Two dense cliques of size n joined by a single bridge edge. */
+Graph
+twoCliques(int32_t n)
+{
+    int32_t total = 2 * n;
+    std::vector<std::vector<int32_t>> adj(total);
+    auto connect = [&](int32_t a, int32_t b) {
+        adj[a].push_back(b);
+        adj[b].push_back(a);
+    };
+    for (int32_t c = 0; c < 2; ++c)
+        for (int32_t i = 0; i < n; ++i)
+            for (int32_t j = i + 1; j < n; ++j)
+                connect(c * n + i, c * n + j);
+    connect(0, n); // bridge
+
+    Graph g;
+    g.vwgt.assign(total, 1);
+    g.xadj.push_back(0);
+    for (int32_t v = 0; v < total; ++v) {
+        for (int32_t u : adj[v]) {
+            g.adjncy.push_back(u);
+            g.adjwgt.push_back(1);
+        }
+        g.xadj.push_back(static_cast<int32_t>(g.adjncy.size()));
+    }
+    return g;
+}
+
+TEST(Graph, ValidateAcceptsRing)
+{
+    EXPECT_NO_THROW(ring(10).validate());
+}
+
+TEST(Graph, ValidateCatchesAsymmetry)
+{
+    Graph g;
+    g.vwgt = {1, 1};
+    g.xadj = {0, 1, 1};
+    g.adjncy = {1};
+    g.adjwgt = {1};
+    EXPECT_THROW(g.validate(), CaError);
+}
+
+TEST(Graph, FromNfaComponentSymmetrizes)
+{
+    Nfa nfa = compileRuleset({"abc"});
+    std::vector<StateId> members = {0, 1, 2};
+    Graph g = Graph::fromNfaComponent(nfa, members);
+    EXPECT_NO_THROW(g.validate());
+    EXPECT_EQ(g.numVertices(), 3);
+    // Chain: edges (0,1), (1,2) undirected -> 4 CSR entries.
+    EXPECT_EQ(g.adjncy.size(), 4u);
+}
+
+TEST(Graph, AntiParallelEdgesGetWeightTwo)
+{
+    Nfa nfa;
+    nfa.addState(SymbolSet::of('a'), StartType::AllInput);
+    nfa.addState(SymbolSet::of('b'));
+    nfa.addTransition(0, 1);
+    nfa.addTransition(1, 0);
+    Graph g = Graph::fromNfaComponent(nfa, {0, 1});
+    ASSERT_EQ(g.adjwgt.size(), 2u);
+    EXPECT_EQ(g.adjwgt[0], 2);
+}
+
+TEST(Graph, SelfLoopsDropped)
+{
+    Nfa nfa;
+    nfa.addState(SymbolSet::of('a'), StartType::AllInput);
+    nfa.addTransition(0, 0);
+    Graph g = Graph::fromNfaComponent(nfa, {0});
+    EXPECT_EQ(g.adjncy.size(), 0u);
+}
+
+TEST(Partitioner, KOneIsTrivial)
+{
+    Graph g = ring(16);
+    PartitionResult res = partitionGraph(g, 1);
+    EXPECT_EQ(res.edgeCut, 0);
+    for (int32_t p : res.part)
+        EXPECT_EQ(p, 0);
+}
+
+TEST(Partitioner, InvalidKThrows)
+{
+    EXPECT_THROW(partitionGraph(ring(4), 0), CaError);
+}
+
+TEST(Partitioner, RingBisectionCutsTwoEdges)
+{
+    Graph g = ring(64);
+    PartitionResult res = partitionGraph(g, 2);
+    // Optimal ring bisection cuts exactly 2 edges; allow tiny slack.
+    EXPECT_LE(res.edgeCut, 4);
+    EXPECT_EQ(res.partWeights[0] + res.partWeights[1], 64);
+    EXPECT_NEAR(res.partWeights[0], 32, 4);
+}
+
+TEST(Partitioner, TwoCliquesSplitAtBridge)
+{
+    Graph g = twoCliques(20);
+    PartitionResult res = partitionGraph(g, 2);
+    EXPECT_EQ(res.edgeCut, 1) << "should cut only the bridge";
+    EXPECT_EQ(res.partWeights[0], 20);
+    EXPECT_EQ(res.partWeights[1], 20);
+}
+
+TEST(Partitioner, EdgeCutMatchesRecomputation)
+{
+    Graph g = ring(50);
+    PartitionResult res = partitionGraph(g, 4);
+    EXPECT_EQ(res.edgeCut, computeEdgeCut(g, res.part));
+}
+
+TEST(Partitioner, CapacityRespected)
+{
+    Graph g = ring(100);
+    PartitionOptions opts;
+    opts.partCapacity = 30;
+    PartitionResult res = partitionGraph(g, 4, opts);
+    for (int64_t w : res.partWeights)
+        EXPECT_LE(w, 30);
+}
+
+TEST(Partitioner, InfeasibleCapacityThrows)
+{
+    Graph g = ring(100);
+    PartitionOptions opts;
+    opts.partCapacity = 10;
+    EXPECT_THROW(partitionGraph(g, 4, opts), CaError); // 100 > 4*10
+}
+
+TEST(Partitioner, DeterministicForFixedSeed)
+{
+    Graph g = twoCliques(15);
+    PartitionOptions opts;
+    opts.seed = 77;
+    PartitionResult a = partitionGraph(g, 2, opts);
+    PartitionResult b = partitionGraph(g, 2, opts);
+    EXPECT_EQ(a.part, b.part);
+}
+
+TEST(Partitioner, AllPartsNonEmptyOnLargeGraph)
+{
+    Graph g = ring(256);
+    PartitionResult res = partitionGraph(g, 8);
+    for (int64_t w : res.partWeights)
+        EXPECT_GT(w, 0);
+}
+
+// Property: random graphs partition within balance and the cut matches.
+class PartitionProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PartitionProperty, BalancedAndConsistent)
+{
+    Rng rng(GetParam() * 31337 + 1);
+    int32_t n = 64 + static_cast<int32_t>(rng.below(256));
+    // Random connected graph: spanning chain + extra edges.
+    std::vector<std::pair<int32_t, int32_t>> edges;
+    for (int32_t v = 1; v < n; ++v)
+        edges.emplace_back(static_cast<int32_t>(rng.below(v)), v);
+    int32_t extra = n / 2;
+    for (int32_t i = 0; i < extra; ++i) {
+        int32_t a = static_cast<int32_t>(rng.below(n));
+        int32_t b = static_cast<int32_t>(rng.below(n));
+        if (a != b)
+            edges.emplace_back(std::min(a, b), std::max(a, b));
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    std::vector<std::vector<int32_t>> adj(n);
+    for (auto [a, b] : edges) {
+        adj[a].push_back(b);
+        adj[b].push_back(a);
+    }
+    Graph g;
+    g.vwgt.assign(n, 1);
+    g.xadj.push_back(0);
+    for (int32_t v = 0; v < n; ++v) {
+        for (int32_t u : adj[v]) {
+            g.adjncy.push_back(u);
+            g.adjwgt.push_back(1);
+        }
+        g.xadj.push_back(static_cast<int32_t>(g.adjncy.size()));
+    }
+    g.validate();
+
+    int32_t k = 2 + static_cast<int32_t>(rng.below(6));
+    PartitionOptions opts;
+    opts.seed = GetParam();
+    opts.partCapacity = (n + k - 1) / k + n / 4 + 2;
+    PartitionResult res = partitionGraph(g, k, opts);
+
+    int64_t total = 0;
+    for (int64_t w : res.partWeights) {
+        EXPECT_LE(w, opts.partCapacity);
+        total += w;
+    }
+    EXPECT_EQ(total, n);
+    EXPECT_EQ(res.edgeCut, computeEdgeCut(g, res.part));
+    for (int32_t p : res.part) {
+        EXPECT_GE(p, 0);
+        EXPECT_LT(p, k);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, PartitionProperty,
+                         ::testing::Range(0, 20));
+
+TEST(Partitioner, PeelModeFillsToCapacity)
+{
+    // A 1000-vertex ring peeled at capacity 256: every part stays within
+    // capacity and the peeled parts fill to near-capacity (the FM trim
+    // lands within a few vertices of full).
+    Graph g = ring(1000);
+    PartitionOptions opts;
+    opts.partCapacity = 256;
+    opts.peelToCapacity = true;
+    PartitionResult res = partitionGraph(g, 4, opts);
+    std::vector<int64_t> weights = res.partWeights;
+    std::sort(weights.begin(), weights.end());
+    int64_t total = 0;
+    for (int64_t w : weights) {
+        EXPECT_LE(w, 256);
+        EXPECT_GE(w, 230); // near-full: ~90%+ occupancy everywhere
+        total += w;
+    }
+    EXPECT_EQ(total, 1000);
+    // Ring cuts stay linear in k.
+    EXPECT_LE(res.edgeCut, 2 * 4);
+}
+
+TEST(Partitioner, PeelModeRespectsCapacity)
+{
+    Graph g = twoCliques(140); // 280 vertices
+    PartitionOptions opts;
+    opts.partCapacity = 140;
+    opts.peelToCapacity = true;
+    PartitionResult res = partitionGraph(g, 2, opts);
+    for (int64_t w : res.partWeights)
+        EXPECT_LE(w, 140);
+    // Peeling one capacity-sized part lands exactly on a clique, so only
+    // the bridge is cut.
+    EXPECT_EQ(res.edgeCut, 1);
+}
+
+TEST(Partitioner, PeelAndBalancedAgreeOnTotals)
+{
+    Graph g = ring(300);
+    PartitionOptions bal;
+    bal.partCapacity = 100;
+    PartitionOptions peel = bal;
+    peel.peelToCapacity = true;
+    PartitionResult rb = partitionGraph(g, 3, bal);
+    PartitionResult rp = partitionGraph(g, 3, peel);
+    int64_t tb = 0;
+    int64_t tp = 0;
+    for (int64_t w : rb.partWeights)
+        tb += w;
+    for (int64_t w : rp.partWeights)
+        tp += w;
+    EXPECT_EQ(tb, 300);
+    EXPECT_EQ(tp, 300);
+}
+
+
+} // namespace
+} // namespace ca

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Unit tests for the regex front end: parser, AST, and the Glushkov
+ * construction checked against a reference matcher.
+ */
+#include <gtest/gtest.h>
+
+#include "baseline/nfa_engine.h"
+#include "core/error.h"
+#include "nfa/glushkov.h"
+#include "nfa/regex_parser.h"
+#include "workload/witness.h"
+
+namespace ca {
+namespace {
+
+/** Compiles one unanchored pattern with reportId 7. */
+Nfa
+compile(const std::string &pattern)
+{
+    GlushkovOptions opts;
+    opts.reportId = 7;
+    return buildGlushkov(parseRegex(pattern), opts);
+}
+
+/** True when @p text (as a whole stream) produces >= 1 report. */
+bool
+matchesSomewhere(const Nfa &nfa, const std::string &text)
+{
+    NfaEngine eng(nfa);
+    auto reports = eng.run(
+        reinterpret_cast<const uint8_t *>(text.data()), text.size());
+    return !reports.empty();
+}
+
+// ---------------------------------------------------------------- parser
+
+TEST(RegexParser, LiteralConcat)
+{
+    RegexPattern p = parseRegex("abc");
+    EXPECT_EQ(p.root->op, RegexOp::Concat);
+    EXPECT_EQ(p.root->countPositions(), 3u);
+    EXPECT_FALSE(p.anchoredStart);
+    EXPECT_FALSE(p.anchoredEnd);
+}
+
+TEST(RegexParser, Anchors)
+{
+    RegexPattern p = parseRegex("^abc$");
+    EXPECT_TRUE(p.anchoredStart);
+    EXPECT_TRUE(p.anchoredEnd);
+}
+
+TEST(RegexParser, Alternation)
+{
+    RegexPattern p = parseRegex("ab|cd|ef");
+    EXPECT_EQ(p.root->op, RegexOp::Alt);
+    EXPECT_EQ(p.root->children.size(), 3u);
+}
+
+TEST(RegexParser, Quantifiers)
+{
+    EXPECT_EQ(parseRegex("a*").root->op, RegexOp::Star);
+    EXPECT_EQ(parseRegex("a+").root->op, RegexOp::Plus);
+    EXPECT_EQ(parseRegex("a?").root->op, RegexOp::Opt);
+}
+
+TEST(RegexParser, BoundedRepetition)
+{
+    RegexPattern p = parseRegex("a{2,5}");
+    EXPECT_EQ(p.root->op, RegexOp::Repeat);
+    EXPECT_EQ(p.root->repeatMin, 2);
+    EXPECT_EQ(p.root->repeatMax, 5);
+
+    RegexPattern q = parseRegex("a{3}");
+    EXPECT_EQ(q.root->repeatMin, 3);
+    EXPECT_EQ(q.root->repeatMax, 3);
+
+    RegexPattern r = parseRegex("a{4,}");
+    EXPECT_EQ(r.root->repeatMax, RegexNode::kUnbounded);
+}
+
+TEST(RegexParser, NonCapturingGroup)
+{
+    EXPECT_NO_THROW(parseRegex("(?:abc)+"));
+}
+
+TEST(RegexParser, ClassWithLeadingBracket)
+{
+    // POSIX: leading ']' is literal.
+    RegexPattern p = parseRegex("[]a]");
+    EXPECT_TRUE(p.root->cls.test(']'));
+    EXPECT_TRUE(p.root->cls.test('a'));
+}
+
+TEST(RegexParser, NegatedClassWithBracket)
+{
+    RegexPattern p = parseRegex("[^]]");
+    EXPECT_FALSE(p.root->cls.test(']'));
+    EXPECT_TRUE(p.root->cls.test('a'));
+}
+
+TEST(RegexParser, SyntaxErrors)
+{
+    EXPECT_THROW(parseRegex("("), CaError);
+    EXPECT_THROW(parseRegex("a)"), CaError);
+    EXPECT_THROW(parseRegex("["), CaError);
+    EXPECT_THROW(parseRegex("*a"), CaError);
+    EXPECT_THROW(parseRegex("a{"), CaError);
+    EXPECT_THROW(parseRegex("a{2"), CaError);
+    EXPECT_THROW(parseRegex("a{5,2}"), CaError);
+    EXPECT_THROW(parseRegex("a\\"), CaError);
+}
+
+TEST(RegexAst, CloneIsDeep)
+{
+    RegexPattern p = parseRegex("(ab|c)*d");
+    RegexNodePtr copy = p.root->clone();
+    EXPECT_EQ(copy->toString(), p.root->toString());
+    EXPECT_NE(copy.get(), p.root.get());
+}
+
+TEST(RegexAst, CountPositionsWithRepeats)
+{
+    EXPECT_EQ(parseRegex("a{10}").root->countPositions(), 10u);
+    EXPECT_EQ(parseRegex("(ab){3,5}").root->countPositions(), 10u);
+}
+
+// ---------------------------------------------------------------- Glushkov
+
+TEST(Glushkov, LiteralMatches)
+{
+    Nfa nfa = compile("cat");
+    EXPECT_EQ(nfa.numStates(), 3u);
+    EXPECT_TRUE(matchesSomewhere(nfa, "cat"));
+    EXPECT_TRUE(matchesSomewhere(nfa, "xxcatxx"));
+    EXPECT_FALSE(matchesSomewhere(nfa, "cta"));
+    EXPECT_FALSE(matchesSomewhere(nfa, "ca"));
+}
+
+TEST(Glushkov, ReportOffsetIsLastSymbol)
+{
+    Nfa nfa = compile("cat");
+    NfaEngine eng(nfa);
+    std::string text = "xcaty";
+    auto reports = eng.run(
+        reinterpret_cast<const uint8_t *>(text.data()), text.size());
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(reports[0].offset, 3u); // 't' position
+    EXPECT_EQ(reports[0].reportId, 7u);
+}
+
+TEST(Glushkov, AnchoredOnlyAtStart)
+{
+    GlushkovOptions opts;
+    Nfa nfa = buildGlushkov(parseRegex("^ab"), opts);
+    EXPECT_TRUE(matchesSomewhere(nfa, "abxx"));
+    EXPECT_FALSE(matchesSomewhere(nfa, "xab"));
+}
+
+TEST(Glushkov, UnanchoredMatchesEveryOffset)
+{
+    Nfa nfa = compile("aa");
+    NfaEngine eng(nfa);
+    std::string text = "aaaa";
+    auto reports = eng.run(
+        reinterpret_cast<const uint8_t *>(text.data()), text.size());
+    EXPECT_EQ(reports.size(), 3u); // offsets 1, 2, 3
+}
+
+TEST(Glushkov, Alternation)
+{
+    Nfa nfa = compile("cat|dog");
+    EXPECT_TRUE(matchesSomewhere(nfa, "hotdog"));
+    EXPECT_TRUE(matchesSomewhere(nfa, "scatter"));
+    EXPECT_FALSE(matchesSomewhere(nfa, "cow"));
+}
+
+TEST(Glushkov, StarAndPlus)
+{
+    Nfa nfa = compile("ab*c");
+    EXPECT_TRUE(matchesSomewhere(nfa, "ac"));
+    EXPECT_TRUE(matchesSomewhere(nfa, "abbbc"));
+    EXPECT_FALSE(matchesSomewhere(nfa, "a c"));
+
+    Nfa plus = compile("ab+c");
+    EXPECT_FALSE(matchesSomewhere(plus, "ac"));
+    EXPECT_TRUE(matchesSomewhere(plus, "abc"));
+}
+
+TEST(Glushkov, DotStar)
+{
+    Nfa nfa = compile("a.*b");
+    EXPECT_TRUE(matchesSomewhere(nfa, "ab"));
+    EXPECT_TRUE(matchesSomewhere(nfa, "a xxx b"));
+    EXPECT_FALSE(matchesSomewhere(nfa, "b a"));
+}
+
+TEST(Glushkov, BoundedRepetition)
+{
+    Nfa nfa = compile("^a{2,3}b");
+    EXPECT_FALSE(matchesSomewhere(nfa, "ab"));
+    EXPECT_TRUE(matchesSomewhere(nfa, "aab"));
+    EXPECT_TRUE(matchesSomewhere(nfa, "aaab"));
+    // ^aaaab: the anchor forces the count to start at 0, so no match.
+    EXPECT_FALSE(matchesSomewhere(nfa, "aaaab"));
+}
+
+TEST(Glushkov, CharClasses)
+{
+    Nfa nfa = compile("[a-c]x[0-9]");
+    EXPECT_TRUE(matchesSomewhere(nfa, "bx7"));
+    EXPECT_FALSE(matchesSomewhere(nfa, "dx7"));
+    EXPECT_FALSE(matchesSomewhere(nfa, "bxa"));
+}
+
+TEST(Glushkov, EmptyMatchingPatternThrows)
+{
+    GlushkovOptions opts;
+    EXPECT_THROW(buildGlushkov(parseRegex("a*"), opts), CaError);
+    EXPECT_THROW(buildGlushkov(parseRegex("a?"), opts), CaError);
+    EXPECT_THROW(buildGlushkov(parseRegex(""), opts), CaError);
+}
+
+TEST(Glushkov, EndAnchorUnsupported)
+{
+    GlushkovOptions opts;
+    EXPECT_THROW(buildGlushkov(parseRegex("ab$"), opts), CaError);
+}
+
+TEST(Glushkov, PositionLimitEnforced)
+{
+    GlushkovOptions opts;
+    opts.maxPositions = 10;
+    EXPECT_THROW(buildGlushkov(parseRegex("a{100}"), opts), CaError);
+}
+
+TEST(Glushkov, HomogeneousInvariant)
+{
+    // Every state of a Glushkov automaton corresponds to one position:
+    // all in-edges implicitly share the state's own label (trivially true
+    // in our IR); check validity and that start states are exactly first().
+    Nfa nfa = compile("(ab|cd)e*f");
+    EXPECT_NO_THROW(nfa.validate());
+    auto starts = nfa.startStates();
+    EXPECT_EQ(starts.size(), 2u); // positions 'a' and 'c'
+}
+
+TEST(Glushkov, RulesetAssignsSequentialReportIds)
+{
+    Nfa nfa = compileRuleset({"aa", "bb"});
+    NfaEngine eng(nfa);
+    std::string text = "aa bb";
+    auto reports = eng.run(
+        reinterpret_cast<const uint8_t *>(text.data()), text.size());
+    ASSERT_EQ(reports.size(), 2u);
+    EXPECT_EQ(reports[0].reportId, 0u);
+    EXPECT_EQ(reports[1].reportId, 1u);
+}
+
+// Property: a sampled witness of a random pattern always matches.
+class WitnessProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WitnessProperty, SampledWitnessAlwaysMatches)
+{
+    Rng rng(GetParam() * 7919 + 5);
+    // Build a random pattern from safe building blocks.
+    static const char *kBlocks[] = {
+        "abc", "x+", "(de|fg)", "[a-f]{2,4}", "h.*i", "[0-9]", "jk?",
+        "lm{1,3}", "(n|o)+",
+    };
+    std::string pat;
+    int blocks = 1 + static_cast<int>(rng.below(5));
+    for (int i = 0; i < blocks; ++i)
+        pat += kBlocks[rng.below(std::size(kBlocks))];
+
+    GlushkovOptions opts;
+    Nfa nfa = buildGlushkov(parseRegex(pat), opts);
+    for (int trial = 0; trial < 8; ++trial) {
+        std::string w = sampleWitness(pat, rng);
+        EXPECT_TRUE(matchesSomewhere(nfa, w))
+            << "witness '" << w << "' failed for /" << pat << "/";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPatterns, WitnessProperty,
+                         ::testing::Range(0, 25));
+
+} // namespace
+} // namespace ca

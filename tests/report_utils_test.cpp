@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for report post-processing, DOT export, and case-insensitive
+ * compilation.
+ */
+#include <gtest/gtest.h>
+
+#include "baseline/nfa_engine.h"
+#include "baseline/report_utils.h"
+#include "compiler/mapping.h"
+#include "compiler/visualize.h"
+#include "nfa/dot.h"
+#include "nfa/glushkov.h"
+#include "nfa/regex_parser.h"
+
+namespace ca {
+namespace {
+
+Report
+mk(uint64_t off, uint32_t id, StateId state = 0)
+{
+    return Report{off, id, state};
+}
+
+// ---------------------------------------------------------------- reports
+
+TEST(ReportUtils, DedupeDropsStateIds)
+{
+    // Two states reporting the same rule at the same offset collapse.
+    std::vector<Report> raw = {mk(5, 1, 10), mk(5, 1, 11), mk(3, 2, 4)};
+    auto out = dedupeReports(raw);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], mk(3, 2));
+    EXPECT_EQ(out[1], mk(5, 1));
+}
+
+TEST(ReportUtils, SameEventsIgnoresOrderAndStates)
+{
+    std::vector<Report> a = {mk(1, 0, 7), mk(2, 1, 8)};
+    std::vector<Report> b = {mk(2, 1, 99), mk(1, 0, 42), mk(1, 0, 43)};
+    EXPECT_TRUE(sameReportEvents(a, b));
+    b.push_back(mk(9, 9));
+    EXPECT_FALSE(sameReportEvents(a, b));
+}
+
+TEST(ReportUtils, CountByRule)
+{
+    std::vector<Report> r = {mk(1, 0), mk(2, 0), mk(3, 1)};
+    auto counts = countByRule(r);
+    EXPECT_EQ(counts[0], 2u);
+    EXPECT_EQ(counts[1], 1u);
+}
+
+TEST(ReportUtils, OffsetsOfRule)
+{
+    std::vector<Report> r = {mk(9, 1), mk(3, 1), mk(3, 1), mk(5, 0)};
+    auto offs = offsetsOfRule(r, 1);
+    EXPECT_EQ(offs, (std::vector<uint64_t>{3, 9}));
+}
+
+TEST(ReportUtils, CollapseBursts)
+{
+    // Rule 0 fires at 10,11,12,40: gap 5 keeps 10 and 40.
+    std::vector<Report> r = {mk(10, 0), mk(11, 0), mk(12, 0), mk(40, 0),
+                             mk(11, 1)};
+    auto out = collapseBursts(r, 5);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].offset, 10u);
+    EXPECT_EQ(out[1].offset, 11u); // rule 1 untouched
+    EXPECT_EQ(out[2].offset, 40u);
+}
+
+TEST(ReportUtils, CollapseBurstsEmptyAndSingle)
+{
+    EXPECT_TRUE(collapseBursts({}, 10).empty());
+    auto one = collapseBursts({mk(7, 3)}, 10);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0].offset, 7u);
+}
+
+// ---------------------------------------------------------------- nocase
+
+TEST(CaseInsensitive, MatchesBothCases)
+{
+    Nfa nfa = compileRuleset({"Attack"}, 1u << 20,
+                             /*caseInsensitive=*/true);
+    NfaEngine eng(nfa);
+    for (const char *text : {"xATTACKx", "xattackx", "xAtTaCkx"}) {
+        std::string s = text;
+        EXPECT_EQ(eng.run(reinterpret_cast<const uint8_t *>(s.data()),
+                          s.size())
+                      .size(),
+                  1u)
+            << text;
+    }
+}
+
+TEST(CaseInsensitive, OffByDefault)
+{
+    Nfa nfa = compileRuleset({"Attack"});
+    NfaEngine eng(nfa);
+    std::string s = "attack";
+    EXPECT_TRUE(eng.run(reinterpret_cast<const uint8_t *>(s.data()),
+                        s.size())
+                    .empty());
+}
+
+TEST(CaseInsensitive, ClassesFoldToo)
+{
+    Nfa nfa = compileRuleset({"[a-c]x"}, 1u << 20, true);
+    NfaEngine eng(nfa);
+    std::string s = "Bx";
+    EXPECT_EQ(eng.run(reinterpret_cast<const uint8_t *>(s.data()),
+                      s.size())
+                  .size(),
+              1u);
+}
+
+// ---------------------------------------------------------------- DOT
+
+TEST(Dot, NfaExportContainsStatesAndEdges)
+{
+    Nfa nfa = compileRuleset({"ab"});
+    std::string dot = toDot(nfa);
+    EXPECT_NE(dot.find("digraph nfa"), std::string::npos);
+    EXPECT_NE(dot.find("s0 -> s1"), std::string::npos);
+    EXPECT_NE(dot.find("doublecircle"), std::string::npos); // report state
+    EXPECT_NE(dot.find("lightblue"), std::string::npos);    // all-input
+}
+
+TEST(Dot, AnchoredStartColoredDifferently)
+{
+    GlushkovOptions opts;
+    Nfa nfa = buildGlushkov(parseRegex("^ab"), opts);
+    EXPECT_NE(toDot(nfa).find("lightgreen"), std::string::npos);
+}
+
+TEST(Dot, TruncationNote)
+{
+    Nfa nfa = compileRuleset({std::string(100, 'a')});
+    DotOptions opts;
+    opts.maxStates = 10;
+    std::string dot = toDot(nfa, opts);
+    EXPECT_NE(dot.find("90 more states truncated"), std::string::npos);
+}
+
+TEST(Dot, MappedExportShowsClustersAndGEdges)
+{
+    std::string rule(600, 'q');
+    Nfa nfa = compileRuleset({rule});
+    MappedAutomaton m = mapPerformance(nfa);
+    std::string dot = toDot(m);
+    EXPECT_NE(dot.find("cluster_p0"), std::string::npos);
+    EXPECT_NE(dot.find("cluster_p1"), std::string::npos);
+    EXPECT_NE(dot.find("style=dashed color=blue"), std::string::npos);
+}
+
+TEST(Dot, QuotesEscapedInLabels)
+{
+    Nfa nfa;
+    nfa.addState(SymbolSet::of('"'), StartType::AllInput, true);
+    std::string dot = toDot(nfa);
+    // The quote must appear escaped inside the label string.
+    EXPECT_NE(dot.find("\\\""), std::string::npos);
+}
+
+} // namespace
+} // namespace ca

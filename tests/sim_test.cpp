@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the cycle-level Cache Automaton simulator: functional
+ * equivalence with the CPU oracle, activity accounting, pipeline and
+ * system-integration counters.
+ */
+#include <gtest/gtest.h>
+
+#include "baseline/nfa_engine.h"
+#include "compiler/mapping.h"
+#include "nfa/glushkov.h"
+#include "sim/engine.h"
+#include "workload/input_gen.h"
+#include "workload/rulegen.h"
+
+namespace ca {
+namespace {
+
+std::vector<uint8_t>
+bytesOf(const std::string &s)
+{
+    return {s.begin(), s.end()};
+}
+
+TEST(Sim, ReportsMatchOracleOnLiteral)
+{
+    Nfa nfa = compileRuleset({"cat"});
+    MappedAutomaton m = mapPerformance(nfa);
+    CacheAutomatonSim sim(m);
+    auto input = bytesOf("the cat scattered");
+    SimResult res = sim.run(input);
+    NfaEngine oracle(m.nfa());
+    EXPECT_EQ(res.reports, oracle.run(input));
+    EXPECT_EQ(res.reports.size(), 2u); // "cat" and "cat" in scattered
+}
+
+TEST(Sim, PipelineCyclesIncludeFill)
+{
+    Nfa nfa = compileRuleset({"ab"});
+    MappedAutomaton m = mapPerformance(nfa);
+    CacheAutomatonSim sim(m);
+    auto input = bytesOf("abcd");
+    SimResult res = sim.run(input);
+    EXPECT_EQ(res.symbols, 4u);
+    EXPECT_EQ(res.cycles, 6u); // 3-stage pipeline: n + 2
+}
+
+TEST(Sim, EmptyInput)
+{
+    Nfa nfa = compileRuleset({"ab"});
+    MappedAutomaton m = mapPerformance(nfa);
+    CacheAutomatonSim sim(m);
+    SimResult res = sim.run(nullptr, 0);
+    EXPECT_EQ(res.symbols, 0u);
+    EXPECT_EQ(res.cycles, 0u);
+    EXPECT_TRUE(res.reports.empty());
+}
+
+TEST(Sim, ActivePartitionCountsEnabledPartitions)
+{
+    // A single always-enabled start state keeps its partition active every
+    // cycle.
+    Nfa nfa = compileRuleset({"xy"});
+    MappedAutomaton m = mapPerformance(nfa);
+    CacheAutomatonSim sim(m);
+    auto input = bytesOf("aaaa");
+    SimResult res = sim.run(input);
+    // The all-input start 'x' is enabled (though not matching) each cycle.
+    EXPECT_EQ(res.totalActivePartitionCycles, 4u);
+    EXPECT_EQ(res.totalActiveStates, 0u); // nothing ever matched
+}
+
+TEST(Sim, ActiveStatesCountMatches)
+{
+    Nfa nfa = compileRuleset({"ab"});
+    MappedAutomaton m = mapPerformance(nfa);
+    CacheAutomatonSim sim(m);
+    auto input = bytesOf("abab");
+    SimResult res = sim.run(input);
+    // Cycle 0: 'a' active. 1: 'b' (report) + nothing else... 'a' start
+    // re-enabled each cycle: cycle1 'b' active; cycle2 'a'; cycle3 'b'.
+    EXPECT_EQ(res.totalActiveStates, 4u);
+    EXPECT_EQ(res.reports.size(), 2u);
+    EXPECT_DOUBLE_EQ(res.avgActiveStates(), 1.0);
+}
+
+TEST(Sim, G1CrossingsCountedForSplitComponents)
+{
+    std::string rule(600, 'a');
+    Nfa nfa = compileRuleset({rule});
+    MappedAutomaton m = mapPerformance(nfa);
+    ASSERT_GT(m.crossEdges().size(), 0u);
+    CacheAutomatonSim sim(m);
+    // Feed 600 'a's: the chain advances across partition boundaries.
+    std::vector<uint8_t> input(600, 'a');
+    SimResult res = sim.run(input);
+    EXPECT_GT(res.totalG1Crossings, 0u);
+    EXPECT_EQ(res.totalG4Crossings, 0u);
+    EXPECT_EQ(res.reports.size(), 1u);
+}
+
+TEST(Sim, TraceRecordsPerCycle)
+{
+    Nfa nfa = compileRuleset({"ab"});
+    MappedAutomaton m = mapPerformance(nfa);
+    CacheAutomatonSim sim(m);
+    SimOptions opts;
+    opts.recordTrace = true;
+    auto input = bytesOf("ab");
+    SimResult res = sim.run(input.data(), input.size(), opts);
+    ASSERT_EQ(res.trace.size(), 2u);
+    EXPECT_EQ(res.trace[0].activeStates, 1u);
+    EXPECT_EQ(res.trace[1].reportsFired, 1u);
+    // Totals equal the trace sums.
+    uint64_t sum = 0;
+    for (const auto &t : res.trace)
+        sum += t.activeStates;
+    EXPECT_EQ(sum, res.totalActiveStates);
+}
+
+TEST(Sim, FifoRefillAccounting)
+{
+    Nfa nfa = compileRuleset({"zz"});
+    MappedAutomaton m = mapPerformance(nfa);
+    CacheAutomatonSim sim(m);
+    std::vector<uint8_t> input(1000, 'a');
+    SimOptions opts;
+    opts.fifoRefillSymbols = 64;
+    SimResult res = sim.run(input.data(), input.size(), opts);
+    EXPECT_EQ(res.fifoRefills, (1000 + 63) / 64);
+}
+
+TEST(Sim, OutputBufferInterrupts)
+{
+    Nfa nfa = compileRuleset({"a"});
+    MappedAutomaton m = mapPerformance(nfa);
+    CacheAutomatonSim sim(m);
+    std::vector<uint8_t> input(256, 'a'); // a report every symbol
+    SimOptions opts;
+    opts.outputBufferDepth = 64;
+    SimResult res = sim.run(input.data(), input.size(), opts);
+    EXPECT_EQ(res.reports.size(), 256u);
+    EXPECT_EQ(res.outputBufferInterrupts, 4u);
+}
+
+TEST(Sim, CollectReportsOffStillCounts)
+{
+    Nfa nfa = compileRuleset({"a"});
+    MappedAutomaton m = mapPerformance(nfa);
+    CacheAutomatonSim sim(m);
+    std::vector<uint8_t> input(100, 'a');
+    SimOptions opts;
+    opts.collectReports = false;
+    SimResult res = sim.run(input.data(), input.size(), opts);
+    EXPECT_TRUE(res.reports.empty());
+    EXPECT_EQ(res.totalActiveStates, 100u);
+}
+
+TEST(Sim, ActivityFeedsEnergyModel)
+{
+    Nfa nfa = compileRuleset({"ab", "cd"});
+    MappedAutomaton m = mapPerformance(nfa);
+    CacheAutomatonSim sim(m);
+    auto input = bytesOf("abcdabcd");
+    SimResult res = sim.run(input);
+    ActivityStats a = res.activity();
+    EXPECT_GT(a.avgActivePartitions, 0.0);
+    EXPECT_LE(a.avgActivePartitions,
+              static_cast<double>(m.numPartitions()));
+    EXPECT_GT(a.avgActiveStates, 0.0);
+}
+
+TEST(Sim, SecondsFromFrequency)
+{
+    SimResult res;
+    res.symbols = 1000;
+    res.cycles = 1002;
+    EXPECT_DOUBLE_EQ(res.seconds(1e9), 1002e-9);
+}
+
+// Property: the simulator and the CPU oracle agree on randomized rulesets
+// and inputs, under both mapping policies.
+class SimOracleProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SimOracleProperty, SimMatchesOracle)
+{
+    int param = GetParam();
+    bool space = param % 2 == 1;
+    Rng rng(param * 48611 + 3);
+
+    static const char *kBlocks[] = {
+        "ab", "c+", "(d|ef)", "[g-i]{1,2}", "j.*k", "[lm]", "n?o",
+    };
+    std::vector<std::string> rules;
+    int n_rules = 2 + static_cast<int>(rng.below(8));
+    for (int r = 0; r < n_rules; ++r) {
+        std::string pat;
+        int blocks = 1 + static_cast<int>(rng.below(4));
+        for (int b = 0; b < blocks; ++b)
+            pat += kBlocks[rng.below(std::size(kBlocks))];
+        rules.push_back(pat);
+    }
+
+    Nfa nfa = compileRuleset(rules);
+    MappedAutomaton m = space ? mapSpace(nfa) : mapPerformance(nfa);
+    CacheAutomatonSim sim(m);
+
+    InputSpec spec;
+    spec.kind = StreamKind::Text;
+    spec.plantPatterns = rules;
+    spec.plantsPer4k = 32.0;
+    auto input = buildInput(spec, 8 << 10, param);
+
+    NfaEngine oracle(m.nfa());
+    SimResult res = sim.run(input);
+    EXPECT_EQ(res.reports, oracle.run(input));
+    EXPECT_FALSE(res.reports.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorkloads, SimOracleProperty,
+                         ::testing::Range(0, 30));
+
+} // namespace
+} // namespace ca

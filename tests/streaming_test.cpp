@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the simulator's incremental streaming API and the §2.9
+ * suspend/resume checkpoint model.
+ */
+#include <gtest/gtest.h>
+
+#include "baseline/nfa_engine.h"
+#include "core/error.h"
+#include "compiler/mapping.h"
+#include "nfa/glushkov.h"
+#include "sim/engine.h"
+#include "workload/input_gen.h"
+
+namespace ca {
+namespace {
+
+MappedAutomaton
+sampleMapped()
+{
+    Nfa nfa = compileRuleset({"cat", "do+g", "[hx]at"});
+    return mapPerformance(nfa);
+}
+
+std::vector<uint8_t>
+sampleInput(size_t bytes, uint64_t seed)
+{
+    InputSpec spec;
+    spec.kind = StreamKind::Text;
+    spec.plantPatterns = {"cat", "dog", "hat"};
+    spec.plantsPer4k = 32.0;
+    return buildInput(spec, bytes, seed);
+}
+
+TEST(Streaming, ChunkedFeedEqualsSingleRun)
+{
+    MappedAutomaton m = sampleMapped();
+    auto input = sampleInput(16 << 10, 3);
+
+    CacheAutomatonSim whole(m);
+    SimResult expect = whole.run(input);
+
+    CacheAutomatonSim chunked(m);
+    chunked.reset();
+    size_t pos = 0;
+    // Deliberately odd chunk sizes, including empty chunks.
+    for (size_t chunk : {1000u, 1u, 0u, 4096u, 37u}) {
+        size_t n = std::min(chunk, input.size() - pos);
+        chunked.feed(input.data() + pos, n);
+        pos += n;
+    }
+    chunked.feed(input.data() + pos, input.size() - pos);
+    SimResult got = chunked.result();
+
+    EXPECT_EQ(got.reports, expect.reports);
+    EXPECT_EQ(got.symbols, expect.symbols);
+    EXPECT_EQ(got.totalActiveStates, expect.totalActiveStates);
+    EXPECT_EQ(got.totalActivePartitionCycles,
+              expect.totalActivePartitionCycles);
+    EXPECT_EQ(got.cycles, expect.cycles);
+}
+
+TEST(Streaming, ResultIsIdempotent)
+{
+    MappedAutomaton m = sampleMapped();
+    auto input = sampleInput(4 << 10, 5);
+    CacheAutomatonSim sim(m);
+    sim.reset();
+    sim.feed(input.data(), input.size());
+    SimResult a = sim.result();
+    SimResult b = sim.result();
+    EXPECT_EQ(a.reports, b.reports);
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(Checkpoint, ResumeContinuesExactly)
+{
+    MappedAutomaton m = sampleMapped();
+    auto input = sampleInput(16 << 10, 7);
+    size_t cut = input.size() / 3;
+
+    CacheAutomatonSim whole(m);
+    SimResult expect = whole.run(input);
+
+    // Process the head, suspend, restore into a *fresh* simulator.
+    CacheAutomatonSim head(m);
+    head.reset();
+    head.feed(input.data(), cut);
+    SimResult head_res = head.result();
+    SimCheckpoint ckpt = head.checkpoint();
+    EXPECT_EQ(ckpt.symbolOffset, cut);
+
+    CacheAutomatonSim tail(m);
+    tail.restore(ckpt);
+    tail.feed(input.data() + cut, input.size() - cut);
+    SimResult tail_res = tail.result();
+
+    // Stitching head + tail reports reproduces the single run.
+    std::vector<Report> stitched = head_res.reports;
+    stitched.insert(stitched.end(), tail_res.reports.begin(),
+                    tail_res.reports.end());
+    EXPECT_EQ(stitched, expect.reports);
+    // Offsets in the tail are absolute, not chunk-relative.
+    if (!tail_res.reports.empty()) {
+        EXPECT_GE(tail_res.reports.front().offset, cut);
+    }
+}
+
+TEST(Checkpoint, RoundTripAtEveryBoundary)
+{
+    MappedAutomaton m = sampleMapped();
+    auto input = sampleInput(2 << 10, 9);
+    CacheAutomatonSim whole(m);
+    SimResult expect = whole.run(input);
+
+    for (size_t cut : {size_t{0}, size_t{1}, input.size() / 2,
+                       input.size() - 1, input.size()}) {
+        CacheAutomatonSim a(m);
+        a.reset();
+        a.feed(input.data(), cut);
+        SimCheckpoint ckpt = a.checkpoint();
+        CacheAutomatonSim b(m);
+        b.restore(ckpt);
+        b.feed(input.data() + cut, input.size() - cut);
+        std::vector<Report> stitched = a.result().reports;
+        auto tail = b.result().reports;
+        stitched.insert(stitched.end(), tail.begin(), tail.end());
+        EXPECT_EQ(stitched, expect.reports) << "cut at " << cut;
+    }
+}
+
+TEST(Checkpoint, InvalidStateRejected)
+{
+    MappedAutomaton m = sampleMapped();
+    CacheAutomatonSim sim(m);
+    SimCheckpoint bogus;
+    bogus.enabledStates = {static_cast<StateId>(1u << 30)};
+    EXPECT_THROW(sim.restore(bogus), CaError);
+}
+
+TEST(Checkpoint, FreshCheckpointEqualsReset)
+{
+    MappedAutomaton m = sampleMapped();
+    auto input = sampleInput(2 << 10, 11);
+    CacheAutomatonSim a(m);
+    SimCheckpoint ckpt = a.checkpoint(); // offset 0, start states
+    CacheAutomatonSim b(m);
+    b.restore(ckpt);
+    b.feed(input.data(), input.size());
+    CacheAutomatonSim c(m);
+    EXPECT_EQ(b.result().reports, c.run(input).reports);
+}
+
+// Property: random cut points on a randomized workload resume exactly.
+class CheckpointProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CheckpointProperty, ResumeMatchesOracle)
+{
+    Rng rng(GetParam() * 52361 + 19);
+    Nfa nfa = compileRuleset({"ab+c", "x[yz]{1,3}w", "m.*n"});
+    MappedAutomaton m = mapSpace(nfa);
+    InputSpec spec;
+    spec.kind = StreamKind::Text;
+    spec.plantPatterns = {"abc", "xyw", "mn"};
+    spec.plantsPer4k = 24.0;
+    auto input = buildInput(spec, 8 << 10, GetParam());
+
+    size_t cut = rng.below(input.size() + 1);
+    CacheAutomatonSim a(m);
+    a.reset();
+    a.feed(input.data(), cut);
+    SimCheckpoint ckpt = a.checkpoint();
+    CacheAutomatonSim b(m);
+    b.restore(ckpt);
+    b.feed(input.data() + cut, input.size() - cut);
+
+    NfaEngine oracle(m.nfa());
+    std::vector<Report> stitched = a.result().reports;
+    auto tail = b.result().reports;
+    stitched.insert(stitched.end(), tail.begin(), tail.end());
+    EXPECT_EQ(stitched, oracle.run(input)) << "cut at " << cut;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCuts, CheckpointProperty,
+                         ::testing::Range(0, 15));
+
+} // namespace
+} // namespace ca

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the system-integration models (§2.9-§2.10, §5.2):
+ * configuration cost, CAT way sharing, scheduler power hints, and
+ * multi-instance throughput scaling.
+ */
+#include <gtest/gtest.h>
+
+#include "arch/system.h"
+#include "compiler/mapping.h"
+#include "core/error.h"
+#include "workload/suite.h"
+
+namespace ca {
+namespace {
+
+TEST(ConfigCost, ZeroPartitionsIsFree)
+{
+    ConfigCost c = estimateConfigCost(designCaP(), 0);
+    EXPECT_EQ(c.steImageBytes, 0u);
+    EXPECT_EQ(c.switchConfigBits, 0u);
+    EXPECT_DOUBLE_EQ(c.seconds, 0.0);
+}
+
+TEST(ConfigCost, SteImageIs8KBPerPartition)
+{
+    // 256 rows x 256 bits = 8 KB per partition, matching the physical
+    // two-4KB-array layout.
+    ConfigCost c = estimateConfigCost(designCaP(), 1);
+    EXPECT_EQ(c.steImageBytes, 8u << 10);
+}
+
+TEST(ConfigCost, ScalesLinearly)
+{
+    ConfigCost c1 = estimateConfigCost(designCaP(), 10);
+    ConfigCost c2 = estimateConfigCost(designCaP(), 20);
+    EXPECT_NEAR(c2.seconds, 2 * c1.seconds, 1e-9);
+}
+
+TEST(ConfigCost, LargestBenchmarkNearPaperEstimate)
+{
+    // §2.10: ~0.2 ms for the largest benchmark (hundreds of partitions),
+    // far below the AP's tens of milliseconds.
+    ConfigCost c = estimateConfigCost(designCaP(), 420);
+    EXPECT_GT(c.seconds, 0.02e-3);
+    EXPECT_LT(c.seconds, 2e-3);
+}
+
+TEST(ConfigCost, NegativePartitionsThrow)
+{
+    EXPECT_THROW(estimateConfigCost(designCaP(), -1), CaError);
+}
+
+TEST(CatPlan, SplitsWays)
+{
+    // 20 partitions under CA_P (8 per way) need 3 ways of the 20.
+    CatPlan plan = planCacheAllocation(designCaP(), 20);
+    EXPECT_EQ(plan.nfaWays, 3);
+    EXPECT_EQ(plan.cacheWays, 17);
+    EXPECT_DOUBLE_EQ(plan.nfaCapacityStes, 3 * 8 * 256.0);
+    EXPECT_NEAR(plan.remainingCacheMB, 2.5 * 17 / 20, 1e-9);
+}
+
+TEST(CatPlan, SpaceDesignPacksDenser)
+{
+    // CA_S fits 16 partitions per way.
+    CatPlan plan = planCacheAllocation(designCaS(), 20);
+    EXPECT_EQ(plan.nfaWays, 2);
+}
+
+TEST(CatPlan, OverflowThrows)
+{
+    // CA_P allows 8 ways -> 64 partitions per slice.
+    EXPECT_THROW(planCacheAllocation(designCaP(), 65), CaError);
+    EXPECT_NO_THROW(planCacheAllocation(designCaP(), 64));
+}
+
+TEST(PowerHint, WithinTdpForPrototype)
+{
+    // The 8-way prototype (§5.3) stays under the 160 W TDP.
+    PowerHint hint = schedulerPowerHint(designCaS(), 128);
+    EXPECT_TRUE(hint.withinTdp);
+    EXPECT_GT(hint.headroomW, 0.0);
+    EXPECT_NEAR(hint.peakW + hint.headroomW, hint.tdpW, 1e-9);
+}
+
+TEST(PowerHint, GrowsWithPartitions)
+{
+    double p1 = schedulerPowerHint(designCaP(), 16).peakW;
+    double p2 = schedulerPowerHint(designCaP(), 64).peakW;
+    EXPECT_GT(p2, p1);
+}
+
+TEST(InstanceScaling, SingleInstanceBaseline)
+{
+    // An automaton filling the whole budget runs exactly once.
+    InstanceScaling s = scaleInstances(designCaP(), 64, 1);
+    EXPECT_EQ(s.instances, 1);
+    EXPECT_DOUBLE_EQ(s.aggregateGbps, 16.0);
+}
+
+TEST(InstanceScaling, SpaceSavingsBecomeThroughput)
+{
+    // §5.2: a smaller footprint lets more instances share the cache. A
+    // 16-partition automaton in 8 slices of CA_S (128 partitions each).
+    InstanceScaling s = scaleInstances(designCaS(), 16, 8);
+    EXPECT_EQ(s.instances, 64);
+    EXPECT_DOUBLE_EQ(s.aggregateGbps, 64 * 9.6);
+    EXPECT_DOUBLE_EQ(s.perInstanceMB, 16 * 8.0 / 1024);
+}
+
+TEST(InstanceScaling, SmallerAutomataScaleFurther)
+{
+    InstanceScaling big = scaleInstances(designCaS(), 64, 1);
+    InstanceScaling small = scaleInstances(designCaS(), 16, 1);
+    EXPECT_GT(small.instances, big.instances);
+}
+
+TEST(InstanceScaling, EndToEndWithMappedBenchmark)
+{
+    const Benchmark &b = findBenchmark("Bro217");
+    Nfa nfa = b.build(0.05, 1);
+    MappedAutomaton m = mapSpace(nfa);
+    InstanceScaling s = scaleInstances(
+        m.design(), static_cast<int>(m.numPartitions()), 8);
+    EXPECT_GE(s.instances, 1);
+    EXPECT_GT(s.aggregateGbps, 9.0);
+}
+
+} // namespace
+} // namespace ca

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the NFA transformations (prefix/suffix merging, pruning).
+ *
+ * The key property: transformations must preserve the (offset, reportId)
+ * report stream on any input — checked both on constructed cases and
+ * randomized rulesets via the oracle engine.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baseline/nfa_engine.h"
+#include "nfa/glushkov.h"
+#include "nfa/regex_parser.h"
+#include "nfa/transform.h"
+#include "workload/input_gen.h"
+#include "workload/witness.h"
+
+namespace ca {
+namespace {
+
+/** Report stream reduced to (offset, reportId) pairs (state ids may
+ *  legitimately change under merging). */
+std::set<std::pair<uint64_t, uint32_t>>
+reportSet(const Nfa &nfa, const std::vector<uint8_t> &input)
+{
+    NfaEngine eng(nfa);
+    std::set<std::pair<uint64_t, uint32_t>> out;
+    for (const Report &r : eng.run(input))
+        out.emplace(r.offset, r.reportId);
+    return out;
+}
+
+TEST(MergePrefixes, CollapsesSharedLiteralPrefix)
+{
+    // "artist" and "artifact" share "arti"; their merged automaton should
+    // shrink by at least those 4 duplicated states.
+    Nfa nfa = compileRuleset({"artist", "artifact"});
+    size_t before = nfa.numStates();
+    TransformStats st = mergePrefixes(nfa);
+    EXPECT_EQ(st.statesBefore, before);
+    EXPECT_LE(nfa.numStates(), before - 4);
+    EXPECT_NO_THROW(nfa.validate());
+}
+
+TEST(MergePrefixes, PreservesReportStream)
+{
+    std::vector<std::string> rules = {"artist", "artifact", "art", "cart"};
+    Nfa orig = compileRuleset(rules);
+    Nfa merged = orig;
+    mergePrefixes(merged);
+
+    InputSpec spec;
+    spec.kind = StreamKind::Text;
+    spec.plantPatterns = rules;
+    spec.plantsPer4k = 16.0;
+    auto input = buildInput(spec, 16 << 10, 3);
+    EXPECT_EQ(reportSet(orig, input), reportSet(merged, input));
+    EXPECT_FALSE(reportSet(merged, input).empty());
+}
+
+TEST(MergePrefixes, MergesCyclicGapStates)
+{
+    // Two rules sharing a prefix through a self-looping [^;]* gap: exact
+    // predecessor-set equality cannot merge the gap states, bisimulation
+    // can. a[^;]*b and a[^;]*c share 'a' and the gap state.
+    Nfa nfa = compileRuleset({"a[^;]*b", "a[^;]*c"});
+    size_t before = nfa.numStates(); // 6 states
+    mergePrefixes(nfa);
+    EXPECT_LE(nfa.numStates(), before - 2) << "gap states did not merge";
+    EXPECT_NO_THROW(nfa.validate());
+}
+
+TEST(MergePrefixes, DoesNotMergeDifferentReportIds)
+{
+    // Identical rule text but distinct report ids: accepting states must
+    // stay separate; the prefix states may merge.
+    Nfa nfa = compileRuleset({"abc", "abc"});
+    mergePrefixes(nfa);
+    EXPECT_EQ(nfa.reportStates().size(), 2u);
+}
+
+TEST(MergePrefixes, MergesFusedStartStates)
+{
+    // Rules with the same first symbol fuse at the start, joining their
+    // connected components (the Table 1 CA_S effect).
+    Nfa nfa = compileRuleset({"xaa", "xbb", "xcc"});
+    EXPECT_EQ(nfa.numStates(), 9u);
+    mergePrefixes(nfa);
+    EXPECT_EQ(nfa.numStates(), 7u); // single 'x' start remains
+}
+
+TEST(MergeSuffixes, CollapsesSharedSuffix)
+{
+    // Two patterns with the same report id sharing the "zzz" suffix: the
+    // whole suffix chain merges (labels differ only in the prefix).
+    GlushkovOptions opts;
+    opts.reportId = 1;
+    Nfa nfa = buildGlushkov(parseRegex("abczzz"), opts);
+    nfa.merge(buildGlushkov(parseRegex("defzzz"), opts));
+    size_t before = nfa.numStates(); // 12
+    TransformStats st = mergeSuffixes(nfa);
+    EXPECT_LE(st.statesAfter, before - 3);
+    EXPECT_NO_THROW(nfa.validate());
+}
+
+TEST(MergeSuffixes, PreservesReportOffsets)
+{
+    std::vector<std::string> rules = {"(aa|bb)cc"};
+    Nfa orig = compileRuleset(rules);
+    Nfa merged = orig;
+    mergeSuffixes(merged);
+    InputSpec spec;
+    spec.kind = StreamKind::Text;
+    spec.plantPatterns = rules;
+    spec.plantsPer4k = 16.0;
+    auto input = buildInput(spec, 8 << 10, 4);
+    EXPECT_EQ(reportSet(orig, input), reportSet(merged, input));
+}
+
+TEST(RemoveUnreachable, DropsOrphans)
+{
+    Nfa nfa = compileRuleset({"ab"});
+    // Orphan state with no path from a start.
+    nfa.addState(SymbolSet::of('z'));
+    TransformStats st = removeUnreachable(nfa);
+    EXPECT_EQ(st.removed(), 1u);
+    EXPECT_NO_THROW(nfa.validate());
+}
+
+TEST(RemoveDead, DropsStatesThatCannotReport)
+{
+    Nfa nfa = compileRuleset({"ab"});
+    // Reachable dead end: a state reachable from the start that leads
+    // nowhere and never reports.
+    StateId dead = nfa.addState(SymbolSet::of('z'));
+    nfa.addTransition(0, dead);
+    nfa.dedupeEdges();
+    TransformStats st = removeDead(nfa);
+    EXPECT_EQ(st.removed(), 1u);
+}
+
+TEST(RemoveDead, NoopWithoutReports)
+{
+    Nfa nfa;
+    nfa.addState(SymbolSet::of('a'), StartType::AllInput);
+    TransformStats st = removeDead(nfa);
+    EXPECT_EQ(st.removed(), 0u);
+}
+
+TEST(OptimizeForSpace, PipelineShrinksRealRuleset)
+{
+    // Rules drawn from a small lexicon share lots of structure.
+    std::vector<std::string> rules;
+    for (int i = 0; i < 40; ++i)
+        rules.push_back(std::string("prefix") +
+                        static_cast<char>('a' + i % 5) + "suffix");
+    Nfa nfa = compileRuleset(rules);
+    size_t before = nfa.numStates();
+    TransformStats st = optimizeForSpace(nfa);
+    EXPECT_LT(nfa.numStates(), before / 2);
+    EXPECT_EQ(st.statesBefore, before);
+    EXPECT_EQ(st.statesAfter, nfa.numStates());
+    EXPECT_NO_THROW(nfa.validate());
+}
+
+// Property test: the space pipeline preserves report streams on random
+// rulesets and random inputs.
+class SpacePipelineProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SpacePipelineProperty, ReportStreamPreserved)
+{
+    Rng rng(GetParam() * 104729 + 17);
+    static const char *kBlocks[] = {
+        "ab", "c+", "(de|fg)", "[a-d]{1,3}", "h.*i", "[xy]", "z?w",
+    };
+    std::vector<std::string> rules;
+    int n_rules = 2 + static_cast<int>(rng.below(6));
+    for (int r = 0; r < n_rules; ++r) {
+        std::string pat;
+        int blocks = 1 + static_cast<int>(rng.below(4));
+        for (int b = 0; b < blocks; ++b)
+            pat += kBlocks[rng.below(std::size(kBlocks))];
+        rules.push_back(pat);
+    }
+
+    Nfa orig = compileRuleset(rules);
+    Nfa opt = orig;
+    optimizeForSpace(opt);
+    EXPECT_LE(opt.numStates(), orig.numStates());
+
+    InputSpec spec;
+    spec.kind = StreamKind::Text;
+    spec.plantPatterns = rules;
+    spec.plantsPer4k = 32.0;
+    auto input = buildInput(spec, 8 << 10, GetParam());
+    EXPECT_EQ(reportSet(orig, input), reportSet(opt, input))
+        << "rules: " << rules[0] << " ...";
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRulesets, SpacePipelineProperty,
+                         ::testing::Range(0, 30));
+
+} // namespace
+} // namespace ca

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the benchmark suite generators and input streams.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/error.h"
+#include "nfa/analysis.h"
+#include "nfa/regex_parser.h"
+#include "workload/input_gen.h"
+#include "workload/rulegen.h"
+#include "workload/suite.h"
+#include "workload/witness.h"
+
+namespace ca {
+namespace {
+
+TEST(Suite, HasAll20Benchmarks)
+{
+    EXPECT_EQ(benchmarkSuite().size(), 20u);
+    std::set<std::string> names;
+    for (const Benchmark &b : benchmarkSuite())
+        names.insert(b.name);
+    EXPECT_EQ(names.size(), 20u);
+    EXPECT_TRUE(names.count("Snort"));
+    EXPECT_TRUE(names.count("Levenshtein"));
+    EXPECT_TRUE(names.count("SPM"));
+}
+
+TEST(Suite, FindByName)
+{
+    EXPECT_EQ(findBenchmark("Brill").name, "Brill");
+    EXPECT_THROW(findBenchmark("NoSuch"), CaError);
+}
+
+TEST(Suite, PaperRowsPopulated)
+{
+    for (const Benchmark &b : benchmarkSuite()) {
+        EXPECT_GT(b.paperPerf.states, 0u) << b.name;
+        EXPECT_GT(b.paperPerf.connectedComponents, 0u) << b.name;
+        EXPECT_GT(b.paperSpace.states, 0u) << b.name;
+        EXPECT_GE(b.paperPerf.states, b.paperSpace.states) << b.name;
+    }
+}
+
+TEST(Suite, GeneratorsDeterministic)
+{
+    for (const Benchmark &b : benchmarkSuite()) {
+        Nfa a = b.build(0.02, 5);
+        Nfa c = b.build(0.02, 5);
+        EXPECT_EQ(a.numStates(), c.numStates()) << b.name;
+        EXPECT_EQ(a.numTransitions(), c.numTransitions()) << b.name;
+    }
+}
+
+TEST(Suite, GeneratedAutomataValidate)
+{
+    for (const Benchmark &b : benchmarkSuite()) {
+        Nfa nfa = b.build(0.02, 3);
+        EXPECT_NO_THROW(nfa.validate()) << b.name;
+        EXPECT_GT(nfa.reportStates().size(), 0u) << b.name;
+    }
+}
+
+TEST(Suite, ScaleControlsSize)
+{
+    const Benchmark &b = findBenchmark("Snort");
+    Nfa small = b.build(0.02, 1);
+    Nfa larger = b.build(0.08, 1);
+    EXPECT_GT(larger.numStates(), 2 * small.numStates());
+}
+
+/**
+ * At full scale, the synthesized structure must land near Table 1:
+ * states within 40%, CC count within 25%, largest CC within 4x.
+ * (Exact equality is impossible without the original ANML files; what
+ * matters for the evaluation's shape is the magnitude.)
+ */
+class SuiteShape : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SuiteShape, FullScaleNearTable1)
+{
+    const Benchmark &b = benchmarkSuite()[GetParam()];
+    Nfa nfa = b.build(1.0, kDefaultRuleSeed);
+    ComponentInfo cc = connectedComponents(nfa);
+
+    double state_ratio = static_cast<double>(nfa.numStates()) /
+        static_cast<double>(b.paperPerf.states);
+    EXPECT_GT(state_ratio, 0.6) << b.name << ": " << nfa.numStates()
+                                << " vs " << b.paperPerf.states;
+    EXPECT_LT(state_ratio, 1.4) << b.name << ": " << nfa.numStates()
+                                << " vs " << b.paperPerf.states;
+
+    double cc_ratio = static_cast<double>(cc.numComponents()) /
+        static_cast<double>(b.paperPerf.connectedComponents);
+    EXPECT_GT(cc_ratio, 0.75) << b.name;
+    EXPECT_LT(cc_ratio, 1.25) << b.name;
+
+    double big_ratio = static_cast<double>(cc.largestSize()) /
+        static_cast<double>(b.paperPerf.largestComponent);
+    EXPECT_GT(big_ratio, 0.25) << b.name << " largest " << cc.largestSize();
+    EXPECT_LT(big_ratio, 4.0) << b.name << " largest " << cc.largestSize();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteShape, ::testing::Range(0, 20),
+                         [](const auto &info) {
+                             return benchmarkSuite()[info.param].name;
+                         });
+
+// ---------------------------------------------------------------- rulegen
+
+TEST(RuleGen, AllFamiliesParse)
+{
+    auto check = [](const std::vector<std::string> &rules) {
+        for (const auto &r : rules)
+            EXPECT_NO_THROW(parseRegex(r)) << r;
+    };
+    check(genDotstarRules(20, 0.5, 30, 1));
+    check(genRangesRules(20, 0.5, 30, 2));
+    check(genExactMatchRules(20, 30, 3));
+    check(genBroRules(20, 4));
+    check(genTcpRules(120, 5));
+    check(genSnortRules(40, 6));
+    check(genClamAvRules(10, 7));
+    check(genPowerEnRules(20, 8));
+    check(genBrillRules(20, 9));
+    check(genEntityResolutionRules(20, 10));
+    check(genFermiRules(20, 11));
+    check(genSpmRules(20, 12));
+    check(genRandomForestRules(20, 20, 13));
+    check(genProtomataRules(20, 14));
+}
+
+TEST(RuleGen, DotstarProbabilityShowsInRules)
+{
+    auto none = genDotstarRules(50, 0.0, 30, 1);
+    auto all = genDotstarRules(50, 1.0, 30, 1);
+    int dots_none = 0;
+    int dots_all = 0;
+    for (const auto &r : none)
+        dots_none += r.find(".*") != std::string::npos;
+    for (const auto &r : all)
+        dots_all += r.find(".*") != std::string::npos;
+    EXPECT_EQ(dots_none, 0);
+    EXPECT_EQ(dots_all, 50);
+}
+
+TEST(RuleGen, RandomForestChainsHaveExactLength)
+{
+    auto rules = genRandomForestRules(10, 20, 5);
+    for (const auto &r : rules)
+        EXPECT_EQ(r.size(), 20u);
+}
+
+TEST(RuleGen, LexiconStable)
+{
+    EXPECT_EQ(wordLexicon().size(), 500u);
+    EXPECT_EQ(wordLexicon()[0], "the");
+    EXPECT_EQ(aminoAlphabet().size(), 20u);
+}
+
+// ---------------------------------------------------------------- inputs
+
+TEST(InputGen, ExactSizeAndDeterminism)
+{
+    InputSpec spec;
+    spec.kind = StreamKind::Payload;
+    auto a = buildInput(spec, 10000, 5);
+    auto b = buildInput(spec, 10000, 5);
+    EXPECT_EQ(a.size(), 10000u);
+    EXPECT_EQ(a, b);
+    auto c = buildInput(spec, 10000, 6);
+    EXPECT_NE(a, c);
+}
+
+TEST(InputGen, StreamKindsUseTheirAlphabets)
+{
+    InputSpec spec;
+    spec.kind = StreamKind::Digits;
+    for (uint8_t c : buildInput(spec, 2000, 1))
+        EXPECT_TRUE(c >= '0' && c <= '9');
+
+    spec.kind = StreamKind::Dna;
+    for (uint8_t c : buildInput(spec, 2000, 1))
+        EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T');
+
+    spec.kind = StreamKind::Amino;
+    for (uint8_t c : buildInput(spec, 2000, 1))
+        EXPECT_NE(aminoAlphabet().find(static_cast<char>(c)),
+                  std::string::npos);
+}
+
+TEST(InputGen, PlantedWitnessesAppear)
+{
+    InputSpec spec;
+    spec.kind = StreamKind::Digits; // witness "zzz" can't arise from noise
+    spec.plantPatterns = {"zzz"};
+    spec.plantsPer4k = 4.0;
+    auto input = buildInput(spec, 64 << 10, 3);
+    std::string s(input.begin(), input.end());
+    size_t count = 0;
+    for (size_t pos = s.find("zzz"); pos != std::string::npos;
+         pos = s.find("zzz", pos + 1))
+        ++count;
+    EXPECT_GT(count, 30u); // ~64 expected
+}
+
+TEST(InputGen, DefaultStreamBytesHonoursEnv)
+{
+    // Without CA_FULL_INPUT this is 1 MB (tests run without it).
+    unsetenv("CA_FULL_INPUT");
+    EXPECT_EQ(defaultStreamBytes(), 1u << 20);
+    setenv("CA_FULL_INPUT", "1", 1);
+    EXPECT_EQ(defaultStreamBytes(), 10u << 20);
+    unsetenv("CA_FULL_INPUT");
+}
+
+TEST(Witness, RepeatBoundsRespected)
+{
+    Rng rng(4);
+    for (int i = 0; i < 20; ++i) {
+        std::string w = sampleWitness("a{2,4}", rng);
+        EXPECT_GE(w.size(), 2u);
+        EXPECT_LE(w.size(), 4u);
+        for (char c : w)
+            EXPECT_EQ(c, 'a');
+    }
+}
+
+TEST(Witness, AlternationPicksBothBranches)
+{
+    Rng rng(5);
+    std::set<std::string> seen;
+    for (int i = 0; i < 50; ++i)
+        seen.insert(sampleWitness("(aa|bb)", rng));
+    EXPECT_EQ(seen.size(), 2u);
+}
+
+} // namespace
+} // namespace ca
