@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_reachability.dir/bench_fig10_reachability.cpp.o"
+  "CMakeFiles/bench_fig10_reachability.dir/bench_fig10_reachability.cpp.o.d"
+  "bench_fig10_reachability"
+  "bench_fig10_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_instances.dir/bench_scaling_instances.cpp.o"
+  "CMakeFiles/bench_scaling_instances.dir/bench_scaling_instances.cpp.o.d"
+  "bench_scaling_instances"
+  "bench_scaling_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_switches.dir/bench_table2_switches.cpp.o"
+  "CMakeFiles/bench_table2_switches.dir/bench_table2_switches.cpp.o.d"
+  "bench_table2_switches"
+  "bench_table2_switches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_switches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_optimizations.dir/bench_table4_optimizations.cpp.o"
+  "CMakeFiles/bench_table4_optimizations.dir/bench_table4_optimizations.cpp.o.d"
+  "bench_table4_optimizations"
+  "bench_table4_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

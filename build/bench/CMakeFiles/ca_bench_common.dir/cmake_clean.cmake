@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/ca_bench_common.dir/bench_common.cpp.o.d"
+  "libca_bench_common.a"
+  "libca_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

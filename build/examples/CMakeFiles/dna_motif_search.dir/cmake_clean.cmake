@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dna_motif_search.dir/dna_motif_search.cpp.o"
+  "CMakeFiles/dna_motif_search.dir/dna_motif_search.cpp.o.d"
+  "dna_motif_search"
+  "dna_motif_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dna_motif_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/comparison.cpp" "src/arch/CMakeFiles/ca_arch.dir/comparison.cpp.o" "gcc" "src/arch/CMakeFiles/ca_arch.dir/comparison.cpp.o.d"
+  "/root/repo/src/arch/design.cpp" "src/arch/CMakeFiles/ca_arch.dir/design.cpp.o" "gcc" "src/arch/CMakeFiles/ca_arch.dir/design.cpp.o.d"
+  "/root/repo/src/arch/energy.cpp" "src/arch/CMakeFiles/ca_arch.dir/energy.cpp.o" "gcc" "src/arch/CMakeFiles/ca_arch.dir/energy.cpp.o.d"
+  "/root/repo/src/arch/geometry.cpp" "src/arch/CMakeFiles/ca_arch.dir/geometry.cpp.o" "gcc" "src/arch/CMakeFiles/ca_arch.dir/geometry.cpp.o.d"
+  "/root/repo/src/arch/sram_timing.cpp" "src/arch/CMakeFiles/ca_arch.dir/sram_timing.cpp.o" "gcc" "src/arch/CMakeFiles/ca_arch.dir/sram_timing.cpp.o.d"
+  "/root/repo/src/arch/switch_model.cpp" "src/arch/CMakeFiles/ca_arch.dir/switch_model.cpp.o" "gcc" "src/arch/CMakeFiles/ca_arch.dir/switch_model.cpp.o.d"
+  "/root/repo/src/arch/system.cpp" "src/arch/CMakeFiles/ca_arch.dir/system.cpp.o" "gcc" "src/arch/CMakeFiles/ca_arch.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ca_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

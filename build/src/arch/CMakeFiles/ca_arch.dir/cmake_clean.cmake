@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_arch.dir/comparison.cpp.o"
+  "CMakeFiles/ca_arch.dir/comparison.cpp.o.d"
+  "CMakeFiles/ca_arch.dir/design.cpp.o"
+  "CMakeFiles/ca_arch.dir/design.cpp.o.d"
+  "CMakeFiles/ca_arch.dir/energy.cpp.o"
+  "CMakeFiles/ca_arch.dir/energy.cpp.o.d"
+  "CMakeFiles/ca_arch.dir/geometry.cpp.o"
+  "CMakeFiles/ca_arch.dir/geometry.cpp.o.d"
+  "CMakeFiles/ca_arch.dir/sram_timing.cpp.o"
+  "CMakeFiles/ca_arch.dir/sram_timing.cpp.o.d"
+  "CMakeFiles/ca_arch.dir/switch_model.cpp.o"
+  "CMakeFiles/ca_arch.dir/switch_model.cpp.o.d"
+  "CMakeFiles/ca_arch.dir/system.cpp.o"
+  "CMakeFiles/ca_arch.dir/system.cpp.o.d"
+  "libca_arch.a"
+  "libca_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/dfa_engine.cpp" "src/baseline/CMakeFiles/ca_baseline.dir/dfa_engine.cpp.o" "gcc" "src/baseline/CMakeFiles/ca_baseline.dir/dfa_engine.cpp.o.d"
+  "/root/repo/src/baseline/nfa_engine.cpp" "src/baseline/CMakeFiles/ca_baseline.dir/nfa_engine.cpp.o" "gcc" "src/baseline/CMakeFiles/ca_baseline.dir/nfa_engine.cpp.o.d"
+  "/root/repo/src/baseline/report_utils.cpp" "src/baseline/CMakeFiles/ca_baseline.dir/report_utils.cpp.o" "gcc" "src/baseline/CMakeFiles/ca_baseline.dir/report_utils.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nfa/CMakeFiles/ca_nfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ca_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

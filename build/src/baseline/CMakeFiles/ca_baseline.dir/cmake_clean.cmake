@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_baseline.dir/dfa_engine.cpp.o"
+  "CMakeFiles/ca_baseline.dir/dfa_engine.cpp.o.d"
+  "CMakeFiles/ca_baseline.dir/nfa_engine.cpp.o"
+  "CMakeFiles/ca_baseline.dir/nfa_engine.cpp.o.d"
+  "CMakeFiles/ca_baseline.dir/report_utils.cpp.o"
+  "CMakeFiles/ca_baseline.dir/report_utils.cpp.o.d"
+  "libca_baseline.a"
+  "libca_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

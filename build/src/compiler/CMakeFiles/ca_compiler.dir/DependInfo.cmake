@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/config_image.cpp" "src/compiler/CMakeFiles/ca_compiler.dir/config_image.cpp.o" "gcc" "src/compiler/CMakeFiles/ca_compiler.dir/config_image.cpp.o.d"
+  "/root/repo/src/compiler/mapping.cpp" "src/compiler/CMakeFiles/ca_compiler.dir/mapping.cpp.o" "gcc" "src/compiler/CMakeFiles/ca_compiler.dir/mapping.cpp.o.d"
+  "/root/repo/src/compiler/visualize.cpp" "src/compiler/CMakeFiles/ca_compiler.dir/visualize.cpp.o" "gcc" "src/compiler/CMakeFiles/ca_compiler.dir/visualize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nfa/CMakeFiles/ca_nfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/ca_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ca_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ca_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_compiler.dir/config_image.cpp.o"
+  "CMakeFiles/ca_compiler.dir/config_image.cpp.o.d"
+  "CMakeFiles/ca_compiler.dir/mapping.cpp.o"
+  "CMakeFiles/ca_compiler.dir/mapping.cpp.o.d"
+  "CMakeFiles/ca_compiler.dir/visualize.cpp.o"
+  "CMakeFiles/ca_compiler.dir/visualize.cpp.o.d"
+  "libca_compiler.a"
+  "libca_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

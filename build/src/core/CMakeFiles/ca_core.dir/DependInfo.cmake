@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bitvector.cpp" "src/core/CMakeFiles/ca_core.dir/bitvector.cpp.o" "gcc" "src/core/CMakeFiles/ca_core.dir/bitvector.cpp.o.d"
+  "/root/repo/src/core/logging.cpp" "src/core/CMakeFiles/ca_core.dir/logging.cpp.o" "gcc" "src/core/CMakeFiles/ca_core.dir/logging.cpp.o.d"
+  "/root/repo/src/core/string_utils.cpp" "src/core/CMakeFiles/ca_core.dir/string_utils.cpp.o" "gcc" "src/core/CMakeFiles/ca_core.dir/string_utils.cpp.o.d"
+  "/root/repo/src/core/symbol_set.cpp" "src/core/CMakeFiles/ca_core.dir/symbol_set.cpp.o" "gcc" "src/core/CMakeFiles/ca_core.dir/symbol_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

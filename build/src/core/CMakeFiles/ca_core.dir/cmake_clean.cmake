@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_core.dir/bitvector.cpp.o"
+  "CMakeFiles/ca_core.dir/bitvector.cpp.o.d"
+  "CMakeFiles/ca_core.dir/logging.cpp.o"
+  "CMakeFiles/ca_core.dir/logging.cpp.o.d"
+  "CMakeFiles/ca_core.dir/string_utils.cpp.o"
+  "CMakeFiles/ca_core.dir/string_utils.cpp.o.d"
+  "CMakeFiles/ca_core.dir/symbol_set.cpp.o"
+  "CMakeFiles/ca_core.dir/symbol_set.cpp.o.d"
+  "libca_core.a"
+  "libca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nfa/analysis.cpp" "src/nfa/CMakeFiles/ca_nfa.dir/analysis.cpp.o" "gcc" "src/nfa/CMakeFiles/ca_nfa.dir/analysis.cpp.o.d"
+  "/root/repo/src/nfa/anml.cpp" "src/nfa/CMakeFiles/ca_nfa.dir/anml.cpp.o" "gcc" "src/nfa/CMakeFiles/ca_nfa.dir/anml.cpp.o.d"
+  "/root/repo/src/nfa/classical.cpp" "src/nfa/CMakeFiles/ca_nfa.dir/classical.cpp.o" "gcc" "src/nfa/CMakeFiles/ca_nfa.dir/classical.cpp.o.d"
+  "/root/repo/src/nfa/dfa.cpp" "src/nfa/CMakeFiles/ca_nfa.dir/dfa.cpp.o" "gcc" "src/nfa/CMakeFiles/ca_nfa.dir/dfa.cpp.o.d"
+  "/root/repo/src/nfa/dot.cpp" "src/nfa/CMakeFiles/ca_nfa.dir/dot.cpp.o" "gcc" "src/nfa/CMakeFiles/ca_nfa.dir/dot.cpp.o.d"
+  "/root/repo/src/nfa/glushkov.cpp" "src/nfa/CMakeFiles/ca_nfa.dir/glushkov.cpp.o" "gcc" "src/nfa/CMakeFiles/ca_nfa.dir/glushkov.cpp.o.d"
+  "/root/repo/src/nfa/nfa.cpp" "src/nfa/CMakeFiles/ca_nfa.dir/nfa.cpp.o" "gcc" "src/nfa/CMakeFiles/ca_nfa.dir/nfa.cpp.o.d"
+  "/root/repo/src/nfa/regex_ast.cpp" "src/nfa/CMakeFiles/ca_nfa.dir/regex_ast.cpp.o" "gcc" "src/nfa/CMakeFiles/ca_nfa.dir/regex_ast.cpp.o.d"
+  "/root/repo/src/nfa/regex_parser.cpp" "src/nfa/CMakeFiles/ca_nfa.dir/regex_parser.cpp.o" "gcc" "src/nfa/CMakeFiles/ca_nfa.dir/regex_parser.cpp.o.d"
+  "/root/repo/src/nfa/transform.cpp" "src/nfa/CMakeFiles/ca_nfa.dir/transform.cpp.o" "gcc" "src/nfa/CMakeFiles/ca_nfa.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ca_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_nfa.dir/analysis.cpp.o"
+  "CMakeFiles/ca_nfa.dir/analysis.cpp.o.d"
+  "CMakeFiles/ca_nfa.dir/anml.cpp.o"
+  "CMakeFiles/ca_nfa.dir/anml.cpp.o.d"
+  "CMakeFiles/ca_nfa.dir/classical.cpp.o"
+  "CMakeFiles/ca_nfa.dir/classical.cpp.o.d"
+  "CMakeFiles/ca_nfa.dir/dfa.cpp.o"
+  "CMakeFiles/ca_nfa.dir/dfa.cpp.o.d"
+  "CMakeFiles/ca_nfa.dir/dot.cpp.o"
+  "CMakeFiles/ca_nfa.dir/dot.cpp.o.d"
+  "CMakeFiles/ca_nfa.dir/glushkov.cpp.o"
+  "CMakeFiles/ca_nfa.dir/glushkov.cpp.o.d"
+  "CMakeFiles/ca_nfa.dir/nfa.cpp.o"
+  "CMakeFiles/ca_nfa.dir/nfa.cpp.o.d"
+  "CMakeFiles/ca_nfa.dir/regex_ast.cpp.o"
+  "CMakeFiles/ca_nfa.dir/regex_ast.cpp.o.d"
+  "CMakeFiles/ca_nfa.dir/regex_parser.cpp.o"
+  "CMakeFiles/ca_nfa.dir/regex_parser.cpp.o.d"
+  "CMakeFiles/ca_nfa.dir/transform.cpp.o"
+  "CMakeFiles/ca_nfa.dir/transform.cpp.o.d"
+  "libca_nfa.a"
+  "libca_nfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_nfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_partition.dir/graph.cpp.o"
+  "CMakeFiles/ca_partition.dir/graph.cpp.o.d"
+  "CMakeFiles/ca_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/ca_partition.dir/partitioner.cpp.o.d"
+  "libca_partition.a"
+  "libca_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_sim.dir/engine.cpp.o"
+  "CMakeFiles/ca_sim.dir/engine.cpp.o.d"
+  "libca_sim.a"
+  "libca_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

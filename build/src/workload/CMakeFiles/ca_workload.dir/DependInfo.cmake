@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/distance.cpp" "src/workload/CMakeFiles/ca_workload.dir/distance.cpp.o" "gcc" "src/workload/CMakeFiles/ca_workload.dir/distance.cpp.o.d"
+  "/root/repo/src/workload/input_gen.cpp" "src/workload/CMakeFiles/ca_workload.dir/input_gen.cpp.o" "gcc" "src/workload/CMakeFiles/ca_workload.dir/input_gen.cpp.o.d"
+  "/root/repo/src/workload/rulegen.cpp" "src/workload/CMakeFiles/ca_workload.dir/rulegen.cpp.o" "gcc" "src/workload/CMakeFiles/ca_workload.dir/rulegen.cpp.o.d"
+  "/root/repo/src/workload/suite.cpp" "src/workload/CMakeFiles/ca_workload.dir/suite.cpp.o" "gcc" "src/workload/CMakeFiles/ca_workload.dir/suite.cpp.o.d"
+  "/root/repo/src/workload/witness.cpp" "src/workload/CMakeFiles/ca_workload.dir/witness.cpp.o" "gcc" "src/workload/CMakeFiles/ca_workload.dir/witness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nfa/CMakeFiles/ca_nfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ca_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

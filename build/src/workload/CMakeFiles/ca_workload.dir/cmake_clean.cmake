@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ca_workload.dir/distance.cpp.o"
+  "CMakeFiles/ca_workload.dir/distance.cpp.o.d"
+  "CMakeFiles/ca_workload.dir/input_gen.cpp.o"
+  "CMakeFiles/ca_workload.dir/input_gen.cpp.o.d"
+  "CMakeFiles/ca_workload.dir/rulegen.cpp.o"
+  "CMakeFiles/ca_workload.dir/rulegen.cpp.o.d"
+  "CMakeFiles/ca_workload.dir/suite.cpp.o"
+  "CMakeFiles/ca_workload.dir/suite.cpp.o.d"
+  "CMakeFiles/ca_workload.dir/witness.cpp.o"
+  "CMakeFiles/ca_workload.dir/witness.cpp.o.d"
+  "libca_workload.a"
+  "libca_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ca_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anml_test.dir/anml_test.cpp.o"
+  "CMakeFiles/anml_test.dir/anml_test.cpp.o.d"
+  "anml_test"
+  "anml_test.pdb"
+  "anml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classical_test.dir/classical_test.cpp.o"
+  "CMakeFiles/classical_test.dir/classical_test.cpp.o.d"
+  "classical_test"
+  "classical_test.pdb"
+  "classical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

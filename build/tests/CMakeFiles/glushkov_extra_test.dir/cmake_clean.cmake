@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glushkov_extra_test.dir/glushkov_extra_test.cpp.o"
+  "CMakeFiles/glushkov_extra_test.dir/glushkov_extra_test.cpp.o.d"
+  "glushkov_extra_test"
+  "glushkov_extra_test.pdb"
+  "glushkov_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glushkov_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/report_utils_test.cpp" "tests/CMakeFiles/report_utils_test.dir/report_utils_test.cpp.o" "gcc" "tests/CMakeFiles/report_utils_test.dir/report_utils_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/ca_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ca_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ca_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ca_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/ca_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfa/CMakeFiles/ca_nfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ca_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

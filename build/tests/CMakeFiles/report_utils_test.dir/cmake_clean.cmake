@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_utils_test.dir/report_utils_test.cpp.o"
+  "CMakeFiles/report_utils_test.dir/report_utils_test.cpp.o.d"
+  "report_utils_test"
+  "report_utils_test.pdb"
+  "report_utils_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_utils_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
