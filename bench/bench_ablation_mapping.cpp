@@ -137,8 +137,9 @@ ablationPacking(const BenchConfig &cfg)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    TelemetrySession telemetry(argc, argv);
     BenchConfig cfg = BenchConfig::fromEnv();
     banner("Ablation: mapping-compiler design choices", cfg);
     ablationOptimizationPipeline(cfg);

@@ -58,9 +58,11 @@ measure(const MappedAutomaton &mapped, const Benchmark &spec,
 std::vector<BenchmarkRun>
 runSuite(const BenchConfig &cfg, bool simulate)
 {
+    CA_TRACE_SCOPE("ca.bench.run_suite");
     std::vector<BenchmarkRun> out;
     for (const Benchmark &b : benchmarkSuite()) {
         std::fprintf(stderr, "[bench] %s: building...\n", b.name.c_str());
+        CA_TRACE_SCOPE_CAT(std::string("ca.bench.") + b.name, "bench");
         Nfa nfa = b.build(cfg.scale, cfg.seed);
 
         BenchmarkRun run;

@@ -23,9 +23,19 @@
 
 #include "compiler/mapping.h"
 #include "sim/engine.h"
+#include "telemetry/telemetry.h"
 #include "workload/suite.h"
 
 namespace ca::bench {
+
+/**
+ * Drop one of these at the top of every bench main(): it implements the
+ * standard `--metrics-out <file.json|.csv>` / `--trace-out <file.json>`
+ * flags, runtime-enables telemetry when either is passed, and writes the
+ * artifacts when main() returns — so every benchmark run can produce
+ * machine-readable metrics alongside its stdout table.
+ */
+using TelemetrySession = ca::telemetry::CliSession;
 
 /** Everything a table needs about one benchmark under one design. */
 struct DesignRun

@@ -20,8 +20,9 @@ using namespace ca;
 using namespace ca::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    TelemetrySession telemetry(argc, argv);
     BenchConfig cfg = BenchConfig::fromEnv();
     banner("Figure 7: throughput in Gb/s (AP vs CA_P vs CA_S)", cfg);
 
@@ -29,7 +30,11 @@ main()
     Design cas = designCaS();
     double ap = apThroughputGbps();
 
-    auto runs = runSuite(cfg, /*simulate=*/false);
+    // The figure itself is input-independent (no simulation needed), but
+    // when telemetry artifacts were requested, simulate so the metrics
+    // dump carries the sim activity counters (ca.sim.*) alongside the
+    // mapping ones.
+    auto runs = runSuite(cfg, /*simulate=*/telemetry.active());
 
     TablePrinter t({"Benchmark", "AP", "CA_P", "CA_S", "CA_P/AP",
                     "CA_S/AP"});

@@ -13,8 +13,9 @@ using namespace ca;
 using namespace ca::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    TelemetrySession telemetry(argc, argv);
     BenchConfig cfg = BenchConfig::fromEnv();
     banner("Figure 8: cache utilization in MB (CA_P vs CA_S)", cfg);
 

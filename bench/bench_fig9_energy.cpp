@@ -16,8 +16,9 @@ using namespace ca;
 using namespace ca::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    TelemetrySession telemetry(argc, argv);
     BenchConfig cfg = BenchConfig::fromEnv();
     banner("Figure 9: energy per symbol and average power", cfg);
 

@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "baseline/dfa_engine.h"
+#include "telemetry/telemetry.h"
 #include "baseline/nfa_engine.h"
 #include "compiler/mapping.h"
 #include "nfa/dfa.h"
@@ -133,4 +134,17 @@ BENCHMARK(BM_CpuDfaEngine);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() with a telemetry session in front: --metrics-out /
+// --trace-out are consumed here (google-benchmark rejects unknown flags).
+int
+main(int argc, char **argv)
+{
+    ca::telemetry::CliSession session(argc, argv);
+    argc = ca::telemetry::CliSession::stripArgs(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -19,8 +19,9 @@ using namespace ca;
 using namespace ca::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    TelemetrySession telemetry(argc, argv);
     BenchConfig cfg = BenchConfig::fromEnv();
     banner("Instance scaling (8 slices x 8 ways): space -> throughput",
            cfg);

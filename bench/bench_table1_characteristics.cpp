@@ -14,8 +14,9 @@ using namespace ca;
 using namespace ca::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    TelemetrySession telemetry(argc, argv);
     BenchConfig cfg = BenchConfig::fromEnv();
     banner("Table 1: benchmark characteristics (measured vs paper)", cfg);
 

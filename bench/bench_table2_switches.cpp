@@ -29,8 +29,9 @@ row(TablePrinter &t, const std::string &design, const SwitchSpec &s,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    TelemetrySession telemetry(argc, argv);
     BenchConfig cfg = BenchConfig::fromEnv();
     banner("Table 2: switch parameters", cfg);
 

@@ -13,8 +13,9 @@ using namespace ca;
 using namespace ca::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    TelemetrySession telemetry(argc, argv);
     BenchConfig cfg = BenchConfig::fromEnv();
     banner("Table 3: pipeline stage delays and operating frequency", cfg);
 

@@ -28,8 +28,9 @@ achievedGHz(const Design &d, const TimingOptions &opts)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    TelemetrySession telemetry(argc, argv);
     BenchConfig cfg = BenchConfig::fromEnv();
     banner("Table 4: impact of optimizations and parameters", cfg);
 

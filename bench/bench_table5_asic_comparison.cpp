@@ -38,8 +38,9 @@ row(TablePrinter &t, const AcceleratorPoint &p, bool published)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    TelemetrySession telemetry(argc, argv);
     BenchConfig cfg = BenchConfig::fromEnv();
     banner("Table 5: comparison with ASIC designs (Dotstar0.9, 10 MB)",
            cfg);

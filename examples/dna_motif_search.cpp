@@ -20,6 +20,7 @@
 #include "sim/engine.h"
 #include "workload/distance.h"
 #include "workload/input_gen.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
@@ -58,6 +59,8 @@ int
 main(int argc, char **argv)
 {
     using namespace ca;
+
+    telemetry::CliSession telemetry_session(argc, argv);
 
     int motifs_n = argc > 1 ? std::atoi(argv[1]) : 24;
     size_t genome_kb = argc > 2 ? std::atoi(argv[2]) : 128;

@@ -22,11 +22,14 @@
 #include "sim/engine.h"
 #include "workload/input_gen.h"
 #include "workload/rulegen.h"
+#include "telemetry/telemetry.h"
 
 int
 main(int argc, char **argv)
 {
     using namespace ca;
+
+    telemetry::CliSession telemetry_session(argc, argv);
 
     int records = argc > 1 ? std::atoi(argv[1]) : 200;
 

@@ -23,11 +23,14 @@
 #include "sim/engine.h"
 #include "workload/input_gen.h"
 #include "workload/rulegen.h"
+#include "telemetry/telemetry.h"
 
 int
 main(int argc, char **argv)
 {
     using namespace ca;
+
+    telemetry::CliSession telemetry_session(argc, argv);
 
     int rules_n = argc > 1 ? std::atoi(argv[1]) : 400;
     size_t stream_kb = argc > 2 ? std::atoi(argv[2]) : 256;

@@ -22,11 +22,14 @@
 #include "nfa/transform.h"
 #include "sim/engine.h"
 #include "workload/input_gen.h"
+#include "telemetry/telemetry.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ca;
+
+    telemetry::CliSession telemetry_session(argc, argv);
 
     // 1. Log-scanning rules, each a named detector.
     struct Rule

@@ -8,6 +8,7 @@
  *   ./build/examples/quickstart
  */
 #include <cstdio>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -18,12 +19,19 @@
 #include "nfa/analysis.h"
 #include "nfa/glushkov.h"
 #include "sim/engine.h"
+#include "telemetry/telemetry.h"
 #include "workload/input_gen.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ca;
+
+    // Telemetry doubles as the quickstart's demo: every pipeline stage
+    // below records spans + counters, summarized at exit. --metrics-out /
+    // --trace-out additionally write the machine-readable artifacts.
+    telemetry::CliSession session(argc, argv);
+    telemetry::setEnabled(true);
 
     // 1. A toy ruleset — the paper's working example (§2.3) plus friends.
     std::vector<std::string> rules = {
@@ -77,5 +85,9 @@ main()
                 "%.1f pJ/symbol\n",
                 d.operatingFreqHz / 1e9, throughputGbps(d.operatingFreqHz),
                 speedupOverAp(d), e.totalPj());
+
+    // 6. Where the time went (the telemetry layer's stage spans).
+    std::printf("\nPer-stage timing (ca.* telemetry spans):\n");
+    telemetry::printStageSummary(std::cout);
     return expect == res.reports ? 0 : 1;
 }

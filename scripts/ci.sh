@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + test the default configuration, then the
+# telemetry-disabled one (-DCA_TELEMETRY=OFF) so both sides of the
+# compile-time gate stay green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+run_config() {
+    local dir=$1
+    shift
+    echo "=== configure $dir ($*) ==="
+    cmake -B "$dir" -S . "$@"
+    echo "=== build $dir ==="
+    cmake --build "$dir" -j "$JOBS"
+    echo "=== test $dir ==="
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+run_config build -DCA_TELEMETRY=ON
+run_config build-telemetry-off -DCA_TELEMETRY=OFF
+
+# The telemetry suite on its own (fast sanity for iterating).
+ctest --test-dir build -L telemetry --output-on-failure -j "$JOBS"
+
+echo "ci: all configurations passed"

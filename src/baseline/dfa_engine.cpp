@@ -1,10 +1,14 @@
 #include "baseline/dfa_engine.h"
 
+#include "telemetry/telemetry.h"
+
 namespace ca {
 
 std::vector<Report>
 runDfa(const Dfa &dfa, const uint8_t *data, size_t size)
 {
+    CA_TRACE_SCOPE("ca.baseline.dfa_run");
+    CA_COUNTER_ADD("ca.baseline.dfa_symbols", size);
     std::vector<Report> reports;
     Dfa::DfaStateId cur = dfa.startState();
     for (size_t i = 0; i < size; ++i) {

@@ -1,6 +1,7 @@
 #include "baseline/nfa_engine.h"
 
 #include "core/error.h"
+#include "telemetry/telemetry.h"
 
 namespace ca {
 
@@ -86,9 +87,12 @@ NfaEngine::step(uint8_t symbol)
 std::vector<Report>
 NfaEngine::run(const uint8_t *data, size_t size)
 {
+    CA_TRACE_SCOPE("ca.baseline.nfa_run");
     reset();
     for (size_t i = 0; i < size; ++i)
         step(data[i]);
+    CA_COUNTER_ADD("ca.baseline.nfa_symbols", size);
+    CA_COUNTER_ADD("ca.baseline.nfa_reports", reports_.size());
     return reports_;
 }
 

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "core/error.h"
+#include "telemetry/telemetry.h"
 
 namespace ca {
 
@@ -64,6 +65,7 @@ ConfigImage::serialize() const
 ConfigImage
 buildConfigImage(const MappedAutomaton &mapped)
 {
+    CA_TRACE_SCOPE("ca.compiler.config_image");
     const Nfa &nfa = mapped.nfa();
     const Design &design = mapped.design();
     const int width = design.partitionStes;
@@ -186,6 +188,8 @@ buildConfigImage(const MappedAutomaton &mapped)
             src.partition, sw, dst.partition, dw, e.viaG4});
     }
 
+    CA_COUNTER_ADD("ca.compiler.config_images", 1);
+    CA_COUNTER_ADD("ca.compiler.config_bits", img.totalBits());
     return img;
 }
 

@@ -16,6 +16,7 @@
 #include "nfa/transform.h"
 #include "partition/graph.h"
 #include "partition/partitioner.h"
+#include "telemetry/telemetry.h"
 
 namespace ca {
 
@@ -147,6 +148,7 @@ namespace detail {
 MappedAutomaton
 mapNfaOnce(const Nfa &input, const Design &design, const MapperOptions &opts)
 {
+    CA_TRACE_SCOPE("ca.compiler.map_attempt");
     Nfa nfa = input; // the compiler owns a mutable copy
     if (opts.optimizeSpace) {
         TransformStats ts = optimizeForSpace(nfa);
@@ -634,9 +636,28 @@ mapNfaOnce(const Nfa &input, const Design &design, const MapperOptions &opts)
 
 } // namespace detail
 
+namespace {
+
+void
+recordMappingMetrics(const MappingStats &stats)
+{
+    (void)stats; // unused when compiled with CA_TELEMETRY=0
+    CA_COUNTER_ADD("ca.compiler.maps", 1);
+    CA_COUNTER_ADD("ca.compiler.partitions_mapped", stats.partitions);
+    CA_COUNTER_ADD("ca.compiler.g1_edges", stats.g1Edges);
+    CA_COUNTER_ADD("ca.compiler.g4_edges", stats.g4Edges);
+    CA_COUNTER_ADD("ca.compiler.budget_violations",
+                   stats.budgetViolations);
+    CA_GAUGE_SET("ca.compiler.utilization_mb", stats.utilizationMB);
+    CA_HISTOGRAM_OBSERVE("ca.compiler.states_mapped", stats.states);
+}
+
+} // namespace
+
 MappedAutomaton
 mapNfa(const Nfa &input, const Design &design, const MapperOptions &opts)
 {
+    CA_TRACE_SCOPE("ca.compiler.map");
     // The pipeline is randomized (matching order, region growth); when a
     // mapping comes back with wire-budget shortfalls, a reseeded attempt
     // usually finds a feasible one. Keep the best of a few tries.
@@ -648,8 +669,10 @@ mapNfa(const Nfa &input, const Design &design, const MapperOptions &opts)
             o.strictBudgets = false; // already reported once if strict
         MappedAutomaton m = detail::mapNfaOnce(
             input, design, attempt == 0 ? opts : o);
-        if (m.stats().budgetViolations == 0)
+        if (m.stats().budgetViolations == 0) {
+            recordMappingMetrics(m.stats());
             return m;
+        }
         if (!best ||
             m.stats().budgetViolations < best->stats().budgetViolations)
             best.emplace(std::move(m));
@@ -657,6 +680,7 @@ mapNfa(const Nfa &input, const Design &design, const MapperOptions &opts)
     CA_WARN("mapping retained " << best->stats().budgetViolations
                                 << " wire-budget violation(s) after "
                                    "reseeded attempts");
+    recordMappingMetrics(best->stats());
     return std::move(*best);
 }
 

@@ -15,18 +15,31 @@ initialLevel()
     if (!env)
         return LogLevel::Warn;
     if (!std::strcmp(env, "quiet")) return LogLevel::Quiet;
+    if (!std::strcmp(env, "error")) return LogLevel::Error;
     if (!std::strcmp(env, "warn")) return LogLevel::Warn;
     if (!std::strcmp(env, "info")) return LogLevel::Info;
     if (!std::strcmp(env, "debug")) return LogLevel::Debug;
+    // One diagnostic, then the default — a typo'd CA_LOG silently eating
+    // info/debug output is much harder to spot than this line.
+    std::cerr << "warn: unrecognized CA_LOG value '" << env
+              << "' (expected quiet|error|warn|info|debug); "
+                 "using 'warn'\n";
     return LogLevel::Warn;
 }
 
-LogLevel g_level = initialLevel();
+/** Lazy so the unrecognized-value warning fires on first use, once. */
+LogLevel &
+levelRef()
+{
+    static LogLevel level = initialLevel();
+    return level;
+}
 
 const char *
 prefix(LogLevel level)
 {
     switch (level) {
+      case LogLevel::Error: return "error: ";
       case LogLevel::Warn: return "warn: ";
       case LogLevel::Info: return "info: ";
       case LogLevel::Debug: return "debug: ";
@@ -39,13 +52,13 @@ prefix(LogLevel level)
 LogLevel
 logLevel()
 {
-    return g_level;
+    return levelRef();
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    levelRef() = level;
 }
 
 namespace detail {

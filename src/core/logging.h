@@ -6,7 +6,8 @@
  * warn() for "this might not be what you want". Output goes to stderr so it
  * never corrupts bench tables printed on stdout. Level is controlled
  * programmatically or via the CA_LOG environment variable
- * (quiet|warn|info|debug).
+ * (quiet|error|warn|info|debug); unrecognized values fall back to warn
+ * with a one-time diagnostic.
  */
 #ifndef CA_CORE_LOGGING_H
 #define CA_CORE_LOGGING_H
@@ -16,7 +17,7 @@
 
 namespace ca {
 
-enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
+enum class LogLevel { Quiet = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
 
 /** Returns the process-wide log level (initialized from $CA_LOG once). */
 LogLevel logLevel();
@@ -40,6 +41,7 @@ void emitLog(LogLevel level, const std::string &msg);
         }                                                                   \
     } while (0)
 
+#define CA_ERROR(msg_expr) CA_LOG_AT(::ca::LogLevel::Error, msg_expr)
 #define CA_WARN(msg_expr) CA_LOG_AT(::ca::LogLevel::Warn, msg_expr)
 #define CA_INFO(msg_expr) CA_LOG_AT(::ca::LogLevel::Info, msg_expr)
 #define CA_DEBUG(msg_expr) CA_LOG_AT(::ca::LogLevel::Debug, msg_expr)

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/error.h"
+#include "telemetry/telemetry.h"
 
 namespace ca {
 
@@ -19,6 +20,7 @@ ComponentInfo::largestSize() const
 ComponentInfo
 connectedComponents(const Nfa &nfa)
 {
+    CA_TRACE_SCOPE("ca.partition.cc_analysis");
     const size_t n = nfa.numStates();
     ComponentInfo info;
     info.component.assign(n, ~uint32_t{0});

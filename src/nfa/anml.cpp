@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/error.h"
+#include "telemetry/telemetry.h"
 #include "core/string_utils.h"
 
 namespace ca {
@@ -182,6 +183,7 @@ parseStartAttr(const std::string &v)
 Nfa
 parseAnml(const std::string &text)
 {
+    CA_TRACE_SCOPE("ca.nfa.anml_parse");
     XmlScanner scanner(text);
     XmlTag tag;
 

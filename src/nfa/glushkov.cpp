@@ -5,6 +5,7 @@
 
 #include "core/error.h"
 #include "nfa/regex_parser.h"
+#include "telemetry/telemetry.h"
 
 namespace ca {
 
@@ -235,6 +236,7 @@ Nfa
 compileRuleset(const std::vector<std::string> &patterns,
                size_t max_positions, bool case_insensitive)
 {
+    CA_TRACE_SCOPE("ca.nfa.compile_ruleset");
     Nfa combined;
     for (size_t i = 0; i < patterns.size(); ++i) {
         RegexPattern pat = parseRegex(patterns[i]);
@@ -245,6 +247,9 @@ compileRuleset(const std::vector<std::string> &patterns,
         Nfa fragment = buildGlushkov(pat, opts);
         combined.merge(fragment);
     }
+    CA_COUNTER_ADD("ca.nfa.rulesets_compiled", 1);
+    CA_COUNTER_ADD("ca.nfa.patterns_compiled", patterns.size());
+    CA_COUNTER_ADD("ca.nfa.states_built", combined.numStates());
     return combined;
 }
 

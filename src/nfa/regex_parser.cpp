@@ -3,6 +3,7 @@
 #include <cctype>
 
 #include "core/error.h"
+#include "telemetry/telemetry.h"
 
 namespace ca {
 
@@ -244,6 +245,7 @@ class Parser
 RegexPattern
 parseRegex(const std::string &pattern)
 {
+    CA_COUNTER_ADD("ca.nfa.regex_parsed", 1);
     return Parser(pattern).parse();
 }
 

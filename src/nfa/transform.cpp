@@ -6,6 +6,7 @@
 
 #include "core/error.h"
 #include "core/rng.h"
+#include "telemetry/telemetry.h"
 
 namespace ca {
 
@@ -194,13 +195,19 @@ keepStates(Nfa &nfa, const std::vector<char> &keep)
 TransformStats
 mergePrefixes(Nfa &nfa)
 {
-    return bisimulationQuotient(nfa, /*backward=*/true);
+    CA_TRACE_SCOPE("ca.nfa.merge_prefixes");
+    TransformStats stats = bisimulationQuotient(nfa, /*backward=*/true);
+    CA_COUNTER_ADD("ca.nfa.prefix_states_merged", stats.removed());
+    return stats;
 }
 
 TransformStats
 mergeSuffixes(Nfa &nfa)
 {
-    return bisimulationQuotient(nfa, /*backward=*/false);
+    CA_TRACE_SCOPE("ca.nfa.merge_suffixes");
+    TransformStats stats = bisimulationQuotient(nfa, /*backward=*/false);
+    CA_COUNTER_ADD("ca.nfa.suffix_states_merged", stats.removed());
+    return stats;
 }
 
 TransformStats
@@ -262,6 +269,7 @@ removeDead(Nfa &nfa)
 TransformStats
 optimizeForSpace(Nfa &nfa)
 {
+    CA_TRACE_SCOPE("ca.nfa.optimize_space");
     TransformStats total;
     total.statesBefore = nfa.numStates();
     removeUnreachable(nfa);
@@ -270,6 +278,8 @@ optimizeForSpace(Nfa &nfa)
     TransformStats s = mergeSuffixes(nfa);
     total.statesAfter = nfa.numStates();
     total.iterations = p.iterations + s.iterations;
+    CA_COUNTER_ADD("ca.nfa.space_passes", 1);
+    CA_COUNTER_ADD("ca.nfa.states_removed", total.removed());
     return total;
 }
 

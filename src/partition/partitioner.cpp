@@ -6,6 +6,7 @@
 
 #include "core/error.h"
 #include "core/rng.h"
+#include "telemetry/telemetry.h"
 
 namespace ca {
 
@@ -441,7 +442,10 @@ computeEdgeCut(const Graph &g, const std::vector<int32_t> &part)
 PartitionResult
 partitionGraph(const Graph &g, int32_t k, const PartitionOptions &opts)
 {
+    CA_TRACE_SCOPE("ca.partition.kway");
     CA_FATAL_IF(k < 1, "k must be >= 1");
+    CA_COUNTER_ADD("ca.partition.runs", 1);
+    CA_HISTOGRAM_OBSERVE("ca.partition.graph_vertices", g.numVertices());
     const int32_t n = g.numVertices();
     CA_FATAL_IF(opts.partCapacity > 0 &&
                     g.totalVertexWeight() > opts.partCapacity * k,

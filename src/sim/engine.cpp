@@ -3,8 +3,52 @@
 #include <algorithm>
 
 #include "core/error.h"
+#include "telemetry/telemetry.h"
 
 namespace ca {
+
+#if CA_TELEMETRY
+namespace {
+
+/**
+ * Registry handles for the sim counters, resolved once per process. The
+ * hot loop never touches these: feed() flushes chunk-level deltas on
+ * exit, so the per-symbol path is identical with telemetry on or off and
+ * the disabled path costs one branch per feed() call.
+ */
+struct SimCounters
+{
+    telemetry::Counter &symbols;
+    telemetry::Counter &activeStates;
+    telemetry::Counter &activePartitionCycles;
+    telemetry::Counter &g1Crossings;
+    telemetry::Counter &g4Crossings;
+    telemetry::Counter &reports;
+    telemetry::Counter &fifoRefills;
+    telemetry::Counter &outputBufferInterrupts;
+    telemetry::Histogram &feedSymbols;
+
+    static SimCounters &
+    get()
+    {
+        auto &reg = telemetry::MetricsRegistry::global();
+        static SimCounters c{
+            reg.counter("ca.sim.symbols"),
+            reg.counter("ca.sim.active_states"),
+            reg.counter("ca.sim.active_partition_cycles"),
+            reg.counter("ca.sim.g1_crossings"),
+            reg.counter("ca.sim.g4_crossings"),
+            reg.counter("ca.sim.reports"),
+            reg.counter("ca.sim.fifo_refills"),
+            reg.counter("ca.sim.output_buffer_interrupts"),
+            reg.histogram("ca.sim.feed_symbols"),
+        };
+        return c;
+    }
+};
+
+} // namespace
+#endif // CA_TELEMETRY
 
 ActivityStats
 SimResult::activity() const
@@ -101,6 +145,20 @@ CacheAutomatonSim::reset()
 void
 CacheAutomatonSim::feed(const uint8_t *data, size_t size)
 {
+#if CA_TELEMETRY
+    const bool telemetry_on = telemetry::enabled();
+    struct
+    {
+        uint64_t symbols, activeStates, activePartitionCycles, g1, g4,
+            reports, fifoRefills, obInterrupts;
+    } before = {};
+    if (telemetry_on) {
+        before = {acc_.symbols, acc_.totalActiveStates,
+                  acc_.totalActivePartitionCycles, acc_.totalG1Crossings,
+                  acc_.totalG4Crossings, acc_.reports.size(),
+                  acc_.fifoRefills, acc_.outputBufferInterrupts};
+    }
+#endif
     for (size_t i = 0; i < size; ++i) {
         uint8_t c = data[i];
         const uint64_t label_bit = uint64_t{1} << (c & 63);
@@ -189,6 +247,22 @@ CacheAutomatonSim::feed(const uint8_t *data, size_t size)
         ++acc_.symbols;
         ++stream_offset_;
     }
+#if CA_TELEMETRY
+    if (telemetry_on) {
+        SimCounters &c = SimCounters::get();
+        c.symbols.add(acc_.symbols - before.symbols);
+        c.activeStates.add(acc_.totalActiveStates - before.activeStates);
+        c.activePartitionCycles.add(acc_.totalActivePartitionCycles -
+                                    before.activePartitionCycles);
+        c.g1Crossings.add(acc_.totalG1Crossings - before.g1);
+        c.g4Crossings.add(acc_.totalG4Crossings - before.g4);
+        c.reports.add(acc_.reports.size() - before.reports);
+        c.fifoRefills.add(acc_.fifoRefills - before.fifoRefills);
+        c.outputBufferInterrupts.add(acc_.outputBufferInterrupts -
+                                     before.obInterrupts);
+        c.feedSymbols.observe(size);
+    }
+#endif
 }
 
 SimResult
@@ -203,6 +277,7 @@ CacheAutomatonSim::result() const
 SimResult
 CacheAutomatonSim::run(const uint8_t *data, size_t size)
 {
+    CA_TRACE_SCOPE("ca.sim.run");
     reset();
     feed(data, size);
     return result();

@@ -1,0 +1,220 @@
+#include "telemetry/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ca::telemetry {
+
+namespace {
+
+const char *
+kindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter: return "counter";
+      case MetricKind::Gauge: return "gauge";
+      case MetricKind::Histogram: return "histogram";
+    }
+    return "?";
+}
+
+/** Minimal JSON string escaper (metric names are ASCII in practice). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Doubles must stay valid JSON (no "nan"/"inf" tokens). */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+MetricsRegistry::Entry &
+MetricsRegistry::lookup(const std::string &name, MetricKind kind)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        Entry entry;
+        entry.kind = kind;
+        switch (kind) {
+          case MetricKind::Counter:
+            entry.counter = std::make_unique<Counter>();
+            break;
+          case MetricKind::Gauge:
+            entry.gauge = std::make_unique<Gauge>();
+            break;
+          case MetricKind::Histogram:
+            entry.histogram = std::make_unique<Histogram>();
+            break;
+        }
+        it = entries_.emplace(name, std::move(entry)).first;
+    } else if (it->second.kind != kind) {
+        throw std::logic_error("telemetry metric '" + name +
+                               "' registered as " +
+                               kindName(it->second.kind) +
+                               ", requested as " + kindName(kind));
+    }
+    return it->second;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    return *lookup(name, MetricKind::Counter).counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    return *lookup(name, MetricKind::Gauge).gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    return *lookup(name, MetricKind::Histogram).histogram;
+}
+
+void
+MetricsRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, entry] : entries_) {
+        switch (entry.kind) {
+          case MetricKind::Counter: entry.counter->reset(); break;
+          case MetricKind::Gauge: entry.gauge->reset(); break;
+          case MetricKind::Histogram: entry.histogram->reset(); break;
+        }
+    }
+}
+
+size_t
+MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\"schema\":\"ca.metrics.v1\",\"metrics\":{";
+    bool first = true;
+    for (const auto &[name, entry] : entries_) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << jsonEscape(name) << "\":{\"type\":\""
+           << kindName(entry.kind) << '"';
+        switch (entry.kind) {
+          case MetricKind::Counter:
+            os << ",\"value\":" << entry.counter->value();
+            break;
+          case MetricKind::Gauge:
+            os << ",\"value\":" << jsonNumber(entry.gauge->value());
+            break;
+          case MetricKind::Histogram: {
+            const Histogram &h = *entry.histogram;
+            os << ",\"count\":" << h.count() << ",\"sum\":" << h.sum()
+               << ",\"max\":" << h.max()
+               << ",\"mean\":" << jsonNumber(h.mean()) << ",\"buckets\":[";
+            bool first_bucket = true;
+            for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+                uint64_t n = h.bucketCount(i);
+                if (n == 0)
+                    continue;
+                if (!first_bucket)
+                    os << ',';
+                first_bucket = false;
+                os << "{\"lo\":" << Histogram::bucketLow(i)
+                   << ",\"hi\":" << Histogram::bucketHigh(i)
+                   << ",\"count\":" << n << '}';
+            }
+            os << ']';
+            break;
+          }
+        }
+        os << '}';
+    }
+    os << "}}\n";
+}
+
+void
+MetricsRegistry::writeCsv(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "name,kind,value,count,sum,max,mean\n";
+    for (const auto &[name, entry] : entries_) {
+        os << name << ',' << kindName(entry.kind) << ',';
+        switch (entry.kind) {
+          case MetricKind::Counter:
+            os << entry.counter->value() << ",,,,\n";
+            break;
+          case MetricKind::Gauge:
+            os << entry.gauge->value() << ",,,,\n";
+            break;
+          case MetricKind::Histogram: {
+            const Histogram &h = *entry.histogram;
+            os << ',' << h.count() << ',' << h.sum() << ',' << h.max()
+               << ',' << h.mean() << '\n';
+            break;
+          }
+        }
+    }
+}
+
+bool
+MetricsRegistry::saveFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0)
+        writeCsv(out);
+    else
+        writeJson(out);
+    return static_cast<bool>(out);
+}
+
+} // namespace ca::telemetry

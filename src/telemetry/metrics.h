@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Process-wide metrics registry: counters, gauges, and histograms.
+ *
+ * Every stage of the compile→map→simulate pipeline reports its activity
+ * here under the `ca.<subsystem>.<name>` naming scheme (see
+ * docs/TELEMETRY.md), giving one uniform place to collect the numbers the
+ * paper's evaluation is built from (active states/partitions per cycle,
+ * G1/G4 crossings, mapping utilization) plus stage timing.
+ *
+ * Handles returned by the registry are stable for the process lifetime and
+ * update with relaxed atomics, so instrumented hot paths pay one atomic
+ * add. Registration takes a mutex; instrumentation sites therefore look a
+ * handle up once (see the CA_COUNTER_ADD macro in telemetry.h) and reuse
+ * it.
+ */
+#ifndef CA_TELEMETRY_METRICS_H
+#define CA_TELEMETRY_METRICS_H
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ca::telemetry {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void
+    add(uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Last-written instantaneous value (utilization, sizes, ratios). */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+    double value() const { return value_.load(std::memory_order_relaxed); }
+
+    void reset() { set(0.0); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed log2-scale histogram over non-negative integer samples.
+ *
+ * Bucket 0 holds exactly the value 0; bucket i >= 1 holds values in
+ * [2^(i-1), 2^i - 1] — i.e. bucketIndex(v) == std::bit_width(v). The 65
+ * buckets cover the full uint64_t range, so observe() never clips.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kNumBuckets = 65;
+
+    void
+    observe(uint64_t v)
+    {
+        buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+        uint64_t prev = max_.load(std::memory_order_relaxed);
+        while (v > prev &&
+               !max_.compare_exchange_weak(prev, v,
+                                           std::memory_order_relaxed)) {
+        }
+    }
+
+    uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+    uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+    uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+    double
+    mean() const
+    {
+        uint64_t n = count();
+        return n == 0 ? 0.0
+                      : static_cast<double>(sum()) / static_cast<double>(n);
+    }
+
+    uint64_t
+    bucketCount(int i) const
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+    static int
+    bucketIndex(uint64_t v)
+    {
+        return std::bit_width(v);
+    }
+
+    /** Smallest value bucket @p i accepts. */
+    static uint64_t
+    bucketLow(int i)
+    {
+        if (i <= 1)
+            return static_cast<uint64_t>(i);
+        return uint64_t{1} << (i - 1);
+    }
+
+    /** Largest value bucket @p i accepts. */
+    static uint64_t
+    bucketHigh(int i)
+    {
+        if (i == 0)
+            return 0;
+        if (i >= 64)
+            return ~uint64_t{0};
+        return (uint64_t{1} << i) - 1;
+    }
+
+    void
+    reset()
+    {
+        for (auto &b : buckets_)
+            b.store(0, std::memory_order_relaxed);
+        count_.store(0, std::memory_order_relaxed);
+        sum_.store(0, std::memory_order_relaxed);
+        max_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> buckets_[kNumBuckets]{};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+    std::atomic<uint64_t> max_{0};
+};
+
+enum class MetricKind { Counter, Gauge, Histogram };
+
+/**
+ * Thread-safe name → metric registry.
+ *
+ * Lookup creates the metric on first use; asking for an existing name with
+ * a different kind throws std::logic_error (a naming bug worth failing
+ * loudly on). Export order is deterministic (sorted by name).
+ */
+class MetricsRegistry
+{
+  public:
+    /** The process-wide registry the CA_* macros record into. */
+    static MetricsRegistry &global();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** Zeroes every registered metric (tests, per-run benches). */
+    void resetAll();
+
+    size_t size() const;
+
+    /** {"schema":"ca.metrics.v1","metrics":{name:{...}}} */
+    void writeJson(std::ostream &os) const;
+
+    /** Flat rows: name,kind,value,count,sum,max,mean */
+    void writeCsv(std::ostream &os) const;
+
+    /** Writes CSV when @p path ends in ".csv", JSON otherwise. */
+    bool saveFile(const std::string &path) const;
+
+  private:
+    struct Entry
+    {
+        MetricKind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry &lookup(const std::string &name, MetricKind kind);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace ca::telemetry
+
+#endif // CA_TELEMETRY_METRICS_H

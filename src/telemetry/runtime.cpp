@@ -1,0 +1,32 @@
+#include "telemetry/runtime.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ca::telemetry {
+
+namespace {
+
+bool
+envDefault()
+{
+    const char *env = std::getenv("CA_TELEMETRY");
+    if (!env)
+        return false;
+    return !std::strcmp(env, "1") || !std::strcmp(env, "on") ||
+           !std::strcmp(env, "true");
+}
+
+} // namespace
+
+namespace detail {
+std::atomic<bool> g_enabled{envDefault()};
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+} // namespace ca::telemetry

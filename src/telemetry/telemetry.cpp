@@ -1,0 +1,147 @@
+#include "telemetry/telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <ostream>
+#include <vector>
+
+namespace ca::telemetry {
+
+bool
+dumpMetrics(const std::string &path)
+{
+    return MetricsRegistry::global().saveFile(path);
+}
+
+bool
+dumpTrace(const std::string &path)
+{
+    return TraceCollector::global().saveFile(path);
+}
+
+void
+printStageSummary(std::ostream &os)
+{
+    struct Agg
+    {
+        uint64_t count = 0;
+        uint64_t total_us = 0;
+    };
+    std::map<std::string, Agg> by_name;
+    for (const TraceEvent &ev : TraceCollector::global().events()) {
+        Agg &a = by_name[ev.name];
+        ++a.count;
+        a.total_us += ev.durationMicros;
+    }
+
+    std::vector<std::pair<std::string, Agg>> rows(by_name.begin(),
+                                                  by_name.end());
+    std::sort(rows.begin(), rows.end(), [](const auto &a, const auto &b) {
+        return a.second.total_us > b.second.total_us;
+    });
+
+    size_t name_w = std::strlen("stage");
+    for (const auto &[name, agg] : rows)
+        name_w = std::max(name_w, name.size());
+
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-*s  %8s  %12s  %12s\n",
+                  static_cast<int>(name_w), "stage", "calls", "total ms",
+                  "mean ms");
+    os << line;
+    os << std::string(name_w + 2 + 8 + 2 + 12 + 2 + 12, '-') << '\n';
+    for (const auto &[name, agg] : rows) {
+        double total_ms = static_cast<double>(agg.total_us) / 1000.0;
+        double mean_ms = agg.count == 0
+            ? 0.0
+            : total_ms / static_cast<double>(agg.count);
+        std::snprintf(line, sizeof(line), "%-*s  %8llu  %12.3f  %12.3f\n",
+                      static_cast<int>(name_w), name.c_str(),
+                      static_cast<unsigned long long>(agg.count), total_ms,
+                      mean_ms);
+        os << line;
+    }
+    if (rows.empty())
+        os << "(no spans recorded; is telemetry enabled?)\n";
+}
+
+namespace {
+
+/** Matches "--flag value" and "--flag=value"; returns the value or "". */
+std::string
+matchFlag(const char *flag, int argc, const char *const *argv, int &i)
+{
+    const char *arg = argv[i];
+    size_t flag_len = std::strlen(flag);
+    if (std::strncmp(arg, flag, flag_len) != 0)
+        return "";
+    if (arg[flag_len] == '=')
+        return arg + flag_len + 1;
+    if (arg[flag_len] == '\0' && i + 1 < argc)
+        return argv[++i];
+    return "";
+}
+
+} // namespace
+
+CliSession::CliSession(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string v = matchFlag("--metrics-out", argc, argv, i);
+            !v.empty())
+            metrics_path_ = v;
+        else if (std::string t = matchFlag("--trace-out", argc, argv, i);
+                 !t.empty())
+            trace_path_ = t;
+    }
+    if (active())
+        setEnabled(true);
+}
+
+CliSession::~CliSession()
+{
+    if (!metrics_path_.empty()) {
+        if (dumpMetrics(metrics_path_))
+            std::fprintf(stderr, "[telemetry] wrote metrics to %s\n",
+                         metrics_path_.c_str());
+        else
+            std::fprintf(stderr, "[telemetry] FAILED to write %s\n",
+                         metrics_path_.c_str());
+    }
+    if (!trace_path_.empty()) {
+        if (dumpTrace(trace_path_))
+            std::fprintf(stderr, "[telemetry] wrote trace to %s "
+                                 "(open in chrome://tracing or Perfetto)\n",
+                         trace_path_.c_str());
+        else
+            std::fprintf(stderr, "[telemetry] FAILED to write %s\n",
+                         trace_path_.c_str());
+    }
+}
+
+int
+CliSession::stripArgs(int argc, char **argv)
+{
+    std::vector<char *> kept;
+    kept.reserve(static_cast<size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+        const char *arg = argv[i];
+        bool is_flag = !std::strncmp(arg, "--metrics-out", 13) ||
+                       !std::strncmp(arg, "--trace-out", 11);
+        if (i > 0 && is_flag) {
+            // "--flag value": also swallow the value argument.
+            if (!std::strchr(arg, '=') && i + 1 < argc)
+                ++i;
+            continue;
+        }
+        kept.push_back(argv[i]);
+    }
+    for (size_t i = 0; i < kept.size(); ++i)
+        argv[i] = kept[i];
+    argv[kept.size()] = nullptr;
+    return static_cast<int>(kept.size());
+}
+
+} // namespace ca::telemetry

@@ -1,0 +1,158 @@
+#include "telemetry/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <ostream>
+#include <thread>
+
+namespace ca::telemetry {
+
+namespace {
+
+uint64_t
+steadyNanos()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Small sequential ids beat hashed std::thread::id in trace viewers. */
+uint32_t
+currentTid()
+{
+    static std::atomic<uint32_t> next{1};
+    thread_local uint32_t tid = next.fetch_add(1);
+    return tid;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += ' ';
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+TraceCollector &
+TraceCollector::global()
+{
+    static TraceCollector collector;
+    return collector;
+}
+
+TraceCollector::TraceCollector() : epoch_ns_(steadyNanos())
+{
+}
+
+uint64_t
+TraceCollector::nowMicros() const
+{
+    return (steadyNanos() - epoch_ns_) / 1000;
+}
+
+void
+TraceCollector::record(std::string name, std::string category,
+                       uint64_t start_us, uint64_t duration_us)
+{
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.category = std::move(category);
+    ev.startMicros = start_us;
+    ev.durationMicros = duration_us;
+    ev.tid = currentTid();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (events_.size() >= capacity_) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(std::move(ev));
+}
+
+void
+TraceCollector::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    dropped_ = 0;
+}
+
+size_t
+TraceCollector::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+uint64_t
+TraceCollector::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+void
+TraceCollector::setCapacity(size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = capacity;
+}
+
+std::vector<TraceEvent>
+TraceCollector::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+void
+TraceCollector::writeChromeTrace(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &ev : events_) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "{\"name\":\"" << jsonEscape(ev.name) << "\",\"cat\":\""
+           << jsonEscape(ev.category)
+           << "\",\"ph\":\"X\",\"ts\":" << ev.startMicros
+           << ",\"dur\":" << ev.durationMicros
+           << ",\"pid\":1,\"tid\":" << ev.tid << '}';
+    }
+    os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+          "\"schema\":\"ca.trace.v1\",\"droppedEvents\":"
+       << dropped_ << "}}\n";
+}
+
+bool
+TraceCollector::saveFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeChromeTrace(out);
+    return static_cast<bool>(out);
+}
+
+} // namespace ca::telemetry

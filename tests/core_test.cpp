@@ -8,6 +8,7 @@
 
 #include "core/bitvector.h"
 #include "core/error.h"
+#include "core/logging.h"
 #include "core/rng.h"
 #include "core/string_utils.h"
 #include "core/symbol_set.h"
@@ -431,6 +432,40 @@ TEST(Error, AssertDistinguishesInternal)
 {
     EXPECT_THROW(CA_ASSERT(1 == 2), CaInternalError);
     EXPECT_NO_THROW(CA_ASSERT(1 == 1));
+}
+
+// ---------------------------------------------------------------- Logging
+
+TEST(Logging, LevelOrdering)
+{
+    // Error sits between Quiet and Warn so `error` silences warnings but
+    // keeps hard failures visible.
+    EXPECT_LT(static_cast<int>(LogLevel::Quiet),
+              static_cast<int>(LogLevel::Error));
+    EXPECT_LT(static_cast<int>(LogLevel::Error),
+              static_cast<int>(LogLevel::Warn));
+    EXPECT_LT(static_cast<int>(LogLevel::Warn),
+              static_cast<int>(LogLevel::Info));
+    EXPECT_LT(static_cast<int>(LogLevel::Info),
+              static_cast<int>(LogLevel::Debug));
+}
+
+TEST(Logging, ErrorMacroRespectsLevel)
+{
+    LogLevel saved = logLevel();
+
+    setLogLevel(LogLevel::Quiet);
+    testing::internal::CaptureStderr();
+    CA_ERROR("suppressed");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+
+    setLogLevel(LogLevel::Error);
+    testing::internal::CaptureStderr();
+    CA_ERROR("boom " << 42);
+    CA_WARN("also suppressed");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "error: boom 42\n");
+
+    setLogLevel(saved);
 }
 
 } // namespace

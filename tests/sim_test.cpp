@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "baseline/nfa_engine.h"
 #include "compiler/mapping.h"
 #include "nfa/glushkov.h"
@@ -54,6 +56,30 @@ TEST(Sim, EmptyInput)
     EXPECT_EQ(res.symbols, 0u);
     EXPECT_EQ(res.cycles, 0u);
     EXPECT_TRUE(res.reports.empty());
+}
+
+// Regression: the activity averages divide by `symbols`; a zero-symbol
+// result must yield zeros (not NaN/inf) so the energy model and bench
+// tables stay finite on empty streams.
+TEST(Sim, ZeroSymbolActivityIsFinite)
+{
+    Nfa nfa = compileRuleset({"ab"});
+    MappedAutomaton m = mapPerformance(nfa);
+    CacheAutomatonSim sim(m);
+    SimResult res = sim.run(nullptr, 0);
+
+    EXPECT_EQ(res.avgActiveStates(), 0.0);
+    ActivityStats a = res.activity();
+    EXPECT_EQ(a.avgActivePartitions, 0.0);
+    EXPECT_EQ(a.avgActiveStates, 0.0);
+    EXPECT_EQ(a.avgG1Crossings, 0.0);
+    EXPECT_EQ(a.avgG4Crossings, 0.0);
+    EXPECT_TRUE(std::isfinite(res.seconds(1e9)));
+
+    // A default-constructed result (never simulated) behaves the same.
+    SimResult blank;
+    EXPECT_EQ(blank.avgActiveStates(), 0.0);
+    EXPECT_EQ(blank.activity().avgActiveStates, 0.0);
 }
 
 TEST(Sim, ActivePartitionCountsEnabledPartitions)
