@@ -191,16 +191,12 @@ bench/CMakeFiles/bench_micro_engine.dir/bench_micro_engine.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/compiler/mapping.h /root/repo/src/arch/design.h \
- /usr/include/c++/12/optional /root/repo/src/arch/params.h \
- /root/repo/src/arch/switch_model.h /root/repo/src/arch/geometry.h \
- /root/repo/src/nfa/glushkov.h /root/repo/src/nfa/regex_ast.h \
- /usr/include/c++/12/memory \
+ /root/repo/src/telemetry/telemetry.h /root/repo/src/telemetry/metrics.h \
+ /usr/include/c++/12/bit /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
- /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
- /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/c++/12/ostream /usr/include/c++/12/ios \
+ /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
  /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
  /usr/include/c++/12/bits/locale_classes.h \
@@ -223,7 +219,15 @@ bench/CMakeFiles/bench_micro_engine.dir/bench_micro_engine.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/telemetry/runtime.h /root/repo/src/telemetry/trace.h \
+ /root/repo/src/compiler/mapping.h /root/repo/src/arch/design.h \
+ /usr/include/c++/12/optional /root/repo/src/arch/params.h \
+ /root/repo/src/arch/switch_model.h /root/repo/src/arch/geometry.h \
+ /root/repo/src/nfa/glushkov.h /root/repo/src/nfa/regex_ast.h \
  /root/repo/src/nfa/transform.h /root/repo/src/partition/graph.h \
  /root/repo/src/partition/partitioner.h /root/repo/src/sim/engine.h \
  /root/repo/src/arch/energy.h /root/repo/src/workload/input_gen.h \

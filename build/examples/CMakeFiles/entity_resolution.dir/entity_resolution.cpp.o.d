@@ -212,4 +212,11 @@ examples/CMakeFiles/entity_resolution.dir/entity_resolution.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/engine.h \
  /root/repo/src/arch/energy.h /root/repo/src/workload/input_gen.h \
- /root/repo/src/core/rng.h /root/repo/src/workload/rulegen.h
+ /root/repo/src/core/rng.h /root/repo/src/workload/rulegen.h \
+ /root/repo/src/telemetry/telemetry.h /root/repo/src/telemetry/metrics.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/telemetry/runtime.h /root/repo/src/telemetry/trace.h

@@ -207,4 +207,15 @@ examples/CMakeFiles/intrusion_detection.dir/intrusion_detection.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/engine.h \
  /root/repo/src/workload/input_gen.h /root/repo/src/core/rng.h \
- /root/repo/src/workload/rulegen.h
+ /root/repo/src/workload/rulegen.h /root/repo/src/telemetry/telemetry.h \
+ /root/repo/src/telemetry/metrics.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/telemetry/runtime.h /root/repo/src/telemetry/trace.h

@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/partition/CMakeFiles/ca_partition.dir/DependInfo.cmake"
   "/root/repo/build/src/arch/CMakeFiles/ca_arch.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/ca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/ca_telemetry.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

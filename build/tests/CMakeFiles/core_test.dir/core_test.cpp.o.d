@@ -294,5 +294,5 @@ tests/CMakeFiles/core_test.dir/core_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/bitvector.h /root/repo/src/core/error.h \
- /root/repo/src/core/rng.h /root/repo/src/core/string_utils.h \
- /root/repo/src/core/symbol_set.h
+ /root/repo/src/core/logging.h /root/repo/src/core/rng.h \
+ /root/repo/src/core/string_utils.h /root/repo/src/core/symbol_set.h

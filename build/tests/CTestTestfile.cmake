@@ -23,3 +23,4 @@ include("/root/repo/build/tests/streaming_test[1]_include.cmake")
 include("/root/repo/build/tests/report_utils_test[1]_include.cmake")
 include("/root/repo/build/tests/glushkov_extra_test[1]_include.cmake")
 include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/telemetry_test[1]_include.cmake")
