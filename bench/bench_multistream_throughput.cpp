@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Multi-stream runtime throughput: worker count × session count sweep.
+ *
+ * The paper's §2.8-2.9 system integration exists so one Cache Automaton
+ * can time-multiplex many concurrent input streams. This bench measures
+ * the software runtime that implements that model (src/runtime): a fixed
+ * total volume of synthetic network traffic is split evenly across N
+ * sessions, pumped by N producer threads, and simulated by W workers
+ * sharing one mapped automaton. Rows report wall-clock aggregate
+ * simulation throughput (these are *simulator* rates — the modeled
+ * hardware line rate is bench_fig7/bench_scaling_instances' job) plus
+ * the scheduler's context-switch count.
+ *
+ * Environment knobs:
+ *   CA_BENCH_BYTES — total traffic volume (default 4 MiB).
+ *   CA_BENCH_SCALE — ruleset size factor (default 1.0 = 200 rules).
+ */
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+#include "compiler/mapping.h"
+#include "core/string_utils.h"
+#include "nfa/glushkov.h"
+#include "runtime/report_sink.h"
+#include "runtime/stream_server.h"
+#include "workload/input_gen.h"
+#include "workload/rulegen.h"
+
+using namespace ca;
+using namespace ca::bench;
+
+namespace {
+
+struct SweepResult
+{
+    double wallMs = 0.0;
+    double aggregateGbps = 0.0;
+    uint64_t reports = 0;
+    uint64_t contextSwitches = 0;
+    uint64_t slices = 0;
+};
+
+SweepResult
+runSweep(const MappedAutomaton &mapped,
+         const std::vector<std::vector<uint8_t>> &streams, size_t workers)
+{
+    runtime::StreamServerOptions opts;
+    opts.workers = workers;
+    opts.sessionQueueDepth = 8;
+    opts.sliceSymbols = 32 << 10;
+    runtime::CountingSink sink;
+
+    uint64_t total_bytes = 0;
+    for (const auto &s : streams)
+        total_bytes += s.size();
+
+    auto t0 = std::chrono::steady_clock::now();
+    {
+        runtime::StreamServer server(mapped, opts);
+        std::vector<runtime::StreamSession *> sessions;
+        for (size_t i = 0; i < streams.size(); ++i)
+            sessions.push_back(&server.open(sink));
+        std::vector<std::thread> producers;
+        for (size_t i = 0; i < streams.size(); ++i) {
+            producers.emplace_back([&, i] {
+                const auto &in = streams[i];
+                // pcap-ish framing: submit in MTU-sized chunks.
+                constexpr size_t kMtu = 1500;
+                for (size_t pos = 0; pos < in.size(); pos += kMtu)
+                    sessions[i]->submit(in.data() + pos,
+                                        std::min(kMtu, in.size() - pos));
+                sessions[i]->close();
+            });
+        }
+        for (auto &t : producers)
+            t.join();
+
+        auto t1 = std::chrono::steady_clock::now();
+        SweepResult r;
+        r.wallMs =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        r.aggregateGbps = static_cast<double>(total_bytes) * 8.0 /
+            (r.wallMs * 1e-3) / 1e9;
+        runtime::ServerStats st = server.stats();
+        r.reports = st.reports;
+        r.contextSwitches = st.contextSwitches;
+        r.slices = st.slices;
+        return r;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    TelemetrySession telemetry(argc, argv);
+    BenchConfig cfg = BenchConfig::fromEnv();
+    size_t total_bytes = cfg.streamBytes;
+    if (total_bytes == (64u << 10)) // bench_common default: too small here
+        total_bytes = 4u << 20;
+
+    int rules_n = static_cast<int>(200 * cfg.scale);
+    std::vector<std::string> rules = genSnortRules(rules_n, cfg.seed);
+    Nfa nfa = compileRuleset(rules);
+    MappedAutomaton mapped = mapPerformance(nfa);
+    std::printf("Multi-stream runtime throughput — %d Snort-like rules, "
+                "%zu states, %zu partitions, %.1f MiB total traffic\n\n",
+                rules_n, mapped.nfa().numStates(), mapped.numPartitions(),
+                static_cast<double>(total_bytes) / (1 << 20));
+
+    InputSpec spec;
+    spec.kind = StreamKind::Payload;
+    spec.plantPatterns.assign(
+        rules.begin(), rules.begin() + std::min<size_t>(rules.size(), 32));
+    spec.plantsPer4k = 2.0;
+
+    TablePrinter t({"Workers", "Sessions", "Wall ms", "Agg Gb/s",
+                    "Reports", "Slices", "Ctx switches"});
+    double base_gbps = 0.0;
+    for (size_t workers : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+        for (size_t n_sessions : {size_t{1}, size_t{4}, size_t{16}}) {
+            std::vector<std::vector<uint8_t>> streams;
+            size_t per = total_bytes / n_sessions;
+            for (size_t i = 0; i < n_sessions; ++i)
+                streams.push_back(buildInput(spec, per, cfg.seed + i));
+            std::fprintf(stderr, "[bench] %zu workers x %zu sessions\n",
+                         workers, n_sessions);
+            SweepResult r = runSweep(mapped, streams, workers);
+            if (base_gbps == 0.0)
+                base_gbps = r.aggregateGbps;
+            t.addRow({std::to_string(workers),
+                      std::to_string(n_sessions), fixed(r.wallMs, 1),
+                      fixed(r.aggregateGbps, 3),
+                      std::to_string(r.reports),
+                      std::to_string(r.slices),
+                      std::to_string(r.contextSwitches)});
+        }
+    }
+    t.print();
+    std::printf("\n(aggregate = total traffic bits / wall seconds across "
+                "all sessions;\n 1-worker 1-session row is the "
+                "single-threaded baseline)\n");
+    return 0;
+}

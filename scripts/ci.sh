@@ -24,4 +24,13 @@ run_config build-telemetry-off -DCA_TELEMETRY=OFF
 # The telemetry suite on its own (fast sanity for iterating).
 ctest --test-dir build -L telemetry --output-on-failure -j "$JOBS"
 
+# ThreadSanitizer over the concurrency code: build only the runtime-
+# labeled tests (the multi-stream runtime and the checkpoint/streaming
+# contract it is built on) with -fsanitize=thread and run that subset.
+echo "=== configure build-tsan (ThreadSanitizer, runtime label) ==="
+cmake -B build-tsan -S . -DCA_TELEMETRY=ON \
+    "-DCMAKE_CXX_FLAGS=-fsanitize=thread"
+cmake --build build-tsan -j "$JOBS" --target runtime_test streaming_test
+ctest --test-dir build-tsan -L runtime --output-on-failure -j "$JOBS"
+
 echo "ci: all configurations passed"

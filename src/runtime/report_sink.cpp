@@ -1,0 +1,44 @@
+#include "runtime/report_sink.h"
+
+namespace ca::runtime {
+
+void
+CollectingSink::onReports(uint32_t sessionId, const Report *reports,
+                          size_t count)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &vec = reports_[sessionId];
+    vec.insert(vec.end(), reports, reports + count);
+}
+
+void
+CollectingSink::onClose(uint32_t sessionId, const SessionSummary &summary)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    summaries_[sessionId] = summary;
+}
+
+std::vector<Report>
+CollectingSink::reports(uint32_t sessionId) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = reports_.find(sessionId);
+    return it == reports_.end() ? std::vector<Report>{} : it->second;
+}
+
+SessionSummary
+CollectingSink::summary(uint32_t sessionId) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = summaries_.find(sessionId);
+    return it == summaries_.end() ? SessionSummary{} : it->second;
+}
+
+size_t
+CollectingSink::sessionsClosed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return summaries_.size();
+}
+
+} // namespace ca::runtime

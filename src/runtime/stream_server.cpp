@@ -1,0 +1,237 @@
+#include "runtime/stream_server.h"
+
+#include "core/error.h"
+#include "telemetry/telemetry.h"
+
+namespace ca::runtime {
+
+StreamServer::StreamServer(const MappedAutomaton &mapped,
+                           const StreamServerOptions &opts)
+    : mapped_(mapped), opts_(opts)
+{
+    if (opts_.workers == 0)
+        opts_.workers = 1;
+    if (opts_.sessionQueueDepth == 0)
+        opts_.sessionQueueDepth = 1;
+    if (opts_.sliceSymbols == 0)
+        opts_.sliceSymbols = 1;
+    // Reports are the product; the sink is the §2.8 output-buffer drain.
+    opts_.sim.collectReports = true;
+
+    // The checkpoint a fresh session starts from: offset 0, the start
+    // frontier (restore()-ing it is identical to reset()).
+    const Nfa &nfa = mapped_.nfa();
+    for (StateId s = 0; s < nfa.numStates(); ++s)
+        if (nfa.state(s).start != StartType::None)
+            initial_checkpoint_.enabledStates.push_back(s);
+
+    workers_.reserve(opts_.workers);
+    for (size_t i = 0; i < opts_.workers; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+StreamServer::~StreamServer()
+{
+    closeAll();
+    {
+        std::lock_guard<std::mutex> lock(sched_mutex_);
+        stopping_ = true;
+    }
+    sched_cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+StreamSession &
+StreamServer::open(ReportSink &sink)
+{
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions_.emplace_back(std::unique_ptr<StreamSession>(
+        new StreamSession(*this, next_session_id_++, sink)));
+    sessions_.back()->checkpoint_ = initial_checkpoint_;
+    ++stats_.sessionsOpened;
+    CA_COUNTER_ADD("ca.runtime.sessions_opened", 1);
+    CA_GAUGE_SET("ca.runtime.sessions_open",
+                 stats_.sessionsOpened - stats_.sessionsClosed);
+    return *sessions_.back();
+}
+
+StreamSession &
+StreamServer::open(ReportSink &sink, const SimCheckpoint &resume_from)
+{
+    for (StateId s : resume_from.enabledStates)
+        CA_FATAL_IF(s >= mapped_.nfa().numStates(),
+                    "resume checkpoint references state "
+                        << s << " outside automaton");
+    StreamSession &session = open(sink);
+    // No worker has seen the session yet, so its suspended state can be
+    // seeded without locking.
+    session.checkpoint_ = resume_from;
+    return session;
+}
+
+void
+StreamServer::closeAll()
+{
+    std::vector<StreamSession *> to_close;
+    {
+        std::lock_guard<std::mutex> lock(sessions_mutex_);
+        for (auto &s : sessions_)
+            to_close.push_back(s.get());
+    }
+    for (StreamSession *s : to_close)
+        if (!s->closed())
+            s->close();
+}
+
+ServerStats
+StreamServer::stats() const
+{
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    return stats_;
+}
+
+void
+StreamServer::schedule(StreamSession *session)
+{
+    {
+        std::lock_guard<std::mutex> lock(sched_mutex_);
+        run_queue_.push_back(session);
+    }
+    sched_cv_.notify_one();
+}
+
+void
+StreamServer::workerLoop(size_t worker_index)
+{
+    // One engine per worker, all bound to the shared read-only mapped
+    // automaton; per-stream state arrives as a SimCheckpoint.
+    CacheAutomatonSim sim(mapped_, opts_.sim);
+    std::vector<uint8_t> buf;
+    buf.reserve(static_cast<size_t>(
+        std::min<uint64_t>(opts_.sliceSymbols, 1u << 20)));
+
+    for (;;) {
+        StreamSession *session = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(sched_mutex_);
+            sched_cv_.wait(lock, [&] {
+                return stopping_ || !run_queue_.empty();
+            });
+            if (run_queue_.empty())
+                return; // stopping, queue drained
+            session = run_queue_.front();
+            run_queue_.pop_front();
+        }
+        runSlice(*session, sim, worker_index, buf);
+    }
+}
+
+void
+StreamServer::runSlice(StreamSession &s, CacheAutomatonSim &sim,
+                       size_t worker_index, std::vector<uint8_t> &buf)
+{
+    CA_TRACE_SCOPE_CAT("ca.runtime.slice", "ca.runtime");
+    {
+        std::lock_guard<std::mutex> lock(s.mutex_);
+        if (s.suspended_) {
+            // suspend() won the race before this slice started; park the
+            // session until resume()/close() reschedules it.
+            s.run_state_ = StreamSession::RunState::Idle;
+            s.drain_cv_.notify_all();
+            return;
+        }
+        s.run_state_ = StreamSession::RunState::Running;
+        ++s.stats_.slices;
+        if (worker_index < 64)
+            s.stats_.workerMask |= uint64_t{1} << worker_index;
+    }
+
+    // Resume (§2.9): load the session's saved automaton state into this
+    // worker's engine. Only the worker owning Running touches it.
+    sim.restore(s.checkpoint_);
+
+    uint64_t budget = opts_.sliceSymbols;
+    uint64_t fed = 0;
+    while (budget > 0) {
+        size_t n = s.takeInput(buf, static_cast<size_t>(budget));
+        if (n == 0)
+            break;
+        sim.feed(buf.data(), n);
+        fed += n;
+        budget -= n;
+    }
+
+    // Suspend: save the automaton state, drain the output buffer to the
+    // sink in stream order (the session is not yet requeued, so no other
+    // worker can interleave deliveries).
+    s.checkpoint_ = sim.checkpoint();
+    std::vector<Report> reports = sim.takeReports();
+    if (!reports.empty())
+        s.sink_.onReports(s.id_, reports.data(), reports.size());
+
+    // Aggregate into the server totals *before* the session's state
+    // transition below: once close()/flush() observe the transition and
+    // return, the server stats must already include this slice.
+    {
+        std::lock_guard<std::mutex> lock(sessions_mutex_);
+        stats_.symbols += fed;
+        stats_.reports += reports.size();
+        ++stats_.slices;
+    }
+
+    bool reschedule = false;
+    bool finalize = false;
+    bool context_switch = false;
+    SessionSummary summary;
+    {
+        std::lock_guard<std::mutex> lock(s.mutex_);
+        s.stats_.symbols += fed;
+        s.stats_.reports += reports.size();
+        if (s.suspended_) {
+            s.run_state_ = StreamSession::RunState::Idle;
+            s.drain_cv_.notify_all();
+        } else if (s.queued_bytes_ > 0) {
+            // More input arrived (or the quantum expired first): context
+            // switch — back of the run queue, round-robin.
+            s.run_state_ = StreamSession::RunState::Queued;
+            reschedule = true;
+            context_switch = true;
+            ++s.stats_.contextSwitches;
+        } else if (s.close_requested_ && !s.finalized_) {
+            finalize = true; // sink call happens outside the lock
+            summary = SessionSummary{s.stats_.symbols, s.stats_.reports};
+        } else {
+            s.run_state_ = StreamSession::RunState::Idle;
+            s.drain_cv_.notify_all();
+        }
+    }
+    if (context_switch) {
+        std::lock_guard<std::mutex> lock(sessions_mutex_);
+        ++stats_.contextSwitches;
+    }
+    if (reschedule)
+        schedule(&s);
+    if (finalize) {
+        s.sink_.onClose(s.id_, summary);
+        {
+            std::lock_guard<std::mutex> lock(sessions_mutex_);
+            ++stats_.sessionsClosed;
+            CA_GAUGE_SET("ca.runtime.sessions_open",
+                         stats_.sessionsOpened - stats_.sessionsClosed);
+        }
+        std::lock_guard<std::mutex> lock(s.mutex_);
+        s.finalized_ = true;
+        s.run_state_ = StreamSession::RunState::Idle;
+        s.drain_cv_.notify_all();
+    }
+    CA_COUNTER_ADD("ca.runtime.symbols", fed);
+    CA_COUNTER_ADD("ca.runtime.reports", reports.size());
+    CA_COUNTER_ADD("ca.runtime.slices", 1);
+    if (context_switch)
+        CA_COUNTER_ADD("ca.runtime.context_switches", 1);
+    if (finalize)
+        CA_COUNTER_ADD("ca.runtime.sessions_closed", 1);
+}
+
+} // namespace ca::runtime

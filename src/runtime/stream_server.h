@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Multi-stream runtime: a worker pool time-multiplexing many stream
+ * sessions over one immutable mapped automaton.
+ *
+ * The paper's system integration (§2.8-2.9) gives the Cache Automaton an
+ * input FIFO, an output report buffer, and OS suspend/resume of the
+ * active-state vector so one accelerator serves many streams. The
+ * StreamServer is that OS layer in software:
+ *
+ *   - One MappedAutomaton, shared read-only by every worker (each worker
+ *     binds its own CacheAutomatonSim to it — the per-stream state is in
+ *     the SimCheckpoint, not the automaton).
+ *   - N StreamSessions, each an independent stream with a bounded chunk
+ *     queue and a ReportSink.
+ *   - A fixed pool of workers executing sessions in round-robin
+ *     scheduling slices of at most `sliceSymbols` input bytes; a session
+ *     with work left re-enters the tail of the run queue (a context
+ *     switch), so sessions may far outnumber workers and still make
+ *     fair progress.
+ *
+ * Determinism: each session's delivered report stream is byte-identical
+ * to a single-threaded CacheAutomatonSim::run() over the concatenation
+ * of its chunks, for every worker count, slice length, and scheduling
+ * interleaving (enforced by tests/runtime_test.cpp).
+ */
+#ifndef CA_RUNTIME_STREAM_SERVER_H
+#define CA_RUNTIME_STREAM_SERVER_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "compiler/mapping.h"
+#include "runtime/stream_session.h"
+#include "sim/engine.h"
+
+namespace ca::runtime {
+
+/** Server configuration. */
+struct StreamServerOptions
+{
+    /** Worker threads (clamped to >= 1). */
+    size_t workers = 4;
+    /** Max queued chunks per session before submit() blocks. */
+    size_t sessionQueueDepth = 16;
+    /**
+     * Context-switch quantum: max input bytes one scheduling slice feeds
+     * before the session is suspended and requeued (clamped to >= 1).
+     */
+    uint64_t sliceSymbols = 64 << 10;
+    /**
+     * Simulator options for the per-worker engines. collectReports is
+     * forced on (reports are the product; the sink is the drain).
+     */
+    SimOptions sim;
+};
+
+/** Aggregate server accounting (all sessions, since construction). */
+struct ServerStats
+{
+    uint64_t sessionsOpened = 0;
+    uint64_t sessionsClosed = 0;
+    uint64_t symbols = 0;
+    uint64_t reports = 0;
+    uint64_t slices = 0;
+    uint64_t contextSwitches = 0;
+};
+
+/** The multi-stream runtime (one per mapped automaton). */
+class StreamServer
+{
+  public:
+    explicit StreamServer(const MappedAutomaton &mapped,
+                          const StreamServerOptions &opts = {});
+
+    /** Closes every open session (draining them), then joins workers. */
+    ~StreamServer();
+
+    StreamServer(const StreamServer &) = delete;
+    StreamServer &operator=(const StreamServer &) = delete;
+
+    /**
+     * Opens a new session reporting into @p sink. The sink must outlive
+     * the session; the returned session lives until the server dies.
+     */
+    StreamSession &open(ReportSink &sink);
+
+    /**
+     * Opens a session resuming from a suspended automaton state (§2.9):
+     * the first slice restore()s @p resume_from instead of resetting,
+     * so report offsets continue the original stream's numbering. The
+     * checkpoint must come from the same mapped automaton.
+     */
+    StreamSession &open(ReportSink &sink,
+                        const SimCheckpoint &resume_from);
+
+    /** close() on every session still open. */
+    void closeAll();
+
+    size_t workerCount() const { return workers_.size(); }
+    const MappedAutomaton &mapped() const { return mapped_; }
+    const StreamServerOptions &options() const { return opts_; }
+
+    ServerStats stats() const;
+
+  private:
+    friend class StreamSession;
+
+    /** Appends @p session to the run queue and wakes a worker. */
+    void schedule(StreamSession *session);
+
+    void workerLoop(size_t worker_index);
+
+    /** Runs one scheduling slice of @p session on @p sim. */
+    void runSlice(StreamSession &session, CacheAutomatonSim &sim,
+                  size_t worker_index, std::vector<uint8_t> &buf);
+
+    const MappedAutomaton &mapped_;
+    StreamServerOptions opts_;
+    /** Start-state frontier at offset 0: every session's first state. */
+    SimCheckpoint initial_checkpoint_;
+
+    // Scheduler: run queue of sessions owed a slice.
+    mutable std::mutex sched_mutex_;
+    std::condition_variable sched_cv_;
+    std::deque<StreamSession *> run_queue_;
+    bool stopping_ = false;
+
+    // Sessions (owned; stable addresses — workers hold raw pointers).
+    mutable std::mutex sessions_mutex_;
+    std::vector<std::unique_ptr<StreamSession>> sessions_;
+    uint32_t next_session_id_ = 0;
+
+    ServerStats stats_; ///< Guarded by sessions_mutex_.
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace ca::runtime
+
+#endif // CA_RUNTIME_STREAM_SERVER_H

@@ -291,6 +291,14 @@ CacheAutomatonSim::run(const uint8_t *data, size_t size,
     return run(data, size);
 }
 
+std::vector<Report>
+CacheAutomatonSim::takeReports()
+{
+    std::vector<Report> out = std::move(acc_.reports);
+    acc_.reports.clear();
+    return out;
+}
+
 SimCheckpoint
 CacheAutomatonSim::checkpoint() const
 {

@@ -129,6 +129,18 @@ class CacheAutomatonSim
         return run(input.data(), input.size());
     }
 
+    /**
+     * Moves out the reports accumulated since the last
+     * reset()/restore()/takeReports(); activity counters are untouched.
+     * Lets an incremental driver (the multi-stream runtime) drain the
+     * §2.8 output buffer between feed() slices without copying or
+     * re-reading earlier reports.
+     */
+    std::vector<Report> takeReports();
+
+    /** Absolute stream position: the offset the next symbol gets. */
+    uint64_t streamOffset() const { return stream_offset_; }
+
     /** Captures the §2.9 suspend state. */
     SimCheckpoint checkpoint() const;
 

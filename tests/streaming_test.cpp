@@ -43,8 +43,11 @@ TEST(Streaming, ChunkedFeedEqualsSingleRun)
     CacheAutomatonSim chunked(m);
     chunked.reset();
     size_t pos = 0;
-    // Deliberately odd chunk sizes, including empty chunks.
-    for (size_t chunk : {1000u, 1u, 0u, 4096u, 37u}) {
+    // Deliberately odd chunk sizes, including empty chunks. size_t
+    // literals keep std::min's arguments the same type everywhere
+    // (unsigned literals deduce a narrower type on LLP64/32-bit).
+    for (size_t chunk : {size_t{1000}, size_t{1}, size_t{0},
+                         size_t{4096}, size_t{37}}) {
         size_t n = std::min(chunk, input.size() - pos);
         chunked.feed(input.data() + pos, n);
         pos += n;
@@ -58,6 +61,46 @@ TEST(Streaming, ChunkedFeedEqualsSingleRun)
     EXPECT_EQ(got.totalActivePartitionCycles,
               expect.totalActivePartitionCycles);
     EXPECT_EQ(got.cycles, expect.cycles);
+}
+
+TEST(Streaming, EmptyInputYieldsEmptyResult)
+{
+    MappedAutomaton m = sampleMapped();
+    CacheAutomatonSim sim(m);
+    SimResult direct = sim.run(nullptr, 0);
+    EXPECT_EQ(direct.symbols, 0u);
+    EXPECT_EQ(direct.cycles, 0u);
+    EXPECT_TRUE(direct.reports.empty());
+
+    // An explicit empty feed() is a no-op too.
+    sim.reset();
+    sim.feed(nullptr, 0);
+    SimResult fed = sim.result();
+    EXPECT_EQ(fed.symbols, 0u);
+    EXPECT_TRUE(fed.reports.empty());
+}
+
+TEST(Streaming, FeedAfterResultContinuesTheStream)
+{
+    MappedAutomaton m = sampleMapped();
+    auto input = sampleInput(8 << 10, 13);
+    size_t cut = input.size() / 2;
+
+    CacheAutomatonSim whole(m);
+    SimResult expect = whole.run(input);
+
+    // result() is a snapshot, not a terminator: feeding afterwards must
+    // continue the same stream.
+    CacheAutomatonSim sim(m);
+    sim.reset();
+    sim.feed(input.data(), cut);
+    SimResult mid = sim.result();
+    EXPECT_EQ(mid.symbols, cut);
+    sim.feed(input.data() + cut, input.size() - cut);
+    SimResult full = sim.result();
+    EXPECT_EQ(full.reports, expect.reports);
+    EXPECT_EQ(full.symbols, expect.symbols);
+    EXPECT_EQ(full.cycles, expect.cycles);
 }
 
 TEST(Streaming, ResultIsIdempotent)
