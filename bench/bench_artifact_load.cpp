@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Cold-compile vs warm-artifact-load latency across the benchmark suite —
+ * the payoff of the persist layer's compile-once/load-many deployment
+ * model (§2.9, §5): a server warm-starting from a cached artifact skips
+ * rule parsing, CC analysis, prefix merging, and k-way partitioning.
+ *
+ * For every suite benchmark: time the full cold pipeline (ruleset
+ * generation excluded; regex compile + map + config image), persist the
+ * artifact, then time loadArtifact() on the same content. Alongside the
+ * stdout table, each row's numbers land in the telemetry registry as
+ * ca.persist.bench.<name>.{cold_ms,warm_ms,speedup} gauges, so
+ * `--metrics-out bench.json` exports machine-readable results.
+ */
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.h"
+#include "core/string_utils.h"
+#include "persist/artifact.h"
+#include "sim/engine.h"
+
+using namespace ca;
+using namespace ca::bench;
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    TelemetrySession telemetry(argc, argv);
+    ca::telemetry::setEnabled(true);
+    BenchConfig cfg = BenchConfig::fromEnv();
+    banner("Artifact store: cold compile vs warm load (CA_P)", cfg);
+
+    std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "ca_bench_artifacts";
+    std::filesystem::create_directories(dir);
+
+    TablePrinter t({"Benchmark", "States", "Artifact KB", "Cold ms",
+                    "Warm ms", "Speedup"});
+    std::vector<double> speedups;
+
+    for (const Benchmark &b : benchmarkSuite()) {
+        std::fprintf(stderr, "[artifact] %s...\n", b.name.c_str());
+
+        // Cold: the full per-process pipeline an artifact replaces.
+        auto t0 = std::chrono::steady_clock::now();
+        Nfa nfa = b.build(cfg.scale, cfg.seed);
+        MappedAutomaton mapped = mapPerformance(nfa);
+        ConfigImage image = buildConfigImage(mapped);
+        double cold_ms = msSince(t0);
+
+        persist::ArtifactMeta meta;
+        meta.label = b.name;
+        persist::ArtifactWriter writer(meta);
+        writer.setAutomaton(mapped);
+        writer.setImage(image);
+        std::string path = (dir / (b.name + ".caa")).string();
+        writer.writeFile(path);
+        double kb =
+            static_cast<double>(std::filesystem::file_size(path)) / 1024.0;
+
+        // Warm: checksum-verified load of the published artifact.
+        auto t1 = std::chrono::steady_clock::now();
+        persist::LoadedArtifact loaded = persist::loadArtifact(path);
+        double warm_ms = msSince(t1);
+
+        // Guard against the load being a no-op: the restored automaton
+        // must drive a sim (one tiny feed keeps the optimizer honest).
+        CacheAutomatonSim sim(loaded.automaton);
+        const uint8_t probe[] = {'x'};
+        sim.feed(probe, sizeof(probe));
+
+        double speedup = warm_ms > 0 ? cold_ms / warm_ms : 0.0;
+        speedups.push_back(speedup);
+        t.addRow({b.name, std::to_string(mapped.nfa().numStates()),
+                  fixed(kb, 1), fixed(cold_ms, 2), fixed(warm_ms, 2),
+                  fixed(speedup, 1) + "x"});
+
+        // Dynamic metric names, so the CA_GAUGE_SET macro (which caches
+        // one metric per call site) doesn't apply — use the registry.
+        auto &reg = ca::telemetry::MetricsRegistry::global();
+        std::string prefix = "ca.persist.bench." + b.name;
+        reg.gauge(prefix + ".cold_ms").set(cold_ms);
+        reg.gauge(prefix + ".warm_ms").set(warm_ms);
+        reg.gauge(prefix + ".speedup").set(speedup);
+    }
+    t.print();
+
+    double gm = geomean(speedups);
+    ca::telemetry::MetricsRegistry::global()
+        .gauge("ca.persist.bench.speedup_geomean")
+        .set(gm);
+    std::printf("\nGeomean warm-load speedup over cold compile: %.1fx\n",
+                gm);
+    return 0;
+}

@@ -6,9 +6,14 @@
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
  *   ./build/examples/quickstart
+ *
+ * Artifact workflow (docs/PERSIST.md):
+ *   quickstart --save-artifact rules.caa   # compile once, persist
+ *   quickstart --load-artifact rules.caa   # warm-start, skip the compile
  */
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,9 +23,28 @@
 #include "compiler/mapping.h"
 #include "nfa/analysis.h"
 #include "nfa/glushkov.h"
+#include "persist/artifact.h"
 #include "sim/engine.h"
 #include "telemetry/telemetry.h"
 #include "workload/input_gen.h"
+
+namespace {
+
+/** Finds `--flag <value>` or `--flag=value` in argv; empty when absent. */
+std::string
+argValue(int argc, char **argv, const std::string &flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == flag && i + 1 < argc)
+            return argv[i + 1];
+        if (arg.rfind(flag + "=", 0) == 0)
+            return arg.substr(flag.size() + 1);
+    }
+    return {};
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -33,6 +57,11 @@ main(int argc, char **argv)
     telemetry::CliSession session(argc, argv);
     telemetry::setEnabled(true);
 
+    const std::string save_path =
+        argValue(argc, argv, "--save-artifact");
+    const std::string load_path =
+        argValue(argc, argv, "--load-artifact");
+
     // 1. A toy ruleset — the paper's working example (§2.3) plus friends.
     std::vector<std::string> rules = {
         "bar?t?",          // bat, bar, bart ...
@@ -40,23 +69,43 @@ main(int argc, char **argv)
         "GET /[a-z]+",     // a Bro-flavoured rule
         "\\d{3}-\\d{4}",   // a phone-number shape
     };
-    Nfa nfa = compileRuleset(rules);
-    nfa.validate();
-    NfaStats st = nfa.stats();
-    std::printf("NFA: %zu states, %zu transitions, %zu start, %zu report\n",
-                st.numStates, st.numTransitions, st.numStartStates,
-                st.numReportStates);
-    ComponentInfo cc = connectedComponents(nfa);
-    std::printf("     %zu connected components (largest %zu)\n",
-                cc.numComponents(), cc.largestSize());
 
-    // 2. Map with both policies.
-    MappedAutomaton perf = mapPerformance(nfa);
-    MappedAutomaton space = mapSpace(nfa);
-    std::printf("CA_P: %zu partitions, %.3f MB cache\n",
-                perf.numPartitions(), perf.utilizationMB());
-    std::printf("CA_S: %zu partitions, %.3f MB cache\n",
-                space.numPartitions(), space.utilizationMB());
+    // 2. Compile + map — or warm-start from a saved artifact, the §2.9
+    //    compile-once/load-many deployment path.
+    std::shared_ptr<const MappedAutomaton> perf;
+    if (!load_path.empty()) {
+        persist::LoadedArtifact loaded = persist::loadArtifact(load_path);
+        perf = loaded.automaton;
+        std::printf("loaded artifact %s (label '%s'): %zu states, "
+                    "%zu partitions\n",
+                    load_path.c_str(), loaded.meta.label.c_str(),
+                    perf->nfa().numStates(), perf->numPartitions());
+    } else {
+        Nfa nfa = compileRuleset(rules);
+        nfa.validate();
+        NfaStats st = nfa.stats();
+        std::printf("NFA: %zu states, %zu transitions, %zu start, "
+                    "%zu report\n",
+                    st.numStates, st.numTransitions, st.numStartStates,
+                    st.numReportStates);
+        ComponentInfo cc = connectedComponents(nfa);
+        std::printf("     %zu connected components (largest %zu)\n",
+                    cc.numComponents(), cc.largestSize());
+
+        MappedAutomaton space = mapSpace(nfa);
+        perf = std::make_shared<const MappedAutomaton>(
+            mapPerformance(nfa));
+        std::printf("CA_P: %zu partitions, %.3f MB cache\n",
+                    perf->numPartitions(), perf->utilizationMB());
+        std::printf("CA_S: %zu partitions, %.3f MB cache\n",
+                    space.numPartitions(), space.utilizationMB());
+    }
+    if (!save_path.empty()) {
+        persist::ArtifactMeta meta;
+        meta.label = "quickstart CA_P";
+        persist::saveArtifact(save_path, *perf, meta);
+        std::printf("saved artifact %s\n", save_path.c_str());
+    }
 
     // 3. Simulate a 64 KB stream with planted matches.
     InputSpec spec;
@@ -73,13 +122,13 @@ main(int argc, char **argv)
                 res.reports.size(), res.avgActiveStates());
 
     // 4. Cross-check against the CPU oracle engine.
-    NfaEngine oracle(perf.nfa());
+    NfaEngine oracle(perf->nfa());
     std::vector<Report> expect = oracle.run(input);
     std::printf("oracle: %zu reports -> %s\n", expect.size(),
                 expect == res.reports ? "MATCH" : "MISMATCH");
 
     // 5. Performance and energy the architecture models predict.
-    const Design &d = perf.design();
+    const Design &d = perf->design();
     EnergyBreakdown e = computeEnergyPerSymbol(d, res.activity());
     std::printf("CA_P @ %.1f GHz: %.2f Gb/s (%.1fx over AP), "
                 "%.1f pJ/symbol\n",

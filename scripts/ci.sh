@@ -24,13 +24,23 @@ run_config build-telemetry-off -DCA_TELEMETRY=OFF
 # The telemetry suite on its own (fast sanity for iterating).
 ctest --test-dir build -L telemetry --output-on-failure -j "$JOBS"
 
+# The persist suite in both telemetry configurations: the artifact layer
+# is instrumented (ca.persist.* spans/counters), so it must behave
+# identically with the instrumentation compiled out.
+ctest --test-dir build -L persist --output-on-failure -j "$JOBS"
+ctest --test-dir build-telemetry-off -L persist --output-on-failure -j "$JOBS"
+
 # ThreadSanitizer over the concurrency code: build only the runtime-
-# labeled tests (the multi-stream runtime and the checkpoint/streaming
-# contract it is built on) with -fsanitize=thread and run that subset.
+# labeled tests (the multi-stream runtime, the checkpoint/streaming
+# contract it is built on, and the persist cache's shared-directory
+# concurrency) with -fsanitize=thread and run that subset. persist_test
+# carries the runtime label, so its concurrent-cache and artifact-backed
+# server-restart tests run under TSan here.
 echo "=== configure build-tsan (ThreadSanitizer, runtime label) ==="
 cmake -B build-tsan -S . -DCA_TELEMETRY=ON \
     "-DCMAKE_CXX_FLAGS=-fsanitize=thread"
-cmake --build build-tsan -j "$JOBS" --target runtime_test streaming_test
+cmake --build build-tsan -j "$JOBS" \
+    --target runtime_test streaming_test persist_test
 ctest --test-dir build-tsan -L runtime --output-on-failure -j "$JOBS"
 
 echo "ci: all configurations passed"

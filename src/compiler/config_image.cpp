@@ -3,6 +3,7 @@
 #include <map>
 
 #include "core/error.h"
+#include "core/serde.h"
 #include "telemetry/telemetry.h"
 
 namespace ca {
@@ -31,33 +32,21 @@ ConfigImage::totalBits() const
 std::vector<uint8_t>
 ConfigImage::serialize() const
 {
-    // Layout: [u32 partition count] then per partition: STE rows
-    // (row-major, packed LSB-first) followed by L-switch rows.
+    // Layout (pinned by compiler_test's golden-bytes test): [u32 partition
+    // count, little-endian] then per partition: STE rows (row-major, packed
+    // LSB-first, no per-row length prefix), L-switch rows, then the
+    // start-of-data / all-input / report masks. serde emits every multi-byte
+    // value little-endian byte-by-byte, so the image is host-portable.
     std::vector<uint8_t> out;
-    auto putU32 = [&](uint32_t v) {
-        for (int i = 0; i < 4; ++i)
-            out.push_back(static_cast<uint8_t>(v >> (8 * i)));
-    };
-    auto putBits = [&](const BitVector &bv) {
-        for (size_t byte = 0; byte * 8 < bv.size(); ++byte) {
-            uint8_t b = 0;
-            for (size_t bit = 0; bit < 8; ++bit) {
-                size_t idx = byte * 8 + bit;
-                if (idx < bv.size() && bv.test(idx))
-                    b |= static_cast<uint8_t>(1u << bit);
-            }
-            out.push_back(b);
-        }
-    };
-    putU32(static_cast<uint32_t>(partitions.size()));
+    serde::putU32(out, static_cast<uint32_t>(partitions.size()));
     for (const auto &p : partitions) {
         for (const auto &row : p.steRows)
-            putBits(row);
+            serde::putPackedBits(out, row);
         for (const auto &row : p.lSwitch.rowBits)
-            putBits(row);
-        putBits(p.startOfDataMask);
-        putBits(p.allInputMask);
-        putBits(p.reportMask);
+            serde::putPackedBits(out, row);
+        serde::putPackedBits(out, p.startOfDataMask);
+        serde::putPackedBits(out, p.allInputMask);
+        serde::putPackedBits(out, p.reportMask);
     }
     return out;
 }

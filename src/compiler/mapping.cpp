@@ -25,6 +25,93 @@ MappedAutomaton::MappedAutomaton(Nfa nfa, Design design)
 {
 }
 
+MappedAutomaton
+MappedAutomaton::fromParts(Nfa nfa, Design design,
+                           std::vector<SteLocation> locations,
+                           std::vector<PartitionInfo> partitions,
+                           std::vector<CrossEdge> cross_edges,
+                           MappingStats stats)
+{
+    nfa.validate();
+
+    const size_t n = nfa.numStates();
+    CA_FATAL_IF(locations.size() != n,
+                "mapped-automaton parts: " << locations.size()
+                    << " locations for " << n << " states");
+    CA_FATAL_IF(n > 0 && partitions.empty(),
+                "mapped-automaton parts: states but no partitions");
+
+    // Placement consistency: the location table and the partition slot
+    // lists must be exact inverses, within the design's slot bounds.
+    std::vector<uint8_t> placed(n, 0);
+    for (size_t p = 0; p < partitions.size(); ++p) {
+        const PartitionInfo &info = partitions[p];
+        CA_FATAL_IF(info.states.size() >
+                        static_cast<size_t>(design.partitionStes),
+                    "mapped-automaton parts: partition " << p << " holds "
+                        << info.states.size() << " states, design allows "
+                        << design.partitionStes);
+        for (size_t slot = 0; slot < info.states.size(); ++slot) {
+            StateId sid = info.states[slot];
+            CA_FATAL_IF(sid >= n, "mapped-automaton parts: partition "
+                                      << p << " references state " << sid);
+            CA_FATAL_IF(placed[sid],
+                        "mapped-automaton parts: state " << sid
+                            << " placed twice");
+            placed[sid] = 1;
+            const SteLocation &loc = locations[sid];
+            CA_FATAL_IF(loc.partition != p || loc.slot != slot,
+                        "mapped-automaton parts: location of state "
+                            << sid << " (" << loc.partition << ","
+                            << loc.slot << ") disagrees with partition "
+                            << p << " slot " << slot);
+        }
+    }
+    for (StateId s = 0; s < n; ++s)
+        CA_FATAL_IF(!placed[s],
+                    "mapped-automaton parts: state " << s << " unplaced");
+
+    // Cross-edge consistency: the cross list must be exactly the set of
+    // NFA edges whose endpoints land in different partitions.
+    std::unordered_set<uint64_t> cross_set;
+    cross_set.reserve(cross_edges.size() * 2);
+    for (const CrossEdge &e : cross_edges) {
+        CA_FATAL_IF(e.from >= n || e.to >= n,
+                    "mapped-automaton parts: cross edge state out of range");
+        CA_FATAL_IF(locations[e.from].partition ==
+                        locations[e.to].partition,
+                    "mapped-automaton parts: cross edge " << e.from << "->"
+                        << e.to << " is intra-partition");
+        uint64_t key = (static_cast<uint64_t>(e.from) << 32) | e.to;
+        CA_FATAL_IF(!cross_set.insert(key).second,
+                    "mapped-automaton parts: duplicate cross edge "
+                        << e.from << "->" << e.to);
+    }
+    size_t expected_cross = 0;
+    for (StateId s = 0; s < n; ++s) {
+        for (StateId t : nfa.state(s).out) {
+            if (locations[s].partition == locations[t].partition)
+                continue;
+            ++expected_cross;
+            uint64_t key = (static_cast<uint64_t>(s) << 32) | t;
+            CA_FATAL_IF(!cross_set.count(key),
+                        "mapped-automaton parts: NFA edge " << s << "->"
+                            << t << " crosses partitions but is missing "
+                               "from the cross-edge list");
+        }
+    }
+    CA_FATAL_IF(expected_cross != cross_edges.size(),
+                "mapped-automaton parts: " << cross_edges.size()
+                    << " cross edges listed, NFA has " << expected_cross);
+
+    MappedAutomaton mapped(std::move(nfa), std::move(design));
+    mapped.location_ = std::move(locations);
+    mapped.partitions_ = std::move(partitions);
+    mapped.cross_edges_ = std::move(cross_edges);
+    mapped.stats_ = stats;
+    return mapped;
+}
+
 namespace {
 
 /**

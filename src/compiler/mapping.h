@@ -105,6 +105,21 @@ class MappedAutomaton
   public:
     MappedAutomaton(Nfa nfa, Design design);
 
+    /**
+     * Reassembles a mapped automaton from externally stored parts — the
+     * persist layer's deserialization entry point. Cross-validates every
+     * piece (locations vs partition slot lists, cross edges vs NFA edges,
+     * slot bounds vs the design) so a corrupted-but-checksum-valid
+     * artifact can never produce out-of-bounds indices downstream.
+     *
+     * @throws CaError on any inconsistency.
+     */
+    static MappedAutomaton fromParts(Nfa nfa, Design design,
+                                     std::vector<SteLocation> locations,
+                                     std::vector<PartitionInfo> partitions,
+                                     std::vector<CrossEdge> cross_edges,
+                                     MappingStats stats);
+
     const Nfa &nfa() const { return nfa_; }
     const Design &design() const { return design_; }
 

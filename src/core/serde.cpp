@@ -1,0 +1,45 @@
+#include "core/serde.h"
+
+#include <array>
+
+namespace ca::serde {
+
+namespace {
+
+std::array<uint32_t, 256>
+makeCrcTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32(const uint8_t *data, size_t size, uint32_t seed)
+{
+    static const std::array<uint32_t, 256> table = makeCrcTable();
+    uint32_t c = seed ^ 0xffffffffu;
+    for (size_t i = 0; i < size; ++i)
+        c = table[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+uint64_t
+fnv1a64(const uint8_t *data, size_t size, uint64_t seed)
+{
+    uint64_t h = seed;
+    for (size_t i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace ca::serde

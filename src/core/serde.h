@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Byte-order-explicit serialization primitives.
+ *
+ * Everything this repository writes to disk (configuration bitstreams,
+ * persist artifacts) goes through these helpers so the on-disk layout is
+ * *defined* — little-endian, byte-by-byte, independent of the host's
+ * endianness or struct padding — and artifacts written on one machine
+ * load on any other. The reader side is bounds-checked: any read past
+ * the end of the buffer throws CaError, which is what lets the artifact
+ * layer guarantee "corrupt input ⇒ clean error, never UB".
+ *
+ * Also home to the two checksums the persist layer uses: CRC32 (IEEE,
+ * per-section integrity) and FNV-1a 64 (content-hash cache keys).
+ */
+#ifndef CA_CORE_SERDE_H
+#define CA_CORE_SERDE_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/bitvector.h"
+#include "core/error.h"
+
+namespace ca::serde {
+
+// --- Little-endian writers ---------------------------------------------
+
+inline void
+putU8(std::vector<uint8_t> &out, uint8_t v)
+{
+    out.push_back(v);
+}
+
+inline void
+putU16(std::vector<uint8_t> &out, uint16_t v)
+{
+    for (int i = 0; i < 2; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+inline void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+inline void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+inline void
+putI32(std::vector<uint8_t> &out, int32_t v)
+{
+    putU32(out, static_cast<uint32_t>(v));
+}
+
+/** IEEE-754 bit pattern, little-endian (all supported hosts use IEEE). */
+inline void
+putF64(std::vector<uint8_t> &out, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+/** u32 byte length followed by the raw bytes (no terminator). */
+inline void
+putString(std::vector<uint8_t> &out, const std::string &s)
+{
+    putU32(out, static_cast<uint32_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+/**
+ * The bits packed LSB-first into ceil(size/8) bytes, no length prefix —
+ * the packing ConfigImage::serialize() has always used (the bit count is
+ * implied by context there).
+ */
+inline void
+putPackedBits(std::vector<uint8_t> &out, const BitVector &bv)
+{
+    // Byte i is bits [8i, 8i+8) LSB-first — i.e. byte 8*(i%8) of backing
+    // word i/8, which BitVector keeps tail-masked, so slicing the words
+    // emits exactly the per-bit packing (just without the per-bit loop).
+    const std::vector<uint64_t> &words = bv.raw();
+    for (size_t byte = 0; byte * 8 < bv.size(); ++byte)
+        out.push_back(static_cast<uint8_t>(
+            words[byte / 8] >> (8 * (byte % 8))));
+}
+
+/** u32 bit count, then the putPackedBits() image (self-describing form). */
+inline void
+putBits(std::vector<uint8_t> &out, const BitVector &bv)
+{
+    putU32(out, static_cast<uint32_t>(bv.size()));
+    putPackedBits(out, bv);
+}
+
+// --- Bounds-checked reader ---------------------------------------------
+
+/**
+ * Sequential little-endian decoder over a borrowed buffer. Every accessor
+ * throws CaError when the remaining bytes cannot satisfy it, so decoding
+ * arbitrarily corrupted input is memory-safe by construction.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const uint8_t *data, size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    explicit ByteReader(const std::vector<uint8_t> &buf)
+        : ByteReader(buf.data(), buf.size())
+    {
+    }
+
+    size_t pos() const { return pos_; }
+    size_t remaining() const { return size_ - pos_; }
+    bool done() const { return pos_ == size_; }
+
+    uint8_t
+    u8()
+    {
+        need(1);
+        return data_[pos_++];
+    }
+
+    uint16_t
+    u16()
+    {
+        need(2);
+        uint16_t v = 0;
+        for (int i = 0; i < 2; ++i)
+            v = static_cast<uint16_t>(v | (uint16_t{data_[pos_++]} << (8 * i)));
+        return v;
+    }
+
+    uint32_t
+    u32()
+    {
+        need(4);
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= uint32_t{data_[pos_++]} << (8 * i);
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        need(8);
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= uint64_t{data_[pos_++]} << (8 * i);
+        return v;
+    }
+
+    int32_t i32() { return static_cast<int32_t>(u32()); }
+
+    double
+    f64()
+    {
+        uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        uint32_t len = u32();
+        need(len);
+        std::string s(reinterpret_cast<const char *>(data_ + pos_), len);
+        pos_ += len;
+        return s;
+    }
+
+    /** Decodes a putBits() image back into a BitVector. */
+    BitVector
+    bits()
+    {
+        uint32_t nbits = u32();
+        size_t nbytes = (static_cast<size_t>(nbits) + 7) / 8;
+        need(nbytes);
+        BitVector bv(nbits);
+        for (size_t byte = 0; byte < nbytes; ++byte) {
+            uint8_t b = data_[pos_ + byte];
+            // Hostile input may set padding bits past nbits in the last
+            // byte; mask them so BitVector's tail invariant holds.
+            if (byte == nbytes - 1 && (nbits % 8) != 0)
+                b &= static_cast<uint8_t>((1u << (nbits % 8)) - 1);
+            while (b) {
+                int bit = __builtin_ctz(b);
+                bv.setUnchecked(byte * 8 + static_cast<size_t>(bit));
+                b = static_cast<uint8_t>(b & (b - 1));
+            }
+        }
+        pos_ += nbytes;
+        return bv;
+    }
+
+    /** Borrowed view of the next @p n bytes (advances the cursor). */
+    const uint8_t *
+    bytes(size_t n)
+    {
+        need(n);
+        const uint8_t *p = data_ + pos_;
+        pos_ += n;
+        return p;
+    }
+
+    void skip(size_t n) { need(n); pos_ += n; }
+
+  private:
+    void
+    need(size_t n) const
+    {
+        CA_FATAL_IF(n > size_ - pos_,
+                    "serde: truncated input (need " << n << " bytes at offset "
+                        << pos_ << ", have " << (size_ - pos_) << ")");
+    }
+
+    const uint8_t *data_;
+    size_t size_;
+    size_t pos_ = 0;
+};
+
+// --- Checksums ----------------------------------------------------------
+
+/** CRC-32 (IEEE 802.3, reflected). @p seed chains incremental updates. */
+uint32_t crc32(const uint8_t *data, size_t size, uint32_t seed = 0);
+
+inline uint32_t
+crc32(const std::vector<uint8_t> &buf, uint32_t seed = 0)
+{
+    return crc32(buf.data(), buf.size(), seed);
+}
+
+constexpr uint64_t kFnv1a64Seed = 0xcbf29ce484222325ull;
+
+/** FNV-1a 64-bit; @p seed chains incremental updates. */
+uint64_t fnv1a64(const uint8_t *data, size_t size,
+                 uint64_t seed = kFnv1a64Seed);
+
+inline uint64_t
+fnv1a64(const std::vector<uint8_t> &buf, uint64_t seed = kFnv1a64Seed)
+{
+    return fnv1a64(buf.data(), buf.size(), seed);
+}
+
+inline uint64_t
+fnv1a64(const std::string &s, uint64_t seed = kFnv1a64Seed)
+{
+    return fnv1a64(reinterpret_cast<const uint8_t *>(s.data()), s.size(),
+                   seed);
+}
+
+} // namespace ca::serde
+
+#endif // CA_CORE_SERDE_H

@@ -1,0 +1,136 @@
+#include "persist/cache.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/error.h"
+#include "nfa/glushkov.h"
+#include "telemetry/telemetry.h"
+
+namespace ca::persist {
+
+ArtifactCache::ArtifactCache(std::string dir) : dir_(std::move(dir))
+{
+    CA_FATAL_IF(dir_.empty(), "artifact cache: empty directory");
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    CA_FATAL_IF(ec, "artifact cache: cannot create directory " << dir_
+                                                               << ": "
+                                                               << ec.message());
+}
+
+std::string
+ArtifactCache::pathForKey(uint64_t key) const
+{
+    std::ostringstream os;
+    os << std::hex << key;
+    std::string hex = os.str();
+    // Fixed-width so directory listings sort and keys are unambiguous.
+    return dir_ + "/ca-" + std::string(16 - hex.size(), '0') + hex + ".caa";
+}
+
+std::optional<LoadedArtifact>
+ArtifactCache::tryLoad(uint64_t key)
+{
+    CA_TRACE_SCOPE("ca.persist.cache.lookup");
+    std::string path = pathForKey(key);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec) || ec) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        CA_COUNTER_ADD("ca.persist.cache.misses", 1);
+        return std::nullopt;
+    }
+    try {
+        LoadedArtifact loaded = loadArtifact(path);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.hits;
+        }
+        CA_COUNTER_ADD("ca.persist.cache.hits", 1);
+        return loaded;
+    } catch (const CaError &) {
+        // Torn, corrupted, or version-skewed entry: evict and rebuild.
+        // (A concurrent writer may already have replaced it; removal
+        // failure is benign either way.)
+        std::error_code rm_ec;
+        std::filesystem::remove(path, rm_ec);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        ++stats_.corruptEvicted;
+        CA_COUNTER_ADD("ca.persist.cache.misses", 1);
+        CA_COUNTER_ADD("ca.persist.cache.corrupt_evicted", 1);
+        return std::nullopt;
+    }
+}
+
+void
+ArtifactCache::store(uint64_t key, const MappedAutomaton &mapped,
+                     const std::string &label)
+{
+    ArtifactMeta meta;
+    meta.label = label;
+    meta.contentKey = key;
+    saveArtifact(pathForKey(key), mapped, meta);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.stores;
+    }
+    CA_COUNTER_ADD("ca.persist.cache.stores", 1);
+}
+
+LoadedArtifact
+ArtifactCache::getOrBuild(uint64_t key,
+                          const std::function<MappedAutomaton()> &build,
+                          const std::string &label)
+{
+    CA_TRACE_SCOPE("ca.persist.cache.get");
+    if (std::optional<LoadedArtifact> hit = tryLoad(key))
+        return std::move(*hit);
+
+    MappedAutomaton mapped = build();
+    ConfigImage image = buildConfigImage(mapped);
+    ArtifactMeta meta;
+    meta.label = label;
+    meta.contentKey = key;
+    ArtifactWriter w(meta);
+    w.setAutomaton(mapped);
+    w.setImage(image);
+    w.writeFile(pathForKey(key));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.stores;
+    }
+    CA_COUNTER_ADD("ca.persist.cache.stores", 1);
+
+    LoadedArtifact out;
+    out.meta = meta;
+    out.automaton =
+        std::make_shared<const MappedAutomaton>(std::move(mapped));
+    out.image = std::move(image);
+    return out;
+}
+
+LoadedArtifact
+ArtifactCache::getOrCompile(const std::vector<std::string> &rules,
+                            const Design &design, const MapperOptions &opts,
+                            const std::string &label)
+{
+    uint64_t key = computeCacheKey(rules, design, opts);
+    return getOrBuild(
+        key,
+        [&] {
+            CA_TRACE_SCOPE("ca.persist.cache.cold_compile");
+            return mapNfa(compileRuleset(rules), design, opts);
+        },
+        label);
+}
+
+CacheStats
+ArtifactCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace ca::persist

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Compile-once / load-many artifact cache.
+ *
+ * A directory of content-addressed artifacts: the key is a hash of the
+ * compile inputs (ruleset text, design parameters, mapper options — see
+ * computeCacheKey), so any process that would compile the same automaton
+ * finds the same file. Publication is atomic (temp file + rename), which
+ * makes the directory safe to share between concurrent processes with no
+ * locking: a reader sees either a complete artifact or none, and racing
+ * writers produce identical bytes anyway (compilation is deterministic
+ * in the key's inputs).
+ *
+ * Corrupt or version-skewed cache entries are treated as misses, evicted,
+ * and rebuilt — a damaged cache degrades to cold compiles, never errors.
+ *
+ * Telemetry: ca.persist.cache.{hits,misses,stores,corrupt_evicted}
+ * counters and ca.persist.{save,load}* spans.
+ */
+#ifndef CA_PERSIST_CACHE_H
+#define CA_PERSIST_CACHE_H
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "persist/artifact.h"
+
+namespace ca::persist {
+
+/** Point-in-time cache accounting (per ArtifactCache instance). */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t stores = 0;
+    /** Entries that failed to load and were removed. */
+    uint64_t corruptEvicted = 0;
+};
+
+/** One cache directory; cheap to construct, safe to share across threads. */
+class ArtifactCache
+{
+  public:
+    /**
+     * Binds to @p dir, creating it (and parents) when absent.
+     * @throws CaError when the directory cannot be created.
+     */
+    explicit ArtifactCache(std::string dir);
+
+    const std::string &directory() const { return dir_; }
+
+    /** The artifact path key @p key maps to: dir/ca-<hex key>.caa. */
+    std::string pathForKey(uint64_t key) const;
+
+    /**
+     * Loads the cached artifact for @p key. Returns nullopt on a miss;
+     * a corrupt/unreadable entry is evicted and also reported as a miss.
+     */
+    std::optional<LoadedArtifact> tryLoad(uint64_t key);
+
+    /** Compiles-and-publishes: packs @p mapped under @p key atomically. */
+    void store(uint64_t key, const MappedAutomaton &mapped,
+               const std::string &label = {});
+
+    /**
+     * The cache's main entry point: returns the artifact for @p key,
+     * invoking @p build (a full compile) and publishing its result only
+     * on a miss.
+     */
+    LoadedArtifact getOrBuild(uint64_t key,
+                              const std::function<MappedAutomaton()> &build,
+                              const std::string &label = {});
+
+    /**
+     * Convenience getOrBuild for the standard pipeline: key =
+     * computeCacheKey(rules, design, opts); build = compileRuleset +
+     * mapNfa.
+     */
+    LoadedArtifact getOrCompile(const std::vector<std::string> &rules,
+                                const Design &design,
+                                const MapperOptions &opts = {},
+                                const std::string &label = {});
+
+    CacheStats stats() const;
+
+  private:
+    std::string dir_;
+    mutable std::mutex mutex_; ///< Guards stats_ only; I/O is lock-free.
+    CacheStats stats_;
+};
+
+} // namespace ca::persist
+
+#endif // CA_PERSIST_CACHE_H

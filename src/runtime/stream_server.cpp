@@ -1,9 +1,39 @@
 #include "runtime/stream_server.h"
 
 #include "core/error.h"
+#include "persist/artifact.h"
 #include "telemetry/telemetry.h"
 
 namespace ca::runtime {
+
+namespace {
+
+/** Null-checks before the delegating ctor dereferences. */
+const MappedAutomaton &
+requireAutomaton(const std::shared_ptr<const MappedAutomaton> &mapped)
+{
+    CA_FATAL_IF(!mapped, "StreamServer: null mapped automaton");
+    return *mapped;
+}
+
+} // namespace
+
+StreamServer::StreamServer(std::shared_ptr<const MappedAutomaton> mapped,
+                           const StreamServerOptions &opts)
+    : StreamServer(requireAutomaton(mapped), opts)
+{
+    owned_ = std::move(mapped);
+}
+
+std::unique_ptr<StreamServer>
+StreamServer::fromArtifact(const std::string &path,
+                           const StreamServerOptions &opts)
+{
+    CA_TRACE_SCOPE("ca.runtime.server_from_artifact");
+    persist::LoadedArtifact loaded = persist::loadArtifact(path);
+    return std::make_unique<StreamServer>(std::move(loaded.automaton),
+                                          opts);
+}
 
 StreamServer::StreamServer(const MappedAutomaton &mapped,
                            const StreamServerOptions &opts)

@@ -78,6 +78,24 @@ class StreamServer
     explicit StreamServer(const MappedAutomaton &mapped,
                           const StreamServerOptions &opts = {});
 
+    /**
+     * Co-owning variant for automata loaded from a persist artifact:
+     * the server keeps the loaded automaton alive for its lifetime.
+     * @throws CaError when @p mapped is null.
+     */
+    explicit StreamServer(std::shared_ptr<const MappedAutomaton> mapped,
+                          const StreamServerOptions &opts = {});
+
+    /**
+     * Warm-starts a server from an on-disk artifact (docs/PERSIST.md):
+     * loads, checksum-verifies, and cross-validates the compiled
+     * automaton, then serves it — no compile pipeline on the process's
+     * critical path. @throws CaError on a missing/corrupt artifact.
+     */
+    static std::unique_ptr<StreamServer>
+    fromArtifact(const std::string &path,
+                 const StreamServerOptions &opts = {});
+
     /** Closes every open session (draining them), then joins workers. */
     ~StreamServer();
 
@@ -120,6 +138,8 @@ class StreamServer
     void runSlice(StreamSession &session, CacheAutomatonSim &sim,
                   size_t worker_index, std::vector<uint8_t> &buf);
 
+    /** Keeps a loaded automaton alive; null when bound by reference. */
+    std::shared_ptr<const MappedAutomaton> owned_;
     const MappedAutomaton &mapped_;
     StreamServerOptions opts_;
     /** Start-state frontier at offset 0: every session's first state. */

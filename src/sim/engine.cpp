@@ -80,6 +80,25 @@ SimResult::seconds(double freq_hz) const
     return static_cast<double>(cycles) / freq_hz;
 }
 
+namespace {
+
+/** Null-checks before the delegating ctor dereferences. */
+const MappedAutomaton &
+requireAutomaton(const std::shared_ptr<const MappedAutomaton> &mapped)
+{
+    CA_FATAL_IF(!mapped, "CacheAutomatonSim: null mapped automaton");
+    return *mapped;
+}
+
+} // namespace
+
+CacheAutomatonSim::CacheAutomatonSim(
+    std::shared_ptr<const MappedAutomaton> mapped, const SimOptions &opts)
+    : CacheAutomatonSim(requireAutomaton(mapped), opts)
+{
+    owned_ = std::move(mapped);
+}
+
 CacheAutomatonSim::CacheAutomatonSim(const MappedAutomaton &mapped,
                                      const SimOptions &opts)
     : mapped_(mapped), opts_(opts)

@@ -21,6 +21,7 @@
 #define CA_SIM_ENGINE_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "arch/energy.h"
@@ -104,6 +105,15 @@ class CacheAutomatonSim
     explicit CacheAutomatonSim(const MappedAutomaton &mapped,
                                const SimOptions &opts = {});
 
+    /**
+     * Co-owning variant for automata loaded from disk (the persist
+     * layer returns shared ownership so the sim can outlive the
+     * loader's scope). @throws CaError when @p mapped is null.
+     */
+    explicit CacheAutomatonSim(
+        std::shared_ptr<const MappedAutomaton> mapped,
+        const SimOptions &opts = {});
+
     /** Rewinds to offset 0 (start states enabled, counters cleared). */
     void reset();
 
@@ -154,6 +164,8 @@ class CacheAutomatonSim
     const MappedAutomaton &mapped() const { return mapped_; }
 
   private:
+    /** Keeps a loaded automaton alive; null when bound by reference. */
+    std::shared_ptr<const MappedAutomaton> owned_;
     const MappedAutomaton &mapped_;
     SimOptions opts_;
 

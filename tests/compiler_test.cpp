@@ -239,6 +239,51 @@ TEST(ConfigImage, CrossEdgesCoveredBySwitchConfig)
     }
 }
 
+/**
+ * Golden bytes for the serialize() layout. This pins the on-disk format:
+ * [u32 partition count, little-endian], then per partition the STE rows,
+ * L-switch rows, and start-of-data / all-input / report masks, each
+ * packed LSB-first into ceil(bits/8) bytes with no per-row prefix. If
+ * this test fails, the layout changed — bump the persist artifact format
+ * version (src/persist/artifact.h) rather than editing the expectation.
+ */
+TEST(ConfigImage, SerializeGoldenBytes)
+{
+    ConfigImage img;
+    PartitionConfig p;
+    // Two 9-bit STE rows: bits {0,8} and {3}.
+    p.steRows.assign(2, BitVector(9));
+    p.steRows[0].set(0);
+    p.steRows[0].set(8);
+    p.steRows[1].set(3);
+    // Three 9-bit L-switch rows: {1}, {}, {7,8}.
+    p.lSwitch.inputs = 3;
+    p.lSwitch.outputs = 9;
+    p.lSwitch.rowBits.assign(3, BitVector(9));
+    p.lSwitch.rowBits[0].set(1);
+    p.lSwitch.rowBits[2].set(7);
+    p.lSwitch.rowBits[2].set(8);
+    p.startOfDataMask = BitVector(9);
+    p.startOfDataMask.set(0);
+    p.allInputMask = BitVector(9);
+    p.reportMask = BitVector(9);
+    p.reportMask.set(8);
+    img.partitions.push_back(std::move(p));
+
+    std::vector<uint8_t> expect = {
+        0x01, 0x00, 0x00, 0x00, // partition count, little-endian
+        0x01, 0x01,             // STE row 0: bits {0,8}
+        0x08, 0x00,             // STE row 1: bits {3}
+        0x02, 0x00,             // L-switch row 0: bits {1}
+        0x00, 0x00,             // L-switch row 1: empty
+        0x80, 0x01,             // L-switch row 2: bits {7,8}
+        0x01, 0x00,             // start-of-data mask: bits {0}
+        0x00, 0x00,             // all-input mask: empty
+        0x00, 0x01,             // report mask: bits {8}
+    };
+    EXPECT_EQ(img.serialize(), expect);
+}
+
 TEST(ConfigImage, SerializeStableAndNonEmpty)
 {
     Nfa nfa = compileRuleset({"ab", "cd"});

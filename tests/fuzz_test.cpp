@@ -8,11 +8,13 @@
 
 #include <string>
 
+#include "compiler/mapping.h"
 #include "core/error.h"
 #include "core/rng.h"
 #include "nfa/anml.h"
 #include "nfa/regex_parser.h"
 #include "nfa/glushkov.h"
+#include "persist/artifact.h"
 
 namespace ca {
 namespace {
@@ -116,6 +118,74 @@ TEST_P(AnmlFuzz, ParserNeverCrashesOnMutatedDocuments)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AnmlFuzz, ::testing::Range(0, 5));
+
+/** One small packed artifact, shared across the mutation trials. */
+const std::vector<uint8_t> &
+baseArtifact()
+{
+    static const std::vector<uint8_t> bytes = [] {
+        MappedAutomaton mapped =
+            mapPerformance(compileRuleset({"ab+c", "[x-z]q"}));
+        return persist::packArtifact(mapped, buildConfigImage(mapped));
+    }();
+    return bytes;
+}
+
+class ArtifactFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+/**
+ * The persist layer's core safety contract: an arbitrarily mutated
+ * artifact either loads cleanly (mutation confined to bytes the decoder
+ * ignores) or throws CaError — never UB, never an internal invariant
+ * trip, never an unchecked OOB from checksum-colliding corruption.
+ */
+TEST_P(ArtifactFuzz, MutatedArtifactsLoadOrThrow)
+{
+    Rng rng(GetParam() * 86243 + 19);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<uint8_t> bytes = baseArtifact();
+        int edits = 1 + static_cast<int>(rng.below(8));
+        for (int e = 0; e < edits && !bytes.empty(); ++e) {
+            size_t pos = rng.below(bytes.size());
+            switch (rng.below(4)) {
+              case 0: // delete
+                bytes.erase(bytes.begin() + static_cast<long>(pos));
+                break;
+              case 1: // overwrite
+                bytes[pos] = static_cast<uint8_t>(rng.below(256));
+                break;
+              case 2: // bit flip
+                bytes[pos] ^= static_cast<uint8_t>(1u << rng.below(8));
+                break;
+              default: // insert
+                bytes.insert(bytes.begin() + static_cast<long>(pos),
+                             static_cast<uint8_t>(rng.below(256)));
+            }
+        }
+        mustNotCrash(
+            [&] { (void)persist::loadArtifactBytes(std::move(bytes)); },
+            "mutated artifact (trial " + std::to_string(trial) + ")");
+    }
+}
+
+TEST_P(ArtifactFuzz, RandomBytesNeverCrashReader)
+{
+    Rng rng(GetParam() * 31013 + 29);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<uint8_t> bytes;
+        size_t len = rng.below(512);
+        bytes.reserve(len);
+        for (size_t i = 0; i < len; ++i)
+            bytes.push_back(static_cast<uint8_t>(rng.below(256)));
+        mustNotCrash(
+            [&] { (void)persist::loadArtifactBytes(std::move(bytes)); },
+            "random bytes as artifact");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArtifactFuzz, ::testing::Range(0, 5));
 
 TEST(SymbolSetFuzz, ClassParserNeverCrashes)
 {

@@ -55,6 +55,28 @@ TEST(Suite, GeneratorsDeterministic)
     }
 }
 
+/**
+ * Byte-level rulegen determinism: the persist layer's cache keys hash
+ * the ruleset *text* (persist::computeCacheKey), so two processes
+ * generating the same benchmark at the same seed must produce identical
+ * rule strings — not merely isomorphic automata — or the compile-once/
+ * load-many cache silently stops sharing.
+ */
+TEST(Suite, RulesetBytesDeterministicPerSeed)
+{
+    for (const Benchmark &b : benchmarkSuite()) {
+        std::vector<std::string> r1 = b.rules(0.02, kDefaultRuleSeed);
+        std::vector<std::string> r2 = b.rules(0.02, kDefaultRuleSeed);
+        EXPECT_EQ(r1, r2) << b.name;
+        ASSERT_FALSE(r1.empty()) << b.name;
+
+        // A different seed must actually change the generated text
+        // (otherwise the seed parameter is dead and collisions hide).
+        std::vector<std::string> other = b.rules(0.02, kDefaultRuleSeed + 1);
+        EXPECT_NE(r1, other) << b.name;
+    }
+}
+
 TEST(Suite, GeneratedAutomataValidate)
 {
     for (const Benchmark &b : benchmarkSuite()) {
