@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Network service throughput: loopback connections × streams sweep.
+ *
+ * The paper's deployment model (§2.8-2.9) feeds one shared accelerator
+ * from many independent input FIFOs; src/net puts those FIFOs on TCP
+ * sockets. This bench drives a loopback MatchServer with a load
+ * generator: C client connections, each multiplexing S streams, push a
+ * fixed total traffic volume in MTU-sized DATA frames. Rows report
+ * aggregate goodput (input bits through the matcher / wall seconds) and
+ * the p50/p99 FLUSH round-trip latency — one full frame → simulate →
+ * reports → ack cycle, i.e. the service's end-to-end pipeline latency
+ * under that load.
+ *
+ * Environment knobs:
+ *   CA_BENCH_BYTES — total traffic volume (default 4 MiB).
+ *   CA_BENCH_SCALE — ruleset size factor (default 1.0 = 200 rules).
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "bench_common.h"
+#include "compiler/mapping.h"
+#include "core/string_utils.h"
+#include "net/client.h"
+#include "net/match_server.h"
+#include "nfa/glushkov.h"
+#include "workload/input_gen.h"
+#include "workload/rulegen.h"
+
+using namespace ca;
+using namespace ca::bench;
+
+namespace {
+
+struct SweepResult
+{
+    double wallMs = 0.0;
+    double aggregateGbps = 0.0;
+    uint64_t reports = 0;
+    double p50FlushMs = 0.0;
+    double p99FlushMs = 0.0;
+};
+
+double
+percentile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
+    return sorted[idx];
+}
+
+SweepResult
+runSweep(net::MatchServer &server,
+         const std::vector<std::vector<uint8_t>> &streams,
+         size_t connections)
+{
+    const size_t per_conn = streams.size() / connections;
+    uint64_t total_bytes = 0;
+    for (const auto &s : streams)
+        total_bytes += s.size();
+
+    std::mutex lat_mutex;
+    std::vector<double> flush_ms;
+    std::atomic<uint64_t> reports{0};
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> generators;
+    for (size_t cn = 0; cn < connections; ++cn) {
+        generators.emplace_back([&, cn] {
+            net::MatchClient client;
+            client.connect("127.0.0.1", server.port());
+            std::vector<uint32_t> ids(per_conn);
+            for (size_t s = 0; s < per_conn; ++s)
+                ids[s] = client.openStream();
+            std::vector<double> local_lat;
+
+            // Round-robin MTU-sized chunks across this connection's
+            // streams; a timed FLUSH every ~64 KiB per stream (or a
+            // quarter of a short stream) samples the end-to-end
+            // pipeline latency under load.
+            constexpr size_t kMtu = 1500;
+            const size_t kFlushEvery = std::max<size_t>(
+                kMtu, std::min<size_t>(64u << 10,
+                                       streams[cn * per_conn].size() / 4));
+            std::vector<size_t> pos(per_conn, 0);
+            std::vector<size_t> since_flush(per_conn, 0);
+            for (bool any = true; any;) {
+                any = false;
+                for (size_t s = 0; s < per_conn; ++s) {
+                    const auto &in = streams[cn * per_conn + s];
+                    if (pos[s] >= in.size())
+                        continue;
+                    any = true;
+                    size_t n = std::min(kMtu, in.size() - pos[s]);
+                    client.send(ids[s], in.data() + pos[s], n);
+                    pos[s] += n;
+                    since_flush[s] += n;
+                    if (since_flush[s] >= kFlushEvery) {
+                        since_flush[s] = 0;
+                        auto f0 = std::chrono::steady_clock::now();
+                        client.flush(ids[s]);
+                        auto f1 = std::chrono::steady_clock::now();
+                        local_lat.push_back(
+                            std::chrono::duration<double, std::milli>(
+                                f1 - f0)
+                                .count());
+                    }
+                }
+            }
+            for (size_t s = 0; s < per_conn; ++s) {
+                net::StreamSummary sum = client.closeStream(ids[s]);
+                reports += sum.reports;
+            }
+            client.close();
+            std::lock_guard<std::mutex> lock(lat_mutex);
+            flush_ms.insert(flush_ms.end(), local_lat.begin(),
+                            local_lat.end());
+        });
+    }
+    for (auto &t : generators)
+        t.join();
+    auto t1 = std::chrono::steady_clock::now();
+
+    SweepResult r;
+    r.wallMs = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    r.aggregateGbps = static_cast<double>(total_bytes) * 8.0 /
+        (r.wallMs * 1e-3) / 1e9;
+    r.reports = reports.load();
+    std::sort(flush_ms.begin(), flush_ms.end());
+    r.p50FlushMs = percentile(flush_ms, 0.50);
+    r.p99FlushMs = percentile(flush_ms, 0.99);
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    TelemetrySession telemetry(argc, argv);
+    BenchConfig cfg = BenchConfig::fromEnv();
+    size_t total_bytes = cfg.streamBytes;
+    if (total_bytes == (64u << 10)) // bench_common default: too small here
+        total_bytes = 4u << 20;
+
+    int rules_n = static_cast<int>(200 * cfg.scale);
+    std::vector<std::string> rules = genSnortRules(rules_n, cfg.seed);
+    Nfa nfa = compileRuleset(rules);
+    MappedAutomaton mapped = mapPerformance(nfa);
+    std::printf("Network service throughput (loopback TCP) — %d "
+                "Snort-like rules, %zu states, %zu partitions, %.1f MiB "
+                "total traffic\n\n",
+                rules_n, mapped.nfa().numStates(), mapped.numPartitions(),
+                static_cast<double>(total_bytes) / (1 << 20));
+
+    InputSpec spec;
+    spec.kind = StreamKind::Payload;
+    spec.plantPatterns.assign(
+        rules.begin(), rules.begin() + std::min<size_t>(rules.size(), 32));
+    spec.plantsPer4k = 2.0;
+
+    net::MatchServerOptions opts;
+    opts.maxConnections = 32;
+    opts.stream.workers = std::max<size_t>(
+        2, std::thread::hardware_concurrency() / 2);
+    net::MatchServer server(mapped, opts);
+
+    TablePrinter t({"Conns", "Streams/conn", "Wall ms", "Agg Gb/s",
+                    "Reports", "p50 flush ms", "p99 flush ms"});
+    for (size_t connections : {size_t{1}, size_t{4}, size_t{16}}) {
+        for (size_t streams_per : {size_t{1}, size_t{4}}) {
+            size_t n_streams = connections * streams_per;
+            size_t per = total_bytes / n_streams;
+            std::vector<std::vector<uint8_t>> streams;
+            for (size_t i = 0; i < n_streams; ++i)
+                streams.push_back(buildInput(spec, per, cfg.seed + i));
+            std::fprintf(stderr, "[bench] %zu conns x %zu streams\n",
+                         connections, streams_per);
+            SweepResult r = runSweep(server, streams, connections);
+            t.addRow({std::to_string(connections),
+                      std::to_string(streams_per), fixed(r.wallMs, 1),
+                      fixed(r.aggregateGbps, 3),
+                      std::to_string(r.reports), fixed(r.p50FlushMs, 3),
+                      fixed(r.p99FlushMs, 3)});
+        }
+    }
+    server.stop();
+    t.print();
+
+    runtime::ServerStats st = server.streamStats();
+    net::NetServerStats ns = server.stats();
+    std::printf("\nserver totals: %llu sessions, %llu symbols, %llu "
+                "reports, %llu context switches, %llu frames in, %llu "
+                "frames out\n",
+                static_cast<unsigned long long>(st.sessionsOpened),
+                static_cast<unsigned long long>(st.symbols),
+                static_cast<unsigned long long>(st.reports),
+                static_cast<unsigned long long>(st.contextSwitches),
+                static_cast<unsigned long long>(ns.framesIn),
+                static_cast<unsigned long long>(ns.framesOut));
+    std::printf("(aggregate = total traffic bits / wall seconds; flush "
+                "RTT = DATA drained + reports delivered + ack)\n");
+    return 0;
+}

@@ -30,17 +30,23 @@ ctest --test-dir build -L telemetry --output-on-failure -j "$JOBS"
 ctest --test-dir build -L persist --output-on-failure -j "$JOBS"
 ctest --test-dir build-telemetry-off -L persist --output-on-failure -j "$JOBS"
 
+# The network suite in both telemetry configurations: the service layer
+# is instrumented end to end (ca.net.* spans/counters), and its loopback
+# determinism contract must hold with the instrumentation compiled out.
+ctest --test-dir build -L net --output-on-failure -j "$JOBS"
+ctest --test-dir build-telemetry-off -L net --output-on-failure -j "$JOBS"
+
 # ThreadSanitizer over the concurrency code: build only the runtime-
 # labeled tests (the multi-stream runtime, the checkpoint/streaming
-# contract it is built on, and the persist cache's shared-directory
-# concurrency) with -fsanitize=thread and run that subset. persist_test
-# carries the runtime label, so its concurrent-cache and artifact-backed
-# server-restart tests run under TSan here.
+# contract it is built on, the persist cache's shared-directory
+# concurrency, and the TCP match service's reader/writer/sink threads)
+# with -fsanitize=thread and run that subset. persist_test and net_test
+# carry the runtime label, so their concurrent tests run under TSan here.
 echo "=== configure build-tsan (ThreadSanitizer, runtime label) ==="
 cmake -B build-tsan -S . -DCA_TELEMETRY=ON \
     "-DCMAKE_CXX_FLAGS=-fsanitize=thread"
 cmake --build build-tsan -j "$JOBS" \
-    --target runtime_test streaming_test persist_test
+    --target runtime_test streaming_test persist_test net_test
 ctest --test-dir build-tsan -L runtime --output-on-failure -j "$JOBS"
 
 echo "ci: all configurations passed"

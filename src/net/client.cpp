@@ -1,0 +1,237 @@
+#include "net/client.h"
+
+#include <cerrno>
+#include <sys/socket.h>
+
+#include "core/error.h"
+#include "telemetry/telemetry.h"
+
+namespace ca::net {
+
+MatchClient::~MatchClient()
+{
+    if (fd_.valid())
+        close();
+}
+
+void
+MatchClient::connect(const std::string &host, uint16_t port,
+                     const ClientOptions &opts)
+{
+    CA_TRACE_SCOPE_CAT("ca.net.client_connect", "ca.net");
+    CA_FATAL_IF(fd_.valid(), "net: client is already connected");
+    opts_ = opts;
+    decoder_ = FrameDecoder(kMaxFramePayload);
+    rxbuf_.assign(64u << 10, 0);
+    fd_ = connectTcp(host, port, opts_.connectTimeoutMs);
+
+    std::vector<uint8_t> hello;
+    appendHello(hello, opts_.expectedFingerprint);
+    sendDraining(hello.data(), hello.size());
+
+    Frame reply = awaitFrame(FrameType::Hello, kConnectionStream);
+    CA_FATAL_IF(reply.version != kProtocolVersion,
+                "net: server speaks protocol v" << reply.version
+                    << ", this client v" << kProtocolVersion);
+    server_fingerprint_ = reply.fingerprint;
+    CA_FATAL_IF(opts_.expectedFingerprint != 0 &&
+                    server_fingerprint_ != opts_.expectedFingerprint,
+                "net: server automaton fingerprint mismatch");
+}
+
+uint32_t
+MatchClient::openStream()
+{
+    CA_FATAL_IF(!fd_.valid(), "net: openStream before connect");
+    uint32_t id = next_stream_id_++;
+    std::vector<uint8_t> frame;
+    appendOpenStream(frame, id);
+    sendDraining(frame.data(), frame.size());
+    collected_[id]; // materialize the report buffer
+    CA_COUNTER_ADD("ca.net.client_streams_opened", 1);
+    return id;
+}
+
+void
+MatchClient::send(uint32_t stream, const uint8_t *data, size_t size)
+{
+    CA_FATAL_IF(!fd_.valid(), "net: send before connect");
+    size_t max_chunk = opts_.maxFramePayload - 4;
+    std::vector<uint8_t> frame;
+    for (size_t pos = 0; pos < size || (size == 0 && pos == 0);) {
+        size_t n = std::min(max_chunk, size - pos);
+        frame.clear();
+        appendData(frame, stream, data + pos, n);
+        sendDraining(frame.data(), frame.size());
+        pos += n;
+        if (size == 0)
+            break;
+    }
+    CA_COUNTER_ADD("ca.net.client_bytes_sent", size);
+}
+
+void
+MatchClient::flush(uint32_t stream)
+{
+    CA_TRACE_SCOPE_CAT("ca.net.client_flush", "ca.net");
+    CA_FATAL_IF(!fd_.valid(), "net: flush before connect");
+    uint64_t token = next_flush_token_++;
+    std::vector<uint8_t> frame;
+    appendFlush(frame, stream, token);
+    sendDraining(frame.data(), frame.size());
+    for (;;) {
+        Frame ack = awaitFrame(FrameType::Flush, stream);
+        if (ack.flushToken == token)
+            return; // older tokens (pipelined flushes) are absorbed
+    }
+}
+
+StreamSummary
+MatchClient::closeStream(uint32_t stream)
+{
+    CA_TRACE_SCOPE_CAT("ca.net.client_close_stream", "ca.net");
+    CA_FATAL_IF(!fd_.valid(), "net: closeStream before connect");
+    std::vector<uint8_t> frame;
+    appendCloseStream(frame, stream);
+    sendDraining(frame.data(), frame.size());
+    Frame ack = awaitFrame(FrameType::CloseStream, stream);
+    return StreamSummary{ack.symbols, ack.reports};
+}
+
+const std::vector<Report> &
+MatchClient::reports(uint32_t stream) const
+{
+    static const std::vector<Report> kEmpty;
+    auto it = collected_.find(stream);
+    return it == collected_.end() ? kEmpty : it->second;
+}
+
+std::vector<Report>
+MatchClient::takeReports(uint32_t stream)
+{
+    auto it = collected_.find(stream);
+    if (it == collected_.end())
+        return {};
+    std::vector<Report> out = std::move(it->second);
+    collected_.erase(it);
+    return out;
+}
+
+void
+MatchClient::close()
+{
+    if (!fd_.valid())
+        return;
+    try {
+        std::vector<uint8_t> bye;
+        appendGoodbye(bye);
+        sendDraining(bye.data(), bye.size());
+        (void)awaitFrame(FrameType::Goodbye, kConnectionStream);
+    } catch (const CaError &) {
+        // Abortive close: the peer is gone or misbehaving; the socket
+        // teardown below is all that is left to do.
+    }
+    fd_.close();
+}
+
+void
+MatchClient::sendDraining(const uint8_t *data, size_t size)
+{
+    size_t sent = 0;
+    while (sent < size) {
+        long n = ::send(fd_.get(), data + sent, size - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                      errno == EINTR)) {
+            // The socket is full — likely because the server is pushing
+            // REPORTS we have not read. Drain them instead of deadlocking
+            // (server blocked writing reports ⇄ client blocked writing
+            // DATA is the classic distributed cycle).
+            drainIncoming();
+            if (!waitWritable(fd_.get(), 50))
+                continue;
+            continue;
+        }
+        CA_THROW("net: connection lost while sending");
+    }
+}
+
+void
+MatchClient::drainIncoming()
+{
+    while (waitReadable(fd_.get(), 0)) {
+        if (!pump(0))
+            return;
+        std::vector<Frame> frames;
+        std::optional<Frame> f;
+        while ((f = decoder_.next()))
+            absorb(std::move(*f), frames);
+        CA_FATAL_IF(!frames.empty(),
+                    "net: unexpected "
+                        << static_cast<unsigned>(frames.front().type)
+                        << " frame outside a request");
+    }
+}
+
+bool
+MatchClient::pump(int timeout_ms)
+{
+    long n = recvSome(fd_.get(), rxbuf_.data(), rxbuf_.size(), timeout_ms);
+    if (n > 0) {
+        decoder_.append(rxbuf_.data(), static_cast<size_t>(n));
+        return true;
+    }
+    if (n == -1)
+        return false; // timeout; caller decides
+    CA_THROW("net: server closed the connection");
+}
+
+void
+MatchClient::absorb(Frame &&f, std::vector<Frame> &out)
+{
+    switch (f.type) {
+      case FrameType::Reports: {
+        auto &buf = collected_[f.streamId];
+        buf.insert(buf.end(), f.reportBatch.begin(), f.reportBatch.end());
+        CA_COUNTER_ADD("ca.net.client_reports", f.reportBatch.size());
+        return;
+      }
+      case FrameType::Error:
+        CA_THROW("net: server error (" << errorCodeName(f.errorCode)
+                                       << "): " << f.message);
+      default:
+        out.push_back(std::move(f));
+        return;
+    }
+}
+
+Frame
+MatchClient::awaitFrame(FrameType type, uint32_t stream)
+{
+    for (;;) {
+        std::optional<Frame> f;
+        while ((f = decoder_.next())) {
+            std::vector<Frame> misc;
+            absorb(std::move(*f), misc);
+            for (Frame &m : misc) {
+                bool match = m.type == type &&
+                    (stream == kConnectionStream ||
+                     m.streamId == stream);
+                if (match)
+                    return std::move(m);
+                CA_THROW("net: unexpected frame type "
+                         << static_cast<unsigned>(m.type)
+                         << " while awaiting "
+                         << static_cast<unsigned>(type));
+            }
+        }
+        if (!pump(opts_.ioTimeoutMs))
+            CA_THROW("net: timed out waiting for server reply ("
+                     << opts_.ioTimeoutMs << " ms)");
+    }
+}
+
+} // namespace ca::net

@@ -1,0 +1,606 @@
+#include "net/match_server.h"
+
+#include <chrono>
+#include <sys/socket.h>
+
+#include "core/error.h"
+#include "core/logging.h"
+#include "persist/artifact.h"
+#include "telemetry/telemetry.h"
+
+namespace ca::net {
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * Per-connection state. The reader thread owns the protocol state
+ * machine; the writer thread owns the socket's send side; simulation
+ * workers reach the connection only through ConnectionSink/enqueueFrame.
+ */
+struct MatchServer::Connection
+{
+    uint64_t id = 0;
+    SocketFd fd;
+    std::thread reader;
+    std::thread writer;
+
+    // --- Outgoing frame queue (reader + workers feed, writer drains) --
+    std::mutex out_mutex;
+    std::condition_variable out_cv;
+    std::deque<std::vector<uint8_t>> outq;
+    size_t outBytes = 0;
+    /** Writer exits once the queue is empty (graceful teardown). */
+    bool drainStop = false;
+
+    /** Hard failure (slow consumer, write error): drop queue, die now. */
+    std::atomic<bool> failed{false};
+    /** Graceful end requested (GOODBYE, protocol error, timeout). */
+    bool ending = false;
+
+    // --- Protocol state (reader thread only) --------------------------
+    bool helloDone = false;
+
+    /** Live client streamId -> runtime session (reader + stop()). */
+    std::mutex streams_mutex;
+    std::map<uint32_t, runtime::StreamSession *> streams;
+
+    std::unique_ptr<ConnectionSink> sink;
+
+    /** Reader exited; connection is reapable. */
+    std::atomic<bool> done{false};
+};
+
+/**
+ * Bridges one connection's sessions back onto the wire: translates the
+ * runtime's session ids to the client's stream ids and turns each
+ * in-order report batch into REPORTS frames. Never blocks (report_sink.h
+ * forbids it) — a consumer that cannot keep up trips the outgoing-queue
+ * cap and is dropped instead.
+ */
+class MatchServer::ConnectionSink final : public runtime::ReportSink
+{
+  public:
+    ConnectionSink(MatchServer &server, Connection &conn)
+        : server_(server), conn_(conn)
+    {
+    }
+
+    void
+    registerStream(uint32_t runtime_id, uint32_t client_id)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ids_[runtime_id] = client_id;
+    }
+
+    void
+    unregisterStream(uint32_t runtime_id)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ids_.erase(runtime_id);
+    }
+
+    void
+    onReports(uint32_t sessionId, const Report *reports,
+              size_t count) override
+    {
+        uint32_t client_id;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = ids_.find(sessionId);
+            if (it == ids_.end())
+                return; // stream already torn down
+            client_id = it->second;
+        }
+        size_t max_per_frame = std::min<size_t>(
+            std::max<size_t>(server_.opts_.reportBatch, 1),
+            (server_.opts_.maxFramePayload - 8) / kWireReportBytes);
+        for (size_t i = 0; i < count; i += max_per_frame) {
+            size_t n = std::min(max_per_frame, count - i);
+            std::vector<uint8_t> frame;
+            frame.reserve(kFrameHeaderBytes + 8 + n * kWireReportBytes);
+            appendReports(frame, client_id, reports + i, n);
+            server_.enqueueFrame(conn_, std::move(frame));
+        }
+        {
+            std::lock_guard<std::mutex> lock(server_.stats_mutex_);
+            server_.stats_.reportsSent += count;
+        }
+        CA_COUNTER_ADD("ca.net.reports_sent", count);
+    }
+
+  private:
+    MatchServer &server_;
+    Connection &conn_;
+    std::mutex mutex_;
+    std::map<uint32_t, uint32_t> ids_;
+};
+
+namespace {
+
+const MappedAutomaton &
+requireAutomaton(const std::shared_ptr<const MappedAutomaton> &mapped)
+{
+    CA_FATAL_IF(!mapped, "MatchServer: null mapped automaton");
+    return *mapped;
+}
+
+} // namespace
+
+MatchServer::MatchServer(const MappedAutomaton &mapped,
+                         const MatchServerOptions &opts)
+    : opts_(opts), stream_(mapped, opts.stream)
+{
+    CA_TRACE_SCOPE_CAT("ca.net.server_start", "ca.net");
+    opts_.maxFramePayload =
+        std::min(std::max(opts_.maxFramePayload, 64u), kMaxFramePayload);
+    if (opts_.maxConnections == 0)
+        opts_.maxConnections = 1;
+    if (opts_.maxStreamsPerConnection == 0)
+        opts_.maxStreamsPerConnection = 1;
+    fingerprint_ = automatonFingerprint(mapped);
+    listener_ = listenTcp(opts_.bindAddress, opts_.port);
+    port_ = localPort(listener_);
+    accept_thread_ = std::thread([this] { acceptLoop(); });
+}
+
+MatchServer::MatchServer(std::shared_ptr<const MappedAutomaton> mapped,
+                         const MatchServerOptions &opts)
+    : MatchServer(requireAutomaton(mapped), opts)
+{
+    owned_ = std::move(mapped);
+}
+
+std::unique_ptr<MatchServer>
+MatchServer::fromArtifact(const std::string &path,
+                          const MatchServerOptions &opts)
+{
+    CA_TRACE_SCOPE_CAT("ca.net.server_from_artifact", "ca.net");
+    persist::LoadedArtifact loaded = persist::loadArtifact(path);
+    return std::make_unique<MatchServer>(std::move(loaded.automaton),
+                                         opts);
+}
+
+MatchServer::~MatchServer()
+{
+    stop();
+}
+
+void
+MatchServer::stop()
+{
+    std::call_once(stop_once_, [this] {
+        stopping_.store(true);
+        // Unblock and retire the accept loop first: no new admissions
+        // while connections drain.
+        listener_.shutdown(SHUT_RDWR);
+        if (accept_thread_.joinable())
+            accept_thread_.join();
+        listener_.close();
+
+        // Graceful per-connection drain: stop reading (EOF for the
+        // reader), which makes each reader close its open sessions,
+        // flush queued REPORTS + GOODBYE, and only then close sockets.
+        {
+            std::lock_guard<std::mutex> lock(conns_mutex_);
+            for (auto &c : conns_)
+                if (!c->done.load())
+                    c->fd.shutdown(SHUT_RD);
+        }
+        std::vector<std::unique_ptr<Connection>> finished;
+        {
+            std::lock_guard<std::mutex> lock(conns_mutex_);
+            finished.swap(conns_);
+        }
+        for (auto &c : finished)
+            if (c->reader.joinable())
+                c->reader.join();
+    });
+}
+
+NetServerStats
+MatchServer::stats() const
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+}
+
+void
+MatchServer::acceptLoop()
+{
+    while (!stopping_.load()) {
+        SocketFd fd = acceptTcp(listener_, 100);
+        reapFinishedConnections();
+        if (!fd.valid())
+            continue;
+        if (stopping_.load())
+            break;
+
+        if (active_.load() >= opts_.maxConnections) {
+            // Admission control: explicit BUSY, then the door closes.
+            // The cap protects the connections already being served.
+            std::vector<uint8_t> err;
+            appendError(err, ErrorCode::Busy, kConnectionStream,
+                        "connection limit reached");
+            sendAll(fd.get(), err.data(), err.size(), 1000);
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++stats_.connectionsRejected;
+            }
+            CA_COUNTER_ADD("ca.net.connections_rejected", 1);
+            continue;
+        }
+
+        auto conn = std::make_unique<Connection>();
+        conn->id = next_conn_id_++;
+        conn->fd = std::move(fd);
+        conn->sink = std::make_unique<ConnectionSink>(*this, *conn);
+        active_.fetch_add(1);
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.connectionsAccepted;
+        }
+        CA_COUNTER_ADD("ca.net.connections_accepted", 1);
+        CA_GAUGE_SET("ca.net.connections_open", active_.load());
+
+        Connection &c = *conn;
+        c.writer = std::thread([this, &c] { writerLoop(c); });
+        c.reader = std::thread([this, &c] { readerLoop(c); });
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        conns_.push_back(std::move(conn));
+    }
+}
+
+void
+MatchServer::reapFinishedConnections()
+{
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+        if ((*it)->done.load()) {
+            if ((*it)->reader.joinable())
+                (*it)->reader.join();
+            it = conns_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+MatchServer::enqueueFrame(Connection &c, std::vector<uint8_t> frame)
+{
+    bool drop = false;
+    {
+        std::lock_guard<std::mutex> lock(c.out_mutex);
+        if (c.failed.load())
+            return; // connection already condemned; frames are void
+        c.outBytes += frame.size();
+        c.outq.push_back(std::move(frame));
+        if (c.outBytes > opts_.maxOutgoingBytes) {
+            // Slow consumer: the client is not draining REPORTS. Sinks
+            // must never block a worker, so the only bounded-memory
+            // answer is to drop the connection.
+            c.failed.store(true);
+            c.outq.clear();
+            c.outBytes = 0;
+            drop = true;
+        }
+    }
+    c.out_cv.notify_one();
+    if (drop) {
+        c.fd.shutdown(SHUT_RDWR); // unblock both threads
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.slowConsumerDrops;
+        }
+        CA_COUNTER_ADD("ca.net.slow_consumer_drops", 1);
+    }
+}
+
+void
+MatchServer::writerLoop(Connection &c)
+{
+    for (;;) {
+        std::vector<uint8_t> frame;
+        {
+            std::unique_lock<std::mutex> lock(c.out_mutex);
+            c.out_cv.wait(lock, [&] {
+                return c.failed.load() || c.drainStop || !c.outq.empty();
+            });
+            if (c.failed.load())
+                return;
+            if (c.outq.empty()) {
+                if (c.drainStop)
+                    return; // graceful: queue flushed, nothing pending
+                continue;
+            }
+            frame = std::move(c.outq.front());
+            c.outq.pop_front();
+            c.outBytes -= frame.size();
+        }
+        if (!sendAll(c.fd.get(), frame.data(), frame.size(),
+                     opts_.writeTimeoutMs)) {
+            c.failed.store(true);
+            c.fd.shutdown(SHUT_RDWR); // unblock the reader's poll
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++stats_.writeTimeouts;
+            }
+            CA_COUNTER_ADD("ca.net.write_timeouts", 1);
+            c.out_cv.notify_all();
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.framesOut;
+            stats_.bytesOut += frame.size();
+        }
+        CA_COUNTER_ADD("ca.net.frames_out", 1);
+        CA_COUNTER_ADD("ca.net.bytes_out", frame.size());
+    }
+}
+
+void
+MatchServer::failConnection(Connection &c, ErrorCode code,
+                            uint32_t streamId, const std::string &message)
+{
+    std::vector<uint8_t> err;
+    appendError(err, code, streamId, message);
+    enqueueFrame(c, std::move(err));
+    c.ending = true;
+}
+
+void
+MatchServer::closeConnectionStreams(Connection &c)
+{
+    std::map<uint32_t, runtime::StreamSession *> streams;
+    {
+        std::lock_guard<std::mutex> lock(c.streams_mutex);
+        streams.swap(c.streams);
+    }
+    for (auto &[client_id, session] : streams) {
+        session->close(); // drains queued input; reports still flow out
+        c.sink->unregisterStream(session->id());
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.streamsClosed;
+        }
+        CA_COUNTER_ADD("ca.net.streams_closed", 1);
+    }
+}
+
+bool
+MatchServer::dispatchFrame(Connection &c, Frame &&f)
+{
+    if (!c.helloDone) {
+        if (f.type != FrameType::Hello) {
+            failConnection(c, ErrorCode::ProtocolError, kConnectionStream,
+                           "expected HELLO as the first frame");
+            return false;
+        }
+        CA_TRACE_SCOPE_CAT("ca.net.handshake", "ca.net");
+        if (f.version != kProtocolVersion) {
+            failConnection(c, ErrorCode::VersionMismatch,
+                           kConnectionStream,
+                           "unsupported protocol version " +
+                               std::to_string(f.version));
+            return false;
+        }
+        if (f.fingerprint != 0 && f.fingerprint != fingerprint_) {
+            failConnection(c, ErrorCode::FingerprintMismatch,
+                           kConnectionStream,
+                           "served automaton fingerprint differs");
+            return false;
+        }
+        std::vector<uint8_t> reply;
+        appendHello(reply, fingerprint_);
+        enqueueFrame(c, std::move(reply));
+        c.helloDone = true;
+        return true;
+    }
+
+    switch (f.type) {
+      case FrameType::Hello:
+        failConnection(c, ErrorCode::ProtocolError, kConnectionStream,
+                       "duplicate HELLO");
+        return false;
+
+      case FrameType::OpenStream: {
+        CA_TRACE_SCOPE_CAT("ca.net.open_stream", "ca.net");
+        std::lock_guard<std::mutex> lock(c.streams_mutex);
+        if (c.streams.count(f.streamId)) {
+            failConnection(c, ErrorCode::DuplicateStream, f.streamId,
+                           "stream id already open");
+            return false;
+        }
+        if (c.streams.size() >= opts_.maxStreamsPerConnection) {
+            failConnection(c, ErrorCode::StreamLimit, f.streamId,
+                           "per-connection stream limit reached");
+            return false;
+        }
+        runtime::StreamSession &session = stream_.open(*c.sink);
+        // Register the id mapping before any DATA can produce reports.
+        c.sink->registerStream(session.id(), f.streamId);
+        c.streams.emplace(f.streamId, &session);
+        {
+            std::lock_guard<std::mutex> slock(stats_mutex_);
+            ++stats_.streamsOpened;
+        }
+        CA_COUNTER_ADD("ca.net.streams_opened", 1);
+        return true;
+      }
+
+      case FrameType::Data: {
+        runtime::StreamSession *session = nullptr;
+        {
+            std::lock_guard<std::mutex> lock(c.streams_mutex);
+            auto it = c.streams.find(f.streamId);
+            if (it != c.streams.end())
+                session = it->second;
+        }
+        if (!session) {
+            failConnection(c, ErrorCode::UnknownStream, f.streamId,
+                           "DATA for a stream that is not open");
+            return false;
+        }
+        // Blocking submit is the backpressure path: a full session
+        // queue parks this reader, the kernel receive buffer fills,
+        // and TCP flow control stalls the client.
+        session->submit(f.data.data(), f.data.size());
+        return true;
+      }
+
+      case FrameType::Flush: {
+        CA_TRACE_SCOPE_CAT("ca.net.flush", "ca.net");
+        runtime::StreamSession *session = nullptr;
+        {
+            std::lock_guard<std::mutex> lock(c.streams_mutex);
+            auto it = c.streams.find(f.streamId);
+            if (it != c.streams.end())
+                session = it->second;
+        }
+        if (!session) {
+            failConnection(c, ErrorCode::UnknownStream, f.streamId,
+                           "FLUSH for a stream that is not open");
+            return false;
+        }
+        // flush() returns only after every prior chunk's reports went
+        // through the sink — i.e. the REPORTS frames are already queued
+        // ahead of this acknowledgement on the single writer queue.
+        session->flush();
+        std::vector<uint8_t> ack;
+        appendFlush(ack, f.streamId, f.flushToken);
+        enqueueFrame(c, std::move(ack));
+        return true;
+      }
+
+      case FrameType::CloseStream: {
+        CA_TRACE_SCOPE_CAT("ca.net.close_stream", "ca.net");
+        runtime::StreamSession *session = nullptr;
+        {
+            std::lock_guard<std::mutex> lock(c.streams_mutex);
+            auto it = c.streams.find(f.streamId);
+            if (it != c.streams.end()) {
+                session = it->second;
+                c.streams.erase(it);
+            }
+        }
+        if (!session) {
+            failConnection(c, ErrorCode::UnknownStream, f.streamId,
+                           "CLOSE_STREAM for a stream that is not open");
+            return false;
+        }
+        session->close();
+        c.sink->unregisterStream(session->id());
+        runtime::SessionStats st = session->stats();
+        std::vector<uint8_t> ack;
+        appendCloseStream(ack, f.streamId, st.symbols, st.reports);
+        enqueueFrame(c, std::move(ack));
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.streamsClosed;
+        }
+        CA_COUNTER_ADD("ca.net.streams_closed", 1);
+        return true;
+      }
+
+      case FrameType::Goodbye: {
+        std::vector<uint8_t> bye;
+        appendGoodbye(bye);
+        enqueueFrame(c, std::move(bye));
+        return false; // reader tears down, closing remaining streams
+      }
+
+      case FrameType::Reports:
+      case FrameType::Error:
+        failConnection(c, ErrorCode::ProtocolError, kConnectionStream,
+                       "client sent a server-only frame");
+        return false;
+    }
+    failConnection(c, ErrorCode::ProtocolError, kConnectionStream,
+                   "unhandled frame type");
+    return false;
+}
+
+void
+MatchServer::readerLoop(Connection &c)
+{
+    FrameDecoder decoder(opts_.maxFramePayload);
+    std::vector<uint8_t> buf(64u << 10);
+    Clock::time_point last_activity = Clock::now();
+    bool running = true;
+
+    while (running && !stopping_.load() && !c.failed.load() && !c.ending) {
+        try {
+            std::optional<Frame> f;
+            while (running && !c.ending && (f = decoder.next())) {
+                {
+                    std::lock_guard<std::mutex> lock(stats_mutex_);
+                    ++stats_.framesIn;
+                }
+                CA_COUNTER_ADD("ca.net.frames_in", 1);
+                running = dispatchFrame(c, std::move(*f));
+            }
+        } catch (const CaError &e) {
+            // Malformed frame: clean per-connection error + teardown;
+            // the rest of the server keeps serving.
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++stats_.protocolErrors;
+            }
+            CA_COUNTER_ADD("ca.net.protocol_errors", 1);
+            failConnection(c, ErrorCode::ProtocolError, kConnectionStream,
+                           e.what());
+            break;
+        }
+        if (!running || c.ending)
+            break;
+
+        long n = recvSome(c.fd.get(), buf.data(), buf.size(), 100);
+        if (n > 0) {
+            decoder.append(buf.data(), static_cast<size_t>(n));
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                stats_.bytesIn += static_cast<uint64_t>(n);
+            }
+            CA_COUNTER_ADD("ca.net.bytes_in", n);
+            last_activity = Clock::now();
+        } else if (n == 0 || n == -2) {
+            break; // orderly EOF or peer reset: drain + close below
+        } else if (opts_.idleTimeoutMs > 0 &&
+                   Clock::now() - last_activity >
+                       std::chrono::milliseconds(opts_.idleTimeoutMs)) {
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++stats_.idleTimeouts;
+            }
+            CA_COUNTER_ADD("ca.net.idle_timeouts", 1);
+            failConnection(c, ErrorCode::IdleTimeout, kConnectionStream,
+                           "no frame within the idle window");
+            break;
+        }
+    }
+
+    // Teardown: drain the connection's sessions first (their remaining
+    // reports join the outgoing queue), then let the writer flush
+    // everything queued, and only then release the socket.
+    closeConnectionStreams(c);
+    {
+        std::lock_guard<std::mutex> lock(c.out_mutex);
+        c.drainStop = true;
+    }
+    c.out_cv.notify_all();
+    if (c.writer.joinable())
+        c.writer.join();
+    c.fd.close();
+
+    active_.fetch_sub(1);
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.connectionsClosed;
+    }
+    CA_COUNTER_ADD("ca.net.connections_closed", 1);
+    CA_GAUGE_SET("ca.net.connections_open", active_.load());
+    c.done.store(true);
+}
+
+} // namespace ca::net

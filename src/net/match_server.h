@@ -1,0 +1,192 @@
+/**
+ * @file
+ * TCP match service: the network face of the multi-stream runtime.
+ *
+ * A MatchServer owns one StreamServer (one mapped automaton) and exposes
+ * it over the wire protocol in net/protocol.h. The paper's system model
+ * (§2.8-2.9) — many independent streams feeding one shared accelerator
+ * through input FIFOs, reports draining through an output buffer — maps
+ * onto the network as:
+ *
+ *   accept loop ── per-connection reader thread ──> StreamServer
+ *                  per-connection writer thread <── ConnectionSink
+ *
+ * Robustness semantics (docs/NET.md, tests/net_test.cpp):
+ *  - Admission control: connections over `maxConnections` receive
+ *    ERROR(busy) and are closed; existing connections are unaffected.
+ *  - Backpressure: DATA frames are submitted with the *blocking*
+ *    StreamSession::submit(). A full session queue therefore parks the
+ *    connection's reader thread, the kernel receive buffer fills, and
+ *    TCP flow control pushes back to the client — bounded memory, no
+ *    unbounded buffering, no dropped input.
+ *  - Slow consumers: a client that stops draining REPORTS grows the
+ *    connection's outgoing queue; past `maxOutgoingBytes` the connection
+ *    is dropped (sinks must never block the simulation workers).
+ *  - Timeouts: no frame within `idleTimeoutMs` ⇒ ERROR(idle_timeout) +
+ *    teardown; a peer that stalls writes past `writeTimeoutMs` is
+ *    dropped.
+ *  - Malformed frames ⇒ ERROR(protocol_error) + teardown of that
+ *    connection only; the decode layer guarantees no UB on any input.
+ *  - Graceful shutdown: stop() closes the listener, drains every open
+ *    session (reports are delivered and written out), says GOODBYE,
+ *    then closes sockets and joins all threads.
+ */
+#ifndef CA_NET_MATCH_SERVER_H
+#define CA_NET_MATCH_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "runtime/stream_server.h"
+
+namespace ca::net {
+
+/** Network service configuration (on top of StreamServerOptions). */
+struct MatchServerOptions
+{
+    /** Bind address ("127.0.0.1", "0.0.0.0", dotted quad). */
+    std::string bindAddress = "127.0.0.1";
+    /** TCP port; 0 picks an ephemeral port (see MatchServer::port()). */
+    uint16_t port = 0;
+    /** Admission cap: concurrent connections beyond this get BUSY. */
+    size_t maxConnections = 64;
+    /** Streams one connection may hold open at once. */
+    size_t maxStreamsPerConnection = 64;
+    /** Per-connection frame payload bound (≤ kMaxFramePayload). */
+    uint32_t maxFramePayload = 1u << 20;
+    /** Outgoing-queue cap per connection before a slow consumer drops. */
+    size_t maxOutgoingBytes = 64u << 20;
+    /** Reports accumulated per REPORTS frame before forced emission. */
+    size_t reportBatch = 512;
+    /** Idle window with no inbound frame before teardown; <=0 disables. */
+    int idleTimeoutMs = 60'000;
+    /** Per-write stall bound once the kernel buffer is full. */
+    int writeTimeoutMs = 10'000;
+    /** The wrapped multi-stream runtime (workers, queues, quantum). */
+    runtime::StreamServerOptions stream;
+};
+
+/** Aggregate network-side accounting (since construction). */
+struct NetServerStats
+{
+    uint64_t connectionsAccepted = 0;
+    uint64_t connectionsRejected = 0; ///< BUSY admission rejections.
+    uint64_t connectionsClosed = 0;
+    uint64_t streamsOpened = 0;
+    uint64_t streamsClosed = 0;
+    uint64_t framesIn = 0;
+    uint64_t framesOut = 0;
+    uint64_t bytesIn = 0;
+    uint64_t bytesOut = 0;
+    uint64_t reportsSent = 0;
+    uint64_t protocolErrors = 0;
+    uint64_t idleTimeouts = 0;
+    uint64_t writeTimeouts = 0;
+    uint64_t slowConsumerDrops = 0;
+};
+
+/** One automaton served over TCP. */
+class MatchServer
+{
+  public:
+    /** Serves @p mapped (caller keeps it alive past the server). */
+    explicit MatchServer(const MappedAutomaton &mapped,
+                         const MatchServerOptions &opts = {});
+
+    /** Co-owning variant (artifact loads). @throws CaError when null. */
+    explicit MatchServer(std::shared_ptr<const MappedAutomaton> mapped,
+                         const MatchServerOptions &opts = {});
+
+    /**
+     * Warm-starts from an on-disk CAAF artifact (docs/PERSIST.md): load,
+     * verify, serve. @throws CaError on a missing/corrupt artifact.
+     */
+    static std::unique_ptr<MatchServer>
+    fromArtifact(const std::string &path,
+                 const MatchServerOptions &opts = {});
+
+    /** stop()s if still running. */
+    ~MatchServer();
+
+    MatchServer(const MatchServer &) = delete;
+    MatchServer &operator=(const MatchServer &) = delete;
+
+    /** The actually bound port (resolves port 0). */
+    uint16_t port() const { return port_; }
+
+    /** The served automaton's HELLO fingerprint. */
+    uint64_t fingerprint() const { return fingerprint_; }
+
+    /**
+     * Graceful shutdown: stop accepting, drain every connection's open
+     * sessions (their reports still go out), send GOODBYE, close
+     * sockets, join all threads. Idempotent.
+     */
+    void stop();
+
+    NetServerStats stats() const;
+
+    /** Runtime-side totals of the wrapped StreamServer. */
+    runtime::ServerStats streamStats() const { return stream_.stats(); }
+
+    size_t activeConnections() const { return active_.load(); }
+
+    const MatchServerOptions &options() const { return opts_; }
+
+  private:
+    struct Connection;
+    class ConnectionSink;
+
+    void acceptLoop();
+    void readerLoop(Connection &c);
+    void writerLoop(Connection &c);
+
+    /** Handles one decoded frame; returns false to end the connection. */
+    bool dispatchFrame(Connection &c, Frame &&f);
+
+    /** Queues an encoded frame for the writer (drops slow consumers). */
+    void enqueueFrame(Connection &c, std::vector<uint8_t> frame);
+
+    /** Queues ERROR + marks the connection for teardown-after-flush. */
+    void failConnection(Connection &c, ErrorCode code, uint32_t streamId,
+                        const std::string &message);
+
+    /** close()s every stream the connection still has open. */
+    void closeConnectionStreams(Connection &c);
+
+    void reapFinishedConnections();
+
+    /** Keeps a loaded automaton alive; null when bound by reference. */
+    std::shared_ptr<const MappedAutomaton> owned_;
+    MatchServerOptions opts_;
+    runtime::StreamServer stream_;
+    uint64_t fingerprint_ = 0;
+
+    SocketFd listener_;
+    uint16_t port_ = 0;
+    std::thread accept_thread_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<size_t> active_{0};
+    std::once_flag stop_once_;
+
+    mutable std::mutex conns_mutex_;
+    std::vector<std::unique_ptr<Connection>> conns_;
+    uint64_t next_conn_id_ = 0;
+
+    mutable std::mutex stats_mutex_;
+    NetServerStats stats_;
+};
+
+} // namespace ca::net
+
+#endif // CA_NET_MATCH_SERVER_H

@@ -1,0 +1,308 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "core/error.h"
+#include "core/serde.h"
+#include "persist/artifact.h"
+
+namespace ca::net {
+
+namespace {
+
+/** Reserves the header, returns the offset where the payload starts. */
+size_t
+beginFrame(std::vector<uint8_t> &out, FrameType type)
+{
+    serde::putU32(out, 0); // patched by endFrame
+    serde::putU8(out, static_cast<uint8_t>(type));
+    return out.size();
+}
+
+/** Patches the payload length once the payload has been appended. */
+void
+endFrame(std::vector<uint8_t> &out, size_t payload_start)
+{
+    size_t payload = out.size() - payload_start;
+    CA_ASSERT_MSG(payload <= kMaxFramePayload,
+                  "encoded frame payload " << payload << " exceeds protocol "
+                      "ceiling " << kMaxFramePayload);
+    uint32_t v = static_cast<uint32_t>(payload);
+    size_t len_at = payload_start - kFrameHeaderBytes;
+    for (int i = 0; i < 4; ++i)
+        out[len_at + static_cast<size_t>(i)] =
+            static_cast<uint8_t>(v >> (8 * i));
+}
+
+} // namespace
+
+std::string
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::ProtocolError: return "protocol_error";
+      case ErrorCode::VersionMismatch: return "version_mismatch";
+      case ErrorCode::FingerprintMismatch: return "fingerprint_mismatch";
+      case ErrorCode::Busy: return "busy";
+      case ErrorCode::UnknownStream: return "unknown_stream";
+      case ErrorCode::DuplicateStream: return "duplicate_stream";
+      case ErrorCode::StreamLimit: return "stream_limit";
+      case ErrorCode::IdleTimeout: return "idle_timeout";
+      case ErrorCode::SlowConsumer: return "slow_consumer";
+      case ErrorCode::Shutdown: return "shutdown";
+    }
+    return "code_" + std::to_string(static_cast<unsigned>(code));
+}
+
+void
+appendHello(std::vector<uint8_t> &out, uint64_t fingerprint,
+            uint16_t version)
+{
+    size_t p = beginFrame(out, FrameType::Hello);
+    serde::putU32(out, kHelloMagic);
+    serde::putU16(out, version);
+    serde::putU64(out, fingerprint);
+    endFrame(out, p);
+}
+
+void
+appendOpenStream(std::vector<uint8_t> &out, uint32_t streamId)
+{
+    size_t p = beginFrame(out, FrameType::OpenStream);
+    serde::putU32(out, streamId);
+    endFrame(out, p);
+}
+
+void
+appendData(std::vector<uint8_t> &out, uint32_t streamId,
+           const uint8_t *data, size_t size)
+{
+    CA_FATAL_IF(size + 4 > kMaxFramePayload,
+                "DATA chunk of " << size << " bytes exceeds the "
+                    << kMaxFramePayload << "-byte frame ceiling");
+    size_t p = beginFrame(out, FrameType::Data);
+    serde::putU32(out, streamId);
+    out.insert(out.end(), data, data + size);
+    endFrame(out, p);
+}
+
+void
+appendFlush(std::vector<uint8_t> &out, uint32_t streamId, uint64_t token)
+{
+    size_t p = beginFrame(out, FrameType::Flush);
+    serde::putU32(out, streamId);
+    serde::putU64(out, token);
+    endFrame(out, p);
+}
+
+void
+appendCloseStream(std::vector<uint8_t> &out, uint32_t streamId,
+                  uint64_t symbols, uint64_t reports)
+{
+    size_t p = beginFrame(out, FrameType::CloseStream);
+    serde::putU32(out, streamId);
+    serde::putU64(out, symbols);
+    serde::putU64(out, reports);
+    endFrame(out, p);
+}
+
+void
+appendReports(std::vector<uint8_t> &out, uint32_t streamId,
+              const Report *reports, size_t count)
+{
+    CA_FATAL_IF(8 + count * kWireReportBytes > kMaxFramePayload,
+                "REPORTS batch of " << count << " exceeds the frame "
+                    "ceiling; split the batch");
+    size_t p = beginFrame(out, FrameType::Reports);
+    serde::putU32(out, streamId);
+    serde::putU32(out, static_cast<uint32_t>(count));
+    for (size_t i = 0; i < count; ++i) {
+        serde::putU64(out, reports[i].offset);
+        serde::putU32(out, reports[i].reportId);
+        serde::putU32(out, reports[i].state);
+    }
+    endFrame(out, p);
+}
+
+void
+appendError(std::vector<uint8_t> &out, ErrorCode code, uint32_t streamId,
+            const std::string &message)
+{
+    size_t p = beginFrame(out, FrameType::Error);
+    serde::putU16(out, static_cast<uint16_t>(code));
+    serde::putU32(out, streamId);
+    serde::putString(out, message);
+    endFrame(out, p);
+}
+
+void
+appendGoodbye(std::vector<uint8_t> &out)
+{
+    size_t p = beginFrame(out, FrameType::Goodbye);
+    endFrame(out, p);
+}
+
+void
+appendFrame(std::vector<uint8_t> &out, const Frame &f)
+{
+    switch (f.type) {
+      case FrameType::Hello:
+        appendHello(out, f.fingerprint, f.version);
+        return;
+      case FrameType::OpenStream:
+        appendOpenStream(out, f.streamId);
+        return;
+      case FrameType::Data:
+        appendData(out, f.streamId, f.data.data(), f.data.size());
+        return;
+      case FrameType::Flush:
+        appendFlush(out, f.streamId, f.flushToken);
+        return;
+      case FrameType::CloseStream:
+        appendCloseStream(out, f.streamId, f.symbols, f.reports);
+        return;
+      case FrameType::Reports:
+        appendReports(out, f.streamId, f.reportBatch.data(),
+                      f.reportBatch.size());
+        return;
+      case FrameType::Error:
+        appendError(out, f.errorCode, f.streamId, f.message);
+        return;
+      case FrameType::Goodbye:
+        appendGoodbye(out);
+        return;
+    }
+    CA_THROW("appendFrame: unknown frame type "
+             << static_cast<unsigned>(f.type));
+}
+
+Frame
+decodePayload(FrameType type, const uint8_t *payload, size_t size)
+{
+    serde::ByteReader r(payload, size);
+    Frame f;
+    f.type = type;
+    switch (type) {
+      case FrameType::Hello:
+        f.magic = r.u32();
+        f.version = r.u16();
+        f.fingerprint = r.u64();
+        CA_FATAL_IF(f.magic != kHelloMagic,
+                    "net: HELLO magic mismatch (got 0x" << std::hex
+                        << f.magic << ")");
+        break;
+      case FrameType::OpenStream:
+        f.streamId = r.u32();
+        break;
+      case FrameType::Data:
+        f.streamId = r.u32();
+        f.data.assign(payload + r.pos(), payload + size);
+        r.skip(size - r.pos());
+        break;
+      case FrameType::Flush:
+        f.streamId = r.u32();
+        f.flushToken = r.u64();
+        break;
+      case FrameType::CloseStream:
+        f.streamId = r.u32();
+        f.symbols = r.u64();
+        f.reports = r.u64();
+        break;
+      case FrameType::Reports: {
+        f.streamId = r.u32();
+        uint32_t count = r.u32();
+        // The count must agree with the bytes actually present before
+        // any allocation happens (hostile counts must not reserve GBs).
+        CA_FATAL_IF(static_cast<uint64_t>(count) * kWireReportBytes !=
+                        r.remaining(),
+                    "net: REPORTS count " << count << " disagrees with "
+                        << r.remaining() << " payload bytes");
+        f.reportBatch.reserve(count);
+        for (uint32_t i = 0; i < count; ++i) {
+            Report rep;
+            rep.offset = r.u64();
+            rep.reportId = r.u32();
+            rep.state = r.u32();
+            f.reportBatch.push_back(rep);
+        }
+        break;
+      }
+      case FrameType::Error: {
+        uint16_t code = r.u16();
+        f.errorCode = static_cast<ErrorCode>(code);
+        f.streamId = r.u32();
+        f.message = r.str();
+        break;
+      }
+      case FrameType::Goodbye:
+        break;
+      default:
+        CA_THROW("net: unknown frame type "
+                 << static_cast<unsigned>(type));
+    }
+    CA_FATAL_IF(!r.done(), "net: frame type "
+                    << static_cast<unsigned>(type) << " carries "
+                    << r.remaining() << " trailing payload bytes");
+    return f;
+}
+
+FrameDecoder::FrameDecoder(uint32_t max_payload)
+    : max_payload_(std::min(max_payload, kMaxFramePayload))
+{
+}
+
+void
+FrameDecoder::append(const uint8_t *data, size_t size)
+{
+    // Compact before growing: drop the already-decoded prefix so the
+    // buffer stays proportional to one in-flight frame, not the stream.
+    if (consumed_ > 0 && (consumed_ >= buf_.size() ||
+                          consumed_ >= (64u << 10))) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<long>(consumed_));
+        consumed_ = 0;
+    }
+    buf_.insert(buf_.end(), data, data + size);
+}
+
+std::optional<Frame>
+FrameDecoder::next()
+{
+    size_t avail = buf_.size() - consumed_;
+    if (avail < kFrameHeaderBytes)
+        return std::nullopt;
+    const uint8_t *p = buf_.data() + consumed_;
+    uint32_t payload = 0;
+    for (int i = 0; i < 4; ++i)
+        payload |= uint32_t{p[i]} << (8 * i);
+    CA_FATAL_IF(payload > max_payload_,
+                "net: frame payload " << payload
+                    << " exceeds the " << max_payload_ << "-byte bound");
+    uint8_t type = p[4];
+    CA_FATAL_IF(type < static_cast<uint8_t>(FrameType::Hello) ||
+                    type > static_cast<uint8_t>(FrameType::Goodbye),
+                "net: unknown frame type " << unsigned{type});
+    if (avail < kFrameHeaderBytes + payload)
+        return std::nullopt;
+    Frame f = decodePayload(static_cast<FrameType>(type),
+                            p + kFrameHeaderBytes, payload);
+    consumed_ += kFrameHeaderBytes + payload;
+    return f;
+}
+
+uint64_t
+automatonFingerprint(const MappedAutomaton &mapped)
+{
+    // Canonical serialization under a fixed META so the hash depends
+    // only on the compiled automaton — not on labels, tools, or whether
+    // it travelled through a .caa file first.
+    persist::ArtifactMeta meta;
+    meta.tool = "ca-net-fingerprint";
+    meta.label.clear();
+    meta.contentKey = 0;
+    persist::ArtifactWriter w(meta);
+    w.setAutomaton(mapped);
+    return serde::fnv1a64(w.finish());
+}
+
+} // namespace ca::net

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Wire protocol for the network match service (docs/NET.md).
+ *
+ * The paper's deployment model (§2.8-2.9) is a shared accelerator fed by
+ * input FIFOs and drained through report buffers; src/net puts that FIFO
+ * on a TCP socket. This header defines the versioned, length-prefixed
+ * binary framing both sides speak, built on the same byte-order-explicit
+ * serde primitives the persist layer uses — so a frame encoded on any
+ * host decodes on any other.
+ *
+ * Frame layout (little-endian, core/serde.h):
+ *
+ *   u32 payloadSize | u8 type | payload[payloadSize]
+ *
+ * Payloads per type (all fields present in both directions; a sender
+ * zeroes fields that only matter on the reply):
+ *
+ *   HELLO        u32 magic "CANP" | u16 version | u64 fingerprint
+ *   OPEN_STREAM  u32 streamId
+ *   DATA         u32 streamId | bytes (rest of payload)
+ *   FLUSH        u32 streamId | u64 token
+ *   CLOSE_STREAM u32 streamId | u64 symbols | u64 reports
+ *   REPORTS      u32 streamId | u32 count |
+ *                count x (u64 offset | u32 reportId | u32 state)
+ *   ERROR        u16 code | u32 streamId (kConnectionStream = whole
+ *                connection) | string message
+ *   GOODBYE      (empty)
+ *
+ * Safety contract (mirrors the persist layer's): every decode is
+ * bounds-checked, an oversized/truncated/unknown/ill-formed frame throws
+ * CaError — never UB — and the server answers with ERROR + connection
+ * teardown while continuing to serve other connections
+ * (tests/net_test.cpp, tests/fuzz_test.cpp).
+ */
+#ifndef CA_NET_PROTOCOL_H
+#define CA_NET_PROTOCOL_H
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/nfa_engine.h"
+#include "compiler/mapping.h"
+
+namespace ca::net {
+
+/** "CANP" (Cache Automaton Network Protocol) little-endian fourcc. */
+constexpr uint32_t kHelloMagic = 0x504e4143u;
+/** Bump on any framing change; HELLO negotiation rejects other versions. */
+constexpr uint16_t kProtocolVersion = 1;
+/**
+ * Absolute payload-size ceiling any decoder accepts; connections may
+ * negotiate (configure) a smaller bound. Caps hostile length prefixes so
+ * a 4-byte header can never make a server allocate gigabytes.
+ */
+constexpr uint32_t kMaxFramePayload = 16u << 20;
+/** streamId value in ERROR frames that refers to the whole connection. */
+constexpr uint32_t kConnectionStream = 0xffffffffu;
+/** Fixed bytes before the payload: u32 size + u8 type. */
+constexpr size_t kFrameHeaderBytes = 5;
+/** Encoded size of one report in a REPORTS frame. */
+constexpr size_t kWireReportBytes = 16;
+
+enum class FrameType : uint8_t {
+    Hello = 1,
+    OpenStream = 2,
+    Data = 3,
+    Flush = 4,
+    CloseStream = 5,
+    Reports = 6,
+    Error = 7,
+    Goodbye = 8,
+};
+
+/** ERROR frame codes (docs/NET.md lists the teardown semantics). */
+enum class ErrorCode : uint16_t {
+    ProtocolError = 1,       ///< Malformed/unexpected frame: teardown.
+    VersionMismatch = 2,     ///< HELLO version unsupported: teardown.
+    FingerprintMismatch = 3, ///< Client expected another automaton.
+    Busy = 4,                ///< Connection cap reached: admission reject.
+    UnknownStream = 5,       ///< Frame names a stream never opened.
+    DuplicateStream = 6,     ///< OPEN_STREAM reusing a live id.
+    StreamLimit = 7,         ///< Per-connection stream cap reached.
+    IdleTimeout = 8,         ///< No frame within the idle window.
+    SlowConsumer = 9,        ///< Client not draining REPORTS: teardown.
+    Shutdown = 10,           ///< Server is draining for shutdown.
+};
+
+/** Printable name for diagnostics ("busy", "protocol_error", ...). */
+std::string errorCodeName(ErrorCode code);
+
+/**
+ * One decoded frame, as a flat tagged struct (only the fields of the
+ * frame's type are meaningful; the rest keep their zero defaults).
+ */
+struct Frame
+{
+    FrameType type = FrameType::Hello;
+    uint32_t streamId = 0;
+
+    // Hello
+    uint32_t magic = 0;
+    uint16_t version = 0;
+    uint64_t fingerprint = 0;
+
+    // Data
+    std::vector<uint8_t> data;
+
+    // Flush
+    uint64_t flushToken = 0;
+
+    // CloseStream (summary filled on the server's acknowledgement)
+    uint64_t symbols = 0;
+    uint64_t reports = 0;
+
+    // Reports
+    std::vector<Report> reportBatch;
+
+    // Error
+    ErrorCode errorCode = ErrorCode::ProtocolError;
+    std::string message;
+};
+
+// --- Encoders (append one whole frame to @p out) -----------------------
+
+void appendHello(std::vector<uint8_t> &out, uint64_t fingerprint,
+                 uint16_t version = kProtocolVersion);
+void appendOpenStream(std::vector<uint8_t> &out, uint32_t streamId);
+void appendData(std::vector<uint8_t> &out, uint32_t streamId,
+                const uint8_t *data, size_t size);
+void appendFlush(std::vector<uint8_t> &out, uint32_t streamId,
+                 uint64_t token);
+void appendCloseStream(std::vector<uint8_t> &out, uint32_t streamId,
+                       uint64_t symbols = 0, uint64_t reports = 0);
+void appendReports(std::vector<uint8_t> &out, uint32_t streamId,
+                   const Report *reports, size_t count);
+void appendError(std::vector<uint8_t> &out, ErrorCode code,
+                 uint32_t streamId, const std::string &message);
+void appendGoodbye(std::vector<uint8_t> &out);
+
+/** Encodes @p f generically (tests, fuzzing drivers). */
+void appendFrame(std::vector<uint8_t> &out, const Frame &f);
+
+// --- Decoder ------------------------------------------------------------
+
+/**
+ * Incremental frame decoder over a socket byte stream. Feed raw bytes
+ * with append(); next() yields completed frames in order, returns
+ * nullopt while a frame is still partial, and throws CaError on any
+ * malformed frame (oversized length, unknown type, payload that does not
+ * parse exactly). After a throw the stream is unrecoverable — the owner
+ * must tear the connection down (framing has lost sync by definition).
+ */
+class FrameDecoder
+{
+  public:
+    explicit FrameDecoder(uint32_t max_payload = kMaxFramePayload);
+
+    /** Buffers @p size raw stream bytes. */
+    void append(const uint8_t *data, size_t size);
+
+    /** Decodes the next complete frame, if the buffer holds one. */
+    std::optional<Frame> next();
+
+    /** Bytes buffered but not yet consumed by next(). */
+    size_t buffered() const { return buf_.size() - consumed_; }
+
+  private:
+    uint32_t max_payload_;
+    std::vector<uint8_t> buf_;
+    /** Prefix of buf_ already decoded (compacted opportunistically). */
+    size_t consumed_ = 0;
+};
+
+/** Decodes a payload given its type (exact-consumption checked). */
+Frame decodePayload(FrameType type, const uint8_t *payload, size_t size);
+
+// --- Automaton fingerprint ---------------------------------------------
+
+/**
+ * Content fingerprint of a mapped automaton, as exchanged in HELLO: the
+ * FNV-1a 64 hash of the automaton's canonical artifact serialization
+ * (DSGN + NFA + PLAC sections under a fixed META). Deterministic across
+ * hosts and across load paths — a server that compiled its ruleset and
+ * one that warm-started from a CAAF artifact of the same compile produce
+ * the same fingerprint, so clients can pin the exact automaton they
+ * expect to be matched against.
+ */
+uint64_t automatonFingerprint(const MappedAutomaton &mapped);
+
+} // namespace ca::net
+
+#endif // CA_NET_PROTOCOL_H

@@ -1,0 +1,224 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/error.h"
+
+namespace ca::net {
+
+namespace {
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    CA_THROW("net: " << what << ": " << std::strerror(errno));
+}
+
+/** "localhost" and dotted quads; no DNS (keeps the layer dependency-free). */
+in_addr_t
+parseAddress(const std::string &host)
+{
+    if (host.empty() || host == "localhost")
+        return htonl(INADDR_LOOPBACK);
+    if (host == "0.0.0.0" || host == "*")
+        return htonl(INADDR_ANY);
+    in_addr addr{};
+    CA_FATAL_IF(::inet_pton(AF_INET, host.c_str(), &addr) != 1,
+                "net: cannot parse IPv4 address '" << host << "'");
+    return addr.s_addr;
+}
+
+} // namespace
+
+int
+SocketFd::release()
+{
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+}
+
+void
+SocketFd::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+SocketFd::shutdown(int how)
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, how); // best effort; ENOTCONN is fine
+}
+
+SocketFd
+listenTcp(const std::string &address, uint16_t port, int backlog)
+{
+    SocketFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid())
+        throwErrno("socket");
+    int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_addr.s_addr = parseAddress(address);
+    sa.sin_port = htons(port);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&sa), sizeof(sa)) != 0)
+        throwErrno("bind " + address + ":" + std::to_string(port));
+    if (::listen(fd.get(), backlog) != 0)
+        throwErrno("listen");
+    return fd;
+}
+
+uint16_t
+localPort(const SocketFd &fd)
+{
+    sockaddr_in sa{};
+    socklen_t len = sizeof(sa);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr *>(&sa), &len) != 0)
+        throwErrno("getsockname");
+    return ntohs(sa.sin_port);
+}
+
+SocketFd
+acceptTcp(const SocketFd &listener, int timeout_ms)
+{
+    pollfd p{listener.get(), POLLIN, 0};
+    int rc = ::poll(&p, 1, timeout_ms);
+    if (rc == 0)
+        return SocketFd();
+    if (rc < 0) {
+        if (errno == EINTR)
+            return SocketFd();
+        throwErrno("poll(listener)");
+    }
+    int fd = ::accept(listener.get(), nullptr, nullptr);
+    if (fd < 0) {
+        // A peer that vanished between poll and accept is not fatal.
+        if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+            errno == EWOULDBLOCK || errno == EINVAL || errno == EBADF)
+            return SocketFd();
+        throwErrno("accept");
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Nonblocking + poll everywhere: a blocking send() would make the
+    // writer's timeout unenforceable when the peer stops reading.
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    return SocketFd(fd);
+}
+
+SocketFd
+connectTcp(const std::string &host, uint16_t port, int timeout_ms)
+{
+    SocketFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid())
+        throwErrno("socket");
+
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_addr.s_addr = parseAddress(host);
+    sa.sin_port = htons(port);
+
+    // Nonblocking connect + poll gives the timeout; then back to blocking.
+    int flags = ::fcntl(fd.get(), F_GETFL, 0);
+    ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd.get(), reinterpret_cast<sockaddr *>(&sa),
+                       sizeof(sa));
+    if (rc != 0 && errno != EINPROGRESS)
+        throwErrno("connect " + host + ":" + std::to_string(port));
+    if (rc != 0) {
+        pollfd p{fd.get(), POLLOUT, 0};
+        rc = ::poll(&p, 1, timeout_ms);
+        CA_FATAL_IF(rc == 0, "net: connect to " << host << ":" << port
+                                 << " timed out");
+        if (rc < 0)
+            throwErrno("poll(connect)");
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len);
+        CA_FATAL_IF(err != 0, "net: connect to " << host << ":" << port
+                                  << ": " << std::strerror(err));
+    }
+    // Stays nonblocking (see acceptTcp): timeouts come from poll().
+    int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+bool
+waitReadable(int fd, int timeout_ms)
+{
+    pollfd p{fd, POLLIN, 0};
+    int rc = ::poll(&p, 1, timeout_ms);
+    if (rc < 0) {
+        if (errno == EINTR)
+            return false;
+        throwErrno("poll(read)");
+    }
+    return rc > 0;
+}
+
+bool
+waitWritable(int fd, int timeout_ms)
+{
+    pollfd p{fd, POLLOUT, 0};
+    int rc = ::poll(&p, 1, timeout_ms);
+    if (rc < 0) {
+        if (errno == EINTR)
+            return false;
+        throwErrno("poll(write)");
+    }
+    return rc > 0 && (p.revents & POLLOUT);
+}
+
+bool
+sendAll(int fd, const uint8_t *data, size_t size, int timeout_ms)
+{
+    size_t sent = 0;
+    while (sent < size) {
+        long n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                      errno == EINTR)) {
+            if (!waitWritable(fd, timeout_ms))
+                return false; // write timeout
+            continue;
+        }
+        return false; // peer reset / closed
+    }
+    return true;
+}
+
+long
+recvSome(int fd, uint8_t *data, size_t size, int timeout_ms)
+{
+    if (!waitReadable(fd, timeout_ms))
+        return -1;
+    long n = ::recv(fd, data, size, 0);
+    if (n > 0)
+        return n;
+    if (n == 0)
+        return 0;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        return -1;
+    return -2;
+}
+
+} // namespace ca::net

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Minimal POSIX TCP socket helpers shared by the match server and the
+ * client library.
+ *
+ * Everything here is a thin, RAII-safe wrapper over the portable socket
+ * calls (socket/bind/listen/accept/connect/poll/send/recv): no event
+ * framework, no nonblocking state machine — the net layer's threading
+ * model is blocking reader/writer threads, and poll() supplies the
+ * timeouts. All failures surface as CaError with errno text.
+ */
+#ifndef CA_NET_SOCKET_H
+#define CA_NET_SOCKET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ca::net {
+
+/** Owning file-descriptor handle (closes on destruction, movable). */
+class SocketFd
+{
+  public:
+    SocketFd() = default;
+    explicit SocketFd(int fd) : fd_(fd) {}
+    ~SocketFd() { close(); }
+
+    SocketFd(SocketFd &&o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+    SocketFd &
+    operator=(SocketFd &&o) noexcept
+    {
+        if (this != &o) {
+            close();
+            fd_ = o.fd_;
+            o.fd_ = -1;
+        }
+        return *this;
+    }
+    SocketFd(const SocketFd &) = delete;
+    SocketFd &operator=(const SocketFd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Releases ownership without closing. */
+    int release();
+
+    void close();
+
+    /** shutdown(2); @p how is SHUT_RD / SHUT_WR / SHUT_RDWR. */
+    void shutdown(int how);
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Creates, binds, and listens on @p address:@p port (IPv4 dotted quad or
+ * "localhost"; port 0 picks an ephemeral port). SO_REUSEADDR is set.
+ */
+SocketFd listenTcp(const std::string &address, uint16_t port,
+                   int backlog = 64);
+
+/** The locally bound port of a listening (or connected) socket. */
+uint16_t localPort(const SocketFd &fd);
+
+/**
+ * Accepts one connection; blocks up to @p timeout_ms (<0 = forever).
+ * Returns an invalid SocketFd on timeout or on a benign interrupted /
+ * aborted accept; throws CaError on a fatal listener error.
+ */
+SocketFd acceptTcp(const SocketFd &listener, int timeout_ms);
+
+/** Connects to @p host:@p port, blocking up to @p timeout_ms. */
+SocketFd connectTcp(const std::string &host, uint16_t port,
+                    int timeout_ms);
+
+/**
+ * Waits until @p fd is readable. Returns false on timeout; throws
+ * CaError on poll failure.
+ */
+bool waitReadable(int fd, int timeout_ms);
+
+/** Waits until @p fd is writable. Returns false on timeout. */
+bool waitWritable(int fd, int timeout_ms);
+
+/**
+ * Sends the whole buffer, waiting (poll) up to @p timeout_ms for each
+ * continuation. Returns false if the peer reset / the timeout expired;
+ * never raises SIGPIPE.
+ */
+bool sendAll(int fd, const uint8_t *data, size_t size, int timeout_ms);
+
+/**
+ * One recv() of at most @p size bytes once the socket is readable.
+ * Returns >0 bytes read, 0 on orderly EOF, -1 on timeout, -2 on
+ * connection error.
+ */
+long recvSome(int fd, uint8_t *data, size_t size, int timeout_ms);
+
+} // namespace ca::net
+
+#endif // CA_NET_SOCKET_H

@@ -11,6 +11,7 @@
 #include "compiler/mapping.h"
 #include "core/error.h"
 #include "core/rng.h"
+#include "net/protocol.h"
 #include "nfa/anml.h"
 #include "nfa/regex_parser.h"
 #include "nfa/glushkov.h"
@@ -186,6 +187,99 @@ TEST_P(ArtifactFuzz, RandomBytesNeverCrashReader)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ArtifactFuzz, ::testing::Range(0, 5));
+
+/** One encoded frame of every wire-protocol type, back to back. */
+std::vector<uint8_t>
+baseFrameStream()
+{
+    std::vector<uint8_t> out;
+    net::appendHello(out, 0x1234abcd5678ef01ull);
+    net::appendOpenStream(out, 1);
+    const uint8_t body[] = {'c', 'a', 't', 'd', 'o', 'g'};
+    net::appendData(out, 1, body, sizeof(body));
+    net::appendFlush(out, 1, 9);
+    Report r;
+    r.offset = 17;
+    r.reportId = 2;
+    r.state = 5;
+    net::appendReports(out, 1, &r, 1);
+    net::appendCloseStream(out, 1, 6, 1);
+    net::appendError(out, net::ErrorCode::Busy, net::kConnectionStream,
+                     "busy");
+    net::appendGoodbye(out);
+    return out;
+}
+
+/** Feeds @p bytes to a FrameDecoder, draining frames as they complete. */
+void
+decodeAll(const std::vector<uint8_t> &bytes, size_t chunk)
+{
+    net::FrameDecoder dec;
+    for (size_t pos = 0; pos < bytes.size(); pos += chunk) {
+        size_t n = std::min(chunk, bytes.size() - pos);
+        dec.append(bytes.data() + pos, n);
+        while (dec.next()) {
+        }
+    }
+}
+
+class NetFrameFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+/**
+ * The wire decoder's core safety contract (mirrors the artifact
+ * reader's): arbitrary bytes off the socket either decode as frames or
+ * throw CaError — never UB, never an internal invariant trip, no matter
+ * how the stream is chunked.
+ */
+TEST_P(NetFrameFuzz, RandomBytesNeverCrashDecoder)
+{
+    Rng rng(GetParam() * 60913 + 11);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<uint8_t> bytes;
+        size_t len = rng.below(600);
+        bytes.reserve(len);
+        for (size_t i = 0; i < len; ++i)
+            bytes.push_back(static_cast<uint8_t>(rng.below(256)));
+        size_t chunk = 1 + rng.below(64);
+        mustNotCrash([&] { decodeAll(bytes, chunk); },
+                     "random bytes as frame stream");
+    }
+}
+
+TEST_P(NetFrameFuzz, MutatedFrameStreamsNeverCrashDecoder)
+{
+    Rng rng(GetParam() * 24593 + 41);
+    const std::vector<uint8_t> base = baseFrameStream();
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<uint8_t> bytes = base;
+        int edits = 1 + static_cast<int>(rng.below(6));
+        for (int e = 0; e < edits && !bytes.empty(); ++e) {
+            size_t pos = rng.below(bytes.size());
+            switch (rng.below(4)) {
+              case 0: // delete
+                bytes.erase(bytes.begin() + static_cast<long>(pos));
+                break;
+              case 1: // overwrite
+                bytes[pos] = static_cast<uint8_t>(rng.below(256));
+                break;
+              case 2: // bit flip
+                bytes[pos] ^= static_cast<uint8_t>(1u << rng.below(8));
+                break;
+              default: // insert
+                bytes.insert(bytes.begin() + static_cast<long>(pos),
+                             static_cast<uint8_t>(rng.below(256)));
+            }
+        }
+        size_t chunk = 1 + rng.below(64);
+        mustNotCrash([&] { decodeAll(bytes, chunk); },
+                     "mutated frame stream (trial " +
+                         std::to_string(trial) + ")");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetFrameFuzz, ::testing::Range(0, 5));
 
 TEST(SymbolSetFuzz, ClassParserNeverCrashes)
 {

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * ca_server: serve a compiled automaton over TCP (docs/NET.md).
+ *
+ *   ca_server --artifact f.caa [--port N] [...]
+ *   ca_server --benchmark Snort [--scale 0.1] [--seed N] [--port N]
+ *   ca_server --rules rules.txt | --pattern 're' [--pattern ...]
+ *
+ * Options:
+ *   --port N            bind port (default 0 = ephemeral, printed)
+ *   --bind ADDR         bind address (default 127.0.0.1)
+ *   --workers N         simulation worker threads
+ *   --max-conns N       admission cap (over-cap connects get BUSY)
+ *   --max-streams N     streams per connection
+ *   --queue-depth N     per-session submit queue depth (backpressure)
+ *   --idle-timeout-ms N idle connection teardown (<=0 disables)
+ *   --duration-s N      exit after N seconds (default: run until signal)
+ *   --metrics-out F / --trace-out F   telemetry artifacts at shutdown
+ *
+ * The server prints "listening on HOST:PORT" and "fingerprint HEX" on
+ * stdout (line-buffered, so scripts can scrape them), serves until
+ * SIGINT/SIGTERM or --duration-s, then shuts down gracefully: open
+ * sessions drain, pending reports are delivered, and final ServerStats /
+ * NetServerStats are printed and exported as ca.net.* gauges.
+ */
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compiler/mapping.h"
+#include "core/error.h"
+#include "net/match_server.h"
+#include "nfa/glushkov.h"
+#include "telemetry/telemetry.h"
+#include "workload/suite.h"
+
+namespace {
+
+using namespace ca;
+
+std::sig_atomic_t volatile g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  ca_server (--artifact <file> | --benchmark <name> | --rules "
+        "<file> | --pattern <re>...)\n"
+        "            [--port N] [--bind ADDR] [--workers N] "
+        "[--max-conns N]\n"
+        "            [--max-streams N] [--queue-depth N] "
+        "[--idle-timeout-ms N]\n"
+        "            [--scale S] [--seed N] [--duration-s N]\n"
+        "            [--metrics-out F] [--trace-out F]\n");
+    return 2;
+}
+
+struct Args
+{
+    std::vector<std::string> positional;
+    std::vector<std::pair<std::string, std::string>> options;
+
+    std::string
+    opt(const std::string &name, const std::string &fallback = {}) const
+    {
+        for (const auto &[k, v] : options)
+            if (k == name)
+                return v;
+        return fallback;
+    }
+
+    std::vector<std::string>
+    optAll(const std::string &name) const
+    {
+        std::vector<std::string> out;
+        for (const auto &[k, v] : options)
+            if (k == name)
+                out.push_back(v);
+        return out;
+    }
+};
+
+Args
+parseArgs(int argc, char **argv, int start)
+{
+    Args args;
+    for (int i = start; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--", 0) == 0) {
+            std::string key = a.substr(2);
+            std::string value;
+            size_t eq = key.find('=');
+            if (eq != std::string::npos) {
+                value = key.substr(eq + 1);
+                key = key.substr(0, eq);
+            } else if (i + 1 < argc) {
+                value = argv[++i];
+            }
+            args.options.emplace_back(key, value);
+        } else {
+            args.positional.push_back(a);
+        }
+    }
+    return args;
+}
+
+std::vector<std::string>
+readRulesFile(const std::string &path)
+{
+    std::ifstream is(path);
+    CA_FATAL_IF(!is, "cannot open rules file " << path);
+    std::vector<std::string> rules;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (!line.empty() && line[0] != '#')
+            rules.push_back(line);
+    }
+    CA_FATAL_IF(rules.empty(), "no rules in " << path);
+    return rules;
+}
+
+void
+exportShutdownGauges(const net::MatchServer &server)
+{
+    net::NetServerStats n = server.stats();
+    runtime::ServerStats s = server.streamStats();
+    CA_GAUGE_SET("ca.net.final_connections_accepted",
+                 static_cast<double>(n.connectionsAccepted));
+    CA_GAUGE_SET("ca.net.final_connections_rejected",
+                 static_cast<double>(n.connectionsRejected));
+    CA_GAUGE_SET("ca.net.final_streams_opened",
+                 static_cast<double>(n.streamsOpened));
+    CA_GAUGE_SET("ca.net.final_frames_in",
+                 static_cast<double>(n.framesIn));
+    CA_GAUGE_SET("ca.net.final_frames_out",
+                 static_cast<double>(n.framesOut));
+    CA_GAUGE_SET("ca.net.final_bytes_in",
+                 static_cast<double>(n.bytesIn));
+    CA_GAUGE_SET("ca.net.final_bytes_out",
+                 static_cast<double>(n.bytesOut));
+    CA_GAUGE_SET("ca.net.final_reports_sent",
+                 static_cast<double>(n.reportsSent));
+    CA_GAUGE_SET("ca.net.final_protocol_errors",
+                 static_cast<double>(n.protocolErrors));
+    CA_GAUGE_SET("ca.net.final_slow_consumer_drops",
+                 static_cast<double>(n.slowConsumerDrops));
+    CA_GAUGE_SET("ca.net.final_stream_symbols",
+                 static_cast<double>(s.symbols));
+    CA_GAUGE_SET("ca.net.final_stream_reports",
+                 static_cast<double>(s.reports));
+    CA_GAUGE_SET("ca.net.final_context_switches",
+                 static_cast<double>(s.contextSwitches));
+}
+
+int
+run(const Args &args)
+{
+    net::MatchServerOptions opts;
+    opts.bindAddress = args.opt("bind", "127.0.0.1");
+    if (!args.opt("port").empty())
+        opts.port = static_cast<uint16_t>(std::stoul(args.opt("port")));
+    if (!args.opt("max-conns").empty())
+        opts.maxConnections = std::stoull(args.opt("max-conns"));
+    if (!args.opt("max-streams").empty())
+        opts.maxStreamsPerConnection =
+            std::stoull(args.opt("max-streams"));
+    if (!args.opt("idle-timeout-ms").empty())
+        opts.idleTimeoutMs = std::stoi(args.opt("idle-timeout-ms"));
+    if (!args.opt("workers").empty())
+        opts.stream.workers = std::stoull(args.opt("workers"));
+    if (!args.opt("queue-depth").empty())
+        opts.stream.sessionQueueDepth =
+            std::stoull(args.opt("queue-depth"));
+
+    std::unique_ptr<net::MatchServer> server;
+    if (!args.opt("artifact").empty()) {
+        server = net::MatchServer::fromArtifact(args.opt("artifact"),
+                                                opts);
+        std::printf("serving artifact %s\n",
+                    args.opt("artifact").c_str());
+    } else {
+        double scale = args.opt("scale").empty()
+            ? 1.0
+            : std::stod(args.opt("scale"));
+        uint64_t seed = args.opt("seed").empty()
+            ? kDefaultRuleSeed
+            : std::stoull(args.opt("seed"));
+        Nfa nfa;
+        if (!args.opt("benchmark").empty()) {
+            nfa = findBenchmark(args.opt("benchmark")).build(scale, seed);
+        } else if (!args.opt("rules").empty()) {
+            nfa = compileRuleset(readRulesFile(args.opt("rules")));
+        } else if (!args.optAll("pattern").empty()) {
+            nfa = compileRuleset(args.optAll("pattern"));
+        } else {
+            std::fprintf(stderr,
+                         "ca_server: one of --artifact/--benchmark/"
+                         "--rules/--pattern is required\n");
+            return usage();
+        }
+        auto mapped =
+            std::make_shared<MappedAutomaton>(mapPerformance(nfa));
+        server = std::make_unique<net::MatchServer>(std::move(mapped),
+                                                    opts);
+    }
+
+    std::printf("listening on %s:%u\n", opts.bindAddress.c_str(),
+                static_cast<unsigned>(server->port()));
+    std::printf("fingerprint %016llx\n",
+                static_cast<unsigned long long>(server->fingerprint()));
+    std::fflush(stdout);
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    long duration_ms = args.opt("duration-s").empty()
+        ? -1
+        : std::stol(args.opt("duration-s")) * 1000;
+    long waited_ms = 0;
+    while (!g_stop && (duration_ms < 0 || waited_ms < duration_ms)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        waited_ms += 50;
+    }
+
+    std::printf("shutting down (%zu active connections)...\n",
+                server->activeConnections());
+    server->stop();
+    exportShutdownGauges(*server);
+
+    net::NetServerStats n = server->stats();
+    runtime::ServerStats s = server->streamStats();
+    std::printf("connections: %llu accepted, %llu rejected, "
+                "%llu closed\n",
+                static_cast<unsigned long long>(n.connectionsAccepted),
+                static_cast<unsigned long long>(n.connectionsRejected),
+                static_cast<unsigned long long>(n.connectionsClosed));
+    std::printf("streams:     %llu opened, %llu closed\n",
+                static_cast<unsigned long long>(n.streamsOpened),
+                static_cast<unsigned long long>(n.streamsClosed));
+    std::printf("frames:      %llu in (%llu bytes), %llu out "
+                "(%llu bytes)\n",
+                static_cast<unsigned long long>(n.framesIn),
+                static_cast<unsigned long long>(n.bytesIn),
+                static_cast<unsigned long long>(n.framesOut),
+                static_cast<unsigned long long>(n.bytesOut));
+    std::printf("reports:     %llu sent; errors: %llu protocol, "
+                "%llu idle, %llu write, %llu slow-consumer\n",
+                static_cast<unsigned long long>(n.reportsSent),
+                static_cast<unsigned long long>(n.protocolErrors),
+                static_cast<unsigned long long>(n.idleTimeouts),
+                static_cast<unsigned long long>(n.writeTimeouts),
+                static_cast<unsigned long long>(n.slowConsumerDrops));
+    std::printf("runtime:     %llu symbols, %llu reports, %llu slices, "
+                "%llu context switches\n",
+                static_cast<unsigned long long>(s.symbols),
+                static_cast<unsigned long long>(s.reports),
+                static_cast<unsigned long long>(s.slices),
+                static_cast<unsigned long long>(s.contextSwitches));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ca::telemetry::CliSession session(argc, argv);
+    Args args = parseArgs(argc, argv, 1);
+    try {
+        return run(args);
+    } catch (const ca::CaError &e) {
+        std::fprintf(stderr, "ca_server: %s\n", e.what());
+        return 1;
+    }
+}
