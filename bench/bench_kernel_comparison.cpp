@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Sparse vs dense kernel comparison: simulator throughput of the two
+ * per-symbol steppers (SimKernel) across the benchmark suite, plus the
+ * Auto selector's behaviour, as a function of measured active density.
+ *
+ * The sparse kernel pays O(active states) per symbol, the dense
+ * bit-parallel kernel O(partitions); which wins is governed by the
+ * benchmark's active density (avg active states ÷ total states). This
+ * bench sweeps the suite under both kernels (and Auto), prints the
+ * per-benchmark speedup against density, and reports the observed
+ * crossover density — the number EXPERIMENTS.md records and the
+ * Auto default threshold is sanity-checked against.
+ *
+ * Report streams are cross-checked between kernels on every run; a
+ * mismatch aborts (bit-identity is a correctness contract, not a goal).
+ *
+ * Usage:
+ *   bench_kernel_comparison [--smoke] [--metrics-out F] [--trace-out F]
+ *
+ *   --smoke   tiny scale + stream for CI plumbing checks (seconds, not
+ *             minutes); numbers are not meaningful at this size.
+ *
+ * Environment knobs: CA_BENCH_SCALE, CA_BENCH_BYTES, CA_FULL_INPUT
+ * (see bench_common.h).
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "compiler/mapping.h"
+#include "core/string_utils.h"
+#include "nfa/glushkov.h"
+#include "workload/suite.h"
+
+using namespace ca;
+using namespace ca::bench;
+
+namespace {
+
+struct KernelRun
+{
+    double wallMs = 0.0;
+    double mbps = 0.0;
+    SimResult result;
+};
+
+KernelRun
+timeKernel(const MappedAutomaton &mapped,
+           const std::vector<uint8_t> &input, SimKernel kernel)
+{
+    SimOptions opts;
+    opts.kernel = kernel;
+    CacheAutomatonSim sim(mapped, opts);
+    // One untimed pass warms the lazily-built dense tables and the
+    // cache, so the timed pass measures the steady-state stepper.
+    sim.run(input.data(), std::min<size_t>(input.size(), 4096));
+
+    auto t0 = std::chrono::steady_clock::now();
+    KernelRun kr;
+    kr.result = sim.run(input);
+    auto t1 = std::chrono::steady_clock::now();
+    kr.wallMs = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    kr.mbps = kr.wallMs > 0.0
+        ? (static_cast<double>(input.size()) / 1e6) / (kr.wallMs / 1e3)
+        : 0.0;
+    return kr;
+}
+
+bool
+sameStream(const SimResult &a, const SimResult &b)
+{
+    return a.reports == b.reports && a.totalActiveStates == b.totalActiveStates
+        && a.totalEnabledStates == b.totalEnabledStates
+        && a.totalActivePartitionCycles == b.totalActivePartitionCycles
+        && a.totalG1Crossings == b.totalG1Crossings
+        && a.totalG4Crossings == b.totalG4Crossings
+        && a.outputBufferInterrupts == b.outputBufferInterrupts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    TelemetrySession telemetry(argc, argv);
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+
+    BenchConfig cfg = BenchConfig::fromEnv();
+    if (smoke) {
+        cfg.scale = std::min(cfg.scale, 0.05);
+        cfg.streamBytes = std::min<size_t>(cfg.streamBytes, 16 << 10);
+    }
+    banner("Kernel comparison: sparse vs dense vs auto (DESIGN.md §7)",
+           cfg);
+
+    // "Frontier" = avg enabled states ÷ total states — the sparse
+    // kernel's workload and the density the Auto selector thresholds.
+    // "Active" = matched-state density (the Table 1 activity figure).
+    TablePrinter t({"Benchmark", "States", "Active", "Frontier",
+                    "Sparse MB/s", "Dense MB/s", "Dense/Sparse",
+                    "Auto MB/s", "Auto dense%"});
+
+    // Crossover bookkeeping, in frontier-density terms: the densest
+    // frontier where sparse still wins vs the sparsest where dense wins.
+    double sparse_wins_max_density = -1.0;
+    double dense_wins_min_density = 2.0;
+    std::string sparse_win_example;
+    std::string dense_win_example;
+    int mismatches = 0;
+
+    auto evalRow = [&](const std::string &name, const Nfa &nfa,
+                       const std::vector<uint8_t> &input) {
+        std::fprintf(stderr, "  %s...\n", name.c_str());
+        MappedAutomaton mapped = mapPerformance(nfa);
+
+        KernelRun sp = timeKernel(mapped, input, SimKernel::Sparse);
+        KernelRun de = timeKernel(mapped, input, SimKernel::Dense);
+        KernelRun au = timeKernel(mapped, input, SimKernel::Auto);
+
+        if (!sameStream(sp.result, de.result)
+            || !sameStream(sp.result, au.result)) {
+            std::fprintf(stderr,
+                         "FATAL: kernel report streams diverge on %s\n",
+                         name.c_str());
+            ++mismatches;
+            return;
+        }
+
+        size_t states = nfa.numStates();
+        double per_symbol = states && sp.result.symbols
+            ? 1.0 / (static_cast<double>(sp.result.symbols)
+                     * static_cast<double>(states))
+            : 0.0;
+        double active =
+            static_cast<double>(sp.result.totalActiveStates) * per_symbol;
+        double frontier =
+            static_cast<double>(sp.result.totalEnabledStates) * per_symbol;
+        double ratio = sp.mbps > 0.0 ? de.mbps / sp.mbps : 0.0;
+        double auto_dense_pct = au.result.symbols
+            ? 100.0 * static_cast<double>(au.result.denseKernelSymbols)
+                / static_cast<double>(au.result.symbols)
+            : 0.0;
+
+        if (ratio > 1.0 && frontier < dense_wins_min_density) {
+            dense_wins_min_density = frontier;
+            dense_win_example = name;
+        }
+        if (ratio <= 1.0 && frontier > sparse_wins_max_density) {
+            sparse_wins_max_density = frontier;
+            sparse_win_example = name;
+        }
+
+        t.addRow({name, std::to_string(states), fixed(active, 4),
+                  fixed(frontier, 4), fixed(sp.mbps, 1), fixed(de.mbps, 1),
+                  fixed(ratio, 2) + "x", fixed(au.mbps, 1),
+                  fixed(auto_dense_pct, 0) + "%"});
+
+        // Not CA_GAUGE_SET: the macro caches one static gauge per call
+        // site, which would pin these dynamic names to the first row.
+        if (ca::telemetry::enabled()) {
+            auto &reg = ca::telemetry::MetricsRegistry::global();
+            reg.gauge("ca.bench.kernel.sparse_mbps." + name).set(sp.mbps);
+            reg.gauge("ca.bench.kernel.dense_mbps." + name).set(de.mbps);
+            reg.gauge("ca.bench.kernel.frontier_density." + name)
+                .set(frontier);
+        }
+    };
+
+    for (const Benchmark &b : benchmarkSuite()) {
+        Nfa nfa = b.build(cfg.scale, cfg.seed);
+        std::vector<uint8_t> input =
+            benchmarkInput(b, cfg.streamBytes, cfg.seed + 1, cfg.scale,
+                           cfg.seed);
+        evalRow(b.name, nfa, input);
+    }
+
+    // A sparse-regime control the ANMLZoo-style suite lacks: anchored
+    // rules leave almost nothing enabled after offset 0 (no all-input
+    // starts), so the frontier stays far below one state per partition
+    // and the frontier walk beats the partition scan.
+    {
+        std::vector<std::string> rules;
+        int n_rules = std::max(2, static_cast<int>(200 * cfg.scale));
+        for (int r = 0; r < n_rules; ++r) {
+            std::string pat = "^";
+            for (int j = 0; j < 60; ++j)
+                pat += static_cast<char>('a' + (r * 7 + j * 13) % 26);
+            rules.push_back(pat);
+        }
+        Nfa nfa = compileRuleset(rules);
+        InputSpec spec;
+        spec.kind = StreamKind::Text;
+        std::vector<uint8_t> input =
+            buildInput(spec, cfg.streamBytes, cfg.seed + 2);
+        evalRow("Anchored(ctl)", nfa, input);
+    }
+    t.print();
+
+    if (!sparse_win_example.empty())
+        std::printf("\nDensest frontier where sparse still won: %.4f "
+                    "(%s)\n",
+                    sparse_wins_max_density, sparse_win_example.c_str());
+    else
+        std::printf("\nSparse won nowhere at this scale\n");
+    if (!dense_win_example.empty())
+        std::printf("Sparsest frontier where dense won:       %.4f "
+                    "(%s)\n",
+                    dense_wins_min_density, dense_win_example.c_str());
+    std::printf("Auto threshold default: %.4f "
+                "(SimOptions::autoDensityThreshold)\n",
+                SimOptions{}.autoDensityThreshold);
+    if (smoke)
+        std::printf("\n(smoke run: scale %.2f, %zu-byte streams — "
+                    "plumbing check only)\n", cfg.scale, cfg.streamBytes);
+    if (mismatches) {
+        std::fprintf(stderr, "%d benchmark(s) diverged between kernels\n",
+                     mismatches);
+        return 1;
+    }
+    return 0;
+}

@@ -36,6 +36,19 @@ ctest --test-dir build-telemetry-off -L persist --output-on-failure -j "$JOBS"
 ctest --test-dir build -L net --output-on-failure -j "$JOBS"
 ctest --test-dir build-telemetry-off -L net --output-on-failure -j "$JOBS"
 
+# The sim suite under each execution kernel: CA_SIM_KERNEL overrides
+# SimOptions::kernel process-wide, so the oracle-equivalence, streaming,
+# and checkpoint contracts are enforced with the sparse and the dense
+# stepper (Auto is the in-tree default and already ran above).
+CA_SIM_KERNEL=sparse ctest --test-dir build -L sim --output-on-failure \
+    -j "$JOBS"
+CA_SIM_KERNEL=dense ctest --test-dir build -L sim --output-on-failure \
+    -j "$JOBS"
+
+# The kernel-comparison bench's plumbing (table + cross-kernel report
+# check) at smoke size, so the bench binary cannot rot between releases.
+./build/bench/bench_kernel_comparison --smoke >/dev/null
+
 # ThreadSanitizer over the concurrency code: build only the runtime-
 # labeled tests (the multi-stream runtime, the checkpoint/streaming
 # contract it is built on, the persist cache's shared-directory
@@ -48,5 +61,12 @@ cmake -B build-tsan -S . -DCA_TELEMETRY=ON \
 cmake --build build-tsan -j "$JOBS" \
     --target runtime_test streaming_test persist_test net_test
 ctest --test-dir build-tsan -L runtime --output-on-failure -j "$JOBS"
+
+# The same TSan subset with every worker engine forced onto the dense
+# kernel: its lazily-built tables and frontier bitvectors are per-sim
+# state, and this run proves the multi-stream scheduler keeps them
+# data-race-free under context switching.
+CA_SIM_KERNEL=dense ctest --test-dir build-tsan -L runtime \
+    --output-on-failure -j "$JOBS"
 
 echo "ci: all configurations passed"

@@ -1,5 +1,7 @@
 #include "baseline/nfa_engine.h"
 
+#include <algorithm>
+
 #include "core/error.h"
 #include "telemetry/telemetry.h"
 
@@ -50,16 +52,22 @@ void
 NfaEngine::step(uint8_t symbol)
 {
     active_.clear();
+    report_scratch_.clear();
     // State-match phase: enabled states whose label contains the symbol.
     for (StateId s : enabled_) {
         if (nfa_.state(s).label.test(symbol)) {
             active_.push_back(s);
-            const NfaState &st = nfa_.state(s);
-            if (st.report)
-                reports_.push_back(Report{offset_, st.reportId, s});
+            if (nfa_.state(s).report)
+                report_scratch_.push_back(s);
         }
     }
     total_activations_ += active_.size();
+    // Canonical within-cycle report order: ascending state id (shared
+    // with the Cache Automaton simulator's kernels, which must produce a
+    // bit-identical stream).
+    std::sort(report_scratch_.begin(), report_scratch_.end());
+    for (StateId s : report_scratch_)
+        reports_.push_back(Report{offset_, nfa_.state(s).reportId, s});
 
     // State-transition phase: successors of active states, plus the
     // always-enabled AllInput start states, form the next frontier. Only

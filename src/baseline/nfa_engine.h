@@ -81,6 +81,7 @@ class NfaEngine
     std::vector<StateId> enabled_;   ///< Frontier for the next symbol.
     BitVector enabled_mask_;         ///< Dedup mask over enabled_.
     std::vector<StateId> active_;
+    std::vector<StateId> report_scratch_; ///< Reporting states, per cycle.
     std::vector<Report> reports_;
     uint64_t offset_ = 0;
     uint64_t total_activations_ = 0;

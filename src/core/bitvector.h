@@ -85,6 +85,18 @@ class BitVector
         }
     }
 
+    /** Number of 64-bit words backing the vector. */
+    size_t wordCount() const { return words_.size(); }
+
+    /** Word @p w of the backing storage (word 0 holds bits 0-63). */
+    uint64_t word(size_t w) const { return words_[w]; }
+
+    /** OR @p v into word @p w (word-granular bulk update). */
+    void orWord(size_t w, uint64_t v) { words_[w] |= v; }
+
+    /** AND @p v into word @p w (word-granular bulk update). */
+    void andWord(size_t w, uint64_t v) { words_[w] &= v; }
+
     BitVector &operator|=(const BitVector &o);
     BitVector &operator&=(const BitVector &o);
     BitVector &operator^=(const BitVector &o);
@@ -101,6 +113,14 @@ class BitVector
     std::string toString() const;
 
     const std::vector<uint64_t> &raw() const { return words_; }
+
+    /**
+     * Mutable word access for word-parallel hot loops (the simulator's
+     * dense kernel builds next-frontier vectors in place). Callers must
+     * keep bits above size() clear — the class invariant every other
+     * operation (count, any, forEachSet, ==) relies on.
+     */
+    std::vector<uint64_t> &raw() { return words_; }
 
   private:
     void maskTail();

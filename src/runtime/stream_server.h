@@ -54,8 +54,11 @@ struct StreamServerOptions
      */
     uint64_t sliceSymbols = 64 << 10;
     /**
-     * Simulator options for the per-worker engines. collectReports is
-     * forced on (reports are the product; the sink is the drain).
+     * Simulator options for the per-worker engines, including the
+     * execution kernel (SimOptions::kernel — Sparse/Dense/Auto; with
+     * Auto each worker adapts per slice to the density of the streams
+     * it happens to run). collectReports is forced on (reports are the
+     * product; the sink is the drain).
      */
     SimOptions sim;
 };

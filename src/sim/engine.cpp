@@ -1,8 +1,13 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
 
 #include "core/error.h"
+#include "core/logging.h"
 #include "telemetry/telemetry.h"
 
 namespace ca {
@@ -26,6 +31,9 @@ struct SimCounters
     telemetry::Counter &reports;
     telemetry::Counter &fifoRefills;
     telemetry::Counter &outputBufferInterrupts;
+    telemetry::Counter &kernelSparseSymbols;
+    telemetry::Counter &kernelDenseSymbols;
+    telemetry::Counter &kernelSwitches;
     telemetry::Histogram &feedSymbols;
 
     static SimCounters &
@@ -41,6 +49,9 @@ struct SimCounters
             reg.counter("ca.sim.reports"),
             reg.counter("ca.sim.fifo_refills"),
             reg.counter("ca.sim.output_buffer_interrupts"),
+            reg.counter("ca.sim.kernel_sparse_symbols"),
+            reg.counter("ca.sim.kernel_dense_symbols"),
+            reg.counter("ca.sim.kernel_switches"),
             reg.histogram("ca.sim.feed_symbols"),
         };
         return c;
@@ -88,6 +99,37 @@ requireAutomaton(const std::shared_ptr<const MappedAutomaton> &mapped)
 {
     CA_FATAL_IF(!mapped, "CacheAutomatonSim: null mapped automaton");
     return *mapped;
+}
+
+/** Dense-kernel partition geometry (§2.2: 256 STEs per 8 KB array). */
+constexpr uint32_t kSlotsPerPartition = 256;
+constexpr uint32_t kWordsPerPartition = kSlotsPerPartition / 64;
+
+/**
+ * $CA_SIM_KERNEL override, parsed once per process. CI sets it to run
+ * the whole sim test suite under each kernel without recompiling.
+ */
+std::optional<SimKernel>
+envKernelOverride()
+{
+    static const std::optional<SimKernel> parsed = [] {
+        std::optional<SimKernel> out;
+        const char *env = std::getenv("CA_SIM_KERNEL");
+        if (!env || !*env)
+            return out;
+        if (std::strcmp(env, "sparse") == 0)
+            out = SimKernel::Sparse;
+        else if (std::strcmp(env, "dense") == 0)
+            out = SimKernel::Dense;
+        else if (std::strcmp(env, "auto") == 0)
+            out = SimKernel::Auto;
+        else
+            CA_WARN("CA_SIM_KERNEL=" << env
+                                     << " is not sparse/dense/auto; "
+                                        "ignoring");
+        return out;
+    }();
+    return parsed;
 }
 
 } // namespace
@@ -156,9 +198,220 @@ CacheAutomatonSim::reset()
             enabled_.push_back(s);
         }
     }
+    dense_active_ = false;
+    density_seeded_ = false;
+    last_kernel_ = -1;
     pending_reports_ = 0;
     stream_offset_ = 0;
     acc_ = SimResult{};
+}
+
+SimKernel
+CacheAutomatonSim::effectiveKernel() const
+{
+    if (std::optional<SimKernel> env = envKernelOverride())
+        return *env;
+    return opts_.kernel;
+}
+
+void
+CacheAutomatonSim::ensureDenseTables()
+{
+    if (dense_ready_ || dense_unavailable_)
+        return;
+    const Nfa &nfa = mapped_.nfa();
+    const uint32_t P = static_cast<uint32_t>(mapped_.numPartitions());
+    if (P == 0 || nfa.numStates() == 0) {
+        dense_unavailable_ = true;
+        return;
+    }
+    for (StateId s = 0; s < nfa.numStates(); ++s) {
+        if (mapped_.location(s).slot >= kSlotsPerPartition) {
+            // Defensive: a non-standard design geometry falls back to
+            // the sparse kernel rather than corrupting masks.
+            CA_WARN("dense kernel unavailable: state "
+                    << s << " at slot " << mapped_.location(s).slot
+                    << " exceeds " << kSlotsPerPartition);
+            dense_unavailable_ = true;
+            return;
+        }
+    }
+    dense_partitions_ = P;
+
+    dense_index_of_.assign(nfa.numStates(), 0);
+    state_of_dense_.assign(static_cast<size_t>(P) * kSlotsPerPartition,
+                           kInvalidState);
+    for (StateId s = 0; s < nfa.numStates(); ++s) {
+        const SteLocation &loc = mapped_.location(s);
+        uint32_t di = loc.partition * kSlotsPerPartition + loc.slot;
+        dense_index_of_[s] = di;
+        state_of_dense_[di] = s;
+    }
+
+    // Row reads (§2.2): for each input symbol, the 256-bit per-partition
+    // match vector. Stored symbol-major so one symbol's step scans
+    // contiguous memory across partitions.
+    dense_rows_.assign(static_cast<size_t>(256) * P * kWordsPerPartition,
+                       0);
+    for (StateId s = 0; s < nfa.numStates(); ++s) {
+        uint32_t di = dense_index_of_[s];
+        uint32_t p = di / kSlotsPerPartition;
+        uint32_t slot = di % kSlotsPerPartition;
+        uint64_t slot_bit = uint64_t{1} << (slot & 63);
+        size_t slot_word = slot >> 6;
+        for (int w = 0; w < 4; ++w) {
+            uint64_t label = labels_[s * 4 + w];
+            while (label) {
+                int b = std::countr_zero(label);
+                uint32_t c = static_cast<uint32_t>(w * 64 + b);
+                dense_rows_[(static_cast<size_t>(c) * P + p) *
+                                kWordsPerPartition +
+                            slot_word] |= slot_bit;
+                label &= label - 1;
+            }
+        }
+    }
+
+    // L-switch crossbar rows (intra-partition successors) and G-switch
+    // CSR (cross-partition successors, few per state by the 16/8 wire
+    // budgets).
+    dense_lswitch_.assign(state_of_dense_.size() * kWordsPerPartition, 0);
+    dense_cross_xadj_.assign(state_of_dense_.size() + 1, 0);
+    for (StateId s = 0; s < nfa.numStates(); ++s) {
+        uint32_t cross = 0;
+        for (uint32_t e = succ_xadj_[s]; e < succ_xadj_[s + 1]; ++e)
+            if (partition_of_[succ_[e]] != partition_of_[s])
+                ++cross;
+        dense_cross_xadj_[dense_index_of_[s] + 1] = cross;
+    }
+    for (size_t i = 1; i < dense_cross_xadj_.size(); ++i)
+        dense_cross_xadj_[i] += dense_cross_xadj_[i - 1];
+    dense_cross_.resize(dense_cross_xadj_.back());
+    for (StateId s = 0; s < nfa.numStates(); ++s) {
+        uint32_t di = dense_index_of_[s];
+        uint32_t fill = dense_cross_xadj_[di];
+        for (uint32_t e = succ_xadj_[s]; e < succ_xadj_[s + 1]; ++e) {
+            StateId t = succ_[e];
+            uint32_t ti = dense_index_of_[t];
+            if (partition_of_[t] == partition_of_[s]) {
+                uint32_t slot = ti % kSlotsPerPartition;
+                dense_lswitch_[static_cast<size_t>(di) *
+                                   kWordsPerPartition +
+                               (slot >> 6)] |= uint64_t{1} << (slot & 63);
+            } else {
+                dense_cross_[fill++] = ti;
+            }
+        }
+    }
+
+    // Per-partition attribute masks: word-parallel G1/G4/report counting.
+    dense_g1_.assign(static_cast<size_t>(P) * kWordsPerPartition, 0);
+    dense_g4_.assign(static_cast<size_t>(P) * kWordsPerPartition, 0);
+    dense_report_.assign(static_cast<size_t>(P) * kWordsPerPartition, 0);
+    for (StateId s = 0; s < nfa.numStates(); ++s) {
+        uint32_t di = dense_index_of_[s];
+        size_t word = di >> 6;
+        uint64_t bit = uint64_t{1} << (di & 63);
+        if (cross_flags_[s] & 1)
+            dense_g1_[word] |= bit;
+        if (cross_flags_[s] & 2)
+            dense_g4_[word] |= bit;
+        if (report_info_[s] & 1)
+            dense_report_[word] |= bit;
+    }
+
+    std::vector<uint64_t> allinput(
+        static_cast<size_t>(P) * kWordsPerPartition, 0);
+    for (StateId s : all_input_) {
+        uint32_t di = dense_index_of_[s];
+        allinput[di >> 6] |= uint64_t{1} << (di & 63);
+    }
+    dense_allinput_words_.clear();
+    for (size_t w = 0; w < allinput.size(); ++w)
+        if (allinput[w])
+            dense_allinput_words_.emplace_back(
+                static_cast<uint32_t>(w), allinput[w]);
+
+    dense_cur_ =
+        BitVector(static_cast<size_t>(P) * kSlotsPerPartition);
+    dense_nxt_ =
+        BitVector(static_cast<size_t>(P) * kSlotsPerPartition);
+    dense_ready_ = true;
+}
+
+void
+CacheAutomatonSim::syncDenseFromSparse()
+{
+    dense_cur_.clearAll();
+    for (StateId s : enabled_)
+        dense_cur_.setUnchecked(dense_index_of_[s]);
+    dense_active_ = true;
+}
+
+void
+CacheAutomatonSim::syncSparseFromDense()
+{
+    for (StateId s : enabled_)
+        enabled_mask_.resetUnchecked(s);
+    enabled_.clear();
+    dense_cur_.forEachSet([&](size_t di) {
+        StateId s = state_of_dense_[di];
+        enabled_mask_.setUnchecked(s);
+        enabled_.push_back(s);
+    });
+    dense_active_ = false;
+}
+
+bool
+CacheAutomatonSim::chooseDense()
+{
+    SimKernel kernel = effectiveKernel();
+    if (kernel == SimKernel::Sparse)
+        return false;
+    ensureDenseTables();
+    if (dense_unavailable_)
+        return false;
+    if (kernel == SimKernel::Dense)
+        return true;
+    // Auto: seed the EWMA from the current frontier density so a sim
+    // restored into a hot checkpoint starts on the right kernel.
+    size_t n = mapped_.nfa().numStates();
+    if (!density_seeded_) {
+        size_t frontier =
+            dense_active_ ? dense_cur_.count() : enabled_.size();
+        density_ewma_ =
+            static_cast<double>(frontier) / static_cast<double>(n);
+        density_seeded_ = true;
+    }
+    return density_ewma_ > opts_.autoDensityThreshold;
+}
+
+void
+CacheAutomatonSim::emitCycleReports()
+{
+    if (cycle_report_scratch_.empty())
+        return;
+    // Canonical within-cycle order: ascending state id (shared with the
+    // CPU oracle and both kernels — bit-identical report streams).
+    std::sort(cycle_report_scratch_.begin(), cycle_report_scratch_.end());
+    if (opts_.collectReports) {
+        for (StateId s : cycle_report_scratch_)
+            acc_.reports.push_back(Report{
+                stream_offset_,
+                static_cast<uint32_t>(report_info_[s] >> 1), s});
+    }
+    // §2.8 output buffer: an interrupt drains outputBufferDepth entries;
+    // overshoot past the threshold (several states reporting in one
+    // cycle) carries into the next buffer instead of being discarded,
+    // so interrupt counts stay exact.
+    pending_reports_ += cycle_report_scratch_.size();
+    const uint64_t depth = static_cast<uint64_t>(
+        std::max(opts_.outputBufferDepth, 1));
+    while (pending_reports_ >= depth) {
+        ++acc_.outputBufferInterrupts;
+        pending_reports_ -= depth;
+    }
+    cycle_report_scratch_.clear();
 }
 
 void
@@ -169,15 +422,87 @@ CacheAutomatonSim::feed(const uint8_t *data, size_t size)
     struct
     {
         uint64_t symbols, activeStates, activePartitionCycles, g1, g4,
-            reports, fifoRefills, obInterrupts;
+            reports, fifoRefills, obInterrupts, sparseSyms, denseSyms,
+            kernelSwitches;
     } before = {};
     if (telemetry_on) {
         before = {acc_.symbols, acc_.totalActiveStates,
                   acc_.totalActivePartitionCycles, acc_.totalG1Crossings,
                   acc_.totalG4Crossings, acc_.reports.size(),
-                  acc_.fifoRefills, acc_.outputBufferInterrupts};
+                  acc_.fifoRefills, acc_.outputBufferInterrupts,
+                  acc_.sparseKernelSymbols, acc_.denseKernelSymbols,
+                  acc_.kernelSwitches};
     }
 #endif
+    const bool auto_kernel = effectiveKernel() == SimKernel::Auto;
+    const size_t n_states = mapped_.nfa().numStates();
+    size_t pos = 0;
+    while (pos < size) {
+        bool use_dense = chooseDense();
+        size_t block = size - pos;
+        if (auto_kernel && opts_.autoBlockSymbols > 0)
+            block = std::min(block,
+                             static_cast<size_t>(opts_.autoBlockSymbols));
+
+        int kernel_id = use_dense ? 1 : 0;
+        if (last_kernel_ >= 0 && last_kernel_ != kernel_id)
+            ++acc_.kernelSwitches;
+        last_kernel_ = kernel_id;
+
+        if (use_dense && !dense_active_)
+            syncDenseFromSparse();
+        else if (!use_dense && dense_active_)
+            syncSparseFromDense();
+
+        if (use_dense) {
+            feedDense(data + pos, block);
+            acc_.denseKernelSymbols += block;
+        } else {
+            feedSparse(data + pos, block);
+            acc_.sparseKernelSymbols += block;
+        }
+        pos += block;
+
+        if (auto_kernel && n_states > 0 && block > 0) {
+            // Sample the *enabled frontier*, not the matched count: the
+            // sparse kernel's per-symbol cost is one label test per
+            // enabled state (always-enabled all-input starts included),
+            // so frontier size is the quantity the crossover tracks.
+            size_t frontier =
+                dense_active_ ? dense_cur_.count() : enabled_.size();
+            double sample = static_cast<double>(frontier) /
+                static_cast<double>(n_states);
+            density_ewma_ = opts_.autoEwmaAlpha * sample +
+                (1.0 - opts_.autoEwmaAlpha) * density_ewma_;
+        }
+    }
+#if CA_TELEMETRY
+    if (telemetry_on) {
+        SimCounters &c = SimCounters::get();
+        c.symbols.add(acc_.symbols - before.symbols);
+        c.activeStates.add(acc_.totalActiveStates - before.activeStates);
+        c.activePartitionCycles.add(acc_.totalActivePartitionCycles -
+                                    before.activePartitionCycles);
+        c.g1Crossings.add(acc_.totalG1Crossings - before.g1);
+        c.g4Crossings.add(acc_.totalG4Crossings - before.g4);
+        c.reports.add(acc_.reports.size() - before.reports);
+        c.fifoRefills.add(acc_.fifoRefills - before.fifoRefills);
+        c.outputBufferInterrupts.add(acc_.outputBufferInterrupts -
+                                     before.obInterrupts);
+        c.kernelSparseSymbols.add(acc_.sparseKernelSymbols -
+                                  before.sparseSyms);
+        c.kernelDenseSymbols.add(acc_.denseKernelSymbols -
+                                 before.denseSyms);
+        c.kernelSwitches.add(acc_.kernelSwitches -
+                             before.kernelSwitches);
+        c.feedSymbols.observe(size);
+    }
+#endif
+}
+
+void
+CacheAutomatonSim::feedSparse(const uint8_t *data, size_t size)
+{
     for (size_t i = 0; i < size; ++i) {
         uint8_t c = data[i];
         const uint64_t label_bit = uint64_t{1} << (c & 63);
@@ -188,6 +513,8 @@ CacheAutomatonSim::feed(const uint8_t *data, size_t size)
         if (stream_offset_ % static_cast<uint64_t>(opts_.fifoRefillSymbols)
             == 0)
             ++acc_.fifoRefills;
+
+        acc_.totalEnabledStates += enabled_.size();
 
         // A partition is active (performs an array read + L-switch
         // access) when its active-state vector has any bit set (§5.3).
@@ -206,7 +533,6 @@ CacheAutomatonSim::feed(const uint8_t *data, size_t size)
         active_scratch_.clear();
         uint32_t g1 = 0;
         uint32_t g4 = 0;
-        uint32_t fired = 0;
         for (StateId s : enabled_) {
             if (!(labels_[s * 4 + label_word] & label_bit))
                 continue;
@@ -216,24 +542,16 @@ CacheAutomatonSim::feed(const uint8_t *data, size_t size)
                 ++g1;
             if (flags & 2)
                 ++g4;
-            uint64_t rinfo = report_info_[s];
-            if (rinfo & 1) {
-                ++fired;
-                if (opts_.collectReports)
-                    acc_.reports.push_back(Report{
-                        stream_offset_,
-                        static_cast<uint32_t>(rinfo >> 1), s});
-                ++pending_reports_;
-                if (pending_reports_ >=
-                    static_cast<uint64_t>(opts_.outputBufferDepth)) {
-                    ++acc_.outputBufferInterrupts;
-                    pending_reports_ = 0;
-                }
-            }
+            if (report_info_[s] & 1)
+                cycle_report_scratch_.push_back(s);
         }
         acc_.totalActiveStates += active_scratch_.size();
         acc_.totalG1Crossings += g1;
         acc_.totalG4Crossings += g4;
+
+        uint32_t fired =
+            static_cast<uint32_t>(cycle_report_scratch_.size());
+        emitCycleReports();
 
         if (opts_.recordTrace) {
             acc_.trace.push_back(CycleTrace{
@@ -266,22 +584,123 @@ CacheAutomatonSim::feed(const uint8_t *data, size_t size)
         ++acc_.symbols;
         ++stream_offset_;
     }
-#if CA_TELEMETRY
-    if (telemetry_on) {
-        SimCounters &c = SimCounters::get();
-        c.symbols.add(acc_.symbols - before.symbols);
-        c.activeStates.add(acc_.totalActiveStates - before.activeStates);
-        c.activePartitionCycles.add(acc_.totalActivePartitionCycles -
-                                    before.activePartitionCycles);
-        c.g1Crossings.add(acc_.totalG1Crossings - before.g1);
-        c.g4Crossings.add(acc_.totalG4Crossings - before.g4);
-        c.reports.add(acc_.reports.size() - before.reports);
-        c.fifoRefills.add(acc_.fifoRefills - before.fifoRefills);
-        c.outputBufferInterrupts.add(acc_.outputBufferInterrupts -
-                                     before.obInterrupts);
-        c.feedSymbols.observe(size);
+}
+
+void
+CacheAutomatonSim::feedDense(const uint8_t *data, size_t size)
+{
+    const uint32_t P = dense_partitions_;
+    const size_t words = static_cast<size_t>(P) * kWordsPerPartition;
+    uint64_t *cur = dense_cur_.raw().data();
+    uint64_t *nxt = dense_nxt_.raw().data();
+    const uint64_t *g1_mask = dense_g1_.data();
+    const uint64_t *g4_mask = dense_g4_.data();
+    const uint64_t *rep_mask = dense_report_.data();
+    const uint64_t *lswitch = dense_lswitch_.data();
+
+    for (size_t i = 0; i < size; ++i) {
+        uint8_t c = data[i];
+
+        if (stream_offset_ % static_cast<uint64_t>(opts_.fifoRefillSymbols)
+            == 0)
+            ++acc_.fifoRefills;
+
+        std::fill(nxt, nxt + words, 0);
+
+        const uint64_t *rows =
+            &dense_rows_[static_cast<size_t>(c) * words];
+        uint32_t active_partitions = 0;
+        uint64_t active_states = 0;
+        uint64_t g1 = 0;
+        uint64_t g4 = 0;
+        for (uint32_t p = 0; p < P; ++p) {
+            const size_t base = static_cast<size_t>(p) *
+                kWordsPerPartition;
+            const uint64_t e0 = cur[base + 0];
+            const uint64_t e1 = cur[base + 1];
+            const uint64_t e2 = cur[base + 2];
+            const uint64_t e3 = cur[base + 3];
+            if (!(e0 | e1 | e2 | e3))
+                continue;
+            ++active_partitions;
+            acc_.totalEnabledStates += static_cast<uint64_t>(
+                std::popcount(e0) + std::popcount(e1) +
+                std::popcount(e2) + std::popcount(e3));
+            // The §2.2 row read: the SRAM row *is* the match vector.
+            uint64_t m[4] = {e0 & rows[base + 0], e1 & rows[base + 1],
+                             e2 & rows[base + 2], e3 & rows[base + 3]};
+            if (!(m[0] | m[1] | m[2] | m[3]))
+                continue;
+            for (int w = 0; w < 4; ++w) {
+                uint64_t mw = m[w];
+                if (!mw)
+                    continue;
+                active_states +=
+                    static_cast<uint64_t>(std::popcount(mw));
+                g1 += static_cast<uint64_t>(
+                    std::popcount(mw & g1_mask[base + w]));
+                g4 += static_cast<uint64_t>(
+                    std::popcount(mw & g4_mask[base + w]));
+                uint64_t rw = mw & rep_mask[base + w];
+                while (rw) {
+                    int b = std::countr_zero(rw);
+                    uint32_t di = static_cast<uint32_t>(
+                        (base + static_cast<size_t>(w)) * 64 +
+                        static_cast<size_t>(b));
+                    cycle_report_scratch_.push_back(
+                        state_of_dense_[di]);
+                    rw &= rw - 1;
+                }
+                // Transition: matched states drive their L-switch rows
+                // (4-word OR) and their few G-switch wires.
+                while (mw) {
+                    int b = std::countr_zero(mw);
+                    uint32_t di = static_cast<uint32_t>(
+                        (base + static_cast<size_t>(w)) * 64 +
+                        static_cast<size_t>(b));
+                    const uint64_t *row =
+                        lswitch + static_cast<size_t>(di) *
+                            kWordsPerPartition;
+                    nxt[base + 0] |= row[0];
+                    nxt[base + 1] |= row[1];
+                    nxt[base + 2] |= row[2];
+                    nxt[base + 3] |= row[3];
+                    for (uint32_t e = dense_cross_xadj_[di];
+                         e < dense_cross_xadj_[di + 1]; ++e) {
+                        uint32_t ti = dense_cross_[e];
+                        nxt[ti >> 6] |= uint64_t{1} << (ti & 63);
+                    }
+                    mw &= mw - 1;
+                }
+            }
+        }
+        acc_.totalActivePartitionCycles += active_partitions;
+        acc_.totalActiveStates += active_states;
+        acc_.totalG1Crossings += g1;
+        acc_.totalG4Crossings += g4;
+
+        uint32_t fired =
+            static_cast<uint32_t>(cycle_report_scratch_.size());
+        emitCycleReports();
+
+        if (opts_.recordTrace) {
+            acc_.trace.push_back(CycleTrace{
+                active_partitions, static_cast<uint32_t>(active_states),
+                static_cast<uint32_t>(g1), static_cast<uint32_t>(g4),
+                fired});
+        }
+
+        for (const auto &[w, mask] : dense_allinput_words_)
+            nxt[w] |= mask;
+
+        std::swap(cur, nxt);
+        ++acc_.symbols;
+        ++stream_offset_;
     }
-#endif
+    // An odd symbol count leaves the live frontier in dense_nxt_'s
+    // storage; swap the vectors so dense_cur_ owns it again.
+    if (cur != dense_cur_.raw().data())
+        std::swap(dense_cur_, dense_nxt_);
 }
 
 SimResult
@@ -306,8 +725,19 @@ SimResult
 CacheAutomatonSim::run(const uint8_t *data, size_t size,
                        const SimOptions &opts)
 {
+    // One-off options: restore the bound ones when the run ends, so a
+    // later feed()/run() still sees what the sim was constructed with.
+    const SimOptions saved = opts_;
     opts_ = opts;
-    return run(data, size);
+    SimResult out;
+    try {
+        out = run(data, size);
+    } catch (...) {
+        opts_ = saved;
+        throw;
+    }
+    opts_ = saved;
+    return out;
 }
 
 std::vector<Report>
@@ -323,7 +753,13 @@ CacheAutomatonSim::checkpoint() const
 {
     SimCheckpoint ckpt;
     ckpt.symbolOffset = stream_offset_;
-    ckpt.enabledStates = enabled_;
+    if (dense_active_) {
+        dense_cur_.forEachSet([&](size_t di) {
+            ckpt.enabledStates.push_back(state_of_dense_[di]);
+        });
+    } else {
+        ckpt.enabledStates = enabled_;
+    }
     std::sort(ckpt.enabledStates.begin(), ckpt.enabledStates.end());
     return ckpt;
 }
@@ -344,6 +780,9 @@ CacheAutomatonSim::restore(const SimCheckpoint &ckpt)
             enabled_.push_back(s);
         }
     }
+    dense_active_ = false;
+    density_seeded_ = false;
+    last_kernel_ = -1;
     pending_reports_ = 0;
     acc_ = SimResult{};
     stream_offset_ = ckpt.symbolOffset;

@@ -14,8 +14,18 @@
  * suspend/resume model is supported by checkpoint()/restore() (the
  * hardware records the active-state vector and input symbol counter).
  *
+ * Two execution kernels compute the same step (SimKernel): a sparse
+ * frontier-iterating stepper (O(active states)/symbol) and a dense
+ * bit-parallel stepper that materializes the §2.2 row read — per-
+ * partition 256-entry symbol→match-mask tables AND-ed against the
+ * active vector in whole 64-bit words (O(partitions)/symbol). `Auto`
+ * picks per block on measured enabled-frontier density, so small- and
+ * large-frontier regimes each get their fast path.
+ *
  * Functional behaviour (the report stream) is bit-identical to the CPU
- * oracle engine; the test suite enforces this on randomized automata.
+ * oracle engine under every kernel; within a cycle, reports are emitted
+ * in ascending state id order (the canonical order all engines share).
+ * The test suite enforces this on randomized automata.
  */
 #ifndef CA_SIM_ENGINE_H
 #define CA_SIM_ENGINE_H
@@ -31,6 +41,33 @@
 
 namespace ca {
 
+/**
+ * Execution kernel for the per-symbol step (DESIGN.md §7).
+ *
+ *  - Sparse: iterate the enabled-state frontier; O(active states) per
+ *    symbol. Wins when few states are active (DFA-like automata).
+ *  - Dense: bit-parallel §2.2 row-read model — per-partition 256-entry
+ *    symbol→match-mask tables and per-state successor masks, stepped
+ *    with whole 64-bit words. Cost is O(partitions) per symbol
+ *    regardless of activity; wins on high-activity automata (Fermi,
+ *    SPM, Protomata-class).
+ *  - Auto: per-block selection on an EWMA of enabled-frontier density
+ *    (enabled states ÷ total states) — the sparse kernel's actual cost
+ *    driver, which includes always-enabled all-input start states.
+ *
+ * All kernels are bit-identical: same report stream, same activity
+ * counters (enforced against the CPU oracle by tests/kernel_test.cpp).
+ * The CA_SIM_KERNEL environment variable ("sparse"/"dense"/"auto"),
+ * when set, overrides the option — CI uses it to run the whole sim
+ * suite under every kernel.
+ */
+enum class SimKernel : uint8_t
+{
+    Sparse,
+    Dense,
+    Auto,
+};
+
 /** Simulation controls. */
 struct SimOptions
 {
@@ -43,6 +80,21 @@ struct SimOptions
     int fifoRefillSymbols = 64;
     /** Output buffer entries before an interrupt fires (§2.8). */
     int outputBufferDepth = 64;
+    /** Per-symbol stepper (overridable via $CA_SIM_KERNEL). */
+    SimKernel kernel = SimKernel::Auto;
+    /**
+     * Auto: run the dense kernel while the EWMA of enabled-frontier
+     * density (enabled states ÷ total states) exceeds this. The default
+     * sits in the measured crossover band (bench_kernel_comparison:
+     * sparse still wins at ~0.011, dense from ~0.025 — about 3-6
+     * enabled states per 256-slot partition, since one sparse state
+     * visit costs several of the dense scan's sequential word ops).
+     */
+    double autoDensityThreshold = 0.02;
+    /** Auto: EWMA smoothing factor for per-block density samples. */
+    double autoEwmaAlpha = 0.25;
+    /** Auto: symbols per block between kernel re-evaluations. */
+    uint32_t autoBlockSymbols = 4096;
 };
 
 /** One cycle of recorded activity (when SimOptions::recordTrace). */
@@ -53,6 +105,8 @@ struct CycleTrace
     uint32_t g1Crossings = 0;
     uint32_t g4Crossings = 0;
     uint32_t reportsFired = 0;
+
+    bool operator==(const CycleTrace &) const = default;
 };
 
 /** Results of a simulated stream (cumulative since reset). */
@@ -67,12 +121,25 @@ struct SimResult
     // Totals over all symbols.
     uint64_t totalActivePartitionCycles = 0;
     uint64_t totalActiveStates = 0;
+    /**
+     * Sum over symbols of the enabled-frontier size (states holding an
+     * enable bit when the symbol arrives, matched or not). This is the
+     * sparse kernel's per-symbol workload and the quantity the Auto
+     * selector's density EWMA tracks.
+     */
+    uint64_t totalEnabledStates = 0;
     uint64_t totalG1Crossings = 0;
     uint64_t totalG4Crossings = 0;
 
     // System-integration counters (§2.8).
     uint64_t fifoRefills = 0;
     uint64_t outputBufferInterrupts = 0;
+
+    // Kernel accounting: which stepper executed each symbol, and how
+    // often Auto flipped between them mid-stream.
+    uint64_t sparseKernelSymbols = 0;
+    uint64_t denseKernelSymbols = 0;
+    uint64_t kernelSwitches = 0;
 
     std::vector<CycleTrace> trace;
 
@@ -129,7 +196,11 @@ class CacheAutomatonSim
     /** Convenience: reset, feed the whole buffer, return the result. */
     SimResult run(const uint8_t *data, size_t size);
 
-    /** run() with one-off options (replaces the bound options). */
+    /**
+     * run() with one-off options: @p opts applies to this run only; the
+     * originally-bound options are restored before returning, so later
+     * feed()/run() calls behave as if this call never happened.
+     */
     SimResult run(const uint8_t *data, size_t size,
                   const SimOptions &opts);
 
@@ -164,6 +235,32 @@ class CacheAutomatonSim
     const MappedAutomaton &mapped() const { return mapped_; }
 
   private:
+    /** Executes @p size symbols with the frontier-iterating stepper. */
+    void feedSparse(const uint8_t *data, size_t size);
+
+    /** Executes @p size symbols with the bit-parallel stepper. */
+    void feedDense(const uint8_t *data, size_t size);
+
+    /**
+     * Emits the cycle's reports in canonical (ascending state id) order
+     * and runs the §2.8 output-buffer accounting. Both kernels call
+     * this, which is what makes their report streams bit-identical.
+     */
+    void emitCycleReports();
+
+    /** Resolves opts_.kernel against the $CA_SIM_KERNEL override. */
+    SimKernel effectiveKernel() const;
+
+    /** True when the next block should run the dense kernel. */
+    bool chooseDense();
+
+    /** Builds the dense tables once (no-op when already built). */
+    void ensureDenseTables();
+
+    /** Moves the live frontier between representations. */
+    void syncDenseFromSparse();
+    void syncSparseFromDense();
+
     /** Keeps a loaded automaton alive; null when bound by reference. */
     std::shared_ptr<const MappedAutomaton> owned_;
     const MappedAutomaton &mapped_;
@@ -190,6 +287,44 @@ class CacheAutomatonSim
     uint64_t pending_reports_ = 0;
     /** Absolute stream position (survives restore; stamps reports). */
     uint64_t stream_offset_ = 0;
+
+    /** States that fired a report this cycle (sorted before emission). */
+    std::vector<StateId> cycle_report_scratch_;
+
+    // Dense-kernel precomputation (built lazily: a sparse-only sim pays
+    // nothing). Layouts use 4 words = 256 bits per partition, the §2.2
+    // array geometry; a state's dense index is partition*256 + slot.
+    bool dense_ready_ = false;
+    bool dense_unavailable_ = false;
+    uint32_t dense_partitions_ = 0;
+    /** state → dense index. */
+    std::vector<uint32_t> dense_index_of_;
+    /** dense index → state (kInvalidState for unused slots). */
+    std::vector<StateId> state_of_dense_;
+    /** Symbol-major row reads: rows_[((c*P)+p)*4 + w] (§2.2). */
+    std::vector<uint64_t> dense_rows_;
+    /** L-switch: per-state intra-partition successor masks
+        lswitch_[(dense_index*4) + w]. */
+    std::vector<uint64_t> dense_lswitch_;
+    /** G-switch: CSR of cross-partition successor dense indices. */
+    std::vector<uint32_t> dense_cross_xadj_;
+    std::vector<uint32_t> dense_cross_;
+    /** Per-partition G1-source / G4-source / reporting masks (p*4+w). */
+    std::vector<uint64_t> dense_g1_;
+    std::vector<uint64_t> dense_g4_;
+    std::vector<uint64_t> dense_report_;
+    /** Non-zero words of the all-input start mask, OR-ed in each cycle. */
+    std::vector<std::pair<uint32_t, uint64_t>> dense_allinput_words_;
+    /** Frontier vectors (current / next), P*256 bits each. */
+    BitVector dense_cur_;
+    BitVector dense_nxt_;
+    /** Which representation holds the live frontier. */
+    bool dense_active_ = false;
+
+    // Auto-kernel state.
+    double density_ewma_ = 0.0;
+    bool density_seeded_ = false;
+    int last_kernel_ = -1; ///< -1 none, 0 sparse, 1 dense.
 
     SimResult acc_;
 };

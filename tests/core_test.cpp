@@ -304,6 +304,38 @@ TEST(BitVector, SizeMismatchThrows)
     EXPECT_THROW(a |= b, CaInternalError);
 }
 
+TEST(BitVector, WordGranularOps)
+{
+    BitVector v(200); // 4 words, last one partial
+    EXPECT_EQ(v.wordCount(), 4u);
+    v.orWord(1, uint64_t{1} << 5 | uint64_t{1} << 40);
+    EXPECT_TRUE(v.test(64 + 5));
+    EXPECT_TRUE(v.test(64 + 40));
+    EXPECT_EQ(v.word(1), (uint64_t{1} << 5) | (uint64_t{1} << 40));
+    EXPECT_EQ(v.count(), 2u);
+    v.andWord(1, uint64_t{1} << 5);
+    EXPECT_TRUE(v.test(64 + 5));
+    EXPECT_FALSE(v.test(64 + 40));
+    EXPECT_EQ(v.count(), 1u);
+}
+
+TEST(BitVector, MutableRawMatchesBitView)
+{
+    BitVector v(130);
+    v.raw()[0] = 0x5;
+    v.raw()[2] = 0x3; // bits 128, 129 — within size
+    EXPECT_TRUE(v.test(0));
+    EXPECT_TRUE(v.test(2));
+    EXPECT_TRUE(v.test(128));
+    EXPECT_TRUE(v.test(129));
+    EXPECT_EQ(v.count(), 4u);
+    std::ptrdiff_t last = v.next(v.next(v.first()));
+    EXPECT_EQ(last, 128);
+    // The const and mutable views alias the same storage.
+    const BitVector &cv = v;
+    EXPECT_EQ(cv.raw().data(), v.raw().data());
+}
+
 // ---------------------------------------------------------------- Rng
 
 TEST(Rng, Deterministic)

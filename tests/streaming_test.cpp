@@ -194,6 +194,50 @@ TEST(Checkpoint, FreshCheckpointEqualsReset)
     EXPECT_EQ(b.result().reports, c.run(input).reports);
 }
 
+// Suspend/resume at offsets NOT aligned to fifoRefillSymbols: the FIFO
+// refill counter is keyed to the *absolute* stream offset, so the head
+// and tail counts must sum to the straight run's count (no double-fetch
+// at the cut, no missed refill after it), and report offsets must stay
+// absolute — under both execution kernels.
+TEST(Checkpoint, UnalignedCutPreservesFifoRefills)
+{
+    MappedAutomaton m = sampleMapped();
+    auto input = sampleInput(4 << 10, 21);
+
+    SimOptions base;
+    base.fifoRefillSymbols = 64;
+    CacheAutomatonSim whole(m, base);
+    SimResult expect = whole.run(input);
+    ASSERT_GT(expect.fifoRefills, 0u);
+
+    for (SimKernel k : {SimKernel::Sparse, SimKernel::Dense}) {
+        SimOptions opts = base;
+        opts.kernel = k;
+        // Mid-refill-batch cuts: none is a multiple of 64.
+        for (size_t cut : {size_t{1}, size_t{63}, size_t{65},
+                           size_t{1000}, input.size() - 7}) {
+            ASSERT_NE(cut % 64, 0u);
+            CacheAutomatonSim head(m, opts);
+            head.reset();
+            head.feed(input.data(), cut);
+            SimCheckpoint ckpt = head.checkpoint();
+            CacheAutomatonSim tail(m, opts);
+            tail.restore(ckpt);
+            tail.feed(input.data() + cut, input.size() - cut);
+
+            SimResult h = head.result();
+            SimResult t = tail.result();
+            EXPECT_EQ(h.fifoRefills + t.fifoRefills, expect.fifoRefills)
+                << "kernel " << static_cast<int>(k) << " cut " << cut;
+            std::vector<Report> stitched = h.reports;
+            stitched.insert(stitched.end(), t.reports.begin(),
+                            t.reports.end());
+            EXPECT_EQ(stitched, expect.reports)
+                << "kernel " << static_cast<int>(k) << " cut " << cut;
+        }
+    }
+}
+
 // Property: random cut points on a randomized workload resume exactly.
 class CheckpointProperty : public ::testing::TestWithParam<int>
 {

@@ -13,6 +13,7 @@
  *   --max-conns N       admission cap (over-cap connects get BUSY)
  *   --max-streams N     streams per connection
  *   --queue-depth N     per-session submit queue depth (backpressure)
+ *   --kernel K          simulator kernel: sparse | dense | auto (default)
  *   --idle-timeout-ms N idle connection teardown (<=0 disables)
  *   --duration-s N      exit after N seconds (default: run until signal)
  *   --metrics-out F / --trace-out F   telemetry artifacts at shutdown
@@ -63,6 +64,7 @@ usage()
         "[--max-conns N]\n"
         "            [--max-streams N] [--queue-depth N] "
         "[--idle-timeout-ms N]\n"
+        "            [--kernel sparse|dense|auto]\n"
         "            [--scale S] [--seed N] [--duration-s N]\n"
         "            [--metrics-out F] [--trace-out F]\n");
     return 2;
@@ -184,6 +186,20 @@ run(const Args &args)
     if (!args.opt("queue-depth").empty())
         opts.stream.sessionQueueDepth =
             std::stoull(args.opt("queue-depth"));
+    if (!args.opt("kernel").empty()) {
+        const std::string kernel = args.opt("kernel");
+        if (kernel == "sparse") {
+            opts.stream.sim.kernel = SimKernel::Sparse;
+        } else if (kernel == "dense") {
+            opts.stream.sim.kernel = SimKernel::Dense;
+        } else if (kernel == "auto") {
+            opts.stream.sim.kernel = SimKernel::Auto;
+        } else {
+            std::fprintf(stderr, "ca_server: unknown --kernel %s\n",
+                         kernel.c_str());
+            return usage();
+        }
+    }
 
     std::unique_ptr<net::MatchServer> server;
     if (!args.opt("artifact").empty()) {
