@@ -23,6 +23,7 @@
 
 #include "compiler/mapping.h"
 #include "sim/engine.h"
+#include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
 #include "workload/suite.h"
 
@@ -90,6 +91,43 @@ class TablePrinter
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Latency series on the telemetry histogram (telemetry/metrics.h):
+ * samples land in microseconds in a log2 Histogram — atomic, so
+ * generator threads share one recorder without a mutex or a
+ * sample vector — and quantiles come back through the histogram's
+ * percentile accessors. Replaces the ad-hoc sort-a-vector percentile
+ * math the bench binaries used to carry (log2 buckets bound the error
+ * to the sample's power-of-two bracket, plenty for a latency table).
+ */
+class LatencyRecorder
+{
+  public:
+    /** Records one sample measured in milliseconds. */
+    void
+    recordMs(double ms)
+    {
+        double us = ms * 1e3;
+        hist_.observe(us <= 0 ? 0 : static_cast<uint64_t>(us + 0.5));
+    }
+
+    /** Quantile @p q in [0,1], in milliseconds. */
+    double
+    percentileMs(double q) const
+    {
+        return hist_.percentile(q) / 1e3;
+    }
+
+    double p50Ms() const { return percentileMs(0.50); }
+    double p99Ms() const { return percentileMs(0.99); }
+    double meanMs() const { return hist_.mean() / 1e3; }
+    uint64_t samples() const { return hist_.count(); }
+    void reset() { hist_.reset(); }
+
+  private:
+    telemetry::Histogram hist_;
 };
 
 /** Geometric mean of a positive series. */

@@ -45,15 +45,6 @@ struct SweepResult
     double p99FlushMs = 0.0;
 };
 
-double
-percentile(std::vector<double> &sorted, double p)
-{
-    if (sorted.empty())
-        return 0.0;
-    size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
-    return sorted[idx];
-}
-
 SweepResult
 runSweep(net::MatchServer &server,
          const std::vector<std::vector<uint8_t>> &streams,
@@ -64,8 +55,9 @@ runSweep(net::MatchServer &server,
     for (const auto &s : streams)
         total_bytes += s.size();
 
-    std::mutex lat_mutex;
-    std::vector<double> flush_ms;
+    // One shared recorder: Histogram updates are atomic, so generator
+    // threads record without a latency vector + mutex of their own.
+    LatencyRecorder flush_lat;
     std::atomic<uint64_t> reports{0};
 
     auto t0 = std::chrono::steady_clock::now();
@@ -77,7 +69,6 @@ runSweep(net::MatchServer &server,
             std::vector<uint32_t> ids(per_conn);
             for (size_t s = 0; s < per_conn; ++s)
                 ids[s] = client.openStream();
-            std::vector<double> local_lat;
 
             // Round-robin MTU-sized chunks across this connection's
             // streams; a timed FLUSH every ~64 KiB per stream (or a
@@ -105,7 +96,7 @@ runSweep(net::MatchServer &server,
                         auto f0 = std::chrono::steady_clock::now();
                         client.flush(ids[s]);
                         auto f1 = std::chrono::steady_clock::now();
-                        local_lat.push_back(
+                        flush_lat.recordMs(
                             std::chrono::duration<double, std::milli>(
                                 f1 - f0)
                                 .count());
@@ -117,9 +108,6 @@ runSweep(net::MatchServer &server,
                 reports += sum.reports;
             }
             client.close();
-            std::lock_guard<std::mutex> lock(lat_mutex);
-            flush_ms.insert(flush_ms.end(), local_lat.begin(),
-                            local_lat.end());
         });
     }
     for (auto &t : generators)
@@ -131,9 +119,8 @@ runSweep(net::MatchServer &server,
     r.aggregateGbps = static_cast<double>(total_bytes) * 8.0 /
         (r.wallMs * 1e-3) / 1e9;
     r.reports = reports.load();
-    std::sort(flush_ms.begin(), flush_ms.end());
-    r.p50FlushMs = percentile(flush_ms, 0.50);
-    r.p99FlushMs = percentile(flush_ms, 0.99);
+    r.p50FlushMs = flush_lat.p50Ms();
+    r.p99FlushMs = flush_lat.p99Ms();
     return r;
 }
 

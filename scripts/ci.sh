@@ -36,6 +36,14 @@ ctest --test-dir build-telemetry-off -L persist --output-on-failure -j "$JOBS"
 ctest --test-dir build -L net --output-on-failure -j "$JOBS"
 ctest --test-dir build-telemetry-off -L net --output-on-failure -j "$JOBS"
 
+# The observability suite in both telemetry configurations: the stats
+# plane (docs/OBSERVABILITY.md) promises identical snapshot/percentile/
+# CASN behavior whether or not the instrumentation macros are compiled
+# in — only the recorded values differ.
+ctest --test-dir build -L observability --output-on-failure -j "$JOBS"
+ctest --test-dir build-telemetry-off -L observability --output-on-failure \
+    -j "$JOBS"
+
 # The sim suite under each execution kernel: CA_SIM_KERNEL overrides
 # SimOptions::kernel process-wide, so the oracle-equivalence, streaming,
 # and checkpoint contracts are enforced with the sparse and the dense
@@ -49,17 +57,53 @@ CA_SIM_KERNEL=dense ctest --test-dir build -L sim --output-on-failure \
 # check) at smoke size, so the bench binary cannot rot between releases.
 ./build/bench/bench_kernel_comparison --smoke >/dev/null
 
+# The observability-overhead bench's plumbing at smoke size: it must
+# drive real traffic with a live STATS poller ("polls > 0" in its
+# output proves the stats plane answered mid-load).
+./build/bench/bench_observability_overhead --smoke >/dev/null
+
+# End-to-end scrape smoke: a real ca_server with the stats endpoint and
+# a real ca_top against the in-band STATS protocol. The scrape uses
+# bash's /dev/tcp so CI needs no curl/netcat.
+echo "=== ca_server stats endpoint + ca_top smoke ==="
+./build/tools/ca_server --pattern 'cat|dog' --port 0 \
+    --stats-port 0 >/tmp/ca_ci_obs_server.log 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+    grep -q "stats listening" /tmp/ca_ci_obs_server.log && break
+    sleep 0.1
+done
+MATCH_PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\)$/\1/p' \
+    /tmp/ca_ci_obs_server.log | head -1)
+STATS_PORT=$(sed -n 's/.*stats listening on [0-9.]*:\([0-9]*\)$/\1/p' \
+    /tmp/ca_ci_obs_server.log | head -1)
+exec 9<>"/dev/tcp/127.0.0.1/${STATS_PORT}"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&9
+SCRAPE=$(cat <&9)
+exec 9<&- 9>&-
+echo "$SCRAPE" | grep -q "200 OK"
+echo "$SCRAPE" | grep -q "ca_server_uptime_seconds"
+echo "$SCRAPE" | grep -q "ca_net_frames_in_total"
+./build/tools/ca_top --port "$MATCH_PORT" --once \
+    | grep -q "ca_top"
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+trap - EXIT
+
 # ThreadSanitizer over the concurrency code: build only the runtime-
 # labeled tests (the multi-stream runtime, the checkpoint/streaming
 # contract it is built on, the persist cache's shared-directory
 # concurrency, and the TCP match service's reader/writer/sink threads)
-# with -fsanitize=thread and run that subset. persist_test and net_test
-# carry the runtime label, so their concurrent tests run under TSan here.
+# with -fsanitize=thread and run that subset. persist_test, net_test,
+# and observability_test carry the runtime label, so their concurrent
+# tests (including snapshot-while-mutating) run under TSan here.
 echo "=== configure build-tsan (ThreadSanitizer, runtime label) ==="
 cmake -B build-tsan -S . -DCA_TELEMETRY=ON \
     "-DCMAKE_CXX_FLAGS=-fsanitize=thread"
 cmake --build build-tsan -j "$JOBS" \
-    --target runtime_test streaming_test persist_test net_test
+    --target runtime_test streaming_test persist_test net_test \
+    observability_test
 ctest --test-dir build-tsan -L runtime --output-on-failure -j "$JOBS"
 
 # The same TSan subset with every worker engine forced onto the dense

@@ -98,6 +98,24 @@ MatchClient::closeStream(uint32_t stream)
     return StreamSummary{ack.symbols, ack.reports};
 }
 
+StatsReplyBody
+MatchClient::requestStats(uint32_t sections)
+{
+    CA_TRACE_SCOPE_CAT("ca.net.client_stats", "ca.net");
+    CA_FATAL_IF(!fd_.valid(), "net: requestStats before connect");
+    uint64_t token = next_flush_token_++;
+    std::vector<uint8_t> frame;
+    appendStats(frame, token, sections);
+    sendDraining(frame.data(), frame.size());
+    for (;;) {
+        Frame reply = awaitFrame(FrameType::StatsReply,
+                                 kConnectionStream);
+        if (reply.stats.token == token)
+            return std::move(reply.stats);
+        // Older tokens (pipelined polls) are absorbed, like flush().
+    }
+}
+
 const std::vector<Report> &
 MatchClient::reports(uint32_t stream) const
 {

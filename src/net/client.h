@@ -109,6 +109,15 @@ class MatchClient
     /** Moves out (and clears) the collected reports for @p stream. */
     std::vector<Report> takeReports(uint32_t stream);
 
+    /**
+     * In-band observability poll: sends STATS and blocks for the
+     * matching STATS_REPLY (REPORTS arriving in between are absorbed
+     * into their buffers as usual). @p sections selects which
+     * StatsSection bits the server should fill; check the reply's
+     * telemetryCompiled/telemetryEnabled flags before reading Metrics.
+     */
+    StatsReplyBody requestStats(uint32_t sections = kStatsAllSections);
+
     /** Polite GOODBYE + orderly close (abortive close if it fails). */
     void close();
 

@@ -6,6 +6,8 @@
 #include "core/error.h"
 #include "core/logging.h"
 #include "persist/artifact.h"
+#include "telemetry/runtime.h"
+#include "telemetry/snapshot.h"
 #include "telemetry/telemetry.h"
 
 namespace ca::net {
@@ -202,6 +204,68 @@ MatchServer::stats() const
 {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     return stats_;
+}
+
+StatsReplyBody
+MatchServer::statsSnapshot(uint64_t token, uint32_t sections) const
+{
+    StatsReplyBody body;
+    body.token = token;
+    body.sections = sections & kStatsAllSections;
+    body.telemetryCompiled = CA_TELEMETRY ? 1 : 0;
+    body.telemetryEnabled = telemetry::enabled() ? 1 : 0;
+
+    // Totals, Sessions, and Kernels come from one inspect() pass so the
+    // three sections describe the same instant of the runtime.
+    if (body.sections & (statsSectionBit(StatsSection::Totals) |
+                         statsSectionBit(StatsSection::Sessions) |
+                         statsSectionBit(StatsSection::Kernels))) {
+        runtime::ServerInspect in = stream_.inspect();
+        if (body.sections & statsSectionBit(StatsSection::Totals)) {
+            WireServerTotals &t = body.totals;
+            t.uptimeMicros = static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    Clock::now() - started_)
+                    .count());
+            t.workers = static_cast<uint32_t>(in.workers);
+            t.activeConnections = active_.load();
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                t.connectionsAccepted = stats_.connectionsAccepted;
+                t.connectionsRejected = stats_.connectionsRejected;
+                t.connectionsClosed = stats_.connectionsClosed;
+                t.streamsOpened = stats_.streamsOpened;
+                t.streamsClosed = stats_.streamsClosed;
+                t.framesIn = stats_.framesIn;
+                t.framesOut = stats_.framesOut;
+                t.bytesIn = stats_.bytesIn;
+                t.bytesOut = stats_.bytesOut;
+                t.reportsSent = stats_.reportsSent;
+                t.protocolErrors = stats_.protocolErrors;
+                t.idleTimeouts = stats_.idleTimeouts;
+                t.writeTimeouts = stats_.writeTimeouts;
+                t.slowConsumerDrops = stats_.slowConsumerDrops;
+            }
+            t.sessionsOpened = in.totals.sessionsOpened;
+            t.sessionsClosed = in.totals.sessionsClosed;
+            t.streamSymbols = in.totals.symbols;
+            t.streamReports = in.totals.reports;
+            t.slices = in.totals.slices;
+            t.contextSwitches = in.totals.contextSwitches;
+        }
+        if (body.sections & statsSectionBit(StatsSection::Sessions))
+            body.sessions = std::move(in.sessions);
+        if (body.sections & statsSectionBit(StatsSection::Kernels))
+            body.kernels = std::move(in.kernels);
+    }
+
+    // The Metrics section ships whatever the registry holds — empty in
+    // a telemetry-off build, which still serializes to a valid image
+    // (the reply's telemetryCompiled/telemetryEnabled flags say why).
+    if (body.sections & statsSectionBit(StatsSection::Metrics))
+        body.metricsSnapshot =
+            telemetry::MetricsRegistry::global().snapshot().serialize();
+    return body;
 }
 
 void
@@ -510,8 +574,18 @@ MatchServer::dispatchFrame(Connection &c, Frame &&f)
         return false; // reader tears down, closing remaining streams
       }
 
+      case FrameType::Stats: {
+        CA_TRACE_SCOPE_CAT("ca.net.stats", "ca.net");
+        std::vector<uint8_t> reply;
+        appendStatsReply(
+            reply, statsSnapshot(f.stats.token, f.stats.sections));
+        enqueueFrame(c, std::move(reply));
+        return true;
+      }
+
       case FrameType::Reports:
       case FrameType::Error:
+      case FrameType::StatsReply:
         failConnection(c, ErrorCode::ProtocolError, kConnectionStream,
                        "client sent a server-only frame");
         return false;

@@ -35,6 +35,7 @@
 #define CA_NET_MATCH_SERVER_H
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -139,6 +140,17 @@ class MatchServer
     /** Runtime-side totals of the wrapped StreamServer. */
     runtime::ServerStats streamStats() const { return stream_.stats(); }
 
+    /**
+     * One coherent observability snapshot (docs/OBSERVABILITY.md):
+     * server totals, per-session live stats, the process metrics
+     * registry image, and per-worker kernel decisions — the body both
+     * the in-band STATS_REPLY and the HTTP stats endpoint serve.
+     * @p sections filters which sections are filled (StatsSection bits).
+     */
+    StatsReplyBody statsSnapshot(uint64_t token = 0,
+                                 uint32_t sections =
+                                     kStatsAllSections) const;
+
     size_t activeConnections() const { return active_.load(); }
 
     const MatchServerOptions &options() const { return opts_; }
@@ -185,6 +197,10 @@ class MatchServer
 
     mutable std::mutex stats_mutex_;
     NetServerStats stats_;
+
+    /** Construction instant; uptimeMicros in statsSnapshot(). */
+    std::chrono::steady_clock::time_point started_ =
+        std::chrono::steady_clock::now();
 };
 
 } // namespace ca::net

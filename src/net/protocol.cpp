@@ -143,6 +143,218 @@ appendGoodbye(std::vector<uint8_t> &out)
 }
 
 void
+appendStats(std::vector<uint8_t> &out, uint64_t token, uint32_t sections)
+{
+    size_t p = beginFrame(out, FrameType::Stats);
+    serde::putU64(out, token);
+    serde::putU32(out, sections);
+    endFrame(out, p);
+}
+
+namespace {
+
+/** Appends one `u8 id | u32 len | bytes` section envelope. */
+void
+putSection(std::vector<uint8_t> &out, StatsSection id,
+           const std::vector<uint8_t> &bytes)
+{
+    serde::putU8(out, static_cast<uint8_t>(id));
+    serde::putU32(out, static_cast<uint32_t>(bytes.size()));
+    out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+std::vector<uint8_t>
+encodeTotals(const WireServerTotals &t)
+{
+    std::vector<uint8_t> s;
+    serde::putU64(s, t.uptimeMicros);
+    serde::putU32(s, t.workers);
+    serde::putU64(s, t.activeConnections);
+    serde::putU64(s, t.connectionsAccepted);
+    serde::putU64(s, t.connectionsRejected);
+    serde::putU64(s, t.connectionsClosed);
+    serde::putU64(s, t.streamsOpened);
+    serde::putU64(s, t.streamsClosed);
+    serde::putU64(s, t.framesIn);
+    serde::putU64(s, t.framesOut);
+    serde::putU64(s, t.bytesIn);
+    serde::putU64(s, t.bytesOut);
+    serde::putU64(s, t.reportsSent);
+    serde::putU64(s, t.protocolErrors);
+    serde::putU64(s, t.idleTimeouts);
+    serde::putU64(s, t.writeTimeouts);
+    serde::putU64(s, t.slowConsumerDrops);
+    serde::putU64(s, t.sessionsOpened);
+    serde::putU64(s, t.sessionsClosed);
+    serde::putU64(s, t.streamSymbols);
+    serde::putU64(s, t.streamReports);
+    serde::putU64(s, t.slices);
+    serde::putU64(s, t.contextSwitches);
+    return s;
+}
+
+/** Encoded size of one Sessions-section row / Kernels-section row. */
+constexpr size_t kWireSessionBytes = 4 + 9 * 8 + 4 + 1 + 8;
+constexpr size_t kWireKernelBytes = 5 * 8 + 8 + 1;
+
+std::vector<uint8_t>
+encodeSessions(const std::vector<runtime::SessionLiveStats> &sessions)
+{
+    std::vector<uint8_t> s;
+    serde::putU32(s, static_cast<uint32_t>(sessions.size()));
+    for (const runtime::SessionLiveStats &v : sessions) {
+        serde::putU32(s, v.id);
+        serde::putU64(s, v.stats.symbols);
+        serde::putU64(s, v.stats.bytesSubmitted);
+        serde::putU64(s, v.stats.chunksSubmitted);
+        serde::putU64(s, v.stats.reports);
+        serde::putU64(s, v.stats.slices);
+        serde::putU64(s, v.stats.contextSwitches);
+        serde::putU64(s, v.stats.queueFullStalls);
+        serde::putU64(s, v.stats.suspensions);
+        serde::putU64(s, v.queuedBytes);
+        serde::putU32(s, v.queuedChunks);
+        uint8_t flags = static_cast<uint8_t>(
+            (v.suspended ? 1u : 0u) | (v.closing ? 2u : 0u) |
+            (v.closed ? 4u : 0u));
+        serde::putU8(s, flags);
+        serde::putF64(s, v.symbolsPerSec);
+    }
+    return s;
+}
+
+std::vector<uint8_t>
+encodeKernels(const std::vector<KernelDecisionStats> &kernels)
+{
+    std::vector<uint8_t> s;
+    serde::putU32(s, static_cast<uint32_t>(kernels.size()));
+    for (const KernelDecisionStats &k : kernels) {
+        serde::putU64(s, k.sparseBlocks);
+        serde::putU64(s, k.denseBlocks);
+        serde::putU64(s, k.sparseSymbols);
+        serde::putU64(s, k.denseSymbols);
+        serde::putU64(s, k.kernelFlips);
+        serde::putF64(s, k.densityEwma);
+        serde::putU8(s, static_cast<uint8_t>(
+                            static_cast<int8_t>(k.lastKernel)));
+    }
+    return s;
+}
+
+WireServerTotals
+decodeTotals(serde::ByteReader &r)
+{
+    WireServerTotals t;
+    t.uptimeMicros = r.u64();
+    t.workers = r.u32();
+    t.activeConnections = r.u64();
+    t.connectionsAccepted = r.u64();
+    t.connectionsRejected = r.u64();
+    t.connectionsClosed = r.u64();
+    t.streamsOpened = r.u64();
+    t.streamsClosed = r.u64();
+    t.framesIn = r.u64();
+    t.framesOut = r.u64();
+    t.bytesIn = r.u64();
+    t.bytesOut = r.u64();
+    t.reportsSent = r.u64();
+    t.protocolErrors = r.u64();
+    t.idleTimeouts = r.u64();
+    t.writeTimeouts = r.u64();
+    t.slowConsumerDrops = r.u64();
+    t.sessionsOpened = r.u64();
+    t.sessionsClosed = r.u64();
+    t.streamSymbols = r.u64();
+    t.streamReports = r.u64();
+    t.slices = r.u64();
+    t.contextSwitches = r.u64();
+    return t;
+}
+
+std::vector<runtime::SessionLiveStats>
+decodeSessions(serde::ByteReader &r)
+{
+    uint32_t count = r.u32();
+    CA_FATAL_IF(static_cast<uint64_t>(count) * kWireSessionBytes !=
+                    r.remaining(),
+                "net: STATS_REPLY session count " << count
+                    << " disagrees with " << r.remaining()
+                    << " section bytes");
+    std::vector<runtime::SessionLiveStats> out;
+    out.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        runtime::SessionLiveStats v;
+        v.id = r.u32();
+        v.stats.symbols = r.u64();
+        v.stats.bytesSubmitted = r.u64();
+        v.stats.chunksSubmitted = r.u64();
+        v.stats.reports = r.u64();
+        v.stats.slices = r.u64();
+        v.stats.contextSwitches = r.u64();
+        v.stats.queueFullStalls = r.u64();
+        v.stats.suspensions = r.u64();
+        v.queuedBytes = r.u64();
+        v.queuedChunks = r.u32();
+        uint8_t flags = r.u8();
+        v.suspended = (flags & 1u) != 0;
+        v.closing = (flags & 2u) != 0;
+        v.closed = (flags & 4u) != 0;
+        v.symbolsPerSec = r.f64();
+        out.push_back(v);
+    }
+    return out;
+}
+
+std::vector<KernelDecisionStats>
+decodeKernels(serde::ByteReader &r)
+{
+    uint32_t count = r.u32();
+    CA_FATAL_IF(static_cast<uint64_t>(count) * kWireKernelBytes !=
+                    r.remaining(),
+                "net: STATS_REPLY kernel count " << count
+                    << " disagrees with " << r.remaining()
+                    << " section bytes");
+    std::vector<KernelDecisionStats> out;
+    out.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        KernelDecisionStats k;
+        k.sparseBlocks = r.u64();
+        k.denseBlocks = r.u64();
+        k.sparseSymbols = r.u64();
+        k.denseSymbols = r.u64();
+        k.kernelFlips = r.u64();
+        k.densityEwma = r.f64();
+        k.lastKernel = static_cast<int8_t>(r.u8());
+        out.push_back(k);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+appendStatsReply(std::vector<uint8_t> &out, const StatsReplyBody &body)
+{
+    size_t p = beginFrame(out, FrameType::StatsReply);
+    serde::putU16(out, body.statsVersion);
+    serde::putU64(out, body.token);
+    serde::putU8(out, body.telemetryCompiled);
+    serde::putU8(out, body.telemetryEnabled);
+    serde::putU32(out, body.sections);
+    if (body.sections & statsSectionBit(StatsSection::Totals))
+        putSection(out, StatsSection::Totals, encodeTotals(body.totals));
+    if (body.sections & statsSectionBit(StatsSection::Sessions))
+        putSection(out, StatsSection::Sessions,
+                   encodeSessions(body.sessions));
+    if (body.sections & statsSectionBit(StatsSection::Metrics))
+        putSection(out, StatsSection::Metrics, body.metricsSnapshot);
+    if (body.sections & statsSectionBit(StatsSection::Kernels))
+        putSection(out, StatsSection::Kernels,
+                   encodeKernels(body.kernels));
+    endFrame(out, p);
+}
+
+void
 appendFrame(std::vector<uint8_t> &out, const Frame &f)
 {
     switch (f.type) {
@@ -170,6 +382,12 @@ appendFrame(std::vector<uint8_t> &out, const Frame &f)
         return;
       case FrameType::Goodbye:
         appendGoodbye(out);
+        return;
+      case FrameType::Stats:
+        appendStats(out, f.stats.token, f.stats.sections);
+        return;
+      case FrameType::StatsReply:
+        appendStatsReply(out, f.stats);
         return;
     }
     CA_THROW("appendFrame: unknown frame type "
@@ -236,6 +454,60 @@ decodePayload(FrameType type, const uint8_t *payload, size_t size)
       }
       case FrameType::Goodbye:
         break;
+      case FrameType::Stats:
+        f.stats.token = r.u64();
+        f.stats.sections = r.u32();
+        break;
+      case FrameType::StatsReply: {
+        f.stats.statsVersion = r.u16();
+        CA_FATAL_IF(f.stats.statsVersion != kStatsVersion,
+                    "net: STATS_REPLY stats version "
+                        << f.stats.statsVersion << " unsupported (want "
+                        << kStatsVersion << ")");
+        f.stats.token = r.u64();
+        f.stats.telemetryCompiled = r.u8();
+        f.stats.telemetryEnabled = r.u8();
+        uint32_t declared = r.u32();
+        f.stats.sections = 0;
+        // Sections are self-describing envelopes; ids this decoder does
+        // not know are skipped wholesale so a newer server can add
+        // sections without breaking older pollers.
+        while (!r.done()) {
+            uint8_t id = r.u8();
+            uint32_t len = r.u32();
+            const uint8_t *body = r.bytes(len);
+            serde::ByteReader s(body, len);
+            switch (static_cast<StatsSection>(id)) {
+              case StatsSection::Totals:
+                f.stats.totals = decodeTotals(s);
+                break;
+              case StatsSection::Sessions:
+                f.stats.sessions = decodeSessions(s);
+                break;
+              case StatsSection::Metrics:
+                f.stats.metricsSnapshot.assign(body, body + len);
+                s.skip(len);
+                break;
+              case StatsSection::Kernels:
+                f.stats.kernels = decodeKernels(s);
+                break;
+              default:
+                s.skip(len); // unknown section: tolerated, not surfaced
+                continue;
+            }
+            CA_FATAL_IF(!s.done(),
+                        "net: STATS_REPLY section " << unsigned{id}
+                            << " carries " << s.remaining()
+                            << " trailing bytes");
+            if (id >= 1 && id <= 32)
+                f.stats.sections |=
+                    statsSectionBit(static_cast<StatsSection>(id));
+        }
+        CA_FATAL_IF((f.stats.sections & declared) != f.stats.sections,
+                    "net: STATS_REPLY carries section bytes its mask 0x"
+                        << std::hex << declared << " does not declare");
+        break;
+      }
       default:
         CA_THROW("net: unknown frame type "
                  << static_cast<unsigned>(type));
@@ -280,7 +552,7 @@ FrameDecoder::next()
                     << " exceeds the " << max_payload_ << "-byte bound");
     uint8_t type = p[4];
     CA_FATAL_IF(type < static_cast<uint8_t>(FrameType::Hello) ||
-                    type > static_cast<uint8_t>(FrameType::Goodbye),
+                    type > static_cast<uint8_t>(FrameType::StatsReply),
                 "net: unknown frame type " << unsigned{type});
     if (avail < kFrameHeaderBytes + payload)
         return std::nullopt;

@@ -26,6 +26,11 @@
  *   ERROR        u16 code | u32 streamId (kConnectionStream = whole
  *                connection) | string message
  *   GOODBYE      (empty)
+ *   STATS        u64 token | u32 sections (StatsSection bitmask)
+ *   STATS_REPLY  u16 statsVersion | u64 token | u8 telemetryCompiled |
+ *                u8 telemetryEnabled | u32 sections | per present
+ *                section: u8 id | u32 byteLen | bytes (unknown ids are
+ *                skipped — see docs/OBSERVABILITY.md for the layouts)
  *
  * Safety contract (mirrors the persist layer's): every decode is
  * bounds-checked, an oversized/truncated/unknown/ill-formed frame throws
@@ -44,13 +49,14 @@
 
 #include "baseline/nfa_engine.h"
 #include "compiler/mapping.h"
+#include "runtime/stream_session.h"
 
 namespace ca::net {
 
 /** "CANP" (Cache Automaton Network Protocol) little-endian fourcc. */
 constexpr uint32_t kHelloMagic = 0x504e4143u;
 /** Bump on any framing change; HELLO negotiation rejects other versions. */
-constexpr uint16_t kProtocolVersion = 1;
+constexpr uint16_t kProtocolVersion = 2;
 /**
  * Absolute payload-size ceiling any decoder accepts; connections may
  * negotiate (configure) a smaller bound. Caps hostile length prefixes so
@@ -73,7 +79,30 @@ enum class FrameType : uint8_t {
     Reports = 6,
     Error = 7,
     Goodbye = 8,
+    Stats = 9,      ///< Client polls a live server snapshot (v2).
+    StatsReply = 10, ///< Server's snapshot answer (v2).
 };
+
+/** Version of the STATS_REPLY payload layout (independent of frames). */
+constexpr uint16_t kStatsVersion = 1;
+
+/** STATS_REPLY section ids; the request mask is bit (id - 1). */
+enum class StatsSection : uint8_t {
+    Totals = 1,   ///< WireServerTotals.
+    Sessions = 2, ///< Per-session live stats table.
+    Metrics = 3,  ///< telemetry::MetricsSnapshot binary image (CASN).
+    Kernels = 4,  ///< Per-worker kernel-decision counters.
+};
+
+/** Request mask selecting every section. */
+constexpr uint32_t kStatsAllSections = 0xfu;
+
+/** Mask bit for one section. */
+constexpr uint32_t
+statsSectionBit(StatsSection s)
+{
+    return 1u << (static_cast<uint32_t>(s) - 1);
+}
 
 /** ERROR frame codes (docs/NET.md lists the teardown semantics). */
 enum class ErrorCode : uint16_t {
@@ -91,6 +120,60 @@ enum class ErrorCode : uint16_t {
 
 /** Printable name for diagnostics ("busy", "protocol_error", ...). */
 std::string errorCodeName(ErrorCode code);
+
+/**
+ * STATS_REPLY Totals section: the server's aggregate counters,
+ * flattened to wire-defined fields (mirrors net::NetServerStats +
+ * runtime::ServerStats, which live above this header in the layering).
+ */
+struct WireServerTotals
+{
+    uint64_t uptimeMicros = 0;
+    uint32_t workers = 0;
+    uint64_t activeConnections = 0;
+    // net-side (NetServerStats order)
+    uint64_t connectionsAccepted = 0;
+    uint64_t connectionsRejected = 0;
+    uint64_t connectionsClosed = 0;
+    uint64_t streamsOpened = 0;
+    uint64_t streamsClosed = 0;
+    uint64_t framesIn = 0;
+    uint64_t framesOut = 0;
+    uint64_t bytesIn = 0;
+    uint64_t bytesOut = 0;
+    uint64_t reportsSent = 0;
+    uint64_t protocolErrors = 0;
+    uint64_t idleTimeouts = 0;
+    uint64_t writeTimeouts = 0;
+    uint64_t slowConsumerDrops = 0;
+    // runtime-side (runtime::ServerStats order)
+    uint64_t sessionsOpened = 0;
+    uint64_t sessionsClosed = 0;
+    uint64_t streamSymbols = 0;
+    uint64_t streamReports = 0;
+    uint64_t slices = 0;
+    uint64_t contextSwitches = 0;
+};
+
+/**
+ * Decoded STATS_REPLY payload (also carries a STATS request's fields —
+ * token and sections — when it rides in a Frame of type Stats).
+ * Sections absent from `sections` keep their empty/zero defaults, which
+ * is also how a telemetry-off or section-filtered server degrades.
+ */
+struct StatsReplyBody
+{
+    uint16_t statsVersion = kStatsVersion;
+    uint64_t token = 0;
+    uint8_t telemetryCompiled = 0; ///< CA_TELEMETRY macro on the server.
+    uint8_t telemetryEnabled = 0;  ///< telemetry::enabled() right now.
+    uint32_t sections = 0;         ///< StatsSection bits present below.
+    WireServerTotals totals;
+    std::vector<runtime::SessionLiveStats> sessions;
+    /** telemetry::MetricsSnapshot::serialize() image (self-versioned). */
+    std::vector<uint8_t> metricsSnapshot;
+    std::vector<KernelDecisionStats> kernels;
+};
 
 /**
  * One decoded frame, as a flat tagged struct (only the fields of the
@@ -122,6 +205,9 @@ struct Frame
     // Error
     ErrorCode errorCode = ErrorCode::ProtocolError;
     std::string message;
+
+    // Stats (token/sections double as the request) / StatsReply
+    StatsReplyBody stats;
 };
 
 // --- Encoders (append one whole frame to @p out) -----------------------
@@ -140,6 +226,10 @@ void appendReports(std::vector<uint8_t> &out, uint32_t streamId,
 void appendError(std::vector<uint8_t> &out, ErrorCode code,
                  uint32_t streamId, const std::string &message);
 void appendGoodbye(std::vector<uint8_t> &out);
+void appendStats(std::vector<uint8_t> &out, uint64_t token,
+                 uint32_t sections = kStatsAllSections);
+void appendStatsReply(std::vector<uint8_t> &out,
+                      const StatsReplyBody &body);
 
 /** Encodes @p f generically (tests, fuzzing drivers). */
 void appendFrame(std::vector<uint8_t> &out, const Frame &f);

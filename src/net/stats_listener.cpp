@@ -1,0 +1,104 @@
+#include "net/stats_listener.h"
+
+#include <cstring>
+#include <sys/socket.h>
+
+#include "core/error.h"
+#include "core/logging.h"
+#include "telemetry/telemetry.h"
+
+namespace ca::net {
+
+StatsListener::StatsListener(Renderer render,
+                             const StatsListenerOptions &opts)
+    : render_(std::move(render)), opts_(opts)
+{
+    CA_FATAL_IF(!render_, "StatsListener: null render callback");
+    listener_ = listenTcp(opts_.bindAddress, opts_.port);
+    port_ = localPort(listener_);
+    thread_ = std::thread([this] { acceptLoop(); });
+}
+
+StatsListener::~StatsListener()
+{
+    stop();
+}
+
+void
+StatsListener::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    // Closing the listener fd makes the blocked accept return; the
+    // loop then observes stopping_ and exits.
+    listener_.close();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+StatsListener::acceptLoop()
+{
+    while (!stopping_.load()) {
+        SocketFd client;
+        try {
+            client = acceptTcp(listener_, 250);
+        } catch (const CaError &) {
+            // Fatal listener error (fd closed under us counts): done.
+            return;
+        }
+        if (!client.valid())
+            continue; // timeout / benign interruption: poll stopping_
+        try {
+            serveOne(std::move(client));
+        } catch (const CaError &e) {
+            // A misbehaving scraper must not take the endpoint down.
+            CA_DEBUG("stats listener request failed: " << e.what());
+        }
+    }
+}
+
+void
+StatsListener::serveOne(SocketFd client)
+{
+    // Read until the end of the request headers (or the buffer/timeout
+    // bound). Only the method of the request line matters.
+    std::string req;
+    uint8_t buf[2048];
+    while (req.size() < 16u << 10 &&
+           req.find("\r\n\r\n") == std::string::npos &&
+           req.find("\n\n") == std::string::npos) {
+        long n = recvSome(client.get(), buf, sizeof buf,
+                          opts_.readTimeoutMs);
+        if (n <= 0)
+            break; // EOF / timeout / error: respond to what we have
+        req.append(reinterpret_cast<const char *>(buf),
+                   static_cast<size_t>(n));
+    }
+
+    std::string status = "200 OK";
+    std::string body;
+    if (req.rfind("GET ", 0) == 0 || req.rfind("HEAD ", 0) == 0) {
+        body = render_();
+    } else {
+        status = "400 Bad Request";
+        body = "stats endpoint speaks plain GET only\n";
+    }
+
+    std::string resp = "HTTP/1.0 " + status +
+        "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8"
+        "\r\nContent-Length: " + std::to_string(body.size()) +
+        "\r\nConnection: close\r\n\r\n";
+    if (req.rfind("HEAD ", 0) != 0)
+        resp += body;
+    if (sendAll(client.get(),
+                reinterpret_cast<const uint8_t *>(resp.data()),
+                resp.size(), opts_.writeTimeoutMs) &&
+        status[0] == '2') {
+        served_.fetch_add(1);
+        CA_COUNTER_ADD("ca.net.stats_scrapes", 1);
+    }
+    client.shutdown(SHUT_RDWR);
+}
+
+} // namespace ca::net

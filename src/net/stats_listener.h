@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Scrapeable stats endpoint: a tiny HTTP/1.0 listener that serves a
+ * plain-text observability page (Prometheus exposition format by
+ * default — docs/OBSERVABILITY.md).
+ *
+ * This is deliberately not a web server: it accepts one connection at a
+ * time on a dedicated thread, reads the request line, answers with a
+ * freshly rendered body, and closes. That is exactly the access pattern
+ * of a Prometheus scraper or `curl`, and it keeps the listener's cost
+ * and attack surface near zero — the render callback runs outside any
+ * server lock, a stalled client can only stall its own response (write
+ * timeout), and malformed requests get a 400 and a closed socket.
+ *
+ * The listener is transport only; what the page says comes from the
+ * injected render callback (ca_server wires it to
+ * MatchServer::statsSnapshot + MetricsSnapshot::prometheusText).
+ */
+#ifndef CA_NET_STATS_LISTENER_H
+#define CA_NET_STATS_LISTENER_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "net/socket.h"
+
+namespace ca::net {
+
+/** Configuration for one stats endpoint. */
+struct StatsListenerOptions
+{
+    std::string bindAddress = "127.0.0.1";
+    /** TCP port; 0 picks an ephemeral port (see StatsListener::port()). */
+    uint16_t port = 0;
+    /** Per-response write stall bound. */
+    int writeTimeoutMs = 5'000;
+    /** Bound on reading the request line from a dribbling client. */
+    int readTimeoutMs = 2'000;
+};
+
+/**
+ * Serves GET requests with the render callback's output
+ * (Content-Type: text/plain; version=0.0.4 — the Prometheus text
+ * format). Every request re-renders, so each scrape sees live values.
+ */
+class StatsListener
+{
+  public:
+    /** Called per request; returns the full response body. */
+    using Renderer = std::function<std::string()>;
+
+    /**
+     * Binds and starts the accept thread. @p render must be callable
+     * until stop()/destruction and safe to call from the listener
+     * thread. @throws CaError when the bind fails.
+     */
+    StatsListener(Renderer render, const StatsListenerOptions &opts = {});
+
+    /** stop()s if still running. */
+    ~StatsListener();
+
+    StatsListener(const StatsListener &) = delete;
+    StatsListener &operator=(const StatsListener &) = delete;
+
+    /** The actually bound port (resolves port 0). */
+    uint16_t port() const { return port_; }
+
+    /** Closes the listener and joins the accept thread. Idempotent. */
+    void stop();
+
+    /** Requests served with a 200 so far. */
+    uint64_t requestsServed() const { return served_.load(); }
+
+  private:
+    void acceptLoop();
+    void serveOne(SocketFd client);
+
+    Renderer render_;
+    StatsListenerOptions opts_;
+    SocketFd listener_;
+    uint16_t port_ = 0;
+    std::thread thread_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<uint64_t> served_{0};
+};
+
+} // namespace ca::net
+
+#endif // CA_NET_STATS_LISTENER_H

@@ -1,5 +1,8 @@
 #include "runtime/stream_server.h"
 
+#include <chrono>
+#include <cmath>
+
 #include "core/error.h"
 #include "persist/artifact.h"
 #include "telemetry/telemetry.h"
@@ -55,6 +58,7 @@ StreamServer::StreamServer(const MappedAutomaton &mapped,
         if (nfa.state(s).start != StartType::None)
             initial_checkpoint_.enabledStates.push_back(s);
 
+    worker_sims_.assign(opts_.workers, nullptr);
     workers_.reserve(opts_.workers);
     for (size_t i = 0; i < opts_.workers; ++i)
         workers_.emplace_back([this, i] { workerLoop(i); });
@@ -121,6 +125,32 @@ StreamServer::stats() const
     return stats_;
 }
 
+ServerInspect
+StreamServer::inspect() const
+{
+    ServerInspect out;
+    std::vector<StreamSession *> sessions;
+    {
+        std::lock_guard<std::mutex> lock(sessions_mutex_);
+        out.totals = stats_;
+        out.workers = workers_.size();
+        sessions.reserve(sessions_.size());
+        for (const auto &s : sessions_)
+            sessions.push_back(s.get());
+        out.kernels.reserve(worker_sims_.size());
+        for (const CacheAutomatonSim *sim : worker_sims_)
+            out.kernels.push_back(sim != nullptr ? sim->kernelStats()
+                                                 : KernelDecisionStats{});
+    }
+    // Session addresses are stable for the server's lifetime, so their
+    // mutexes can be taken outside sessions_mutex_ (no nesting, no lock
+    // ordering to get wrong).
+    out.sessions.reserve(sessions.size());
+    for (StreamSession *s : sessions)
+        out.sessions.push_back(s->live());
+    return out;
+}
+
 void
 StreamServer::schedule(StreamSession *session)
 {
@@ -137,6 +167,11 @@ StreamServer::workerLoop(size_t worker_index)
     // One engine per worker, all bound to the shared read-only mapped
     // automaton; per-stream state arrives as a SimCheckpoint.
     CacheAutomatonSim sim(mapped_, opts_.sim);
+    {
+        // Register for inspect()'s kernel-decision section.
+        std::lock_guard<std::mutex> lock(sessions_mutex_);
+        worker_sims_[worker_index] = &sim;
+    }
     std::vector<uint8_t> buf;
     buf.reserve(static_cast<size_t>(
         std::min<uint64_t>(opts_.sliceSymbols, 1u << 20)));
@@ -218,6 +253,21 @@ StreamServer::runSlice(StreamSession &s, CacheAutomatonSim &sim,
         std::lock_guard<std::mutex> lock(s.mutex_);
         s.stats_.symbols += fed;
         s.stats_.reports += reports.size();
+        // Throughput EWMA with a ~1 s time constant: alpha follows the
+        // actual gap between slices, so bursts of short slices and long
+        // idle gaps both decay correctly.
+        auto now = std::chrono::steady_clock::now();
+        if (s.rate_updated_.time_since_epoch().count() != 0) {
+            double dt = std::chrono::duration<double>(
+                            now - s.rate_updated_)
+                            .count();
+            if (dt > 0) {
+                double inst = static_cast<double>(fed) / dt;
+                double alpha = 1.0 - std::exp(-dt);
+                s.rate_ewma_ += alpha * (inst - s.rate_ewma_);
+            }
+        }
+        s.rate_updated_ = now;
         if (s.suspended_) {
             s.run_state_ = StreamSession::RunState::Idle;
             s.drain_cv_.notify_all();

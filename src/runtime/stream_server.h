@@ -74,6 +74,21 @@ struct ServerStats
     uint64_t contextSwitches = 0;
 };
 
+/**
+ * Point-in-time view of the whole runtime for the observability plane
+ * (docs/OBSERVABILITY.md): aggregate totals, every session's live
+ * stats, and each worker engine's kernel-decision counters.
+ */
+struct ServerInspect
+{
+    ServerStats totals;
+    size_t workers = 0;
+    /** Every session the server has opened (closed ones included). */
+    std::vector<SessionLiveStats> sessions;
+    /** One entry per worker, indexed by worker id. */
+    std::vector<KernelDecisionStats> kernels;
+};
+
 /** The multi-stream runtime (one per mapped automaton). */
 class StreamServer
 {
@@ -129,6 +144,14 @@ class StreamServer
 
     ServerStats stats() const;
 
+    /**
+     * Live snapshot of totals, every session, and per-worker kernel
+     * decisions. Safe to call concurrently with running traffic (takes
+     * each session's mutex briefly; kernel counters are relaxed
+     * atomics). Must not race the server's destructor.
+     */
+    ServerInspect inspect() const;
+
   private:
     friend class StreamSession;
 
@@ -160,6 +183,15 @@ class StreamServer
     uint32_t next_session_id_ = 0;
 
     ServerStats stats_; ///< Guarded by sessions_mutex_.
+
+    /**
+     * Each worker's engine, registered at worker startup for
+     * inspect()'s kernel-decision section (guarded by sessions_mutex_;
+     * null until the worker has started). The pointers dangle once the
+     * destructor joins the workers, which is why inspect() must not
+     * race destruction.
+     */
+    std::vector<const CacheAutomatonSim *> worker_sims_;
 
     std::vector<std::thread> workers_;
 };

@@ -36,6 +36,7 @@ StreamSession::submit(const uint8_t *data, size_t size)
         }
         chunks_.emplace_back(data, data + size);
         queued_bytes_ += size;
+        stats_.bytesSubmitted += size;
         ++stats_.chunksSubmitted;
         CA_COUNTER_ADD("ca.runtime.chunks", 1);
         if (run_state_ == RunState::Idle && !suspended_) {
@@ -61,6 +62,7 @@ StreamSession::trySubmit(const uint8_t *data, size_t size)
             return false;
         chunks_.emplace_back(data, data + size);
         queued_bytes_ += size;
+        stats_.bytesSubmitted += size;
         ++stats_.chunksSubmitted;
         CA_COUNTER_ADD("ca.runtime.chunks", 1);
         if (run_state_ == RunState::Idle && !suspended_) {
@@ -115,7 +117,11 @@ SimCheckpoint
 StreamSession::suspend()
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    suspended_ = true;
+    if (!suspended_) {
+        suspended_ = true;
+        ++stats_.suspensions;
+        CA_COUNTER_ADD("ca.runtime.suspensions", 1);
+    }
     // An in-flight slice finishes its quantum; a queued-but-unstarted
     // slice is skipped by the worker (runSlice's suspended_ check).
     drain_cv_.wait(lock, [&] { return run_state_ != RunState::Running; });
@@ -144,6 +150,22 @@ StreamSession::stats() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return stats_;
+}
+
+SessionLiveStats
+StreamSession::live() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    SessionLiveStats v;
+    v.id = id_;
+    v.stats = stats_;
+    v.queuedBytes = queued_bytes_;
+    v.queuedChunks = static_cast<uint32_t>(chunks_.size());
+    v.suspended = suspended_;
+    v.closing = close_requested_ && !finalized_;
+    v.closed = finalized_;
+    v.symbolsPerSec = rate_ewma_;
+    return v;
 }
 
 size_t

@@ -18,6 +18,7 @@
 #ifndef CA_RUNTIME_STREAM_SESSION_H
 #define CA_RUNTIME_STREAM_SESSION_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -35,13 +36,32 @@ class StreamServer;
 struct SessionStats
 {
     uint64_t symbols = 0;         ///< Stream bytes simulated so far.
+    uint64_t bytesSubmitted = 0;  ///< Bytes accepted into the queue.
     uint64_t chunksSubmitted = 0; ///< Chunks accepted into the queue.
     uint64_t reports = 0;         ///< Reports delivered to the sink.
     uint64_t slices = 0;          ///< Scheduling slices executed.
     uint64_t contextSwitches = 0; ///< Suspensions with work remaining.
     uint64_t queueFullStalls = 0; ///< submit() calls that had to block.
+    uint64_t suspensions = 0;     ///< §2.9 suspend() calls taken.
     /** Bit i set when worker i ran a slice of this session. */
     uint64_t workerMask = 0;
+};
+
+/**
+ * Live point-in-time view of one session, for the observability plane
+ * (StreamServer::inspect(), STATS replies, ca_top).
+ */
+struct SessionLiveStats
+{
+    uint32_t id = 0;
+    SessionStats stats;
+    uint64_t queuedBytes = 0;  ///< Submitted but not yet simulated.
+    uint32_t queuedChunks = 0; ///< Chunks waiting in the queue.
+    bool suspended = false;
+    bool closing = false;      ///< close() requested, drain pending.
+    bool closed = false;       ///< Fully drained and finalized.
+    /** EWMA (~1 s time constant) of simulated symbols per second. */
+    double symbolsPerSec = 0.0;
 };
 
 /**
@@ -101,6 +121,9 @@ class StreamSession
 
     SessionStats stats() const;
 
+    /** Live view: stats plus queue depth, state, and throughput EWMA. */
+    SessionLiveStats live() const;
+
   private:
     friend class StreamServer;
 
@@ -155,6 +178,10 @@ class StreamSession
     SimCheckpoint checkpoint_;
 
     SessionStats stats_;
+
+    /** Throughput EWMA state (guarded by mutex_, updated per slice). */
+    double rate_ewma_ = 0.0;
+    std::chrono::steady_clock::time_point rate_updated_{};
 };
 
 } // namespace ca::runtime

@@ -362,6 +362,21 @@ CacheAutomatonSim::syncSparseFromDense()
     dense_active_ = false;
 }
 
+KernelDecisionStats
+CacheAutomatonSim::kernelStats() const
+{
+    KernelDecisionStats ks;
+    ks.sparseBlocks = ks_sparse_blocks_.load(std::memory_order_relaxed);
+    ks.denseBlocks = ks_dense_blocks_.load(std::memory_order_relaxed);
+    ks.sparseSymbols =
+        ks_sparse_symbols_.load(std::memory_order_relaxed);
+    ks.denseSymbols = ks_dense_symbols_.load(std::memory_order_relaxed);
+    ks.kernelFlips = ks_flips_.load(std::memory_order_relaxed);
+    ks.densityEwma = ks_density_.load(std::memory_order_relaxed);
+    ks.lastKernel = ks_last_.load(std::memory_order_relaxed);
+    return ks;
+}
+
 bool
 CacheAutomatonSim::chooseDense()
 {
@@ -449,6 +464,17 @@ CacheAutomatonSim::feed(const uint8_t *data, size_t size)
             ++acc_.kernelSwitches;
         last_kernel_ = kernel_id;
 
+        // Engine-lifetime decision counters (kernelStats()). ks_last_
+        // is tracked separately from last_kernel_, which restore()
+        // clears: a flip only counts when the *engine* really changed
+        // kernels between consecutive blocks.
+        (use_dense ? ks_dense_blocks_ : ks_sparse_blocks_)
+            .fetch_add(1, std::memory_order_relaxed);
+        int ks_prev = ks_last_.load(std::memory_order_relaxed);
+        if (ks_prev >= 0 && ks_prev != kernel_id)
+            ks_flips_.fetch_add(1, std::memory_order_relaxed);
+        ks_last_.store(kernel_id, std::memory_order_relaxed);
+
         if (use_dense && !dense_active_)
             syncDenseFromSparse();
         else if (!use_dense && dense_active_)
@@ -457,9 +483,13 @@ CacheAutomatonSim::feed(const uint8_t *data, size_t size)
         if (use_dense) {
             feedDense(data + pos, block);
             acc_.denseKernelSymbols += block;
+            ks_dense_symbols_.fetch_add(block,
+                                        std::memory_order_relaxed);
         } else {
             feedSparse(data + pos, block);
             acc_.sparseKernelSymbols += block;
+            ks_sparse_symbols_.fetch_add(block,
+                                         std::memory_order_relaxed);
         }
         pos += block;
 
@@ -474,6 +504,8 @@ CacheAutomatonSim::feed(const uint8_t *data, size_t size)
                 static_cast<double>(n_states);
             density_ewma_ = opts_.autoEwmaAlpha * sample +
                 (1.0 - opts_.autoEwmaAlpha) * density_ewma_;
+            ks_density_.store(density_ewma_,
+                              std::memory_order_relaxed);
         }
     }
 #if CA_TELEMETRY

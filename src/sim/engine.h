@@ -30,6 +30,7 @@
 #ifndef CA_SIM_ENGINE_H
 #define CA_SIM_ENGINE_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -165,6 +166,27 @@ struct SimCheckpoint
     std::vector<StateId> enabledStates;
 };
 
+/**
+ * Live Auto-kernel decision introspection (docs/OBSERVABILITY.md).
+ *
+ * Cumulative since engine construction: unlike SimResult's counters,
+ * these survive reset()/restore(), because they describe the *engine as
+ * a resource* (a runtime worker restores a different session's
+ * checkpoint into the same engine many times per second, and the
+ * interesting question — "is the Auto kernel flapping on this worker?" —
+ * spans those restores).
+ */
+struct KernelDecisionStats
+{
+    uint64_t sparseBlocks = 0;   ///< Blocks dispatched to the sparse kernel.
+    uint64_t denseBlocks = 0;    ///< Blocks dispatched to the dense kernel.
+    uint64_t sparseSymbols = 0;
+    uint64_t denseSymbols = 0;
+    uint64_t kernelFlips = 0;    ///< Consecutive blocks on different kernels.
+    double densityEwma = 0.0;    ///< Current frontier-density EWMA.
+    int lastKernel = -1;         ///< -1 none yet, 0 sparse, 1 dense.
+};
+
 /** Cycle-level simulator bound to one mapped automaton. */
 class CacheAutomatonSim
 {
@@ -233,6 +255,14 @@ class CacheAutomatonSim
     void restore(const SimCheckpoint &ckpt);
 
     const MappedAutomaton &mapped() const { return mapped_; }
+
+    /**
+     * Point-in-time copy of the per-block kernel-decision counters.
+     * Safe to call from another thread while feed() runs (the fields
+     * are kept in relaxed atomics and read individually, so the copy is
+     * approximately — not transactionally — consistent).
+     */
+    KernelDecisionStats kernelStats() const;
 
   private:
     /** Executes @p size symbols with the frontier-iterating stepper. */
@@ -325,6 +355,17 @@ class CacheAutomatonSim
     double density_ewma_ = 0.0;
     bool density_seeded_ = false;
     int last_kernel_ = -1; ///< -1 none, 0 sparse, 1 dense.
+
+    // Engine-lifetime kernel-decision counters behind kernelStats().
+    // Relaxed atomics: written once per block on the feeding thread,
+    // read concurrently by StreamServer::inspect().
+    std::atomic<uint64_t> ks_sparse_blocks_{0};
+    std::atomic<uint64_t> ks_dense_blocks_{0};
+    std::atomic<uint64_t> ks_sparse_symbols_{0};
+    std::atomic<uint64_t> ks_dense_symbols_{0};
+    std::atomic<uint64_t> ks_flips_{0};
+    std::atomic<double> ks_density_{0.0};
+    std::atomic<int> ks_last_{-1};
 
     SimResult acc_;
 };

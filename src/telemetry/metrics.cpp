@@ -1,11 +1,15 @@
 #include "telemetry/metrics.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "telemetry/snapshot.h"
 
 namespace ca::telemetry {
 
@@ -60,6 +64,54 @@ jsonNumber(double v)
 }
 
 } // namespace
+
+double
+Histogram::percentileOf(const uint64_t buckets[kNumBuckets],
+                        uint64_t maxValue, double q)
+{
+    uint64_t count = 0;
+    for (int i = 0; i < kNumBuckets; ++i)
+        count += buckets[i];
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Nearest rank: the ceil(q * count)-th smallest sample (1-based).
+    uint64_t rank =
+        static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+    rank = std::clamp<uint64_t>(rank, 1, count);
+    uint64_t cum = 0;
+    double maxd = static_cast<double>(maxValue);
+    for (int i = 0; i < kNumBuckets; ++i) {
+        uint64_t n = buckets[i];
+        if (n == 0)
+            continue;
+        if (cum + n >= rank) {
+            double lo = static_cast<double>(bucketLow(i));
+            double hi = static_cast<double>(bucketHigh(i));
+            // Spread the bucket's n samples evenly across [lo, hi] and
+            // pick the rank's position; clamping to max() keeps the top
+            // quantiles honest in the (sparse) last bucket.
+            double frac = n == 1
+                ? 0.0
+                : static_cast<double>(rank - cum - 1) /
+                    static_cast<double>(n - 1);
+            return std::min(lo + (hi - lo) * frac, maxd);
+        }
+        cum += n;
+    }
+    return maxd;
+}
+
+double
+Histogram::percentile(double q) const
+{
+    // Copy once so the rank search runs over a self-consistent view even
+    // while observe() keeps landing on other threads.
+    uint64_t b[kNumBuckets];
+    for (int i = 0; i < kNumBuckets; ++i)
+        b[i] = bucketCount(i);
+    return percentileOf(b, max(), q);
+}
 
 MetricsRegistry &
 MetricsRegistry::global()
@@ -133,6 +185,42 @@ MetricsRegistry::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return entries_.size();
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    snap.monotonicMicros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, entry] : entries_) {
+        MetricValue v;
+        v.kind = entry.kind;
+        switch (entry.kind) {
+          case MetricKind::Counter:
+            v.counter = entry.counter->value();
+            break;
+          case MetricKind::Gauge:
+            v.gauge = entry.gauge->value();
+            break;
+          case MetricKind::Histogram: {
+            const Histogram &h = *entry.histogram;
+            v.buckets.resize(Histogram::kNumBuckets);
+            for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+                v.buckets[static_cast<size_t>(i)] = h.bucketCount(i);
+                v.count += v.buckets[static_cast<size_t>(i)];
+            }
+            v.sum = h.sum();
+            v.max = h.max();
+            break;
+          }
+        }
+        snap.metrics.emplace(name, std::move(v));
+    }
+    return snap;
 }
 
 void

@@ -90,6 +90,26 @@ class Histogram
     uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
     uint64_t max() const { return max_.load(std::memory_order_relaxed); }
 
+    /**
+     * Quantile @p q in [0, 1] by nearest rank over the log2 buckets with
+     * linear interpolation inside the winning bucket, clamped to max()
+     * (which is tracked exactly, so percentile(1.0) == max()). Returns 0
+     * on an empty histogram. Log2 buckets bound the error: the estimate
+     * lands in the same power-of-two bucket as the true order statistic.
+     */
+    double percentile(double q) const;
+    double p50() const { return percentile(0.50); }
+    double p90() const { return percentile(0.90); }
+    double p99() const { return percentile(0.99); }
+
+    /**
+     * The same quantile definition over an already-captured bucket
+     * array, so snapshots and STATS replies reuse the exact production
+     * math (the sample count is taken from the buckets themselves).
+     */
+    static double percentileOf(const uint64_t buckets[kNumBuckets],
+                               uint64_t maxValue, double q);
+
     double
     mean() const
     {
@@ -149,6 +169,8 @@ class Histogram
 
 enum class MetricKind { Counter, Gauge, Histogram };
 
+class MetricsSnapshot; // telemetry/snapshot.h
+
 /**
  * Thread-safe name → metric registry.
  *
@@ -170,6 +192,15 @@ class MetricsRegistry
     void resetAll();
 
     size_t size() const;
+
+    /**
+     * Point-in-time copy of every registered metric, taken under the
+     * registry mutex (concurrent add/set/observe keep running; each
+     * metric's fields are read with relaxed loads, so a snapshot is
+     * per-metric-consistent, not globally atomic). See
+     * telemetry/snapshot.h for deltas, rates, and exposition.
+     */
+    MetricsSnapshot snapshot() const;
 
     /** {"schema":"ca.metrics.v1","metrics":{name:{...}}} */
     void writeJson(std::ostream &os) const;

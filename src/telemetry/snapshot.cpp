@@ -1,0 +1,281 @@
+#include "telemetry/snapshot.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "core/error.h"
+#include "core/serde.h"
+
+namespace ca::telemetry {
+
+namespace {
+
+/** Prometheus sample values: finite decimal, else the literal "NaN". */
+std::string
+promNumber(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+prometheusName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (char c : name) {
+        bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+            c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0])))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+double
+MetricValue::percentile(double q) const
+{
+    if (kind != MetricKind::Histogram ||
+        buckets.size() !=
+            static_cast<size_t>(Histogram::kNumBuckets))
+        return 0.0;
+    return Histogram::percentileOf(buckets.data(), max, q);
+}
+
+const MetricValue *
+MetricsSnapshot::find(const std::string &name) const
+{
+    auto it = metrics.find(name);
+    return it == metrics.end() ? nullptr : &it->second;
+}
+
+MetricsSnapshot
+MetricsSnapshot::deltaSince(const MetricsSnapshot &earlier) const
+{
+    auto clamped = [](uint64_t now, uint64_t then) {
+        return now >= then ? now - then : now;
+    };
+    MetricsSnapshot out;
+    out.monotonicMicros = monotonicMicros;
+    for (const auto &[name, now] : metrics) {
+        const MetricValue *then = earlier.find(name);
+        MetricValue d = now;
+        if (then != nullptr && then->kind == now.kind) {
+            switch (now.kind) {
+              case MetricKind::Counter:
+                d.counter = clamped(now.counter, then->counter);
+                break;
+              case MetricKind::Gauge:
+                break; // latest value stands
+              case MetricKind::Histogram:
+                d.count = clamped(now.count, then->count);
+                d.sum = clamped(now.sum, then->sum);
+                if (then->buckets.size() == now.buckets.size())
+                    for (size_t i = 0; i < d.buckets.size(); ++i)
+                        d.buckets[i] =
+                            clamped(now.buckets[i], then->buckets[i]);
+                break;
+            }
+        }
+        out.metrics.emplace(name, std::move(d));
+    }
+    return out;
+}
+
+std::map<std::string, double>
+MetricsSnapshot::ratesSince(const MetricsSnapshot &earlier) const
+{
+    std::map<std::string, double> rates;
+    if (monotonicMicros <= earlier.monotonicMicros)
+        return rates;
+    double seconds =
+        static_cast<double>(monotonicMicros - earlier.monotonicMicros) /
+        1e6;
+    MetricsSnapshot d = deltaSince(earlier);
+    for (const auto &[name, v] : d.metrics) {
+        switch (v.kind) {
+          case MetricKind::Counter:
+            rates[name] = static_cast<double>(v.counter) / seconds;
+            break;
+          case MetricKind::Histogram:
+            rates[name] = static_cast<double>(v.count) / seconds;
+            break;
+          case MetricKind::Gauge:
+            break;
+        }
+    }
+    return rates;
+}
+
+void
+MetricsSnapshot::writePrometheus(std::ostream &os) const
+{
+    for (const auto &[name, v] : metrics) {
+        std::string pname = prometheusName(name);
+        switch (v.kind) {
+          case MetricKind::Counter:
+            os << "# TYPE " << pname << "_total counter\n"
+               << pname << "_total " << v.counter << '\n';
+            break;
+          case MetricKind::Gauge:
+            os << "# TYPE " << pname << " gauge\n"
+               << pname << ' ' << promNumber(v.gauge) << '\n';
+            break;
+          case MetricKind::Histogram: {
+            os << "# TYPE " << pname << " histogram\n";
+            uint64_t cum = 0;
+            for (size_t i = 0; i < v.buckets.size(); ++i) {
+                if (v.buckets[i] == 0)
+                    continue;
+                cum += v.buckets[i];
+                os << pname << "_bucket{le=\""
+                   << Histogram::bucketHigh(static_cast<int>(i))
+                   << "\"} " << cum << '\n';
+            }
+            os << pname << "_bucket{le=\"+Inf\"} " << v.count << '\n'
+               << pname << "_sum " << v.sum << '\n'
+               << pname << "_count " << v.count << '\n';
+            break;
+          }
+        }
+    }
+}
+
+std::string
+MetricsSnapshot::prometheusText() const
+{
+    std::ostringstream os;
+    writePrometheus(os);
+    return os.str();
+}
+
+void
+MetricsSnapshot::serialize(std::vector<uint8_t> &out) const
+{
+    serde::putU32(out, kSnapshotMagic);
+    serde::putU16(out, kSnapshotVersion);
+    serde::putU64(out, monotonicMicros);
+    serde::putU32(out, static_cast<uint32_t>(metrics.size()));
+    for (const auto &[name, v] : metrics) {
+        serde::putString(out, name);
+        serde::putU8(out, static_cast<uint8_t>(v.kind));
+        switch (v.kind) {
+          case MetricKind::Counter:
+            serde::putU64(out, v.counter);
+            break;
+          case MetricKind::Gauge:
+            serde::putF64(out, v.gauge);
+            break;
+          case MetricKind::Histogram: {
+            serde::putU64(out, v.count);
+            serde::putU64(out, v.sum);
+            serde::putU64(out, v.max);
+            uint16_t nonzero = 0;
+            for (uint64_t b : v.buckets)
+                nonzero = static_cast<uint16_t>(nonzero + (b != 0));
+            serde::putU16(out, nonzero);
+            for (size_t i = 0; i < v.buckets.size(); ++i) {
+                if (v.buckets[i] == 0)
+                    continue;
+                serde::putU8(out, static_cast<uint8_t>(i));
+                serde::putU64(out, v.buckets[i]);
+            }
+            break;
+          }
+        }
+    }
+}
+
+std::vector<uint8_t>
+MetricsSnapshot::serialize() const
+{
+    std::vector<uint8_t> out;
+    serialize(out);
+    return out;
+}
+
+MetricsSnapshot
+MetricsSnapshot::deserialize(const uint8_t *data, size_t size)
+{
+    serde::ByteReader r(data, size);
+    MetricsSnapshot snap;
+    uint32_t magic = r.u32();
+    CA_FATAL_IF(magic != kSnapshotMagic,
+                "metrics snapshot: bad magic 0x" << std::hex << magic);
+    uint16_t version = r.u16();
+    CA_FATAL_IF(version != kSnapshotVersion,
+                "metrics snapshot: unsupported version " << version);
+    snap.monotonicMicros = r.u64();
+    uint32_t n = r.u32();
+    // Each metric needs >= 13 bytes (name length + kind + one payload
+    // word); reject hostile counts before the loop allocates anything.
+    CA_FATAL_IF(static_cast<uint64_t>(n) * 13 > r.remaining(),
+                "metrics snapshot: metric count " << n
+                    << " cannot fit in " << r.remaining() << " bytes");
+    for (uint32_t i = 0; i < n; ++i) {
+        std::string name = r.str();
+        uint8_t kind = r.u8();
+        MetricValue v;
+        switch (kind) {
+          case static_cast<uint8_t>(MetricKind::Counter):
+            v.kind = MetricKind::Counter;
+            v.counter = r.u64();
+            break;
+          case static_cast<uint8_t>(MetricKind::Gauge):
+            v.kind = MetricKind::Gauge;
+            v.gauge = r.f64();
+            break;
+          case static_cast<uint8_t>(MetricKind::Histogram): {
+            v.kind = MetricKind::Histogram;
+            uint64_t count = r.u64();
+            v.sum = r.u64();
+            v.max = r.u64();
+            uint16_t nonzero = r.u16();
+            CA_FATAL_IF(nonzero > Histogram::kNumBuckets,
+                        "metrics snapshot: " << nonzero
+                            << " histogram buckets exceeds "
+                            << Histogram::kNumBuckets);
+            v.buckets.assign(Histogram::kNumBuckets, 0);
+            for (uint16_t b = 0; b < nonzero; ++b) {
+                uint8_t idx = r.u8();
+                CA_FATAL_IF(idx >= Histogram::kNumBuckets,
+                            "metrics snapshot: bucket index " << unsigned{
+                                idx} << " out of range");
+                v.buckets[idx] = r.u64();
+                v.count += v.buckets[idx];
+            }
+            CA_FATAL_IF(v.count != count,
+                        "metrics snapshot: histogram count " << count
+                            << " disagrees with bucket total " << v.count);
+            break;
+          }
+          default:
+            CA_THROW("metrics snapshot: unknown metric kind "
+                     << unsigned{kind});
+        }
+        snap.metrics.emplace(std::move(name), std::move(v));
+    }
+    CA_FATAL_IF(!r.done(), "metrics snapshot: " << r.remaining()
+                               << " trailing bytes");
+    return snap;
+}
+
+MetricsSnapshot
+MetricsSnapshot::deserialize(const std::vector<uint8_t> &buf)
+{
+    return deserialize(buf.data(), buf.size());
+}
+
+} // namespace ca::telemetry

@@ -206,6 +206,25 @@ baseFrameStream()
     net::appendCloseStream(out, 1, 6, 1);
     net::appendError(out, net::ErrorCode::Busy, net::kConnectionStream,
                      "busy");
+    net::appendStats(out, 0xfeedull, net::kStatsAllSections);
+    net::StatsReplyBody stats;
+    stats.token = 0xfeedull;
+    stats.telemetryCompiled = 1;
+    stats.telemetryEnabled = 1;
+    stats.sections = net::kStatsAllSections;
+    stats.totals.workers = 2;
+    stats.totals.streamSymbols = 12345;
+    runtime::SessionLiveStats session;
+    session.id = 1;
+    session.stats.symbols = 99;
+    session.queuedBytes = 512;
+    stats.sessions.push_back(session);
+    stats.metricsSnapshot = {0x43, 0x41, 0x53, 0x4e}; // bare CASN magic
+    KernelDecisionStats kernel;
+    kernel.sparseBlocks = 7;
+    kernel.denseBlocks = 3;
+    stats.kernels.push_back(kernel);
+    net::appendStatsReply(out, stats);
     net::appendGoodbye(out);
     return out;
 }

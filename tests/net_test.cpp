@@ -32,6 +32,7 @@
 #include "nfa/glushkov.h"
 #include "persist/artifact.h"
 #include "sim/engine.h"
+#include "telemetry/snapshot.h"
 #include "workload/input_gen.h"
 
 namespace fs = std::filesystem;
@@ -112,7 +113,7 @@ TEST(Protocol, HelloGoldenBytes)
         0x0e, 0x00, 0x00, 0x00,                         // payload size 14
         0x01,                                           // HELLO
         0x43, 0x41, 0x4e, 0x50,                         // "CANP"
-        0x01, 0x00,                                     // version 1
+        0x02, 0x00,                                     // version 2
         0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11, // fingerprint
     };
     ASSERT_EQ(out.size(), sizeof(expect));
@@ -164,6 +165,166 @@ TEST(Protocol, GoodbyeGoldenBytes)
     EXPECT_EQ(0, std::memcmp(out.data(), expect, sizeof(expect)));
 }
 
+TEST(Protocol, StatsGoldenBytes)
+{
+    std::vector<uint8_t> out;
+    net::appendStats(out, 0x0102030405060708ull, net::kStatsAllSections);
+    const uint8_t expect[] = {
+        0x0c, 0x00, 0x00, 0x00,                         // payload size 12
+        0x09,                                           // STATS
+        0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // token
+        0x0f, 0x00, 0x00, 0x00,                         // all sections
+    };
+    ASSERT_EQ(out.size(), sizeof(expect));
+    EXPECT_EQ(0, std::memcmp(out.data(), expect, sizeof(expect)));
+}
+
+/** A STATS_REPLY body with every section populated distinctively. */
+net::StatsReplyBody
+sampleStatsBody()
+{
+    net::StatsReplyBody b;
+    b.token = 77;
+    b.telemetryCompiled = 1;
+    b.telemetryEnabled = 1;
+    b.sections = net::kStatsAllSections;
+    b.totals.uptimeMicros = 5'000'000;
+    b.totals.workers = 3;
+    b.totals.activeConnections = 2;
+    b.totals.framesIn = 101;
+    b.totals.bytesIn = 54321;
+    b.totals.streamSymbols = 99999;
+    b.totals.contextSwitches = 17;
+    runtime::SessionLiveStats s;
+    s.id = 4;
+    s.stats.symbols = 1234;
+    s.stats.bytesSubmitted = 2345;
+    s.stats.suspensions = 2;
+    s.queuedBytes = 512;
+    s.queuedChunks = 3;
+    s.suspended = true;
+    s.symbolsPerSec = 1.5e6;
+    b.sessions.push_back(s);
+    s.id = 5;
+    s.suspended = false;
+    s.closed = true;
+    b.sessions.push_back(s);
+    b.metricsSnapshot = {0xaa, 0xbb, 0xcc}; // opaque blob on the wire
+    KernelDecisionStats k;
+    k.sparseBlocks = 10;
+    k.denseBlocks = 20;
+    k.kernelFlips = 4;
+    k.densityEwma = 0.375;
+    k.lastKernel = 1;
+    b.kernels.push_back(k);
+    return b;
+}
+
+TEST(Protocol, StatsReplyRoundTripsEveryField)
+{
+    net::StatsReplyBody b = sampleStatsBody();
+    std::vector<uint8_t> out;
+    net::appendStatsReply(out, b);
+
+    FrameDecoder dec;
+    dec.append(out.data(), out.size());
+    std::optional<Frame> f = dec.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->type, FrameType::StatsReply);
+    const net::StatsReplyBody &d = f->stats;
+    EXPECT_EQ(d.statsVersion, net::kStatsVersion);
+    EXPECT_EQ(d.token, 77u);
+    EXPECT_EQ(d.telemetryCompiled, 1);
+    EXPECT_EQ(d.telemetryEnabled, 1);
+    EXPECT_EQ(d.sections, net::kStatsAllSections);
+    EXPECT_EQ(d.totals.uptimeMicros, 5'000'000u);
+    EXPECT_EQ(d.totals.workers, 3u);
+    EXPECT_EQ(d.totals.activeConnections, 2u);
+    EXPECT_EQ(d.totals.framesIn, 101u);
+    EXPECT_EQ(d.totals.bytesIn, 54321u);
+    EXPECT_EQ(d.totals.streamSymbols, 99999u);
+    EXPECT_EQ(d.totals.contextSwitches, 17u);
+    ASSERT_EQ(d.sessions.size(), 2u);
+    EXPECT_EQ(d.sessions[0].id, 4u);
+    EXPECT_EQ(d.sessions[0].stats.symbols, 1234u);
+    EXPECT_EQ(d.sessions[0].stats.bytesSubmitted, 2345u);
+    EXPECT_EQ(d.sessions[0].stats.suspensions, 2u);
+    EXPECT_EQ(d.sessions[0].queuedBytes, 512u);
+    EXPECT_EQ(d.sessions[0].queuedChunks, 3u);
+    EXPECT_TRUE(d.sessions[0].suspended);
+    EXPECT_FALSE(d.sessions[0].closed);
+    EXPECT_DOUBLE_EQ(d.sessions[0].symbolsPerSec, 1.5e6);
+    EXPECT_TRUE(d.sessions[1].closed);
+    EXPECT_EQ(d.metricsSnapshot,
+              (std::vector<uint8_t>{0xaa, 0xbb, 0xcc}));
+    ASSERT_EQ(d.kernels.size(), 1u);
+    EXPECT_EQ(d.kernels[0].sparseBlocks, 10u);
+    EXPECT_EQ(d.kernels[0].denseBlocks, 20u);
+    EXPECT_EQ(d.kernels[0].kernelFlips, 4u);
+    EXPECT_DOUBLE_EQ(d.kernels[0].densityEwma, 0.375);
+    EXPECT_EQ(d.kernels[0].lastKernel, 1);
+}
+
+TEST(Protocol, StatsReplySectionFilterRoundTrips)
+{
+    net::StatsReplyBody b = sampleStatsBody();
+    b.sections = net::statsSectionBit(net::StatsSection::Totals) |
+        net::statsSectionBit(net::StatsSection::Kernels);
+    std::vector<uint8_t> out;
+    net::appendStatsReply(out, b);
+    FrameDecoder dec;
+    dec.append(out.data(), out.size());
+    Frame f = *dec.next();
+    EXPECT_EQ(f.stats.sections, b.sections);
+    EXPECT_EQ(f.stats.totals.workers, 3u);
+    EXPECT_TRUE(f.stats.sessions.empty());
+    EXPECT_TRUE(f.stats.metricsSnapshot.empty());
+    EXPECT_EQ(f.stats.kernels.size(), 1u);
+}
+
+TEST(Protocol, StatsReplySessionCountMismatchThrows)
+{
+    net::StatsReplyBody b = sampleStatsBody();
+    b.sections = net::statsSectionBit(net::StatsSection::Sessions);
+    std::vector<uint8_t> out;
+    net::appendStatsReply(out, b);
+    // The session count lives right after the section envelope header
+    // (u16 ver | u64 token | u8 | u8 | u32 mask | u8 id | u32 len).
+    size_t count_at = net::kFrameHeaderBytes + 2 + 8 + 1 + 1 + 4 + 1 + 4;
+    ASSERT_LT(count_at, out.size());
+    out[count_at] = 9; // claims 9 sessions, carries 2
+    FrameDecoder dec;
+    dec.append(out.data(), out.size());
+    EXPECT_THROW(dec.next(), CaError);
+}
+
+TEST(Protocol, StatsReplyUnknownSectionIsSkipped)
+{
+    // Future servers may append sections this decoder has never heard
+    // of; they must decode around it, not on top of it.
+    net::StatsReplyBody b;
+    b.token = 9;
+    b.sections = net::statsSectionBit(net::StatsSection::Totals);
+    std::vector<uint8_t> out;
+    net::appendStatsReply(out, b);
+    // Splice an unknown section (id 250, 4 bytes) before endFrame's
+    // view of the payload: rebuild by hand from the encoded frame.
+    std::vector<uint8_t> extra = {250, 0x04, 0x00, 0x00, 0x00,
+                                  0xde, 0xad, 0xbe, 0xef};
+    out.insert(out.end(), extra.begin(), extra.end());
+    uint32_t payload = static_cast<uint32_t>(out.size()) -
+        static_cast<uint32_t>(net::kFrameHeaderBytes);
+    for (int i = 0; i < 4; ++i)
+        out[i] = static_cast<uint8_t>(payload >> (8 * i));
+    FrameDecoder dec;
+    dec.append(out.data(), out.size());
+    std::optional<Frame> f;
+    ASSERT_NO_THROW(f = dec.next());
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->stats.sections,
+              net::statsSectionBit(net::StatsSection::Totals));
+}
+
 /** One encoded frame of every type, back to back. */
 std::vector<uint8_t>
 allFramesBytes()
@@ -185,6 +346,8 @@ allFramesBytes()
     net::appendError(out, ErrorCode::Busy, net::kConnectionStream,
                      "too many connections");
     net::appendGoodbye(out);
+    net::appendStats(out, 7, net::kStatsAllSections);
+    net::appendStatsReply(out, sampleStatsBody());
     return out;
 }
 
@@ -198,7 +361,7 @@ TEST(Protocol, EncodeDecodeRoundTripsEveryType)
     std::optional<Frame> f;
     while ((f = dec.next()))
         frames.push_back(std::move(*f));
-    ASSERT_EQ(frames.size(), 8u);
+    ASSERT_EQ(frames.size(), 10u);
     EXPECT_EQ(dec.buffered(), 0u);
 
     EXPECT_EQ(frames[0].type, FrameType::Hello);
@@ -230,6 +393,14 @@ TEST(Protocol, EncodeDecodeRoundTripsEveryType)
     EXPECT_EQ(frames[6].message, "too many connections");
 
     EXPECT_EQ(frames[7].type, FrameType::Goodbye);
+
+    EXPECT_EQ(frames[8].type, FrameType::Stats);
+    EXPECT_EQ(frames[8].stats.token, 7u);
+    EXPECT_EQ(frames[8].stats.sections, net::kStatsAllSections);
+
+    EXPECT_EQ(frames[9].type, FrameType::StatsReply);
+    EXPECT_EQ(frames[9].stats.token, 77u);
+    EXPECT_EQ(frames[9].stats.sessions.size(), 2u);
 }
 
 TEST(Protocol, ByteAtATimeFeedingDecodesIdentically)
@@ -242,7 +413,7 @@ TEST(Protocol, ByteAtATimeFeedingDecodesIdentically)
         while (dec.next())
             ++decoded;
     }
-    EXPECT_EQ(decoded, 8u);
+    EXPECT_EQ(decoded, 10u);
     EXPECT_EQ(dec.buffered(), 0u);
 }
 
@@ -263,7 +434,7 @@ TEST(Protocol, TruncationSweepNeverThrows)
             while (dec.next())
                 ++decoded;
         }) << "prefix of " << cut << " bytes";
-        EXPECT_LT(decoded, 8u);
+        EXPECT_LT(decoded, 10u);
     }
 }
 
@@ -508,6 +679,140 @@ TEST(NetE2E, TinySessionQueueBackpressureStaysDeterministic)
     for (auto &t : threads)
         t.join();
     EXPECT_EQ(failures.load(), 0);
+    server.stop();
+}
+
+// --- End-to-end: observability (docs/OBSERVABILITY.md) -----------------
+
+/**
+ * In-band STATS polling mid-load: counters are monotone across polls,
+ * the session table sees every open stream (including another
+ * connection's), the kernel section covers every worker, and after a
+ * flush the totals agree exactly with what was sent.
+ */
+TEST(NetE2E, StatsPollMidLoadSeesMonotoneCounters)
+{
+    MappedAutomaton &m = sampleMapped();
+    MatchServerOptions opts;
+    opts.stream.workers = 2;
+    opts.stream.sliceSymbols = 509;
+    MatchServer server(m, opts);
+
+    auto input = sampleInput(32 << 10, 0x0b5);
+
+    MatchClient watcher; // second connection: observe, no traffic
+    watcher.connect("127.0.0.1", server.port());
+
+    MatchClient client;
+    client.connect("127.0.0.1", server.port());
+    uint32_t id = client.openStream();
+
+    uint64_t prev_symbols = 0, prev_bytes_in = 0, prev_frames_in = 0;
+    constexpr size_t kChunk = 2048;
+    for (size_t pos = 0; pos < input.size(); pos += kChunk) {
+        client.send(id, input.data() + pos,
+                    std::min(kChunk, input.size() - pos));
+        if ((pos / kChunk) % 4 != 3)
+            continue;
+        net::StatsReplyBody b = watcher.requestStats();
+        EXPECT_EQ(b.sections, net::kStatsAllSections);
+        EXPECT_EQ(b.telemetryCompiled, CA_TELEMETRY ? 1 : 0);
+        // Monotone while the stream is mid-flight.
+        EXPECT_GE(b.totals.streamSymbols, prev_symbols);
+        EXPECT_GE(b.totals.bytesIn, prev_bytes_in);
+        EXPECT_GE(b.totals.framesIn, prev_frames_in);
+        prev_symbols = b.totals.streamSymbols;
+        prev_bytes_in = b.totals.bytesIn;
+        prev_frames_in = b.totals.framesIn;
+        EXPECT_EQ(b.totals.activeConnections, 2u);
+        EXPECT_EQ(b.totals.workers, 2u);
+        EXPECT_EQ(b.kernels.size(), 2u);
+        ASSERT_EQ(b.sessions.size(), 1u); // the one open stream
+        EXPECT_FALSE(b.sessions[0].closed);
+    }
+
+    // Barrier, then poll again: the totals must now be exact.
+    client.flush(id);
+    net::StatsReplyBody b = watcher.requestStats();
+    EXPECT_EQ(b.totals.streamSymbols, input.size());
+    ASSERT_EQ(b.sessions.size(), 1u);
+    EXPECT_EQ(b.sessions[0].stats.symbols, input.size());
+    EXPECT_EQ(b.sessions[0].stats.bytesSubmitted, input.size());
+    EXPECT_EQ(b.sessions[0].queuedBytes, 0u);
+    uint64_t kernel_blocks = 0;
+    for (const KernelDecisionStats &k : b.kernels)
+        kernel_blocks += k.sparseBlocks + k.denseBlocks;
+    EXPECT_GT(kernel_blocks, 0u);
+
+    // The metrics blob is a valid snapshot image in both build configs
+    // (empty registry serializes and deserializes fine).
+    ASSERT_FALSE(b.metricsSnapshot.empty());
+    telemetry::MetricsSnapshot snap;
+    ASSERT_NO_THROW(
+        snap = telemetry::MetricsSnapshot::deserialize(b.metricsSnapshot));
+#if CA_TELEMETRY
+    if (b.telemetryEnabled)
+        EXPECT_GT(snap.size(), 0u);
+#endif
+
+    // Same-connection (truly in-band) polling works too.
+    net::StatsReplyBody inband = client.requestStats(
+        net::statsSectionBit(net::StatsSection::Totals));
+    EXPECT_EQ(inband.sections,
+              net::statsSectionBit(net::StatsSection::Totals));
+    EXPECT_EQ(inband.totals.streamSymbols, input.size());
+    EXPECT_TRUE(inband.sessions.empty());
+
+    client.closeStream(id);
+    client.close();
+
+    // After the stream closes, its row flips to closed but survives.
+    net::StatsReplyBody post = watcher.requestStats();
+    ASSERT_EQ(post.sessions.size(), 1u);
+    EXPECT_TRUE(post.sessions[0].closed);
+    EXPECT_EQ(post.totals.sessionsClosed, 1u);
+
+    watcher.close();
+    server.stop();
+    EXPECT_EQ(server.stats().protocolErrors, 0u);
+}
+
+/** A client that sends a server-only STATS_REPLY is a protocol error. */
+TEST(NetRobustness, ClientSentStatsReplyFailsThatConnection)
+{
+    MappedAutomaton &m = sampleMapped();
+    MatchServer server(m);
+
+    net::SocketFd fd =
+        net::connectTcp("127.0.0.1", server.port(), 2000);
+    std::vector<uint8_t> bytes;
+    net::appendHello(bytes, 0);
+    net::appendStatsReply(bytes, net::StatsReplyBody{});
+    ASSERT_TRUE(net::sendAll(fd.get(), bytes.data(), bytes.size(), 2000));
+
+    // The server answers HELLO, then ERROR(protocol_error) + teardown.
+    FrameDecoder dec;
+    uint8_t buf[4096];
+    bool saw_error = false;
+    for (int spins = 0; spins < 100 && !saw_error; ++spins) {
+        long n = net::recvSome(fd.get(), buf, sizeof buf, 100);
+        if (n == 0)
+            break;
+        if (n < 0)
+            continue;
+        dec.append(buf, static_cast<size_t>(n));
+        std::optional<Frame> f;
+        while ((f = dec.next()))
+            if (f->type == FrameType::Error &&
+                f->errorCode == ErrorCode::ProtocolError)
+                saw_error = true;
+    }
+    EXPECT_TRUE(saw_error);
+
+    // Only that connection died; the server keeps serving new ones.
+    MatchClient ok;
+    ASSERT_NO_THROW(ok.connect("127.0.0.1", server.port()));
+    ok.close();
     server.stop();
 }
 

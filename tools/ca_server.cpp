@@ -17,18 +17,27 @@
  *   --idle-timeout-ms N idle connection teardown (<=0 disables)
  *   --duration-s N      exit after N seconds (default: run until signal)
  *   --metrics-out F / --trace-out F   telemetry artifacts at shutdown
+ *   --stats-port N      scrapeable stats endpoint (Prometheus text,
+ *                       docs/OBSERVABILITY.md); prints the bound port
+ *   --stats-bind ADDR   stats endpoint bind address (default = --bind)
+ *   --stats-interval-s N  re-export live gauges (and rewrite
+ *                       --metrics-out, when given) every N seconds
  *
  * The server prints "listening on HOST:PORT" and "fingerprint HEX" on
  * stdout (line-buffered, so scripts can scrape them), serves until
  * SIGINT/SIGTERM or --duration-s, then shuts down gracefully: open
  * sessions drain, pending reports are delivered, and final ServerStats /
- * NetServerStats are printed and exported as ca.net.* gauges.
+ * NetServerStats are printed and exported as ca.net.* gauges. The final
+ * flush runs on *every* exit path — signal, --duration-s, or an error
+ * unwinding out of the serve loop — so the telemetry artifacts always
+ * reflect the server's last known state.
  */
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,7 +45,11 @@
 #include "compiler/mapping.h"
 #include "core/error.h"
 #include "net/match_server.h"
+#include "net/stats_listener.h"
 #include "nfa/glushkov.h"
+#include "telemetry/metrics.h"
+#include "telemetry/runtime.h"
+#include "telemetry/snapshot.h"
 #include "telemetry/telemetry.h"
 #include "workload/suite.h"
 
@@ -66,7 +79,9 @@ usage()
         "[--idle-timeout-ms N]\n"
         "            [--kernel sparse|dense|auto]\n"
         "            [--scale S] [--seed N] [--duration-s N]\n"
-        "            [--metrics-out F] [--trace-out F]\n");
+        "            [--metrics-out F] [--trace-out F]\n"
+        "            [--stats-port N] [--stats-bind ADDR] "
+        "[--stats-interval-s N]\n");
     return 2;
 }
 
@@ -167,6 +182,90 @@ exportShutdownGauges(const net::MatchServer &server)
                  static_cast<double>(s.contextSwitches));
 }
 
+/**
+ * Renders the scrape page: server totals, per-session and per-worker
+ * series (with labels), then the process metrics registry — all in the
+ * Prometheus text exposition format.
+ */
+std::string
+renderStatsPage(const net::MatchServer &server)
+{
+    net::StatsReplyBody b = server.statsSnapshot();
+    std::ostringstream os;
+    auto counter = [&](const char *name, uint64_t v) {
+        os << "# TYPE " << name << " counter\n"
+           << name << " " << v << "\n";
+    };
+    auto gauge = [&](const char *name, double v) {
+        os << "# TYPE " << name << " gauge\n"
+           << name << " " << v << "\n";
+    };
+    const net::WireServerTotals &t = b.totals;
+    gauge("ca_server_uptime_seconds",
+          static_cast<double>(t.uptimeMicros) / 1e6);
+    gauge("ca_server_workers", t.workers);
+    gauge("ca_server_active_connections",
+          static_cast<double>(t.activeConnections));
+    gauge("ca_server_telemetry_enabled",
+          b.telemetryCompiled && b.telemetryEnabled ? 1 : 0);
+    counter("ca_net_connections_accepted_total", t.connectionsAccepted);
+    counter("ca_net_connections_rejected_total", t.connectionsRejected);
+    counter("ca_net_connections_closed_total", t.connectionsClosed);
+    counter("ca_net_streams_opened_total", t.streamsOpened);
+    counter("ca_net_streams_closed_total", t.streamsClosed);
+    counter("ca_net_frames_in_total", t.framesIn);
+    counter("ca_net_frames_out_total", t.framesOut);
+    counter("ca_net_bytes_in_total", t.bytesIn);
+    counter("ca_net_bytes_out_total", t.bytesOut);
+    counter("ca_net_reports_sent_total", t.reportsSent);
+    counter("ca_net_protocol_errors_total", t.protocolErrors);
+    counter("ca_net_idle_timeouts_total", t.idleTimeouts);
+    counter("ca_net_write_timeouts_total", t.writeTimeouts);
+    counter("ca_net_slow_consumer_drops_total", t.slowConsumerDrops);
+    counter("ca_runtime_sessions_opened_total", t.sessionsOpened);
+    counter("ca_runtime_sessions_closed_total", t.sessionsClosed);
+    counter("ca_runtime_symbols_total", t.streamSymbols);
+    counter("ca_runtime_reports_total", t.streamReports);
+    counter("ca_runtime_slices_total", t.slices);
+    counter("ca_runtime_context_switches_total", t.contextSwitches);
+
+    os << "# TYPE ca_session_symbols_per_second gauge\n";
+    for (const runtime::SessionLiveStats &s : b.sessions)
+        if (!s.closed)
+            os << "ca_session_symbols_per_second{session=\"" << s.id
+               << "\"} " << s.symbolsPerSec << "\n";
+    os << "# TYPE ca_session_queued_bytes gauge\n";
+    for (const runtime::SessionLiveStats &s : b.sessions)
+        if (!s.closed)
+            os << "ca_session_queued_bytes{session=\"" << s.id << "\"} "
+               << s.queuedBytes << "\n";
+
+    os << "# TYPE ca_kernel_blocks_total counter\n";
+    for (size_t w = 0; w < b.kernels.size(); ++w) {
+        const KernelDecisionStats &k = b.kernels[w];
+        os << "ca_kernel_blocks_total{worker=\"" << w
+           << "\",kernel=\"sparse\"} " << k.sparseBlocks << "\n";
+        os << "ca_kernel_blocks_total{worker=\"" << w
+           << "\",kernel=\"dense\"} " << k.denseBlocks << "\n";
+    }
+    os << "# TYPE ca_kernel_flips_total counter\n";
+    for (size_t w = 0; w < b.kernels.size(); ++w)
+        os << "ca_kernel_flips_total{worker=\"" << w << "\"} "
+           << b.kernels[w].kernelFlips << "\n";
+    os << "# TYPE ca_kernel_density_ewma gauge\n";
+    for (size_t w = 0; w < b.kernels.size(); ++w)
+        os << "ca_kernel_density_ewma{worker=\"" << w << "\"} "
+           << b.kernels[w].densityEwma << "\n";
+
+    // Whatever the process-wide registry holds (empty when telemetry is
+    // compiled out or disabled — the page above still works).
+    telemetry::MetricsSnapshot snap;
+    if (!b.metricsSnapshot.empty())
+        snap = telemetry::MetricsSnapshot::deserialize(b.metricsSnapshot);
+    os << snap.prometheusText();
+    return os.str();
+}
+
 int
 run(const Args &args)
 {
@@ -200,6 +299,19 @@ run(const Args &args)
             return usage();
         }
     }
+
+    // Register before the (possibly long) compile/load so an early ^C
+    // still lands in the orderly-shutdown path below.
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    // The observability flags imply the operator wants live metrics:
+    // turn the runtime telemetry switch on even without CA_TELEMETRY=1
+    // in the environment (a telemetry-off *build* still serves the
+    // always-on sections and says so in the page/reply flags).
+    if (!args.opt("stats-port").empty() ||
+        !args.opt("stats-interval-s").empty())
+        telemetry::setEnabled(true);
 
     std::unique_ptr<net::MatchServer> server;
     if (!args.opt("artifact").empty()) {
@@ -239,22 +351,70 @@ run(const Args &args)
                 static_cast<unsigned long long>(server->fingerprint()));
     std::fflush(stdout);
 
-    std::signal(SIGINT, onSignal);
-    std::signal(SIGTERM, onSignal);
+    // Scrapeable stats endpoint (docs/OBSERVABILITY.md).
+    std::unique_ptr<net::StatsListener> stats_listener;
+    if (!args.opt("stats-port").empty()) {
+        net::StatsListenerOptions sopts;
+        sopts.bindAddress = args.opt("stats-bind", opts.bindAddress);
+        sopts.port = static_cast<uint16_t>(
+            std::stoul(args.opt("stats-port")));
+        net::MatchServer *raw = server.get();
+        stats_listener = std::make_unique<net::StatsListener>(
+            [raw] { return renderStatsPage(*raw); }, sopts);
+        std::printf("stats listening on %s:%u\n",
+                    sopts.bindAddress.c_str(),
+                    static_cast<unsigned>(stats_listener->port()));
+        std::fflush(stdout);
+    }
+
+    // Whatever ends this serve — signal, --duration-s, or an exception
+    // unwinding out of the loop — the shutdown flush must still run, so
+    // it rides an RAII guard instead of straight-line code.
+    struct ShutdownFlush
+    {
+        net::MatchServer &server;
+        net::StatsListener *listener;
+        const std::string metricsPath;
+        ~ShutdownFlush()
+        {
+            if (listener)
+                listener->stop(); // stop scraping a dying server
+            server.stop();
+            exportShutdownGauges(server);
+            if (!metricsPath.empty())
+                ca::telemetry::dumpMetrics(metricsPath);
+        }
+    } flush_guard{*server, stats_listener.get(),
+                  args.opt("metrics-out")};
 
     long duration_ms = args.opt("duration-s").empty()
         ? -1
         : std::stol(args.opt("duration-s")) * 1000;
+    long interval_ms = args.opt("stats-interval-s").empty()
+        ? -1
+        : std::stol(args.opt("stats-interval-s")) * 1000;
     long waited_ms = 0;
+    long last_flush_ms = 0;
     while (!g_stop && (duration_ms < 0 || waited_ms < duration_ms)) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
         waited_ms += 50;
+        if (interval_ms > 0 && waited_ms - last_flush_ms >= interval_ms) {
+            last_flush_ms = waited_ms;
+            // Periodic flush: refresh the exported gauges and rewrite
+            // the metrics artifact so a crash loses at most one window.
+            exportShutdownGauges(*server);
+            if (!args.opt("metrics-out").empty())
+                telemetry::dumpMetrics(args.opt("metrics-out"));
+        }
     }
 
     std::printf("shutting down (%zu active connections)...\n",
                 server->activeConnections());
+    // Orderly path: stop now so the printed totals are final (the guard
+    // re-runs these — both stops are idempotent).
+    if (stats_listener)
+        stats_listener->stop();
     server->stop();
-    exportShutdownGauges(*server);
 
     net::NetServerStats n = server->stats();
     runtime::ServerStats s = server->streamStats();
