@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Cluster ruleset distribution: peer-pull vs cold-compile vs warm cache.
+ *
+ *   bench_cluster_replication [--smoke] [--metrics-out F]
+ *
+ * The cluster plane (docs/CLUSTER.md) gives a new node three ways to
+ * obtain a serving automaton: compile the ruleset from scratch, load it
+ * from a warm local artifact cache, or pull the artifact by fingerprint
+ * from a peer that already holds it. This bench times all three on the
+ * same rulesets over a loopback donor server:
+ *
+ *   cold ms — regex compile + map + config image (the path replication
+ *             exists to avoid),
+ *   pull ms — Replicator::fetch over TCP, chunked + CRC-covered +
+ *             end-to-end CAAF/fingerprint validation, published into a
+ *             cold fingerprint-addressed cache (ArtifactCache::getOrFetch
+ *             remote-fill),
+ *   warm ms — getOrFetch again, now a pure local cache hit.
+ *
+ * Rows also report the artifact size and effective pull bandwidth.
+ * Results land in the telemetry registry as
+ * ca.cluster.bench.<rules>.{cold_ms,pull_ms,warm_ms} gauges for
+ * --metrics-out export. --smoke runs one small ruleset as a plumbing
+ * check (used by scripts/ci.sh).
+ *
+ * Environment knobs:
+ *   CA_BENCH_SCALE — ruleset size factor (default 1.0).
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include <unistd.h>
+
+#include "bench_common.h"
+#include "cluster/replication.h"
+#include "core/string_utils.h"
+#include "net/match_server.h"
+#include "nfa/glushkov.h"
+#include "persist/artifact.h"
+#include "persist/cache.h"
+#include "sim/engine.h"
+#include "workload/rulegen.h"
+
+using namespace ca;
+using namespace ca::bench;
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    TelemetrySession telemetry(argc, argv);
+    ca::telemetry::setEnabled(true);
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+
+    BenchConfig cfg = BenchConfig::fromEnv();
+    banner("Cluster replication: peer pull vs cold compile vs warm cache",
+           cfg);
+
+    std::vector<size_t> sizes = smoke
+        ? std::vector<size_t>{32}
+        : std::vector<size_t>{50, 200, 800};
+
+    std::filesystem::path dir = std::filesystem::temp_directory_path() /
+        ("ca_bench_cluster." + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+
+    TablePrinter t({"Rules", "States", "Artifact KB", "Cold ms",
+                    "Pull ms", "Warm ms", "Pull MB/s"});
+    std::vector<double> pull_speedups;
+
+    for (size_t rules : sizes) {
+        std::fprintf(stderr, "[cluster] %zu rules...\n", rules);
+        int num_rules = std::max(
+            4, static_cast<int>(static_cast<double>(rules) * cfg.scale));
+
+        // Cold: the full per-node pipeline a peer pull replaces.
+        auto t0 = std::chrono::steady_clock::now();
+        Nfa nfa = compileRuleset(genSnortRules(num_rules, cfg.seed));
+        MappedAutomaton mapped = mapPerformance(nfa);
+        ConfigImage image = buildConfigImage(mapped);
+        double cold_ms = msSince(t0);
+
+        // Donor: one server already holding the automaton; it packs and
+        // serves the artifact over ARTIFACT_QUERY/FETCH.
+        net::MatchServer donor(mapped);
+        uint64_t fp = persist::artifactFingerprint(mapped);
+        double kb =
+            static_cast<double>(persist::packArtifact(mapped, image)
+                                    .size()) /
+            1024.0;
+
+        // Pull: cold fingerprint-addressed cache remote-fills from the
+        // donor — wire transfer + CAAF validation + atomic publication.
+        cluster::Replicator repl({{"127.0.0.1", donor.port()}});
+        persist::ArtifactCache cache(
+            (dir / ("cache_" + std::to_string(rules))).string());
+        cache.setRemoteFetcher(repl.cacheFetcher());
+        auto t1 = std::chrono::steady_clock::now();
+        persist::LoadedArtifact pulled = cache.getOrFetch(fp);
+        double pull_ms = msSince(t1);
+
+        // Warm: the same node restarting — a pure local cache hit.
+        auto t2 = std::chrono::steady_clock::now();
+        persist::LoadedArtifact warm = cache.getOrFetch(fp);
+        double warm_ms = msSince(t2);
+
+        // Guard against dead-code elimination and broken transfers: the
+        // pulled automaton must actually drive a sim.
+        CacheAutomatonSim sim(pulled.automaton);
+        const uint8_t probe[] = {'x'};
+        sim.feed(probe, sizeof(probe));
+        (void)warm;
+
+        double mbps = pull_ms > 0
+            ? (kb / 1024.0) / (pull_ms * 1e-3)
+            : 0.0;
+        pull_speedups.push_back(pull_ms > 0 ? cold_ms / pull_ms : 0.0);
+        t.addRow({std::to_string(num_rules),
+                  std::to_string(mapped.nfa().numStates()), fixed(kb, 1),
+                  fixed(cold_ms, 2), fixed(pull_ms, 2), fixed(warm_ms, 2),
+                  fixed(mbps, 1)});
+
+        auto &reg = ca::telemetry::MetricsRegistry::global();
+        std::string prefix =
+            "ca.cluster.bench." + std::to_string(num_rules);
+        reg.gauge(prefix + ".cold_ms").set(cold_ms);
+        reg.gauge(prefix + ".pull_ms").set(pull_ms);
+        reg.gauge(prefix + ".warm_ms").set(warm_ms);
+    }
+    t.print();
+
+    double gm = geomean(pull_speedups);
+    ca::telemetry::MetricsRegistry::global()
+        .gauge("ca.cluster.bench.pull_speedup_geomean")
+        .set(gm);
+    std::printf("\nGeomean peer-pull speedup over cold compile: %.1fx\n",
+                gm);
+    if (smoke)
+        std::printf("(smoke run: plumbing check, not a measurement — "
+                    "one small ruleset)\n");
+
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    return 0;
+}

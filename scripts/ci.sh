@@ -44,6 +44,13 @@ ctest --test-dir build -L observability --output-on-failure -j "$JOBS"
 ctest --test-dir build-telemetry-off -L observability --output-on-failure \
     -j "$JOBS"
 
+# The cluster suite in both telemetry configurations: replication and
+# hot-swap must behave identically with the ca.cluster.* / ca.net.*
+# instrumentation compiled out.
+ctest --test-dir build -L cluster --output-on-failure -j "$JOBS"
+ctest --test-dir build-telemetry-off -L cluster --output-on-failure \
+    -j "$JOBS"
+
 # The sim suite under each execution kernel: CA_SIM_KERNEL overrides
 # SimOptions::kernel process-wide, so the oracle-equivalence, streaming,
 # and checkpoint contracts are enforced with the sparse and the dense
@@ -61,6 +68,10 @@ CA_SIM_KERNEL=dense ctest --test-dir build -L sim --output-on-failure \
 # drive real traffic with a live STATS poller ("polls > 0" in its
 # output proves the stats plane answered mid-load).
 ./build/bench/bench_observability_overhead --smoke >/dev/null
+
+# The cluster-replication bench's plumbing at smoke size: a real
+# loopback peer pull into a cold cache plus the warm-hit path.
+./build/bench/bench_cluster_replication --smoke >/dev/null
 
 # End-to-end scrape smoke: a real ca_server with the stats endpoint and
 # a real ca_top against the in-band STATS protocol. The scrape uses
@@ -91,6 +102,73 @@ kill "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
 trap - EXIT
 
+# Loopback two-server cluster smoke (docs/CLUSTER.md): node A serves an
+# artifact, ca_artifact fetch pulls it by fingerprint, node B starts
+# from nothing but the fingerprint + A as a peer, and A hot-swaps on
+# SIGHUP while a client is streaming.
+echo "=== two-server replication + hot-swap smoke ==="
+CLDIR=$(mktemp -d /tmp/ca_ci_cluster.XXXXXX)
+trap 'kill "${A_PID:-}" "${B_PID:-}" 2>/dev/null || true; rm -rf "$CLDIR"' EXIT
+./build/tools/ca_artifact pack --out "$CLDIR/rules.caa" \
+    --pattern 'cat|dog' >/dev/null
+./build/tools/ca_server --artifact "$CLDIR/rules.caa" --port 0 \
+    --admin-port 0 >"$CLDIR/a.log" 2>&1 &
+A_PID=$!
+for _ in $(seq 50); do
+    grep -q "^fingerprint" "$CLDIR/a.log" && break
+    sleep 0.1
+done
+A_PORT=$(sed -n 's/^listening on [0-9.]*:\([0-9]*\)$/\1/p' \
+    "$CLDIR/a.log" | head -1)
+FP=$(sed -n 's/^fingerprint \([0-9a-f]*\)$/\1/p' "$CLDIR/a.log" | head -1)
+
+# Out-of-band pull + full verification of the fetched artifact.
+./build/tools/ca_artifact fetch "$FP" --from "127.0.0.1:${A_PORT}" \
+    --out "$CLDIR/fetched.caa" >/dev/null
+./build/tools/ca_artifact verify "$CLDIR/fetched.caa" \
+    --input-bytes 4096 >/dev/null
+
+# Node B: fingerprint + peer only; must serve the identical automaton
+# (the client pins the fingerprint it got from A).
+./build/tools/ca_server --fingerprint "$FP" \
+    --peer "127.0.0.1:${A_PORT}" --cache-dir "$CLDIR/cache_b" \
+    --port 0 >"$CLDIR/b.log" 2>&1 &
+B_PID=$!
+for _ in $(seq 50); do
+    grep -q "^fingerprint" "$CLDIR/b.log" && break
+    sleep 0.1
+done
+B_PORT=$(sed -n 's/^listening on [0-9.]*:\([0-9]*\)$/\1/p' \
+    "$CLDIR/b.log" | head -1)
+head -c 2097152 /dev/urandom >"$CLDIR/input.bin"
+./build/tools/ca_client --port "$B_PORT" --fingerprint "$FP" \
+    "$CLDIR/input.bin" >/dev/null
+grep -q "ca-fp-${FP}.caa" <<<"$(ls "$CLDIR/cache_b")"
+
+# Hot-swap A to a new ruleset on SIGHUP while a client is mid-stream;
+# the stream must finish cleanly and A must report the swap.
+./build/tools/ca_artifact pack --out "$CLDIR/rules.caa" \
+    --pattern 'fish|owl' >/dev/null
+./build/tools/ca_client --port "$A_PORT" --chunk-bytes 4096 \
+    "$CLDIR/input.bin" >/dev/null &
+CLIENT_PID=$!
+sleep 0.2
+kill -HUP "$A_PID"
+wait "$CLIENT_PID"
+for _ in $(seq 50); do
+    grep -q "^SIGHUP: swapped" "$CLDIR/a.log" && break
+    sleep 0.1
+done
+grep -q "^SIGHUP: swapped ${FP} ->" "$CLDIR/a.log"
+NEW_FP=$(sed -n 's/^SIGHUP: swapped [0-9a-f]* -> \([0-9a-f]*\).*/\1/p' \
+    "$CLDIR/a.log" | head -1)
+./build/tools/ca_client --port "$A_PORT" --fingerprint "$NEW_FP" \
+    "$CLDIR/input.bin" >/dev/null
+kill "$A_PID" "$B_PID"
+wait "$A_PID" "$B_PID" 2>/dev/null || true
+trap - EXIT
+rm -rf "$CLDIR"
+
 # ThreadSanitizer over the concurrency code: build only the runtime-
 # labeled tests (the multi-stream runtime, the checkpoint/streaming
 # contract it is built on, the persist cache's shared-directory
@@ -103,7 +181,7 @@ cmake -B build-tsan -S . -DCA_TELEMETRY=ON \
     "-DCMAKE_CXX_FLAGS=-fsanitize=thread"
 cmake --build build-tsan -j "$JOBS" \
     --target runtime_test streaming_test persist_test net_test \
-    observability_test
+    observability_test cluster_test
 ctest --test-dir build-tsan -L runtime --output-on-failure -j "$JOBS"
 
 # The same TSan subset with every worker engine forced onto the dense

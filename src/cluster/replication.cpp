@@ -1,0 +1,124 @@
+#include "cluster/replication.h"
+
+#include "core/error.h"
+#include "core/logging.h"
+#include "net/client.h"
+#include "telemetry/telemetry.h"
+
+namespace ca::cluster {
+
+PeerAddress
+parsePeer(const std::string &spec)
+{
+    size_t colon = spec.rfind(':');
+    CA_FATAL_IF(colon == std::string::npos || colon == 0 ||
+                    colon + 1 == spec.size(),
+                "cluster: peer must be host:port, got \"" << spec << "\"");
+    PeerAddress p;
+    p.host = spec.substr(0, colon);
+    unsigned long port = 0;
+    try {
+        size_t used = 0;
+        port = std::stoul(spec.substr(colon + 1), &used);
+        if (used != spec.size() - colon - 1)
+            port = 0;
+    } catch (const std::exception &) {
+        port = 0;
+    }
+    CA_FATAL_IF(port == 0 || port > 65535,
+                "cluster: invalid peer port in \"" << spec << "\"");
+    p.port = static_cast<uint16_t>(port);
+    return p;
+}
+
+Replicator::Replicator(std::vector<PeerAddress> peers,
+                       const ReplicatorOptions &opts)
+    : peers_(std::move(peers)), opts_(opts)
+{
+    CA_FATAL_IF(peers_.empty(), "cluster: replicator needs >= 1 peer");
+}
+
+std::vector<uint8_t>
+Replicator::fetchBytes(uint64_t fingerprint)
+{
+    CA_TRACE_SCOPE_CAT("ca.cluster.fetch", "ca.cluster");
+    std::string last_error = "no peers configured";
+    for (const PeerAddress &peer : peers_) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.fetchAttempts;
+        }
+        CA_COUNTER_ADD("ca.cluster.fetch_attempts", 1);
+        try {
+            net::ClientOptions copts;
+            copts.connectTimeoutMs = opts_.connectTimeoutMs;
+            copts.ioTimeoutMs = opts_.ioTimeoutMs;
+            net::MatchClient client;
+            // Unpinned connect: the peer's *serving* automaton is
+            // irrelevant — we are here for an artifact it may merely
+            // still hold (e.g. a draining epoch).
+            client.connect(peer.host, peer.port, copts);
+            std::vector<uint8_t> bytes =
+                client.fetchArtifact(fingerprint);
+            // End-to-end check: the chunk CRCs only cover the wire; a
+            // peer serving the wrong (or damaged) file fails here and
+            // the next peer gets its chance.
+            persist::LoadedArtifact loaded =
+                persist::loadArtifactBytes(bytes);
+            CA_FATAL_IF(persist::artifactFingerprint(*loaded.automaton) !=
+                            fingerprint,
+                        "artifact does not hash to the requested "
+                            "fingerprint");
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.fetchSuccesses;
+                stats_.bytesFetched += bytes.size();
+            }
+            CA_COUNTER_ADD("ca.cluster.fetch_successes", 1);
+            CA_COUNTER_ADD("ca.cluster.fetch_bytes", bytes.size());
+            CA_INFO("cluster: fetched artifact " << std::hex << fingerprint
+                                                 << std::dec << " ("
+                                                 << bytes.size()
+                                                 << " bytes) from "
+                                                 << peer.host << ":"
+                                                 << peer.port);
+            return bytes;
+        } catch (const CaError &e) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.fetchFailures;
+            }
+            CA_COUNTER_ADD("ca.cluster.fetch_failures", 1);
+            CA_WARN("cluster: peer " << peer.host << ":" << peer.port
+                                     << " failed for artifact " << std::hex
+                                     << fingerprint << std::dec << ": "
+                                     << e.what());
+            last_error = e.what();
+        }
+    }
+    CA_THROW("cluster: all " << peers_.size()
+                             << " peer(s) failed for artifact " << std::hex
+                             << fingerprint << std::dec
+                             << " (last: " << last_error << ")");
+}
+
+persist::LoadedArtifact
+Replicator::fetch(uint64_t fingerprint)
+{
+    return persist::loadArtifactBytes(fetchBytes(fingerprint));
+}
+
+persist::ArtifactCache::RemoteFetcher
+Replicator::cacheFetcher()
+{
+    return [this](uint64_t fingerprint) { return fetchBytes(fingerprint); };
+}
+
+ReplicationStats
+Replicator::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace ca::cluster

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Peer artifact replication (docs/CLUSTER.md).
+ *
+ * A Replicator holds an ordered list of peer match servers and pulls
+ * compiled CAAF artifacts from them by fingerprint over the CANP
+ * ARTIFACT_QUERY/FETCH frames. Peers are tried in order; a peer that is
+ * down, does not hold the artifact, or serves bytes that fail CAAF
+ * validation or hash to the wrong fingerprint is logged and skipped —
+ * the fetch only throws once every peer has failed. A corrupted or
+ * truncated transfer therefore never poisons anything: the bad bytes
+ * are rejected before they reach a cache directory, and the next peer
+ * (or the next call) retries cleanly.
+ *
+ * The usual wiring is cacheFetcher(): plug the replicator into an
+ * ArtifactCache as its remote fetcher, so cache.getOrFetch(fp) becomes
+ * "local hit, else pull from the cluster, validate, publish atomically".
+ *
+ * Telemetry: ca.cluster.fetch_{attempts,successes,failures} counters and
+ * ca.cluster.fetch_bytes.
+ */
+#ifndef CA_CLUSTER_REPLICATION_H
+#define CA_CLUSTER_REPLICATION_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "persist/artifact.h"
+#include "persist/cache.h"
+
+namespace ca::cluster {
+
+/** One peer match server ("host:port"). */
+struct PeerAddress
+{
+    std::string host;
+    uint16_t port = 0;
+};
+
+/**
+ * Parses "host:port" (the ca_server --peer syntax). @throws CaError on
+ * a missing/invalid port or empty host.
+ */
+PeerAddress parsePeer(const std::string &spec);
+
+/** Replication-side network knobs. */
+struct ReplicatorOptions
+{
+    int connectTimeoutMs = 5'000;
+    /** Bound on any single blocking wait during a transfer. */
+    int ioTimeoutMs = 30'000;
+};
+
+/** Point-in-time replication accounting (per Replicator instance). */
+struct ReplicationStats
+{
+    /** Peer transfers started (one per peer tried, not per fetch()). */
+    uint64_t fetchAttempts = 0;
+    uint64_t fetchSuccesses = 0;
+    /** Peer transfers that failed (connect, unavailable, corrupt). */
+    uint64_t fetchFailures = 0;
+    /** Validated artifact bytes pulled in. */
+    uint64_t bytesFetched = 0;
+};
+
+/** Pulls artifacts by fingerprint from an ordered list of peers. */
+class Replicator
+{
+  public:
+    explicit Replicator(std::vector<PeerAddress> peers,
+                        const ReplicatorOptions &opts = {});
+
+    const std::vector<PeerAddress> &peers() const { return peers_; }
+
+    /**
+     * Fetches and fully validates the CAAF bytes for @p fingerprint:
+     * peers in order, first success wins. The returned bytes parse as a
+     * complete artifact whose automaton hashes to @p fingerprint.
+     * @throws CaError when every peer fails.
+     */
+    std::vector<uint8_t> fetchBytes(uint64_t fingerprint);
+
+    /** fetchBytes + decode, for callers that want the automaton. */
+    persist::LoadedArtifact fetch(uint64_t fingerprint);
+
+    /**
+     * An ArtifactCache::RemoteFetcher bound to this replicator (the
+     * replicator must outlive the cache's use of it).
+     */
+    persist::ArtifactCache::RemoteFetcher cacheFetcher();
+
+    ReplicationStats stats() const;
+
+  private:
+    std::vector<PeerAddress> peers_;
+    ReplicatorOptions opts_;
+    mutable std::mutex mutex_;
+    ReplicationStats stats_;
+};
+
+} // namespace ca::cluster
+
+#endif // CA_CLUSTER_REPLICATION_H

@@ -116,6 +116,94 @@ MatchClient::requestStats(uint32_t sections)
     }
 }
 
+ArtifactOfferInfo
+MatchClient::queryArtifact(uint64_t fingerprint)
+{
+    CA_TRACE_SCOPE_CAT("ca.net.client_artifact_query", "ca.net");
+    CA_FATAL_IF(!fd_.valid(), "net: queryArtifact before connect");
+    std::vector<uint8_t> frame;
+    appendArtifactQuery(frame, fingerprint);
+    sendDraining(frame.data(), frame.size());
+    Frame reply = awaitFrame(FrameType::ArtifactOffer, kConnectionStream);
+    CA_FATAL_IF(reply.fingerprint != fingerprint,
+                "net: ARTIFACT_OFFER for a different fingerprint");
+    ArtifactOfferInfo offer;
+    offer.fingerprint = reply.fingerprint;
+    offer.available = reply.artifactAvailable != 0;
+    offer.totalBytes = reply.artifactBytes;
+    offer.chunkBytes = reply.chunkBytes;
+    offer.chunkCount = reply.chunkCount;
+    return offer;
+}
+
+std::vector<uint8_t>
+MatchClient::fetchArtifact(uint64_t fingerprint)
+{
+    CA_TRACE_SCOPE_CAT("ca.net.client_artifact_fetch", "ca.net");
+    ArtifactOfferInfo offer = queryArtifact(fingerprint);
+    CA_FATAL_IF(!offer.available,
+                "net: peer does not hold the requested artifact");
+    // Sanity-bound a hostile offer before allocating anything: chunk
+    // geometry must be consistent, and an artifact is never gigabytes.
+    constexpr uint64_t kMaxArtifactBytes = 1ull << 30;
+    CA_FATAL_IF(offer.totalBytes == 0 ||
+                    offer.totalBytes > kMaxArtifactBytes,
+                "net: implausible artifact size " << offer.totalBytes);
+    CA_FATAL_IF(offer.chunkBytes == 0 || offer.chunkCount == 0 ||
+                    (offer.totalBytes + offer.chunkBytes - 1) /
+                            offer.chunkBytes !=
+                        offer.chunkCount,
+                "net: inconsistent artifact chunk geometry");
+
+    std::vector<uint8_t> bytes;
+    bytes.reserve(static_cast<size_t>(offer.totalBytes));
+    for (uint32_t i = 0; i < offer.chunkCount; ++i) {
+        std::vector<uint8_t> frame;
+        appendArtifactFetch(frame, fingerprint, i);
+        sendDraining(frame.data(), frame.size());
+        Frame chunk =
+            awaitFrame(FrameType::ArtifactChunk, kConnectionStream);
+        CA_FATAL_IF(chunk.fingerprint != fingerprint ||
+                        chunk.chunkIndex != i ||
+                        chunk.chunkCount != offer.chunkCount,
+                    "net: artifact chunk out of sequence");
+        CA_FATAL_IF(bytes.size() + chunk.data.size() > offer.totalBytes,
+                    "net: artifact transfer exceeds the offered size");
+        bytes.insert(bytes.end(), chunk.data.begin(), chunk.data.end());
+    }
+    CA_FATAL_IF(bytes.size() != offer.totalBytes,
+                "net: truncated artifact transfer ("
+                    << bytes.size() << " of " << offer.totalBytes
+                    << " bytes)");
+    CA_COUNTER_ADD("ca.net.client_artifact_bytes_fetched", bytes.size());
+    return bytes;
+}
+
+SwapOutcome
+MatchClient::requestSwap(uint64_t fingerprint, const std::string &source)
+{
+    CA_TRACE_SCOPE_CAT("ca.net.client_swap", "ca.net");
+    CA_FATAL_IF(!fd_.valid(), "net: requestSwap before connect");
+    uint64_t token = next_flush_token_++;
+    std::vector<uint8_t> frame;
+    appendSwap(frame, token, fingerprint, source);
+    sendDraining(frame.data(), frame.size());
+    for (;;) {
+        Frame reply = awaitFrame(FrameType::SwapReply, kConnectionStream);
+        if (reply.flushToken != token)
+            continue; // older tokens (pipelined requests) are absorbed
+        SwapOutcome out;
+        out.status = reply.swapStatus;
+        out.oldFingerprint = reply.oldFingerprint;
+        out.newFingerprint = reply.newFingerprint;
+        out.epoch = reply.epoch;
+        out.message = std::move(reply.message);
+        if (out.status != SwapStatus::Failed)
+            server_fingerprint_ = out.newFingerprint;
+        return out;
+    }
+}
+
 const std::vector<Report> &
 MatchClient::reports(uint32_t stream) const
 {

@@ -51,6 +51,26 @@ struct StreamSummary
     uint64_t reports = 0;
 };
 
+/** A peer's answer to ARTIFACT_QUERY (docs/CLUSTER.md). */
+struct ArtifactOfferInfo
+{
+    uint64_t fingerprint = 0;
+    bool available = false;
+    uint64_t totalBytes = 0;
+    uint32_t chunkBytes = 0;
+    uint32_t chunkCount = 0;
+};
+
+/** Outcome of a requestSwap() admin call. */
+struct SwapOutcome
+{
+    SwapStatus status = SwapStatus::Failed;
+    uint64_t oldFingerprint = 0;
+    uint64_t newFingerprint = 0;
+    uint64_t epoch = 0;
+    std::string message; ///< Failure reason when status == Failed.
+};
+
 /** One TCP connection to a MatchServer. */
 class MatchClient
 {
@@ -117,6 +137,33 @@ class MatchClient
      * telemetryCompiled/telemetryEnabled flags before reading Metrics.
      */
     StatsReplyBody requestStats(uint32_t sections = kStatsAllSections);
+
+    /**
+     * Asks whether the server can serve the artifact for
+     * @p fingerprint and, when it can, how it would be chunked.
+     */
+    ArtifactOfferInfo queryArtifact(uint64_t fingerprint);
+
+    /**
+     * Pulls the complete CAAF artifact for @p fingerprint chunk by
+     * chunk (each chunk CRC-verified at the protocol layer; callers
+     * should still validate the assembled bytes with
+     * persist::loadArtifactBytes — see cluster::Replicator). @throws
+     * CaError when the server does not hold the artifact or the
+     * transfer is inconsistent/truncated.
+     */
+    std::vector<uint8_t> fetchArtifact(uint64_t fingerprint);
+
+    /**
+     * Admin-plane ruleset swap (connect to the server's admin port
+     * first — the match plane answers ERROR(permission_denied)).
+     * @p fingerprint pins the target (0 = trust @p source); @p source
+     * is a server-side artifact path or loader hint. Never throws on a
+     * *failed* swap — that comes back as status == SwapStatus::Failed
+     * with the server's reason.
+     */
+    SwapOutcome requestSwap(uint64_t fingerprint,
+                            const std::string &source = {});
 
     /** Polite GOODBYE + orderly close (abortive close if it fails). */
     void close();

@@ -1,6 +1,7 @@
 #include "net/match_server.h"
 
 #include <chrono>
+#include <fstream>
 #include <sys/socket.h>
 
 #include "core/error.h"
@@ -41,10 +42,16 @@ struct MatchServer::Connection
 
     // --- Protocol state (reader thread only) --------------------------
     bool helloDone = false;
+    /** Accepted on the admin listener: SWAP is honored here. */
+    bool isAdmin = false;
 
-    /** Live client streamId -> runtime session (reader + stop()). */
+    /**
+     * Live client streamId -> {runtime session, owning epoch} (reader +
+     * stop()). Holding the epoch's shared_ptr here is what keeps a
+     * retired epoch alive until its last stream closes.
+     */
     std::mutex streams_mutex;
-    std::map<uint32_t, runtime::StreamSession *> streams;
+    std::map<uint32_t, StreamRef> streams;
 
     std::unique_ptr<ConnectionSink> sink;
 
@@ -117,6 +124,37 @@ class MatchServer::ConnectionSink final : public runtime::ReportSink
     std::map<uint32_t, uint32_t> ids_;
 };
 
+/**
+ * One serving generation: an automaton, its fingerprint, a dedicated
+ * StreamServer, and (lazily) the canonical CAAF bytes served to peers.
+ * The current epoch takes every new stream; a retired epoch lives until
+ * the connections' StreamRefs release it, then is reaped.
+ */
+struct MatchServer::EpochState
+{
+    uint64_t epoch = 0;
+    uint64_t fingerprint = 0;
+    /** Keeps a loaded automaton alive; null when bound by reference. */
+    std::shared_ptr<const MappedAutomaton> owned;
+    const MappedAutomaton *mapped = nullptr;
+    std::unique_ptr<runtime::StreamServer> stream;
+
+    /** Replication-serving bytes, packed on first demand. */
+    std::mutex bytes_mutex;
+    std::shared_ptr<const std::vector<uint8_t>> artifactBytes;
+
+    /** The canonical artifact bytes for this epoch's automaton. */
+    std::shared_ptr<const std::vector<uint8_t>>
+    bytes()
+    {
+        std::lock_guard<std::mutex> lock(bytes_mutex);
+        if (!artifactBytes)
+            artifactBytes = std::make_shared<const std::vector<uint8_t>>(
+                persist::packArtifact(*mapped, buildConfigImage(*mapped)));
+        return artifactBytes;
+    }
+};
+
 namespace {
 
 const MappedAutomaton &
@@ -126,11 +164,22 @@ requireAutomaton(const std::shared_ptr<const MappedAutomaton> &mapped)
     return *mapped;
 }
 
+void
+accumulate(runtime::ServerStats &into, const runtime::ServerStats &s)
+{
+    into.sessionsOpened += s.sessionsOpened;
+    into.sessionsClosed += s.sessionsClosed;
+    into.symbols += s.symbols;
+    into.reports += s.reports;
+    into.slices += s.slices;
+    into.contextSwitches += s.contextSwitches;
+}
+
 } // namespace
 
 MatchServer::MatchServer(const MappedAutomaton &mapped,
                          const MatchServerOptions &opts)
-    : opts_(opts), stream_(mapped, opts.stream)
+    : opts_(opts)
 {
     CA_TRACE_SCOPE_CAT("ca.net.server_start", "ca.net");
     opts_.maxFramePayload =
@@ -139,17 +188,38 @@ MatchServer::MatchServer(const MappedAutomaton &mapped,
         opts_.maxConnections = 1;
     if (opts_.maxStreamsPerConnection == 0)
         opts_.maxStreamsPerConnection = 1;
-    fingerprint_ = automatonFingerprint(mapped);
+
+    auto first = std::make_shared<EpochState>();
+    first->epoch = next_epoch_++;
+    first->mapped = &mapped;
+    first->fingerprint = automatonFingerprint(mapped);
+    first->stream =
+        std::make_unique<runtime::StreamServer>(mapped, opts_.stream);
+    fingerprint_.store(first->fingerprint);
+    epoch_no_.store(first->epoch);
+    current_ = std::move(first);
+
     listener_ = listenTcp(opts_.bindAddress, opts_.port);
     port_ = localPort(listener_);
-    accept_thread_ = std::thread([this] { acceptLoop(); });
+    accept_thread_ =
+        std::thread([this] { acceptLoop(listener_, false); });
+    if (opts_.adminEnabled) {
+        const std::string &bind = opts_.adminBindAddress.empty()
+            ? opts_.bindAddress
+            : opts_.adminBindAddress;
+        admin_listener_ = listenTcp(bind, opts_.adminPort);
+        admin_port_ = localPort(admin_listener_);
+        admin_accept_thread_ =
+            std::thread([this] { acceptLoop(admin_listener_, true); });
+    }
 }
 
 MatchServer::MatchServer(std::shared_ptr<const MappedAutomaton> mapped,
                          const MatchServerOptions &opts)
     : MatchServer(requireAutomaton(mapped), opts)
 {
-    owned_ = std::move(mapped);
+    std::lock_guard<std::mutex> lock(epoch_mutex_);
+    current_->owned = std::move(mapped);
 }
 
 std::unique_ptr<MatchServer>
@@ -157,9 +227,27 @@ MatchServer::fromArtifact(const std::string &path,
                           const MatchServerOptions &opts)
 {
     CA_TRACE_SCOPE_CAT("ca.net.server_from_artifact", "ca.net");
-    persist::LoadedArtifact loaded = persist::loadArtifact(path);
-    return std::make_unique<MatchServer>(std::move(loaded.automaton),
-                                         opts);
+    // Keep the file's own bytes: they are what peers replicate, and the
+    // fingerprint ignores META, so the original file serves as-is.
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    CA_FATAL_IF(!is, "net: cannot open artifact " << path);
+    std::streamsize size = is.tellg();
+    CA_FATAL_IF(size < 0, "net: cannot stat artifact " << path);
+    auto bytes = std::make_shared<std::vector<uint8_t>>(
+        static_cast<size_t>(size));
+    is.seekg(0);
+    is.read(reinterpret_cast<char *>(bytes->data()), size);
+    CA_FATAL_IF(!is, "net: short read from artifact " << path);
+
+    persist::LoadedArtifact loaded = persist::loadArtifactBytes(*bytes);
+    auto server = std::make_unique<MatchServer>(std::move(loaded.automaton),
+                                                opts);
+    {
+        std::lock_guard<std::mutex> lock(server->epoch_mutex_);
+        std::lock_guard<std::mutex> block(server->current_->bytes_mutex);
+        server->current_->artifactBytes = std::move(bytes);
+    }
+    return server;
 }
 
 MatchServer::~MatchServer()
@@ -172,12 +260,16 @@ MatchServer::stop()
 {
     std::call_once(stop_once_, [this] {
         stopping_.store(true);
-        // Unblock and retire the accept loop first: no new admissions
+        // Unblock and retire the accept loops first: no new admissions
         // while connections drain.
         listener_.shutdown(SHUT_RDWR);
+        admin_listener_.shutdown(SHUT_RDWR);
         if (accept_thread_.joinable())
             accept_thread_.join();
+        if (admin_accept_thread_.joinable())
+            admin_accept_thread_.join();
         listener_.close();
+        admin_listener_.close();
 
         // Graceful per-connection drain: stop reading (EOF for the
         // reader), which makes each reader close its open sessions,
@@ -206,6 +298,170 @@ MatchServer::stats() const
     return stats_;
 }
 
+runtime::ServerStats
+MatchServer::streamStats() const
+{
+    std::vector<std::shared_ptr<EpochState>> epochs;
+    runtime::ServerStats total;
+    {
+        std::lock_guard<std::mutex> lock(epoch_mutex_);
+        total = reaped_totals_;
+        epochs.push_back(current_);
+        epochs.insert(epochs.end(), retired_.begin(), retired_.end());
+    }
+    for (const auto &e : epochs)
+        accumulate(total, e->stream->stats());
+    return total;
+}
+
+MatchServer::SwapResult
+MatchServer::swap(std::shared_ptr<const MappedAutomaton> automaton,
+                  std::shared_ptr<const std::vector<uint8_t>> artifactBytes)
+{
+    CA_FATAL_IF(!automaton, "MatchServer: swap to a null automaton");
+    CA_TRACE_SCOPE_CAT("ca.net.swap", "ca.net");
+    // One swap at a time; epoch construction (worker-thread spawning)
+    // stays outside epoch_mutex_ so readers never wait on it.
+    std::lock_guard<std::mutex> swap_lock(swap_mutex_);
+
+    SwapResult r;
+    r.newFingerprint = automatonFingerprint(*automaton);
+    {
+        std::lock_guard<std::mutex> lock(epoch_mutex_);
+        r.oldFingerprint = current_->fingerprint;
+        if (r.newFingerprint == current_->fingerprint) {
+            // Same compiled automaton: installing a new epoch would only
+            // churn worker pools for identical reports.
+            r.epoch = current_->epoch;
+            r.swapped = false;
+            return r;
+        }
+    }
+
+    auto next = std::make_shared<EpochState>();
+    next->fingerprint = r.newFingerprint;
+    next->mapped = automaton.get();
+    next->owned = std::move(automaton);
+    next->artifactBytes = std::move(artifactBytes);
+    next->stream = std::make_unique<runtime::StreamServer>(next->owned,
+                                                           opts_.stream);
+    {
+        std::lock_guard<std::mutex> lock(epoch_mutex_);
+        next->epoch = next_epoch_++;
+        r.epoch = next->epoch;
+        retired_.push_back(std::move(current_));
+        current_ = std::move(next);
+        fingerprint_.store(current_->fingerprint);
+        epoch_no_.store(current_->epoch);
+    }
+    r.swapped = true;
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.swapsCompleted;
+    }
+    CA_COUNTER_ADD("ca.cluster.swaps_completed", 1);
+    CA_INFO("net: swapped automaton " << std::hex << r.oldFingerprint
+                                      << " -> " << r.newFingerprint
+                                      << std::dec << " (epoch " << r.epoch
+                                      << ")");
+    reapRetiredEpochs();
+    return r;
+}
+
+MatchServer::SwapResult
+MatchServer::swapFromArtifact(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    CA_FATAL_IF(!is, "net: cannot open artifact " << path);
+    std::streamsize size = is.tellg();
+    CA_FATAL_IF(size < 0, "net: cannot stat artifact " << path);
+    auto bytes = std::make_shared<std::vector<uint8_t>>(
+        static_cast<size_t>(size));
+    is.seekg(0);
+    is.read(reinterpret_cast<char *>(bytes->data()), size);
+    CA_FATAL_IF(!is, "net: short read from artifact " << path);
+    persist::LoadedArtifact loaded = persist::loadArtifactBytes(*bytes);
+    return swap(std::move(loaded.automaton), std::move(bytes));
+}
+
+void
+MatchServer::reapRetiredEpochs()
+{
+    // A retired epoch is dead once the connections' StreamRefs released
+    // it (use_count back to our own reference). Destruction — joining
+    // the epoch's worker pool — happens outside epoch_mutex_.
+    std::vector<std::shared_ptr<EpochState>> dead;
+    {
+        std::lock_guard<std::mutex> lock(epoch_mutex_);
+        for (auto it = retired_.begin(); it != retired_.end();) {
+            if (it->use_count() == 1) {
+                accumulate(reaped_totals_, (*it)->stream->stats());
+                dead.push_back(std::move(*it));
+                it = retired_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (auto &e : dead) {
+        e.reset();
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.epochsRetired;
+        }
+        CA_COUNTER_ADD("ca.cluster.epochs_retired", 1);
+    }
+}
+
+std::shared_ptr<const std::vector<uint8_t>>
+MatchServer::artifactBytesFor(uint64_t fingerprint)
+{
+    std::vector<std::shared_ptr<EpochState>> epochs;
+    {
+        std::lock_guard<std::mutex> lock(epoch_mutex_);
+        epochs.push_back(current_);
+        epochs.insert(epochs.end(), retired_.begin(), retired_.end());
+    }
+    for (const auto &e : epochs)
+        if (e->fingerprint == fingerprint)
+            return e->bytes();
+    if (opts_.artifactResolver)
+        return opts_.artifactResolver(fingerprint);
+    return nullptr;
+}
+
+uint32_t
+MatchServer::artifactChunkBytes() const
+{
+    // Leave generous header room inside the negotiated payload bound;
+    // 256 KiB keeps per-chunk latency low without a chatty transfer.
+    uint32_t cap = opts_.maxFramePayload > 64 ? opts_.maxFramePayload - 64
+                                              : 64;
+    return std::min<uint32_t>(256u << 10, cap);
+}
+
+persist::LoadedArtifact
+MatchServer::resolveSwapTarget(uint64_t fingerprint,
+                               const std::string &source)
+{
+    persist::LoadedArtifact loaded;
+    if (opts_.swapLoader) {
+        loaded = opts_.swapLoader(fingerprint, source);
+    } else {
+        CA_FATAL_IF(source.empty(),
+                    "net: SWAP by fingerprint needs a swap loader "
+                        "(peers or cache); give a source path instead");
+        loaded = persist::loadArtifact(source);
+    }
+    CA_FATAL_IF(!loaded.automaton, "net: swap loader returned no automaton");
+    CA_FATAL_IF(fingerprint != 0 &&
+                    persist::artifactFingerprint(*loaded.automaton) !=
+                        fingerprint,
+                "net: swap target does not hash to the requested "
+                    "fingerprint");
+    return loaded;
+}
+
 StatsReplyBody
 MatchServer::statsSnapshot(uint64_t token, uint32_t sections) const
 {
@@ -215,12 +471,36 @@ MatchServer::statsSnapshot(uint64_t token, uint32_t sections) const
     body.telemetryCompiled = CA_TELEMETRY ? 1 : 0;
     body.telemetryEnabled = telemetry::enabled() ? 1 : 0;
 
-    // Totals, Sessions, and Kernels come from one inspect() pass so the
-    // three sections describe the same instant of the runtime.
+    // Totals, Sessions, and Kernels come from one inspect() pass per
+    // epoch, gathered under one epoch snapshot, so the sections describe
+    // the same generation set: the serving epoch plus any still-draining
+    // retired epochs.
     if (body.sections & (statsSectionBit(StatsSection::Totals) |
                          statsSectionBit(StatsSection::Sessions) |
                          statsSectionBit(StatsSection::Kernels))) {
-        runtime::ServerInspect in = stream_.inspect();
+        std::vector<std::shared_ptr<EpochState>> epochs;
+        runtime::ServerStats totals;
+        size_t draining = 0;
+        {
+            std::lock_guard<std::mutex> lock(epoch_mutex_);
+            totals = reaped_totals_;
+            draining = retired_.size();
+            epochs.push_back(current_);
+            epochs.insert(epochs.end(), retired_.begin(), retired_.end());
+        }
+        runtime::ServerInspect in; // current epoch first: its workers win
+        for (size_t i = 0; i < epochs.size(); ++i) {
+            runtime::ServerInspect ei = epochs[i]->stream->inspect();
+            accumulate(totals, ei.totals);
+            if (i == 0) {
+                in = std::move(ei);
+            } else {
+                in.sessions.insert(in.sessions.end(), ei.sessions.begin(),
+                                   ei.sessions.end());
+                in.kernels.insert(in.kernels.end(), ei.kernels.begin(),
+                                  ei.kernels.end());
+            }
+        }
         if (body.sections & statsSectionBit(StatsSection::Totals)) {
             WireServerTotals &t = body.totals;
             t.uptimeMicros = static_cast<uint64_t>(
@@ -245,13 +525,22 @@ MatchServer::statsSnapshot(uint64_t token, uint32_t sections) const
                 t.idleTimeouts = stats_.idleTimeouts;
                 t.writeTimeouts = stats_.writeTimeouts;
                 t.slowConsumerDrops = stats_.slowConsumerDrops;
+                t.swapsCompleted = stats_.swapsCompleted;
+                t.swapsFailed = stats_.swapsFailed;
+                t.epochsRetired = stats_.epochsRetired;
+                t.artifactQueries = stats_.artifactQueries;
+                t.artifactChunksServed = stats_.artifactChunksServed;
+                t.artifactBytesServed = stats_.artifactBytesServed;
             }
-            t.sessionsOpened = in.totals.sessionsOpened;
-            t.sessionsClosed = in.totals.sessionsClosed;
-            t.streamSymbols = in.totals.symbols;
-            t.streamReports = in.totals.reports;
-            t.slices = in.totals.slices;
-            t.contextSwitches = in.totals.contextSwitches;
+            t.epoch = epoch_no_.load();
+            t.automatonFp = fingerprint_.load();
+            t.epochsDraining = static_cast<uint64_t>(draining);
+            t.sessionsOpened = totals.sessionsOpened;
+            t.sessionsClosed = totals.sessionsClosed;
+            t.streamSymbols = totals.symbols;
+            t.streamReports = totals.reports;
+            t.slices = totals.slices;
+            t.contextSwitches = totals.contextSwitches;
         }
         if (body.sections & statsSectionBit(StatsSection::Sessions))
             body.sessions = std::move(in.sessions);
@@ -269,11 +558,12 @@ MatchServer::statsSnapshot(uint64_t token, uint32_t sections) const
 }
 
 void
-MatchServer::acceptLoop()
+MatchServer::acceptLoop(SocketFd &listener, bool admin)
 {
     while (!stopping_.load()) {
-        SocketFd fd = acceptTcp(listener_, 100);
+        SocketFd fd = acceptTcp(listener, 100);
         reapFinishedConnections();
+        reapRetiredEpochs();
         if (!fd.valid())
             continue;
         if (stopping_.load())
@@ -297,6 +587,7 @@ MatchServer::acceptLoop()
         auto conn = std::make_unique<Connection>();
         conn->id = next_conn_id_++;
         conn->fd = std::move(fd);
+        conn->isAdmin = admin;
         conn->sink = std::make_unique<ConnectionSink>(*this, *conn);
         active_.fetch_add(1);
         {
@@ -416,14 +707,17 @@ MatchServer::failConnection(Connection &c, ErrorCode code,
 void
 MatchServer::closeConnectionStreams(Connection &c)
 {
-    std::map<uint32_t, runtime::StreamSession *> streams;
+    // The swapped-out map keeps each StreamRef's epoch reference alive
+    // through close(): a reap pass cannot destroy an epoch whose session
+    // is still draining here.
+    std::map<uint32_t, StreamRef> streams;
     {
         std::lock_guard<std::mutex> lock(c.streams_mutex);
         streams.swap(c.streams);
     }
-    for (auto &[client_id, session] : streams) {
-        session->close(); // drains queued input; reports still flow out
-        c.sink->unregisterStream(session->id());
+    for (auto &[client_id, ref] : streams) {
+        ref.session->close(); // drains queued input; reports still flow
+        c.sink->unregisterStream(ref.session->id());
         {
             std::lock_guard<std::mutex> lock(stats_mutex_);
             ++stats_.streamsClosed;
@@ -449,14 +743,14 @@ MatchServer::dispatchFrame(Connection &c, Frame &&f)
                                std::to_string(f.version));
             return false;
         }
-        if (f.fingerprint != 0 && f.fingerprint != fingerprint_) {
+        if (f.fingerprint != 0 && f.fingerprint != fingerprint_.load()) {
             failConnection(c, ErrorCode::FingerprintMismatch,
                            kConnectionStream,
                            "served automaton fingerprint differs");
             return false;
         }
         std::vector<uint8_t> reply;
-        appendHello(reply, fingerprint_);
+        appendHello(reply, fingerprint_.load());
         enqueueFrame(c, std::move(reply));
         c.helloDone = true;
         return true;
@@ -470,6 +764,14 @@ MatchServer::dispatchFrame(Connection &c, Frame &&f)
 
       case FrameType::OpenStream: {
         CA_TRACE_SCOPE_CAT("ca.net.open_stream", "ca.net");
+        // Pin the serving epoch first: a swap between here and the open
+        // just means this stream rides the (now retired) epoch it
+        // grabbed, which is exactly the drain semantics.
+        std::shared_ptr<EpochState> epoch;
+        {
+            std::lock_guard<std::mutex> lock(epoch_mutex_);
+            epoch = current_;
+        }
         std::lock_guard<std::mutex> lock(c.streams_mutex);
         if (c.streams.count(f.streamId)) {
             failConnection(c, ErrorCode::DuplicateStream, f.streamId,
@@ -481,10 +783,11 @@ MatchServer::dispatchFrame(Connection &c, Frame &&f)
                            "per-connection stream limit reached");
             return false;
         }
-        runtime::StreamSession &session = stream_.open(*c.sink);
+        runtime::StreamSession &session = epoch->stream->open(*c.sink);
         // Register the id mapping before any DATA can produce reports.
         c.sink->registerStream(session.id(), f.streamId);
-        c.streams.emplace(f.streamId, &session);
+        c.streams.emplace(f.streamId,
+                          StreamRef{&session, std::move(epoch)});
         {
             std::lock_guard<std::mutex> slock(stats_mutex_);
             ++stats_.streamsOpened;
@@ -499,7 +802,7 @@ MatchServer::dispatchFrame(Connection &c, Frame &&f)
             std::lock_guard<std::mutex> lock(c.streams_mutex);
             auto it = c.streams.find(f.streamId);
             if (it != c.streams.end())
-                session = it->second;
+                session = it->second.session;
         }
         if (!session) {
             failConnection(c, ErrorCode::UnknownStream, f.streamId,
@@ -520,7 +823,7 @@ MatchServer::dispatchFrame(Connection &c, Frame &&f)
             std::lock_guard<std::mutex> lock(c.streams_mutex);
             auto it = c.streams.find(f.streamId);
             if (it != c.streams.end())
-                session = it->second;
+                session = it->second.session;
         }
         if (!session) {
             failConnection(c, ErrorCode::UnknownStream, f.streamId,
@@ -539,23 +842,26 @@ MatchServer::dispatchFrame(Connection &c, Frame &&f)
 
       case FrameType::CloseStream: {
         CA_TRACE_SCOPE_CAT("ca.net.close_stream", "ca.net");
-        runtime::StreamSession *session = nullptr;
+        // Move the ref out whole: its epoch stays referenced through
+        // close(), so the reaper can never free the epoch under a
+        // session that is still draining.
+        StreamRef ref;
         {
             std::lock_guard<std::mutex> lock(c.streams_mutex);
             auto it = c.streams.find(f.streamId);
             if (it != c.streams.end()) {
-                session = it->second;
+                ref = std::move(it->second);
                 c.streams.erase(it);
             }
         }
-        if (!session) {
+        if (!ref.session) {
             failConnection(c, ErrorCode::UnknownStream, f.streamId,
                            "CLOSE_STREAM for a stream that is not open");
             return false;
         }
-        session->close();
-        c.sink->unregisterStream(session->id());
-        runtime::SessionStats st = session->stats();
+        ref.session->close();
+        c.sink->unregisterStream(ref.session->id());
+        runtime::SessionStats st = ref.session->stats();
         std::vector<uint8_t> ack;
         appendCloseStream(ack, f.streamId, st.symbols, st.reports);
         enqueueFrame(c, std::move(ack));
@@ -583,9 +889,107 @@ MatchServer::dispatchFrame(Connection &c, Frame &&f)
         return true;
       }
 
+      case FrameType::ArtifactQuery: {
+        CA_TRACE_SCOPE_CAT("ca.net.artifact_query", "ca.net");
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.artifactQueries;
+        }
+        CA_COUNTER_ADD("ca.cluster.artifact_queries", 1);
+        std::shared_ptr<const std::vector<uint8_t>> bytes;
+        if (opts_.serveArtifacts)
+            bytes = artifactBytesFor(f.fingerprint);
+        std::vector<uint8_t> reply;
+        if (!bytes) {
+            appendArtifactOffer(reply, f.fingerprint, false, 0, 0, 0);
+        } else {
+            uint32_t chunk = artifactChunkBytes();
+            uint32_t count = static_cast<uint32_t>(
+                (bytes->size() + chunk - 1) / chunk);
+            appendArtifactOffer(reply, f.fingerprint, true, bytes->size(),
+                                chunk, count);
+        }
+        enqueueFrame(c, std::move(reply));
+        return true;
+      }
+
+      case FrameType::ArtifactFetch: {
+        std::shared_ptr<const std::vector<uint8_t>> bytes;
+        if (opts_.serveArtifacts)
+            bytes = artifactBytesFor(f.fingerprint);
+        if (!bytes) {
+            failConnection(c, ErrorCode::ArtifactUnavailable,
+                           kConnectionStream,
+                           "no artifact for the requested fingerprint");
+            return false;
+        }
+        uint32_t chunk = artifactChunkBytes();
+        uint32_t count =
+            static_cast<uint32_t>((bytes->size() + chunk - 1) / chunk);
+        if (f.chunkIndex >= count) {
+            failConnection(c, ErrorCode::ProtocolError, kConnectionStream,
+                           "ARTIFACT_FETCH chunk index out of range");
+            return false;
+        }
+        size_t off = static_cast<size_t>(f.chunkIndex) * chunk;
+        size_t n = std::min<size_t>(chunk, bytes->size() - off);
+        std::vector<uint8_t> reply;
+        appendArtifactChunk(reply, f.fingerprint, f.chunkIndex, count,
+                            bytes->data() + off, n);
+        enqueueFrame(c, std::move(reply));
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.artifactChunksServed;
+            stats_.artifactBytesServed += n;
+        }
+        CA_COUNTER_ADD("ca.cluster.artifact_chunks_served", 1);
+        CA_COUNTER_ADD("ca.cluster.artifact_bytes_served", n);
+        return true;
+      }
+
+      case FrameType::Swap: {
+        CA_TRACE_SCOPE_CAT("ca.net.swap_request", "ca.net");
+        if (!c.isAdmin) {
+            // The match plane must not be able to change what everyone
+            // else is served; SWAP belongs to the admin listener.
+            failConnection(c, ErrorCode::PermissionDenied,
+                           kConnectionStream,
+                           "SWAP requires the admin listener");
+            return false;
+        }
+        std::vector<uint8_t> reply;
+        try {
+            persist::LoadedArtifact loaded =
+                resolveSwapTarget(f.fingerprint, f.message);
+            SwapResult r = swap(std::move(loaded.automaton));
+            appendSwapReply(reply, f.flushToken,
+                            r.swapped ? SwapStatus::Swapped
+                                      : SwapStatus::Unchanged,
+                            r.oldFingerprint, r.newFingerprint, r.epoch,
+                            std::string());
+        } catch (const CaError &e) {
+            // A failed swap is an answered request, not a connection
+            // fault: the old epoch keeps serving untouched.
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++stats_.swapsFailed;
+            }
+            CA_COUNTER_ADD("ca.cluster.swaps_failed", 1);
+            CA_WARN("net: swap failed: " << e.what());
+            appendSwapReply(reply, f.flushToken, SwapStatus::Failed,
+                            fingerprint_.load(), fingerprint_.load(),
+                            epoch_no_.load(), e.what());
+        }
+        enqueueFrame(c, std::move(reply));
+        return true;
+      }
+
       case FrameType::Reports:
       case FrameType::Error:
       case FrameType::StatsReply:
+      case FrameType::ArtifactOffer:
+      case FrameType::ArtifactChunk:
+      case FrameType::SwapReply:
         failConnection(c, ErrorCode::ProtocolError, kConnectionStream,
                        "client sent a server-only frame");
         return false;

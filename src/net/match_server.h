@@ -30,6 +30,16 @@
  *  - Graceful shutdown: stop() closes the listener, drains every open
  *    session (reports are delivered and written out), says GOODBYE,
  *    then closes sockets and joins all threads.
+ *
+ * Cluster plane (docs/CLUSTER.md): the served automaton lives behind a
+ * versioned *epoch*. swap() installs a new automaton as a fresh epoch;
+ * streams already open keep draining on the epoch they started on (so a
+ * stream never observes reports from two rulesets), while every stream
+ * opened after the swap runs on the new one. Retired epochs are reaped
+ * once their last stream closes. The server also answers
+ * ARTIFACT_QUERY/FETCH for the artifacts it holds (chunked, CRC-covered),
+ * and honors SWAP requests — but only on connections accepted through
+ * the admin listener (opts.adminEnabled/adminPort).
  */
 #ifndef CA_NET_MATCH_SERVER_H
 #define CA_NET_MATCH_SERVER_H
@@ -39,6 +49,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -48,6 +59,7 @@
 
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "persist/artifact.h"
 #include "runtime/stream_server.h"
 
 namespace ca::net {
@@ -75,6 +87,37 @@ struct MatchServerOptions
     int writeTimeoutMs = 10'000;
     /** The wrapped multi-stream runtime (workers, queues, quantum). */
     runtime::StreamServerOptions stream;
+
+    // --- Cluster plane (docs/CLUSTER.md) -------------------------------
+    /**
+     * Opens a second, admin-plane listener; SWAP is honored only on
+     * connections accepted there (match-plane SWAPs get
+     * ERROR(permission_denied) + teardown).
+     */
+    bool adminEnabled = false;
+    /** Admin listener port; 0 picks ephemeral (see adminPort()). */
+    uint16_t adminPort = 0;
+    /** Admin bind address; empty reuses bindAddress. */
+    std::string adminBindAddress;
+    /** Answer ARTIFACT_QUERY/FETCH (peers pull artifacts by fingerprint). */
+    bool serveArtifacts = true;
+    /**
+     * Extra artifact source behind the epochs this server holds — e.g. a
+     * fingerprint-addressed ArtifactCache directory. Returns the CAAF
+     * bytes for a fingerprint, or null when unknown.
+     */
+    std::function<std::shared_ptr<const std::vector<uint8_t>>(uint64_t)>
+        artifactResolver;
+    /**
+     * Resolves a SWAP request's target automaton: called with the
+     * requested fingerprint (0 = unpinned) and source path (may be
+     * empty); typically wired to loadArtifact / ArtifactCache::getOrFetch
+     * over cluster peers. When absent, only source-path swaps are
+     * honored (persist::loadArtifact). @throws CaError to fail the swap.
+     */
+    std::function<persist::LoadedArtifact(uint64_t fingerprint,
+                                          const std::string &source)>
+        swapLoader;
 };
 
 /** Aggregate network-side accounting (since construction). */
@@ -94,6 +137,13 @@ struct NetServerStats
     uint64_t idleTimeouts = 0;
     uint64_t writeTimeouts = 0;
     uint64_t slowConsumerDrops = 0;
+    // cluster plane
+    uint64_t artifactQueries = 0;
+    uint64_t artifactChunksServed = 0;
+    uint64_t artifactBytesServed = 0;
+    uint64_t swapsCompleted = 0;
+    uint64_t swapsFailed = 0;
+    uint64_t epochsRetired = 0;
 };
 
 /** One automaton served over TCP. */
@@ -125,8 +175,40 @@ class MatchServer
     /** The actually bound port (resolves port 0). */
     uint16_t port() const { return port_; }
 
-    /** The served automaton's HELLO fingerprint. */
-    uint64_t fingerprint() const { return fingerprint_; }
+    /** The admin listener's bound port (0 when adminEnabled is off). */
+    uint16_t adminPort() const { return admin_port_; }
+
+    /** The *currently serving* automaton's HELLO fingerprint. */
+    uint64_t fingerprint() const { return fingerprint_.load(); }
+
+    /** The serving epoch number (1 at start, +1 per completed swap). */
+    uint64_t epoch() const { return epoch_no_.load(); }
+
+    /** Outcome of a swap() call. */
+    struct SwapResult
+    {
+        uint64_t oldFingerprint = 0;
+        uint64_t newFingerprint = 0;
+        uint64_t epoch = 0;   ///< Epoch serving after the call.
+        bool swapped = false; ///< False when the fingerprints were equal.
+    };
+
+    /**
+     * Zero-downtime ruleset swap: installs @p automaton as a new serving
+     * epoch. Streams already open finish on the automaton they started
+     * with (drain, not migrate — a checkpoint is only meaningful on its
+     * own automaton, so migrating would change reports mid-stream);
+     * every OPEN_STREAM after this call lands on the new epoch. Equal
+     * fingerprints are a no-op. Thread-safe; concurrent swaps serialize.
+     * @p artifactBytes, when given, seeds the epoch's replication-serving
+     * bytes (otherwise they are packed lazily on first ARTIFACT_QUERY).
+     */
+    SwapResult swap(std::shared_ptr<const MappedAutomaton> automaton,
+                    std::shared_ptr<const std::vector<uint8_t>>
+                        artifactBytes = nullptr);
+
+    /** swap() from an on-disk CAAF artifact. @throws CaError on load. */
+    SwapResult swapFromArtifact(const std::string &path);
 
     /**
      * Graceful shutdown: stop accepting, drain every connection's open
@@ -137,8 +219,12 @@ class MatchServer
 
     NetServerStats stats() const;
 
-    /** Runtime-side totals of the wrapped StreamServer. */
-    runtime::ServerStats streamStats() const { return stream_.stats(); }
+    /**
+     * Runtime-side totals, aggregated across every epoch this server has
+     * served (live + retired + reaped) so counters stay cumulative
+     * across swaps.
+     */
+    runtime::ServerStats streamStats() const;
 
     /**
      * One coherent observability snapshot (docs/OBSERVABILITY.md):
@@ -158,8 +244,16 @@ class MatchServer
   private:
     struct Connection;
     class ConnectionSink;
+    struct EpochState;
 
-    void acceptLoop();
+    /** One open stream: its runtime session + the epoch that owns it. */
+    struct StreamRef
+    {
+        runtime::StreamSession *session = nullptr;
+        std::shared_ptr<EpochState> epoch;
+    };
+
+    void acceptLoop(SocketFd &listener, bool admin);
     void readerLoop(Connection &c);
     void writerLoop(Connection &c);
 
@@ -178,22 +272,51 @@ class MatchServer
 
     void reapFinishedConnections();
 
-    /** Keeps a loaded automaton alive; null when bound by reference. */
-    std::shared_ptr<const MappedAutomaton> owned_;
+    /** Frees retired epochs whose last stream has closed. */
+    void reapRetiredEpochs();
+
+    /** CAAF bytes for @p fingerprint: epochs first, then the resolver. */
+    std::shared_ptr<const std::vector<uint8_t>>
+    artifactBytesFor(uint64_t fingerprint);
+
+    /** Chunk size used when serving artifacts (fits maxFramePayload). */
+    uint32_t artifactChunkBytes() const;
+
+    /** Loads a SWAP target via opts_.swapLoader / loadArtifact. */
+    persist::LoadedArtifact resolveSwapTarget(uint64_t fingerprint,
+                                              const std::string &source);
+
     MatchServerOptions opts_;
-    runtime::StreamServer stream_;
-    uint64_t fingerprint_ = 0;
+
+    /**
+     * The epoch chain: current_ serves new streams; retired_ epochs keep
+     * draining streams opened before a swap. Guarded by epoch_mutex_;
+     * swaps additionally serialize on swap_mutex_ (epoch construction —
+     * worker-thread spawning — happens outside epoch_mutex_).
+     */
+    mutable std::mutex epoch_mutex_;
+    std::shared_ptr<EpochState> current_;
+    std::vector<std::shared_ptr<EpochState>> retired_;
+    /** Final runtime totals of reaped epochs (keeps stats cumulative). */
+    runtime::ServerStats reaped_totals_;
+    uint64_t next_epoch_ = 1;
+    std::mutex swap_mutex_;
+    std::atomic<uint64_t> fingerprint_{0}; ///< Mirror of current_.
+    std::atomic<uint64_t> epoch_no_{0};    ///< Mirror of current_.
 
     SocketFd listener_;
     uint16_t port_ = 0;
     std::thread accept_thread_;
+    SocketFd admin_listener_;
+    uint16_t admin_port_ = 0;
+    std::thread admin_accept_thread_;
     std::atomic<bool> stopping_{false};
     std::atomic<size_t> active_{0};
     std::once_flag stop_once_;
 
     mutable std::mutex conns_mutex_;
     std::vector<std::unique_ptr<Connection>> conns_;
-    uint64_t next_conn_id_ = 0;
+    std::atomic<uint64_t> next_conn_id_{0};
 
     mutable std::mutex stats_mutex_;
     NetServerStats stats_;

@@ -50,6 +50,8 @@ errorCodeName(ErrorCode code)
       case ErrorCode::IdleTimeout: return "idle_timeout";
       case ErrorCode::SlowConsumer: return "slow_consumer";
       case ErrorCode::Shutdown: return "shutdown";
+      case ErrorCode::PermissionDenied: return "permission_denied";
+      case ErrorCode::ArtifactUnavailable: return "artifact_unavailable";
     }
     return "code_" + std::to_string(static_cast<unsigned>(code));
 }
@@ -151,6 +153,82 @@ appendStats(std::vector<uint8_t> &out, uint64_t token, uint32_t sections)
     endFrame(out, p);
 }
 
+void
+appendArtifactQuery(std::vector<uint8_t> &out, uint64_t fingerprint)
+{
+    size_t p = beginFrame(out, FrameType::ArtifactQuery);
+    serde::putU64(out, fingerprint);
+    endFrame(out, p);
+}
+
+void
+appendArtifactOffer(std::vector<uint8_t> &out, uint64_t fingerprint,
+                    bool available, uint64_t totalBytes,
+                    uint32_t chunkBytes, uint32_t chunkCount)
+{
+    size_t p = beginFrame(out, FrameType::ArtifactOffer);
+    serde::putU64(out, fingerprint);
+    serde::putU8(out, available ? 1 : 0);
+    serde::putU64(out, totalBytes);
+    serde::putU32(out, chunkBytes);
+    serde::putU32(out, chunkCount);
+    endFrame(out, p);
+}
+
+void
+appendArtifactFetch(std::vector<uint8_t> &out, uint64_t fingerprint,
+                    uint32_t chunkIndex)
+{
+    size_t p = beginFrame(out, FrameType::ArtifactFetch);
+    serde::putU64(out, fingerprint);
+    serde::putU32(out, chunkIndex);
+    endFrame(out, p);
+}
+
+void
+appendArtifactChunk(std::vector<uint8_t> &out, uint64_t fingerprint,
+                    uint32_t chunkIndex, uint32_t chunkCount,
+                    const uint8_t *data, size_t size)
+{
+    CA_FATAL_IF(size + 20 > kMaxFramePayload,
+                "ARTIFACT_CHUNK of " << size << " bytes exceeds the "
+                    << kMaxFramePayload << "-byte frame ceiling");
+    size_t p = beginFrame(out, FrameType::ArtifactChunk);
+    serde::putU64(out, fingerprint);
+    serde::putU32(out, chunkIndex);
+    serde::putU32(out, chunkCount);
+    serde::putU32(out, serde::crc32(data, size));
+    out.insert(out.end(), data, data + size);
+    endFrame(out, p);
+}
+
+void
+appendSwap(std::vector<uint8_t> &out, uint64_t token, uint64_t fingerprint,
+           const std::string &source)
+{
+    size_t p = beginFrame(out, FrameType::Swap);
+    serde::putU64(out, token);
+    serde::putU64(out, fingerprint);
+    serde::putString(out, source);
+    endFrame(out, p);
+}
+
+void
+appendSwapReply(std::vector<uint8_t> &out, uint64_t token,
+                SwapStatus status, uint64_t oldFingerprint,
+                uint64_t newFingerprint, uint64_t epoch,
+                const std::string &message)
+{
+    size_t p = beginFrame(out, FrameType::SwapReply);
+    serde::putU64(out, token);
+    serde::putU8(out, static_cast<uint8_t>(status));
+    serde::putU64(out, oldFingerprint);
+    serde::putU64(out, newFingerprint);
+    serde::putU64(out, epoch);
+    serde::putString(out, message);
+    endFrame(out, p);
+}
+
 namespace {
 
 /** Appends one `u8 id | u32 len | bytes` section envelope. */
@@ -190,6 +268,15 @@ encodeTotals(const WireServerTotals &t)
     serde::putU64(s, t.streamReports);
     serde::putU64(s, t.slices);
     serde::putU64(s, t.contextSwitches);
+    serde::putU64(s, t.epoch);
+    serde::putU64(s, t.automatonFp);
+    serde::putU64(s, t.epochsDraining);
+    serde::putU64(s, t.epochsRetired);
+    serde::putU64(s, t.swapsCompleted);
+    serde::putU64(s, t.swapsFailed);
+    serde::putU64(s, t.artifactQueries);
+    serde::putU64(s, t.artifactChunksServed);
+    serde::putU64(s, t.artifactBytesServed);
     return s;
 }
 
@@ -268,6 +355,15 @@ decodeTotals(serde::ByteReader &r)
     t.streamReports = r.u64();
     t.slices = r.u64();
     t.contextSwitches = r.u64();
+    t.epoch = r.u64();
+    t.automatonFp = r.u64();
+    t.epochsDraining = r.u64();
+    t.epochsRetired = r.u64();
+    t.swapsCompleted = r.u64();
+    t.swapsFailed = r.u64();
+    t.artifactQueries = r.u64();
+    t.artifactChunksServed = r.u64();
+    t.artifactBytesServed = r.u64();
     return t;
 }
 
@@ -389,6 +485,27 @@ appendFrame(std::vector<uint8_t> &out, const Frame &f)
       case FrameType::StatsReply:
         appendStatsReply(out, f.stats);
         return;
+      case FrameType::ArtifactQuery:
+        appendArtifactQuery(out, f.fingerprint);
+        return;
+      case FrameType::ArtifactOffer:
+        appendArtifactOffer(out, f.fingerprint, f.artifactAvailable != 0,
+                            f.artifactBytes, f.chunkBytes, f.chunkCount);
+        return;
+      case FrameType::ArtifactFetch:
+        appendArtifactFetch(out, f.fingerprint, f.chunkIndex);
+        return;
+      case FrameType::ArtifactChunk:
+        appendArtifactChunk(out, f.fingerprint, f.chunkIndex, f.chunkCount,
+                            f.data.data(), f.data.size());
+        return;
+      case FrameType::Swap:
+        appendSwap(out, f.flushToken, f.fingerprint, f.message);
+        return;
+      case FrameType::SwapReply:
+        appendSwapReply(out, f.flushToken, f.swapStatus, f.oldFingerprint,
+                        f.newFingerprint, f.epoch, f.message);
+        return;
     }
     CA_THROW("appendFrame: unknown frame type "
              << static_cast<unsigned>(f.type));
@@ -508,6 +625,54 @@ decodePayload(FrameType type, const uint8_t *payload, size_t size)
                         << std::hex << declared << " does not declare");
         break;
       }
+      case FrameType::ArtifactQuery:
+        f.fingerprint = r.u64();
+        break;
+      case FrameType::ArtifactOffer:
+        f.fingerprint = r.u64();
+        f.artifactAvailable = r.u8();
+        f.artifactBytes = r.u64();
+        f.chunkBytes = r.u32();
+        f.chunkCount = r.u32();
+        break;
+      case FrameType::ArtifactFetch:
+        f.fingerprint = r.u64();
+        f.chunkIndex = r.u32();
+        break;
+      case FrameType::ArtifactChunk: {
+        f.fingerprint = r.u64();
+        f.chunkIndex = r.u32();
+        f.chunkCount = r.u32();
+        uint32_t crc = r.u32();
+        f.data.assign(payload + r.pos(), payload + size);
+        r.skip(size - r.pos());
+        // Chunk integrity lives at the protocol layer: a corrupted or
+        // truncated transfer surfaces as a clean decode error, which the
+        // replication client turns into retry-on-the-next-peer.
+        CA_FATAL_IF(serde::crc32(f.data.data(), f.data.size()) != crc,
+                    "net: ARTIFACT_CHUNK " << f.chunkIndex
+                        << " fails its CRC (corrupted transfer)");
+        break;
+      }
+      case FrameType::Swap:
+        f.flushToken = r.u64();
+        f.fingerprint = r.u64();
+        f.message = r.str();
+        break;
+      case FrameType::SwapReply: {
+        f.flushToken = r.u64();
+        uint8_t status = r.u8();
+        CA_FATAL_IF(status < static_cast<uint8_t>(SwapStatus::Swapped) ||
+                        status > static_cast<uint8_t>(SwapStatus::Failed),
+                    "net: SWAP_REPLY status " << unsigned{status}
+                        << " unknown");
+        f.swapStatus = static_cast<SwapStatus>(status);
+        f.oldFingerprint = r.u64();
+        f.newFingerprint = r.u64();
+        f.epoch = r.u64();
+        f.message = r.str();
+        break;
+      }
       default:
         CA_THROW("net: unknown frame type "
                  << static_cast<unsigned>(type));
@@ -552,7 +717,7 @@ FrameDecoder::next()
                     << " exceeds the " << max_payload_ << "-byte bound");
     uint8_t type = p[4];
     CA_FATAL_IF(type < static_cast<uint8_t>(FrameType::Hello) ||
-                    type > static_cast<uint8_t>(FrameType::StatsReply),
+                    type > static_cast<uint8_t>(FrameType::SwapReply),
                 "net: unknown frame type " << unsigned{type});
     if (avail < kFrameHeaderBytes + payload)
         return std::nullopt;
@@ -565,16 +730,10 @@ FrameDecoder::next()
 uint64_t
 automatonFingerprint(const MappedAutomaton &mapped)
 {
-    // Canonical serialization under a fixed META so the hash depends
-    // only on the compiled automaton — not on labels, tools, or whether
-    // it travelled through a .caa file first.
-    persist::ArtifactMeta meta;
-    meta.tool = "ca-net-fingerprint";
-    meta.label.clear();
-    meta.contentKey = 0;
-    persist::ArtifactWriter w(meta);
-    w.setAutomaton(mapped);
-    return serde::fnv1a64(w.finish());
+    // The canonical identity lives in the persist layer now (the cluster
+    // replication path validates against it without depending on net);
+    // this wrapper keeps the historical net-side name.
+    return persist::artifactFingerprint(mapped);
 }
 
 } // namespace ca::net

@@ -32,6 +32,21 @@
  *                section: u8 id | u32 byteLen | bytes (unknown ids are
  *                skipped — see docs/OBSERVABILITY.md for the layouts)
  *
+ * Cluster frames (v3, docs/CLUSTER.md) — artifact replication by
+ * fingerprint and the zero-downtime ruleset swap:
+ *
+ *   ARTIFACT_QUERY  u64 fingerprint
+ *   ARTIFACT_OFFER  u64 fingerprint | u8 available | u64 totalBytes |
+ *                   u32 chunkBytes | u32 chunkCount
+ *   ARTIFACT_FETCH  u64 fingerprint | u32 chunkIndex
+ *   ARTIFACT_CHUNK  u64 fingerprint | u32 chunkIndex | u32 chunkCount |
+ *                   u32 crc32 | bytes (rest of payload; the decoder
+ *                   verifies the CRC — a corrupted chunk throws)
+ *   SWAP            u64 token | u64 fingerprint | string source
+ *   SWAP_REPLY      u64 token | u8 status (SwapStatus) |
+ *                   u64 oldFingerprint | u64 newFingerprint | u64 epoch |
+ *                   string message
+ *
  * Safety contract (mirrors the persist layer's): every decode is
  * bounds-checked, an oversized/truncated/unknown/ill-formed frame throws
  * CaError — never UB — and the server answers with ERROR + connection
@@ -56,7 +71,7 @@ namespace ca::net {
 /** "CANP" (Cache Automaton Network Protocol) little-endian fourcc. */
 constexpr uint32_t kHelloMagic = 0x504e4143u;
 /** Bump on any framing change; HELLO negotiation rejects other versions. */
-constexpr uint16_t kProtocolVersion = 2;
+constexpr uint16_t kProtocolVersion = 3;
 /**
  * Absolute payload-size ceiling any decoder accepts; connections may
  * negotiate (configure) a smaller bound. Caps hostile length prefixes so
@@ -81,10 +96,23 @@ enum class FrameType : uint8_t {
     Goodbye = 8,
     Stats = 9,      ///< Client polls a live server snapshot (v2).
     StatsReply = 10, ///< Server's snapshot answer (v2).
+    ArtifactQuery = 11, ///< Does the peer hold this fingerprint? (v3)
+    ArtifactOffer = 12, ///< Peer's answer: availability + chunking (v3).
+    ArtifactFetch = 13, ///< Request one chunk of an offered artifact (v3).
+    ArtifactChunk = 14, ///< One CRC-covered artifact chunk (v3).
+    Swap = 15,          ///< Admin: hot-swap the served ruleset (v3).
+    SwapReply = 16,     ///< Swap outcome: old/new fingerprints + epoch (v3).
 };
 
 /** Version of the STATS_REPLY payload layout (independent of frames). */
-constexpr uint16_t kStatsVersion = 1;
+constexpr uint16_t kStatsVersion = 2;
+
+/** SWAP_REPLY outcome codes. */
+enum class SwapStatus : uint8_t {
+    Swapped = 1,   ///< New epoch installed; old sessions keep draining.
+    Unchanged = 2, ///< Target fingerprint was already serving (no-op).
+    Failed = 3,    ///< Load/validation failed; the automaton is unchanged.
+};
 
 /** STATS_REPLY section ids; the request mask is bit (id - 1). */
 enum class StatsSection : uint8_t {
@@ -116,6 +144,8 @@ enum class ErrorCode : uint16_t {
     IdleTimeout = 8,         ///< No frame within the idle window.
     SlowConsumer = 9,        ///< Client not draining REPORTS: teardown.
     Shutdown = 10,           ///< Server is draining for shutdown.
+    PermissionDenied = 11,   ///< SWAP outside the admin plane: teardown.
+    ArtifactUnavailable = 12, ///< FETCH for a fingerprint not held here.
 };
 
 /** Printable name for diagnostics ("busy", "protocol_error", ...). */
@@ -153,6 +183,16 @@ struct WireServerTotals
     uint64_t streamReports = 0;
     uint64_t slices = 0;
     uint64_t contextSwitches = 0;
+    // cluster-side (statsVersion 2, docs/CLUSTER.md)
+    uint64_t epoch = 0;               ///< Serving epoch (bumps per swap).
+    uint64_t automatonFp = 0;         ///< Serving automaton fingerprint.
+    uint64_t epochsDraining = 0;      ///< Retired epochs still draining.
+    uint64_t epochsRetired = 0;       ///< Retired epochs fully reaped.
+    uint64_t swapsCompleted = 0;
+    uint64_t swapsFailed = 0;
+    uint64_t artifactQueries = 0;     ///< ARTIFACT_QUERY frames answered.
+    uint64_t artifactChunksServed = 0;
+    uint64_t artifactBytesServed = 0;
 };
 
 /**
@@ -208,6 +248,21 @@ struct Frame
 
     // Stats (token/sections double as the request) / StatsReply
     StatsReplyBody stats;
+
+    // ArtifactQuery/Offer/Fetch/Chunk share `fingerprint`; a chunk's
+    // bytes ride in `data`.
+    uint8_t artifactAvailable = 0; ///< Offer: peer holds the artifact.
+    uint64_t artifactBytes = 0;    ///< Offer: total artifact size.
+    uint32_t chunkBytes = 0;       ///< Offer: chunk size of the split.
+    uint32_t chunkIndex = 0;       ///< Fetch/Chunk: which chunk.
+    uint32_t chunkCount = 0;       ///< Offer/Chunk: chunks in total.
+
+    // Swap (token rides in `flushToken`, source path in `message`) /
+    // SwapReply (message in `message`).
+    SwapStatus swapStatus = SwapStatus::Failed;
+    uint64_t oldFingerprint = 0;
+    uint64_t newFingerprint = 0;
+    uint64_t epoch = 0;
 };
 
 // --- Encoders (append one whole frame to @p out) -----------------------
@@ -230,6 +285,22 @@ void appendStats(std::vector<uint8_t> &out, uint64_t token,
                  uint32_t sections = kStatsAllSections);
 void appendStatsReply(std::vector<uint8_t> &out,
                       const StatsReplyBody &body);
+void appendArtifactQuery(std::vector<uint8_t> &out, uint64_t fingerprint);
+void appendArtifactOffer(std::vector<uint8_t> &out, uint64_t fingerprint,
+                         bool available, uint64_t totalBytes,
+                         uint32_t chunkBytes, uint32_t chunkCount);
+void appendArtifactFetch(std::vector<uint8_t> &out, uint64_t fingerprint,
+                         uint32_t chunkIndex);
+/** Computes and embeds the chunk's CRC32 over @p data. */
+void appendArtifactChunk(std::vector<uint8_t> &out, uint64_t fingerprint,
+                         uint32_t chunkIndex, uint32_t chunkCount,
+                         const uint8_t *data, size_t size);
+void appendSwap(std::vector<uint8_t> &out, uint64_t token,
+                uint64_t fingerprint, const std::string &source);
+void appendSwapReply(std::vector<uint8_t> &out, uint64_t token,
+                     SwapStatus status, uint64_t oldFingerprint,
+                     uint64_t newFingerprint, uint64_t epoch,
+                     const std::string &message);
 
 /** Encodes @p f generically (tests, fuzzing drivers). */
 void appendFrame(std::vector<uint8_t> &out, const Frame &f);

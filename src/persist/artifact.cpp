@@ -480,7 +480,14 @@ ArtifactWriter::writeFile(const std::string &path) const
 {
     CA_TRACE_SCOPE("ca.persist.save");
     std::vector<uint8_t> bytes = finish();
+    writeBytesAtomic(path, bytes);
+    CA_COUNTER_ADD("ca.persist.saves", 1);
+    CA_COUNTER_ADD("ca.persist.save_bytes", bytes.size());
+}
 
+void
+writeBytesAtomic(const std::string &path, const std::vector<uint8_t> &bytes)
+{
     // Unique temp name in the target directory, then an atomic rename:
     // readers either see the old file or the complete new one, and
     // racing writers last-write-win without torn output.
@@ -508,8 +515,6 @@ ArtifactWriter::writeFile(const std::string &path) const
         CA_THROW("artifact: rename " << tmp << " -> " << path
                                      << " failed: " << ec.message());
     }
-    CA_COUNTER_ADD("ca.persist.saves", 1);
-    CA_COUNTER_ADD("ca.persist.save_bytes", bytes.size());
 }
 
 // --- ArtifactReader -----------------------------------------------------
@@ -752,6 +757,24 @@ computeCacheKey(const std::vector<std::string> &rules, const Design &design,
     serde::putI32(buf, opts.maxPartitionRetries);
     serde::putU64(buf, opts.seed);
     return serde::fnv1a64(buf);
+}
+
+uint64_t
+artifactFingerprint(const MappedAutomaton &mapped)
+{
+    // Canonical serialization under a fixed META so the hash depends
+    // only on the compiled automaton — not on labels, tools, cache keys,
+    // or whether it travelled through a .caa file first. The tool string
+    // is a frozen constant: it predates this helper (the net layer
+    // computed the fingerprint itself), and changing it would silently
+    // re-fingerprint every deployed automaton.
+    ArtifactMeta meta;
+    meta.tool = "ca-net-fingerprint";
+    meta.label.clear();
+    meta.contentKey = 0;
+    ArtifactWriter w(meta);
+    w.setAutomaton(mapped);
+    return serde::fnv1a64(w.finish());
 }
 
 } // namespace ca::persist

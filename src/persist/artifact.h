@@ -193,6 +193,27 @@ LoadedArtifact loadArtifactBytes(std::vector<uint8_t> bytes);
 LoadedArtifact loadArtifact(const std::string &path);
 
 /**
+ * Atomically publishes raw bytes to @p path via temp-file + rename (the
+ * same publication discipline ArtifactWriter::writeFile uses): readers
+ * see either the old file or the complete new one, never a torn write.
+ * @throws CaError on I/O failure.
+ */
+void writeBytesAtomic(const std::string &path,
+                      const std::vector<uint8_t> &bytes);
+
+/**
+ * Content fingerprint of a mapped automaton: the FNV-1a 64 hash of its
+ * canonical artifact serialization (DSGN + NFA + PLAC sections under a
+ * fixed META — no image, no label, no cache key). Deterministic across
+ * hosts and load paths, so a freshly compiled automaton and one loaded
+ * from a CAAF file hash identically. This is the identity the network
+ * layer exchanges in HELLO and the cluster layer replicates by
+ * (docs/CLUSTER.md); it is NOT computeCacheKey, which hashes compile
+ * *inputs* rather than the compiled result.
+ */
+uint64_t artifactFingerprint(const MappedAutomaton &mapped);
+
+/**
  * Deep structural equality of two config images (partitions, switch
  * matrices, masks, G-wire assignments, routes) — verify's ground truth.
  */

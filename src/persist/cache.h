@@ -14,16 +14,30 @@
  * Corrupt or version-skewed cache entries are treated as misses, evicted,
  * and rebuilt — a damaged cache degrades to cold compiles, never errors.
  *
- * Telemetry: ca.persist.cache.{hits,misses,stores,corrupt_evicted}
- * counters and ca.persist.{save,load}* spans.
+ * Besides the compile-input keyspace (pathForKey), the cache holds a
+ * second, fingerprint-addressed namespace (pathForFingerprint) keyed by
+ * persist::artifactFingerprint — the identity of the compiled *result*
+ * rather than its inputs. That namespace backs cluster replication
+ * (docs/CLUSTER.md): getOrFetch() pulls a missing artifact through a
+ * configurable remote fetcher (typically cluster::Replicator over the
+ * configured peers), validates it end to end, and publishes it with the
+ * same atomic temp+rename discipline. Concurrent misses on one
+ * fingerprint are single-flighted: exactly one thread fetches, the rest
+ * wait and load the published bytes.
+ *
+ * Telemetry: ca.persist.cache.{hits,misses,stores,corrupt_evicted,
+ * remote_fills,remote_fill_failures,remote_fill_waits} counters and
+ * ca.persist.{save,load}* spans.
  */
 #ifndef CA_PERSIST_CACHE_H
 #define CA_PERSIST_CACHE_H
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -39,6 +53,12 @@ struct CacheStats
     uint64_t stores = 0;
     /** Entries that failed to load and were removed. */
     uint64_t corruptEvicted = 0;
+    /** Artifacts pulled in through the remote fetcher. */
+    uint64_t remoteFills = 0;
+    /** Remote pulls that failed (all peers down/missing/corrupt). */
+    uint64_t remoteFillFailures = 0;
+    /** Threads that waited on another thread's in-flight fetch. */
+    uint64_t remoteFillWaits = 0;
 };
 
 /** One cache directory; cheap to construct, safe to share across threads. */
@@ -87,10 +107,60 @@ class ArtifactCache
 
     CacheStats stats() const;
 
+    // --- Fingerprint-addressed namespace + remote fill -----------------
+
+    /** Pulls CAAF bytes for a fingerprint from somewhere remote. */
+    using RemoteFetcher =
+        std::function<std::vector<uint8_t>(uint64_t fingerprint)>;
+
+    /** Installs the remote-fill hook getOrFetch() uses on a local miss. */
+    void setRemoteFetcher(RemoteFetcher fetcher);
+
+    /** The path fingerprint @p fp maps to: dir/ca-fp-<hex fp>.caa. */
+    std::string pathForFingerprint(uint64_t fingerprint) const;
+
+    /**
+     * Loads the cached artifact for @p fingerprint. Returns nullopt on a
+     * miss; an entry that is corrupt — or whose decoded automaton does
+     * not hash to @p fingerprint — is evicted and reported as a miss.
+     */
+    std::optional<LoadedArtifact> tryLoadByFingerprint(uint64_t fingerprint);
+
+    /**
+     * Validates @p bytes as a complete CAAF artifact whose automaton
+     * hashes to @p fingerprint, then publishes them atomically under the
+     * fingerprint namespace. Returns the decoded artifact. @throws
+     * CaError when the bytes are corrupt, truncated, or hash elsewhere —
+     * nothing is published in that case.
+     */
+    LoadedArtifact storeBytesByFingerprint(uint64_t fingerprint,
+                                           std::vector<uint8_t> bytes);
+
+    /**
+     * Raw validated bytes of the cached artifact for @p fingerprint, or
+     * null on a miss/corrupt entry (for serving replication pulls).
+     */
+    std::shared_ptr<const std::vector<uint8_t>>
+    tryReadBytesByFingerprint(uint64_t fingerprint);
+
+    /**
+     * The replication entry point: local hit, or remote fill through the
+     * configured fetcher (validated + atomically published), with
+     * concurrent misses on one fingerprint collapsed to a single fetch.
+     * @throws CaError when no fetcher is set or the fetch fails.
+     */
+    LoadedArtifact getOrFetch(uint64_t fingerprint);
+
   private:
     std::string dir_;
     mutable std::mutex mutex_; ///< Guards stats_ only; I/O is lock-free.
     CacheStats stats_;
+
+    RemoteFetcher remote_;
+    /** Single-flight state: fingerprints with a fetch in progress. */
+    std::mutex flight_mutex_;
+    std::condition_variable flight_cv_;
+    std::set<uint64_t> inflight_;
 };
 
 } // namespace ca::persist

@@ -225,6 +225,17 @@ baseFrameStream()
     kernel.denseBlocks = 3;
     stats.kernels.push_back(kernel);
     net::appendStatsReply(out, stats);
+    net::appendArtifactQuery(out, 0x1234abcd5678ef01ull);
+    net::appendArtifactOffer(out, 0x1234abcd5678ef01ull, true, 4096, 1024,
+                             4);
+    net::appendArtifactFetch(out, 0x1234abcd5678ef01ull, 3);
+    const uint8_t chunkBody[] = {0xca, 0xfe, 0xba, 0xbe, 0x00, 0x01};
+    net::appendArtifactChunk(out, 0x1234abcd5678ef01ull, 3, 4, chunkBody,
+                             sizeof(chunkBody));
+    net::appendSwap(out, 0xbeefull, 0x1234abcd5678ef01ull,
+                    "peers/next.caa");
+    net::appendSwapReply(out, 0xbeefull, net::SwapStatus::Failed, 0x11ull,
+                         0x22ull, 2, "no such artifact");
     net::appendGoodbye(out);
     return out;
 }

@@ -113,7 +113,7 @@ TEST(Protocol, HelloGoldenBytes)
         0x0e, 0x00, 0x00, 0x00,                         // payload size 14
         0x01,                                           // HELLO
         0x43, 0x41, 0x4e, 0x50,                         // "CANP"
-        0x02, 0x00,                                     // version 2
+        0x03, 0x00,                                     // version 3
         0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11, // fingerprint
     };
     ASSERT_EQ(out.size(), sizeof(expect));
@@ -348,6 +348,14 @@ allFramesBytes()
     net::appendGoodbye(out);
     net::appendStats(out, 7, net::kStatsAllSections);
     net::appendStatsReply(out, sampleStatsBody());
+    net::appendArtifactQuery(out, 0xabcdefull);
+    net::appendArtifactOffer(out, 0xabcdefull, true, 1000, 256, 4);
+    net::appendArtifactFetch(out, 0xabcdefull, 2);
+    const uint8_t chunk[] = {0xde, 0xad, 0xbe, 0xef};
+    net::appendArtifactChunk(out, 0xabcdefull, 2, 4, chunk, sizeof(chunk));
+    net::appendSwap(out, 9, 0x1111ull, "/tmp/next.caa");
+    net::appendSwapReply(out, 9, net::SwapStatus::Swapped, 0x2222ull,
+                         0x1111ull, 5, "");
     return out;
 }
 
@@ -361,7 +369,7 @@ TEST(Protocol, EncodeDecodeRoundTripsEveryType)
     std::optional<Frame> f;
     while ((f = dec.next()))
         frames.push_back(std::move(*f));
-    ASSERT_EQ(frames.size(), 10u);
+    ASSERT_EQ(frames.size(), 16u);
     EXPECT_EQ(dec.buffered(), 0u);
 
     EXPECT_EQ(frames[0].type, FrameType::Hello);
@@ -401,6 +409,39 @@ TEST(Protocol, EncodeDecodeRoundTripsEveryType)
     EXPECT_EQ(frames[9].type, FrameType::StatsReply);
     EXPECT_EQ(frames[9].stats.token, 77u);
     EXPECT_EQ(frames[9].stats.sessions.size(), 2u);
+
+    EXPECT_EQ(frames[10].type, FrameType::ArtifactQuery);
+    EXPECT_EQ(frames[10].fingerprint, 0xabcdefull);
+
+    EXPECT_EQ(frames[11].type, FrameType::ArtifactOffer);
+    EXPECT_EQ(frames[11].fingerprint, 0xabcdefull);
+    EXPECT_EQ(frames[11].artifactAvailable, 1u);
+    EXPECT_EQ(frames[11].artifactBytes, 1000u);
+    EXPECT_EQ(frames[11].chunkBytes, 256u);
+    EXPECT_EQ(frames[11].chunkCount, 4u);
+
+    EXPECT_EQ(frames[12].type, FrameType::ArtifactFetch);
+    EXPECT_EQ(frames[12].fingerprint, 0xabcdefull);
+    EXPECT_EQ(frames[12].chunkIndex, 2u);
+
+    EXPECT_EQ(frames[13].type, FrameType::ArtifactChunk);
+    EXPECT_EQ(frames[13].fingerprint, 0xabcdefull);
+    EXPECT_EQ(frames[13].chunkIndex, 2u);
+    EXPECT_EQ(frames[13].chunkCount, 4u);
+    EXPECT_EQ(frames[13].data,
+              (std::vector<uint8_t>{0xde, 0xad, 0xbe, 0xef}));
+
+    EXPECT_EQ(frames[14].type, FrameType::Swap);
+    EXPECT_EQ(frames[14].flushToken, 9u);
+    EXPECT_EQ(frames[14].fingerprint, 0x1111ull);
+    EXPECT_EQ(frames[14].message, "/tmp/next.caa");
+
+    EXPECT_EQ(frames[15].type, FrameType::SwapReply);
+    EXPECT_EQ(frames[15].flushToken, 9u);
+    EXPECT_EQ(frames[15].swapStatus, net::SwapStatus::Swapped);
+    EXPECT_EQ(frames[15].oldFingerprint, 0x2222ull);
+    EXPECT_EQ(frames[15].newFingerprint, 0x1111ull);
+    EXPECT_EQ(frames[15].epoch, 5u);
 }
 
 TEST(Protocol, ByteAtATimeFeedingDecodesIdentically)
@@ -413,7 +454,7 @@ TEST(Protocol, ByteAtATimeFeedingDecodesIdentically)
         while (dec.next())
             ++decoded;
     }
-    EXPECT_EQ(decoded, 10u);
+    EXPECT_EQ(decoded, 16u);
     EXPECT_EQ(dec.buffered(), 0u);
 }
 
@@ -434,7 +475,7 @@ TEST(Protocol, TruncationSweepNeverThrows)
             while (dec.next())
                 ++decoded;
         }) << "prefix of " << cut << " bytes";
-        EXPECT_LT(decoded, 10u);
+        EXPECT_LT(decoded, 16u);
     }
 }
 

@@ -8,6 +8,7 @@
  *   ca_artifact pack --out f.caa --rules rules.txt
  *   ca_artifact inspect f.caa
  *   ca_artifact verify f.caa [--input-bytes 65536] [--seed N]
+ *   ca_artifact fetch HEX --from host:port [--out f.caa]
  *
  * pack compiles+maps a ruleset and atomically publishes the artifact;
  * inspect prints the header, section table, and decoded summaries;
@@ -16,14 +17,23 @@
  * and report-stream equality between the restored sim and the CPU
  * oracle on a deterministic random input. Exit status 0 iff all checks
  * pass (CaError diagnostics go to stderr).
+ *
+ * fetch pulls the artifact for a fingerprint from a running ca_server
+ * (docs/CLUSTER.md) — repeat --from for failover — fully validates it,
+ * and publishes it atomically to --out (default: the fingerprint-
+ * addressed cache name, ca-fp-<hex>.caa). Operators use it to pre-seed
+ * --cache-dir directories before pointing a --fingerprint server at
+ * them.
  */
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "baseline/nfa_engine.h"
+#include "cluster/replication.h"
 #include "core/error.h"
 #include "core/rng.h"
 #include "nfa/glushkov.h"
@@ -48,7 +58,9 @@ usage()
         "              [--scale S] [--seed N] [--policy perf|space] "
         "[--label text]\n"
         "  ca_artifact inspect <file>\n"
-        "  ca_artifact verify <file> [--input-bytes N] [--seed N]\n");
+        "  ca_artifact verify <file> [--input-bytes N] [--seed N]\n"
+        "  ca_artifact fetch <fingerprint-hex> --from <host:port> "
+        "[--from ...] [--out <file>]\n");
     return 2;
 }
 
@@ -267,6 +279,40 @@ cmdVerify(const Args &args)
     return 0;
 }
 
+int
+cmdFetch(const Args &args)
+{
+    if (args.positional.empty()) {
+        std::fprintf(stderr, "fetch: fingerprint (hex) required\n");
+        return usage();
+    }
+    std::vector<std::string> from = args.optAll("from");
+    if (from.empty()) {
+        std::fprintf(stderr, "fetch: --from host:port required\n");
+        return usage();
+    }
+    uint64_t fp = std::stoull(args.positional[0], nullptr, 16);
+    std::vector<cluster::PeerAddress> peers;
+    for (const std::string &spec : from)
+        peers.push_back(cluster::parsePeer(spec));
+
+    cluster::Replicator repl(std::move(peers));
+    std::vector<uint8_t> bytes = repl.fetchBytes(fp);
+
+    std::string out = args.opt("out");
+    if (out.empty()) {
+        std::ostringstream os;
+        os << std::hex << fp;
+        std::string hex = os.str();
+        out = "ca-fp-" + std::string(16 - hex.size(), '0') + hex + ".caa";
+    }
+    persist::writeBytesAtomic(out, bytes);
+    std::printf("fetched %016llx: %zu bytes -> %s\n",
+                static_cast<unsigned long long>(fp), bytes.size(),
+                out.c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -284,6 +330,8 @@ main(int argc, char **argv)
             return cmdInspect(args);
         if (cmd == "verify")
             return cmdVerify(args);
+        if (cmd == "fetch")
+            return cmdFetch(args);
     } catch (const ca::CaError &e) {
         std::fprintf(stderr, "ca_artifact %s: %s\n", cmd.c_str(),
                      e.what());

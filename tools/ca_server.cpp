@@ -5,6 +5,7 @@
  *   ca_server --artifact f.caa [--port N] [...]
  *   ca_server --benchmark Snort [--scale 0.1] [--seed N] [--port N]
  *   ca_server --rules rules.txt | --pattern 're' [--pattern ...]
+ *   ca_server --fingerprint HEX --peer host:port [--cache-dir DIR]
  *
  * Options:
  *   --port N            bind port (default 0 = ephemeral, printed)
@@ -23,6 +24,22 @@
  *   --stats-interval-s N  re-export live gauges (and rewrite
  *                       --metrics-out, when given) every N seconds
  *
+ * Cluster plane (docs/CLUSTER.md):
+ *   --peer HOST:PORT    peer server to replicate artifacts from
+ *                       (repeatable; tried in order)
+ *   --cache-dir DIR     fingerprint-addressed artifact cache; remote
+ *                       pulls are published here atomically
+ *   --fingerprint HEX   serve this artifact, pulling it from the cache
+ *                       or peers (no local compile at all)
+ *   --admin-port N      open the admin listener; SWAP requests are only
+ *                       honored there (0 = ephemeral, printed)
+ *   --admin-bind ADDR   admin bind address (default = --bind)
+ *   --watch-artifact    hot-swap automatically when the --artifact file
+ *                       is republished (mtime poll, 1 s)
+ *
+ * SIGHUP reloads the --artifact file as a zero-downtime hot swap: live
+ * streams drain on the old ruleset, new streams match the new one.
+ *
  * The server prints "listening on HOST:PORT" and "fingerprint HEX" on
  * stdout (line-buffered, so scripts can scrape them), serves until
  * SIGINT/SIGTERM or --duration-s, then shuts down gracefully: open
@@ -32,9 +49,11 @@
  * unwinding out of the serve loop — so the telemetry artifacts always
  * reflect the server's last known state.
  */
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -42,6 +61,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/replication.h"
 #include "compiler/mapping.h"
 #include "core/error.h"
 #include "net/match_server.h"
@@ -58,11 +78,18 @@ namespace {
 using namespace ca;
 
 std::sig_atomic_t volatile g_stop = 0;
+std::sig_atomic_t volatile g_hup = 0;
 
 void
 onSignal(int)
 {
     g_stop = 1;
+}
+
+void
+onHangup(int)
+{
+    g_hup = 1;
 }
 
 int
@@ -81,7 +108,11 @@ usage()
         "            [--scale S] [--seed N] [--duration-s N]\n"
         "            [--metrics-out F] [--trace-out F]\n"
         "            [--stats-port N] [--stats-bind ADDR] "
-        "[--stats-interval-s N]\n");
+        "[--stats-interval-s N]\n"
+        "            [--peer HOST:PORT ...] [--cache-dir DIR] "
+        "[--fingerprint HEX]\n"
+        "            [--admin-port N] [--admin-bind ADDR] "
+        "[--watch-artifact]\n");
     return 2;
 }
 
@@ -123,7 +154,9 @@ parseArgs(int argc, char **argv, int start)
             if (eq != std::string::npos) {
                 value = key.substr(eq + 1);
                 key = key.substr(0, eq);
-            } else if (i + 1 < argc) {
+            } else if (key != "watch-artifact" && i + 1 < argc) {
+                // Boolean flags take no value; everything else consumes
+                // the next token.
                 value = argv[++i];
             }
             args.options.emplace_back(key, value);
@@ -229,6 +262,30 @@ renderStatsPage(const net::MatchServer &server)
     counter("ca_runtime_slices_total", t.slices);
     counter("ca_runtime_context_switches_total", t.contextSwitches);
 
+    // Cluster plane: which automaton generation is serving, and the
+    // replication/swap counters (docs/CLUSTER.md).
+    gauge("ca_cluster_epoch", static_cast<double>(t.epoch));
+    {
+        std::ostringstream fp;
+        fp << std::hex;
+        fp.width(16);
+        fp.fill('0');
+        fp << t.automatonFp;
+        os << "# TYPE ca_cluster_automaton_info gauge\n"
+           << "ca_cluster_automaton_info{fingerprint=\"" << fp.str()
+           << "\"} 1\n";
+    }
+    gauge("ca_cluster_epochs_draining",
+          static_cast<double>(t.epochsDraining));
+    counter("ca_cluster_swaps_completed_total", t.swapsCompleted);
+    counter("ca_cluster_swaps_failed_total", t.swapsFailed);
+    counter("ca_cluster_epochs_retired_total", t.epochsRetired);
+    counter("ca_cluster_artifact_queries_total", t.artifactQueries);
+    counter("ca_cluster_artifact_chunks_served_total",
+            t.artifactChunksServed);
+    counter("ca_cluster_artifact_bytes_served_total",
+            t.artifactBytesServed);
+
     os << "# TYPE ca_session_symbols_per_second gauge\n";
     for (const runtime::SessionLiveStats &s : b.sessions)
         if (!s.closed)
@@ -304,6 +361,52 @@ run(const Args &args)
     // still lands in the orderly-shutdown path below.
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
+    std::signal(SIGHUP, onHangup);
+
+    if (!args.opt("admin-port").empty()) {
+        opts.adminEnabled = true;
+        opts.adminPort = static_cast<uint16_t>(
+            std::stoul(args.opt("admin-port")));
+        opts.adminBindAddress = args.opt("admin-bind");
+    }
+
+    // Cluster wiring: peers feed a Replicator; --cache-dir persists the
+    // pulls (and serves them back to other peers via artifactResolver).
+    std::unique_ptr<cluster::Replicator> replicator;
+    std::vector<cluster::PeerAddress> peers;
+    for (const std::string &spec : args.optAll("peer"))
+        peers.push_back(cluster::parsePeer(spec));
+    if (!peers.empty())
+        replicator = std::make_unique<cluster::Replicator>(peers);
+    std::unique_ptr<persist::ArtifactCache> cache;
+    if (!args.opt("cache-dir").empty()) {
+        cache =
+            std::make_unique<persist::ArtifactCache>(args.opt("cache-dir"));
+        if (replicator)
+            cache->setRemoteFetcher(replicator->cacheFetcher());
+    }
+    if (cache) {
+        persist::ArtifactCache *c = cache.get();
+        opts.artifactResolver = [c](uint64_t fp) {
+            return c->tryReadBytesByFingerprint(fp);
+        };
+    }
+    {
+        persist::ArtifactCache *c = cache.get();
+        cluster::Replicator *r = replicator.get();
+        opts.swapLoader = [c, r](uint64_t fp, const std::string &source)
+            -> persist::LoadedArtifact {
+            if (!source.empty())
+                return persist::loadArtifact(source);
+            CA_FATAL_IF(fp == 0, "SWAP needs a fingerprint or a source");
+            if (c)
+                return c->getOrFetch(fp);
+            if (r)
+                return r->fetch(fp);
+            CA_THROW("no --cache-dir or --peer to resolve the swap "
+                     "fingerprint");
+        };
+    }
 
     // The observability flags imply the operator wants live metrics:
     // turn the runtime telemetry switch on even without CA_TELEMETRY=1
@@ -314,7 +417,26 @@ run(const Args &args)
         telemetry::setEnabled(true);
 
     std::unique_ptr<net::MatchServer> server;
-    if (!args.opt("artifact").empty()) {
+    if (!args.opt("fingerprint").empty()) {
+        // Fingerprint-only start: no rules, no compile — the artifact
+        // comes from the local cache or is replicated from a peer.
+        uint64_t fp = std::stoull(args.opt("fingerprint"), nullptr, 16);
+        persist::LoadedArtifact loaded;
+        if (cache) {
+            loaded = cache->getOrFetch(fp);
+        } else if (replicator) {
+            loaded = replicator->fetch(fp);
+        } else {
+            std::fprintf(stderr,
+                         "ca_server: --fingerprint needs --peer and/or "
+                         "--cache-dir\n");
+            return usage();
+        }
+        server = std::make_unique<net::MatchServer>(
+            std::move(loaded.automaton), opts);
+        std::printf("serving replicated artifact %016llx\n",
+                    static_cast<unsigned long long>(fp));
+    } else if (!args.opt("artifact").empty()) {
         server = net::MatchServer::fromArtifact(args.opt("artifact"),
                                                 opts);
         std::printf("serving artifact %s\n",
@@ -335,8 +457,8 @@ run(const Args &args)
             nfa = compileRuleset(args.optAll("pattern"));
         } else {
             std::fprintf(stderr,
-                         "ca_server: one of --artifact/--benchmark/"
-                         "--rules/--pattern is required\n");
+                         "ca_server: one of --artifact/--fingerprint/"
+                         "--benchmark/--rules/--pattern is required\n");
             return usage();
         }
         auto mapped =
@@ -347,6 +469,13 @@ run(const Args &args)
 
     std::printf("listening on %s:%u\n", opts.bindAddress.c_str(),
                 static_cast<unsigned>(server->port()));
+    if (opts.adminEnabled)
+        std::printf("admin listening on %s:%u\n",
+                    (opts.adminBindAddress.empty()
+                         ? opts.bindAddress
+                         : opts.adminBindAddress)
+                        .c_str(),
+                    static_cast<unsigned>(server->adminPort()));
     std::printf("fingerprint %016llx\n",
                 static_cast<unsigned long long>(server->fingerprint()));
     std::fflush(stdout);
@@ -393,11 +522,62 @@ run(const Args &args)
     long interval_ms = args.opt("stats-interval-s").empty()
         ? -1
         : std::stol(args.opt("stats-interval-s")) * 1000;
+    const std::string artifact_path = args.opt("artifact");
+    const bool watch_artifact =
+        args.options.end() !=
+        std::find_if(args.options.begin(), args.options.end(),
+                     [](const auto &kv) {
+                         return kv.first == "watch-artifact";
+                     });
+    auto artifactMtime = [&artifact_path] {
+        std::error_code ec;
+        return std::filesystem::last_write_time(artifact_path, ec);
+    };
+    std::filesystem::file_time_type last_mtime{};
+    if (watch_artifact && !artifact_path.empty())
+        last_mtime = artifactMtime();
+    auto hotSwap = [&](const char *why) {
+        if (artifact_path.empty()) {
+            std::fprintf(stderr,
+                         "ca_server: %s ignored (no --artifact to "
+                         "reload)\n",
+                         why);
+            return;
+        }
+        try {
+            net::MatchServer::SwapResult r =
+                server->swapFromArtifact(artifact_path);
+            std::printf("%s: %s %016llx -> %016llx (epoch %llu)\n", why,
+                        r.swapped ? "swapped" : "unchanged",
+                        static_cast<unsigned long long>(r.oldFingerprint),
+                        static_cast<unsigned long long>(r.newFingerprint),
+                        static_cast<unsigned long long>(r.epoch));
+            std::fflush(stdout);
+        } catch (const CaError &e) {
+            // A bad artifact must never take down the serving epoch.
+            std::fprintf(stderr, "ca_server: %s swap failed: %s\n", why,
+                         e.what());
+        }
+    };
     long waited_ms = 0;
     long last_flush_ms = 0;
+    long last_watch_ms = 0;
     while (!g_stop && (duration_ms < 0 || waited_ms < duration_ms)) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
         waited_ms += 50;
+        if (g_hup) {
+            g_hup = 0;
+            hotSwap("SIGHUP");
+        }
+        if (watch_artifact && !artifact_path.empty() &&
+            waited_ms - last_watch_ms >= 1000) {
+            last_watch_ms = waited_ms;
+            std::filesystem::file_time_type now_mtime = artifactMtime();
+            if (now_mtime != last_mtime) {
+                last_mtime = now_mtime;
+                hotSwap("watch-artifact");
+            }
+        }
         if (interval_ms > 0 && waited_ms - last_flush_ms >= interval_ms) {
             last_flush_ms = waited_ms;
             // Periodic flush: refresh the exported gauges and rewrite

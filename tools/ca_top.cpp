@@ -101,6 +101,13 @@ render(const net::StatsReplyBody &b, const net::StatsReplyBody &prev,
         std::printf("   [telemetry compiled out]");
     else if (!b.telemetryEnabled)
         std::printf("   [telemetry disabled]");
+    std::printf("\n");
+    std::printf("automaton     fingerprint %016llx, epoch %llu",
+                static_cast<unsigned long long>(t.automatonFp),
+                static_cast<unsigned long long>(t.epoch));
+    if (t.epochsDraining)
+        std::printf(" (+%llu draining)",
+                    static_cast<unsigned long long>(t.epochsDraining));
     std::printf("\n\n");
 
     std::printf("totals        symbols %-10s reports %-10s bytes in "
@@ -128,11 +135,20 @@ render(const net::StatsReplyBody &b, const net::StatsReplyBody &prev,
                 static_cast<unsigned long long>(t.slices),
                 static_cast<unsigned long long>(t.contextSwitches));
     std::printf("errors        protocol %llu, idle %llu, write %llu, "
-                "slow-consumer %llu\n\n",
+                "slow-consumer %llu\n",
                 static_cast<unsigned long long>(t.protocolErrors),
                 static_cast<unsigned long long>(t.idleTimeouts),
                 static_cast<unsigned long long>(t.writeTimeouts),
                 static_cast<unsigned long long>(t.slowConsumerDrops));
+    std::printf("cluster       swaps %llu ok / %llu failed, epochs "
+                "retired %llu, artifact q %llu served %llu chunks "
+                "(%s)\n\n",
+                static_cast<unsigned long long>(t.swapsCompleted),
+                static_cast<unsigned long long>(t.swapsFailed),
+                static_cast<unsigned long long>(t.epochsRetired),
+                static_cast<unsigned long long>(t.artifactQueries),
+                static_cast<unsigned long long>(t.artifactChunksServed),
+                human(static_cast<double>(t.artifactBytesServed)).c_str());
 
     size_t live = 0;
     for (const runtime::SessionLiveStats &s : b.sessions)
