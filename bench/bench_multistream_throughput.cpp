@@ -12,12 +12,25 @@
  * hardware line rate is bench_fig7/bench_scaling_instances' job) plus
  * the scheduler's context-switch count.
  *
+ * Usage:
+ *   bench_multistream_throughput [--parallel] [--metrics-out F]
+ *
+ *   --parallel  also sweep chunk-parallel matching (docs/MATCH.md):
+ *               rows with Par >= 2 give the server a shared
+ *               ParallelMatcher of that degree, producers switch from
+ *               MTU framing to 256 KiB reads (the file-scan shape the
+ *               matcher exists for), and the table adds the speculation
+ *               hit/replay split. The few-session rows are where it
+ *               pays — parallelism from one stream instead of from
+ *               session count.
+ *
  * Environment knobs:
  *   CA_BENCH_BYTES — total traffic volume (default 4 MiB).
  *   CA_BENCH_SCALE — ruleset size factor (default 1.0 = 200 rules).
  */
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 
 #include "bench_common.h"
@@ -41,16 +54,21 @@ struct SweepResult
     uint64_t reports = 0;
     uint64_t contextSwitches = 0;
     uint64_t slices = 0;
+    uint64_t specHits = 0;
+    uint64_t specReplays = 0;
 };
 
 SweepResult
 runSweep(const MappedAutomaton &mapped,
-         const std::vector<std::vector<uint8_t>> &streams, size_t workers)
+         const std::vector<std::vector<uint8_t>> &streams, size_t workers,
+         size_t parallel)
 {
     runtime::StreamServerOptions opts;
     opts.workers = workers;
     opts.sessionQueueDepth = 8;
     opts.sliceSymbols = 32 << 10;
+    opts.matchParallelism = parallel;
+    opts.matchParallelMinBytes = 64 << 10;
     runtime::CountingSink sink;
 
     uint64_t total_bytes = 0;
@@ -67,11 +85,13 @@ runSweep(const MappedAutomaton &mapped,
         for (size_t i = 0; i < streams.size(); ++i) {
             producers.emplace_back([&, i] {
                 const auto &in = streams[i];
-                // pcap-ish framing: submit in MTU-sized chunks.
-                constexpr size_t kMtu = 1500;
-                for (size_t pos = 0; pos < in.size(); pos += kMtu)
+                // pcap-ish MTU framing normally; big file-scan reads
+                // when the chunk-parallel matcher is in play (it only
+                // engages once a slice gathers matchParallelMinBytes).
+                const size_t chunk = parallel > 1 ? 256u << 10 : 1500;
+                for (size_t pos = 0; pos < in.size(); pos += chunk)
                     sessions[i]->submit(in.data() + pos,
-                                        std::min(kMtu, in.size() - pos));
+                                        std::min(chunk, in.size() - pos));
                 sessions[i]->close();
             });
         }
@@ -84,10 +104,12 @@ runSweep(const MappedAutomaton &mapped,
             std::chrono::duration<double, std::milli>(t1 - t0).count();
         r.aggregateGbps = static_cast<double>(total_bytes) * 8.0 /
             (r.wallMs * 1e-3) / 1e9;
-        runtime::ServerStats st = server.stats();
-        r.reports = st.reports;
-        r.contextSwitches = st.contextSwitches;
-        r.slices = st.slices;
+        runtime::ServerInspect in = server.inspect();
+        r.reports = in.totals.reports;
+        r.contextSwitches = in.totals.contextSwitches;
+        r.slices = in.totals.slices;
+        r.specHits = in.match.speculationHits;
+        r.specReplays = in.match.replays;
         return r;
     }
 }
@@ -98,6 +120,11 @@ int
 main(int argc, char **argv)
 {
     TelemetrySession telemetry(argc, argv);
+    bool parallel_sweep = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--parallel") == 0)
+            parallel_sweep = true;
+
     BenchConfig cfg = BenchConfig::fromEnv();
     size_t total_bytes = cfg.streamBytes;
     if (total_bytes == (64u << 10)) // bench_common default: too small here
@@ -118,31 +145,45 @@ main(int argc, char **argv)
         rules.begin(), rules.begin() + std::min<size_t>(rules.size(), 32));
     spec.plantsPer4k = 2.0;
 
-    TablePrinter t({"Workers", "Sessions", "Wall ms", "Agg Gb/s",
-                    "Reports", "Slices", "Ctx switches"});
-    double base_gbps = 0.0;
-    for (size_t workers : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
-        for (size_t n_sessions : {size_t{1}, size_t{4}, size_t{16}}) {
-            std::vector<std::vector<uint8_t>> streams;
-            size_t per = total_bytes / n_sessions;
-            for (size_t i = 0; i < n_sessions; ++i)
-                streams.push_back(buildInput(spec, per, cfg.seed + i));
-            std::fprintf(stderr, "[bench] %zu workers x %zu sessions\n",
-                         workers, n_sessions);
-            SweepResult r = runSweep(mapped, streams, workers);
-            if (base_gbps == 0.0)
-                base_gbps = r.aggregateGbps;
-            t.addRow({std::to_string(workers),
-                      std::to_string(n_sessions), fixed(r.wallMs, 1),
-                      fixed(r.aggregateGbps, 3),
-                      std::to_string(r.reports),
-                      std::to_string(r.slices),
-                      std::to_string(r.contextSwitches)});
-        }
-    }
+    TablePrinter t({"Workers", "Par", "Sessions", "Wall ms", "Agg Gb/s",
+                    "Reports", "Slices", "Ctx switches", "Spec h/r"});
+    auto addRow = [&](size_t workers, size_t parallel, size_t n_sessions) {
+        std::vector<std::vector<uint8_t>> streams;
+        size_t per = total_bytes / n_sessions;
+        for (size_t i = 0; i < n_sessions; ++i)
+            streams.push_back(buildInput(spec, per, cfg.seed + i));
+        std::fprintf(stderr, "[bench] %zu workers x %zu sessions%s\n",
+                     workers, n_sessions,
+                     parallel > 1 ? " (chunk-parallel)" : "");
+        SweepResult r = runSweep(mapped, streams, workers, parallel);
+        std::string spec_col = parallel > 1
+            ? std::to_string(r.specHits) + "/" +
+                std::to_string(r.specReplays)
+            : "-";
+        t.addRow({std::to_string(workers), std::to_string(parallel),
+                  std::to_string(n_sessions), fixed(r.wallMs, 1),
+                  fixed(r.aggregateGbps, 3), std::to_string(r.reports),
+                  std::to_string(r.slices),
+                  std::to_string(r.contextSwitches), spec_col});
+    };
+
+    for (size_t workers : {size_t{1}, size_t{2}, size_t{4}, size_t{8}})
+        for (size_t n_sessions : {size_t{1}, size_t{4}, size_t{16}})
+            addRow(workers, 0, n_sessions);
+    if (parallel_sweep)
+        // Chunk parallelism is the few-session story: one stream cannot
+        // use more workers, but it can use more chunks.
+        for (size_t degree : {size_t{2}, size_t{4}, size_t{8}})
+            for (size_t n_sessions : {size_t{1}, size_t{4}})
+                addRow(1, degree, n_sessions);
     t.print();
     std::printf("\n(aggregate = total traffic bits / wall seconds across "
                 "all sessions;\n 1-worker 1-session row is the "
-                "single-threaded baseline)\n");
+                "single-threaded baseline%s)\n",
+                parallel_sweep
+                    ? ";\n Par>=2 rows route big reads through the "
+                      "shared ParallelMatcher —\n Spec h/r = "
+                      "speculation hits / replays (docs/MATCH.md)"
+                    : "");
     return 0;
 }

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Chunk-parallel single-stream matching: ParallelMatcher speedup over
+ * the cycle-accurate simulator and the serial MatchEngine across the
+ * benchmark suite (docs/MATCH.md).
+ *
+ * For each suite benchmark the input stream is matched four ways — the
+ * PR 5 Auto-kernel CacheAutomatonSim (the baseline EXPERIMENTS.md
+ * carries), a serial MatchEngine (what the functional split alone
+ * buys), and the ParallelMatcher at the swept chunk degrees — and the
+ * table prints MB/s, the parallel speedups against the sim baseline,
+ * and the degree-8 speculation hit rate (hits ÷ speculative chunks;
+ * misses replay, so a low rate is a performance statement, never a
+ * correctness one).
+ *
+ * Report streams are cross-checked: every engine and every degree must
+ * be bit-identical to the simulator on every benchmark, or the bench
+ * exits nonzero (the tests/match_test.cpp contract, re-enforced here
+ * at suite scale).
+ *
+ * Usage:
+ *   bench_parallel_match [--smoke] [--metrics-out F] [--trace-out F]
+ *
+ *   --smoke   tiny scale + stream for CI plumbing checks; numbers are
+ *             not meaningful at this size.
+ *
+ * Environment knobs: CA_BENCH_SCALE, CA_BENCH_BYTES (this bench floors
+ * the stream at 2 MiB outside --smoke so the chunks amortize their
+ * warm-up windows), CA_FULL_INPUT (see bench_common.h).
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "compiler/mapping.h"
+#include "core/string_utils.h"
+#include "match/match_engine.h"
+#include "match/parallel_matcher.h"
+#include "nfa/glushkov.h"
+#include "workload/suite.h"
+
+using namespace ca;
+using namespace ca::bench;
+
+namespace {
+
+constexpr size_t kDegrees[] = {2, 4, 8};
+
+struct TimedRun
+{
+    double mbps = 0.0;
+    std::vector<Report> reports;
+};
+
+double
+mbps(size_t bytes, double wall_ms)
+{
+    return wall_ms > 0.0
+        ? (static_cast<double>(bytes) / 1e6) / (wall_ms / 1e3)
+        : 0.0;
+}
+
+/** PR 5 baseline: the cycle-accurate sim under the Auto kernel. */
+TimedRun
+timeSim(const MappedAutomaton &mapped, const std::vector<uint8_t> &input)
+{
+    CacheAutomatonSim sim(mapped);
+    sim.run(input.data(), std::min<size_t>(input.size(), 4096)); // warm
+    auto t0 = std::chrono::steady_clock::now();
+    SimResult r = sim.run(input);
+    auto t1 = std::chrono::steady_clock::now();
+    TimedRun tr;
+    tr.mbps = mbps(input.size(),
+                   std::chrono::duration<double, std::milli>(t1 - t0)
+                       .count());
+    tr.reports = std::move(r.reports);
+    return tr;
+}
+
+TimedRun
+timeEngine(const std::shared_ptr<const match::MatchContext> &ctx,
+           const std::vector<uint8_t> &input)
+{
+    match::MatchEngine warm(ctx, {});
+    warm.feed(input.data(), std::min<size_t>(input.size(), 4096));
+    match::MatchEngine eng(ctx, {});
+    auto t0 = std::chrono::steady_clock::now();
+    eng.feed(input.data(), input.size());
+    auto t1 = std::chrono::steady_clock::now();
+    TimedRun tr;
+    tr.mbps = mbps(input.size(),
+                   std::chrono::duration<double, std::milli>(t1 - t0)
+                       .count());
+    tr.reports = eng.takeReports();
+    return tr;
+}
+
+TimedRun
+timeParallel(const std::shared_ptr<const match::MatchContext> &ctx,
+             const std::vector<uint8_t> &input, size_t degree,
+             match::ParallelStats &stats_out)
+{
+    match::ParallelOptions popts;
+    popts.degree = degree;
+    // Let even the smoke-sized stream actually chunk; real runs are
+    // well past this anyway.
+    popts.minChunkBytes =
+        std::min<size_t>(popts.minChunkBytes,
+                         std::max<size_t>(input.size() / degree, 1));
+    match::ParallelMatcher pm(ctx, popts);
+    pm.match(input.data(),
+             std::min<size_t>(input.size(), 4096)); // warm engines
+    match::ParallelStats before = pm.stats();
+    auto t0 = std::chrono::steady_clock::now();
+    match::MatchResult r = pm.match(input.data(), input.size());
+    auto t1 = std::chrono::steady_clock::now();
+    match::ParallelStats after = pm.stats();
+    stats_out.chunks = after.chunks - before.chunks;
+    stats_out.speculationHits =
+        after.speculationHits - before.speculationHits;
+    stats_out.replays = after.replays - before.replays;
+    stats_out.replayedBytes = after.replayedBytes - before.replayedBytes;
+    stats_out.joinMicros = after.joinMicros - before.joinMicros;
+    TimedRun tr;
+    tr.mbps = mbps(input.size(),
+                   std::chrono::duration<double, std::milli>(t1 - t0)
+                       .count());
+    tr.reports = std::move(r.reports);
+    return tr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    TelemetrySession telemetry(argc, argv);
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+
+    BenchConfig cfg = BenchConfig::fromEnv();
+    if (smoke) {
+        cfg.scale = std::min(cfg.scale, 0.05);
+        cfg.streamBytes = std::min<size_t>(cfg.streamBytes, 64 << 10);
+    } else {
+        cfg.streamBytes = std::max<size_t>(cfg.streamBytes, 2 << 20);
+    }
+    banner("Chunk-parallel single-stream matching (docs/MATCH.md)", cfg);
+    std::printf("host threads: %u\n\n",
+                std::thread::hardware_concurrency());
+
+    TablePrinter t({"Benchmark", "Sim MB/s", "Engine MB/s", "P2 MB/s",
+                    "P4 MB/s", "P8 MB/s", "P8/Sim", "P8 hit%",
+                    "P8 replay"});
+
+    int mismatches = 0;
+    std::vector<double> engine_speedups;
+    std::vector<double> p8_speedups;
+    uint64_t total_spec = 0;
+    uint64_t total_hits = 0;
+
+    for (const Benchmark &b : benchmarkSuite()) {
+        std::fprintf(stderr, "  %s...\n", b.name.c_str());
+        Nfa nfa = b.build(cfg.scale, cfg.seed);
+        std::vector<uint8_t> input = benchmarkInput(
+            b, cfg.streamBytes, cfg.seed + 1, cfg.scale, cfg.seed);
+        MappedAutomaton mapped = mapPerformance(nfa);
+        auto ctx = std::make_shared<match::MatchContext>(mapped);
+
+        TimedRun sim = timeSim(mapped, input);
+        TimedRun eng = timeEngine(ctx, input);
+        if (eng.reports != sim.reports) {
+            std::fprintf(stderr,
+                         "FATAL: MatchEngine diverges from the sim on "
+                         "%s\n",
+                         b.name.c_str());
+            ++mismatches;
+            continue;
+        }
+
+        double par_mbps[std::size(kDegrees)] = {};
+        match::ParallelStats par_stats[std::size(kDegrees)] = {};
+        bool ok = true;
+        for (size_t d = 0; d < std::size(kDegrees); ++d) {
+            TimedRun pr =
+                timeParallel(ctx, input, kDegrees[d], par_stats[d]);
+            if (pr.reports != sim.reports) {
+                std::fprintf(stderr,
+                             "FATAL: ParallelMatcher(degree %zu) "
+                             "diverges from the sim on %s\n",
+                             kDegrees[d], b.name.c_str());
+                ++mismatches;
+                ok = false;
+                break;
+            }
+            par_mbps[d] = pr.mbps;
+        }
+        if (!ok)
+            continue;
+
+        const match::ParallelStats &p8 =
+            par_stats[std::size(kDegrees) - 1];
+        uint64_t spec = p8.speculationHits + p8.replays;
+        double hit_pct = spec == 0
+            ? 100.0
+            : 100.0 * static_cast<double>(p8.speculationHits)
+                / static_cast<double>(spec);
+        double p8_speedup =
+            sim.mbps > 0.0 ? par_mbps[2] / sim.mbps : 0.0;
+        t.addRow({b.name, fixed(sim.mbps, 1), fixed(eng.mbps, 1),
+                  fixed(par_mbps[0], 1), fixed(par_mbps[1], 1),
+                  fixed(par_mbps[2], 1), fixed(p8_speedup, 2) + "x",
+                  fixed(hit_pct, 0) + "%",
+                  std::to_string(p8.replays) + "/"
+                      + std::to_string(spec)});
+
+        if (sim.mbps > 0.0 && eng.mbps > 0.0)
+            engine_speedups.push_back(eng.mbps / sim.mbps);
+        if (p8_speedup > 0.0)
+            p8_speedups.push_back(p8_speedup);
+        total_spec += spec;
+        total_hits += p8.speculationHits;
+
+        // Dynamic names: one gauge per benchmark (see the CA_GAUGE_SET
+        // caching caveat in bench_kernel_comparison.cpp).
+        if (ca::telemetry::enabled()) {
+            auto &reg = ca::telemetry::MetricsRegistry::global();
+            reg.gauge("ca.bench.match.sim_mbps." + b.name).set(sim.mbps);
+            reg.gauge("ca.bench.match.engine_mbps." + b.name)
+                .set(eng.mbps);
+            reg.gauge("ca.bench.match.par8_mbps." + b.name)
+                .set(par_mbps[2]);
+            reg.gauge("ca.bench.match.par8_hit_pct." + b.name)
+                .set(hit_pct);
+        }
+    }
+    t.print();
+
+    if (!engine_speedups.empty())
+        std::printf("\nGeomean serial MatchEngine vs sim: %.2fx\n",
+                    geomean(engine_speedups));
+    if (!p8_speedups.empty())
+        std::printf("Geomean ParallelMatcher(8) vs sim: %.2fx\n",
+                    geomean(p8_speedups));
+    if (total_spec > 0)
+        std::printf("Suite speculation hit rate at degree 8: %.0f%% "
+                    "(%llu/%llu chunks)\n",
+                    100.0 * static_cast<double>(total_hits)
+                        / static_cast<double>(total_spec),
+                    static_cast<unsigned long long>(total_hits),
+                    static_cast<unsigned long long>(total_spec));
+    if (smoke)
+        std::printf("\n[smoke] plumbing check only — numbers are not "
+                    "meaningful at this size\n");
+    if (mismatches > 0) {
+        std::fprintf(stderr, "%d report-stream mismatches\n", mismatches);
+        return 1;
+    }
+    return 0;
+}

@@ -51,6 +51,14 @@ ctest --test-dir build -L cluster --output-on-failure -j "$JOBS"
 ctest --test-dir build-telemetry-off -L cluster --output-on-failure \
     -j "$JOBS"
 
+# The match suite in both telemetry configurations: the chunk-parallel
+# matcher is instrumented (ca.match.* counters), and its speculative
+# joins must stay report-identical with the instrumentation compiled
+# out (docs/MATCH.md).
+ctest --test-dir build -L match --output-on-failure -j "$JOBS"
+ctest --test-dir build-telemetry-off -L match --output-on-failure \
+    -j "$JOBS"
+
 # The sim suite under each execution kernel: CA_SIM_KERNEL overrides
 # SimOptions::kernel process-wide, so the oracle-equivalence, streaming,
 # and checkpoint contracts are enforced with the sparse and the dense
@@ -63,6 +71,10 @@ CA_SIM_KERNEL=dense ctest --test-dir build -L sim --output-on-failure \
 # The kernel-comparison bench's plumbing (table + cross-kernel report
 # check) at smoke size, so the bench binary cannot rot between releases.
 ./build/bench/bench_kernel_comparison --smoke >/dev/null
+
+# The chunk-parallel matching bench's plumbing (table + per-degree
+# report cross-check against the sim) at smoke size.
+./build/bench/bench_parallel_match --smoke >/dev/null
 
 # The observability-overhead bench's plumbing at smoke size: it must
 # drive real traffic with a live STATS poller ("polls > 0" in its
@@ -181,7 +193,7 @@ cmake -B build-tsan -S . -DCA_TELEMETRY=ON \
     "-DCMAKE_CXX_FLAGS=-fsanitize=thread"
 cmake --build build-tsan -j "$JOBS" \
     --target runtime_test streaming_test persist_test net_test \
-    observability_test cluster_test
+    observability_test cluster_test match_test
 ctest --test-dir build-tsan -L runtime --output-on-failure -j "$JOBS"
 
 # The same TSan subset with every worker engine forced onto the dense

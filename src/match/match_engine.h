@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Functional match engine (docs/MATCH.md).
+ *
+ * The serving-path counterpart of the cycle-accurate simulator: the same
+ * frontier semantics and the same bit-identical report stream, with none
+ * of the architecture model (no FIFO-refill accounting, no output-buffer
+ * interrupts, no per-cycle activity counters feeding the energy model).
+ * `CacheAutomatonSim` answers "what would the hardware do, cycle by
+ * cycle"; `MatchEngine` answers "which reports fire, as fast as this CPU
+ * can compute them". tests/match_test.cpp holds the two report-identical
+ * on randomized automata under every kernel.
+ *
+ * The immutable per-automaton tables (flattened labels/successors plus
+ * the dense §2.2 row-read tables) live in a shared `MatchContext`, so N
+ * engines running chunks of one stream in parallel share one copy of
+ * the tables and carry only their own frontier.
+ */
+#ifndef CA_MATCH_MATCH_ENGINE_H
+#define CA_MATCH_MATCH_ENGINE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baseline/nfa_engine.h"
+#include "compiler/mapping.h"
+#include "core/bitvector.h"
+#include "sim/engine.h"
+
+namespace ca::match {
+
+/** Engine controls (a functional subset of SimOptions). */
+struct MatchOptions
+{
+    /** Per-symbol stepper; Auto re-decides per block on frontier density. */
+    SimKernel kernel = SimKernel::Auto;
+    /** Auto: dense while the density EWMA exceeds this (see SimOptions). */
+    double autoDensityThreshold = 0.02;
+    /** Auto: EWMA smoothing factor for per-block density samples. */
+    double autoEwmaAlpha = 0.25;
+    /** Auto: symbols per block between kernel re-evaluations. */
+    uint32_t autoBlockSymbols = 4096;
+};
+
+/**
+ * Immutable per-automaton tables shared by every MatchEngine bound to
+ * the same mapped automaton. Construction flattens the NFA exactly the
+ * way CacheAutomatonSim does (same layouts, same dense geometry) and
+ * additionally precomputes the two frontier sets the speculative
+ * chunk-parallel matcher needs:
+ *
+ *  - startFrontier(): the exact offset-0 frontier (StartOfData and
+ *    AllInput start states).
+ *  - reachableFrontier(): AllInput starts plus every state reachable
+ *    through at least one transition from any start state — a superset
+ *    of the true enabled frontier at *every* offset >= 1. Speculative
+ *    chunks seed from this overapproximation (the SFA construction's
+ *    "all candidate states" set, restricted to what is reachable at
+ *    all) and converge toward the exact frontier over a warm-up window.
+ *
+ * Thread-safe by immutability: after the constructor returns, the
+ * context is never written again.
+ */
+class MatchContext
+{
+  public:
+    explicit MatchContext(const MappedAutomaton &mapped);
+
+    /**
+     * Co-owning variant for automata loaded from disk.
+     * @throws CaError when @p mapped is null.
+     */
+    explicit MatchContext(std::shared_ptr<const MappedAutomaton> mapped);
+
+    size_t numStates() const { return num_states_; }
+    uint32_t numPartitions() const { return dense_partitions_; }
+
+    /** False when the mapping's geometry rules out the dense kernel. */
+    bool denseAvailable() const { return dense_available_; }
+
+    const std::vector<StateId> &startFrontier() const
+    {
+        return start_frontier_;
+    }
+    const std::vector<StateId> &reachableFrontier() const
+    {
+        return reachable_frontier_;
+    }
+
+    const MappedAutomaton &mapped() const { return mapped_; }
+
+  private:
+    friend class MatchEngine;
+
+    void buildSparseTables();
+    void buildDenseTables();
+    void buildFrontiers();
+
+    /** Keeps a loaded automaton alive; null when bound by reference. */
+    std::shared_ptr<const MappedAutomaton> owned_;
+    const MappedAutomaton &mapped_;
+    size_t num_states_ = 0;
+
+    // Sparse tables (layouts shared with CacheAutomatonSim).
+    std::vector<StateId> all_input_;
+    /** Flat 4-word label images: labels_[s*4 + w]. */
+    std::vector<uint64_t> labels_;
+    /** CSR successor lists. */
+    std::vector<uint32_t> succ_xadj_;
+    std::vector<StateId> succ_;
+    /** Report flag + id packed: (id << 1) | report. */
+    std::vector<uint64_t> report_info_;
+
+    // Dense tables (§2.2 geometry: 4 words = 256 bits per partition).
+    bool dense_available_ = false;
+    uint32_t dense_partitions_ = 0;
+    std::vector<uint32_t> dense_index_of_;
+    std::vector<StateId> state_of_dense_;
+    /** Symbol-major row reads: rows_[((c*P)+p)*4 + w]. */
+    std::vector<uint64_t> dense_rows_;
+    /** L-switch: per-state intra-partition successor masks. */
+    std::vector<uint64_t> dense_lswitch_;
+    /** G-switch: CSR of cross-partition successor dense indices. */
+    std::vector<uint32_t> dense_cross_xadj_;
+    std::vector<uint32_t> dense_cross_;
+    /** Per-partition reporting mask (p*4+w). */
+    std::vector<uint64_t> dense_report_;
+    /** Non-zero words of the all-input start mask, OR-ed in each cycle. */
+    std::vector<std::pair<uint32_t, uint64_t>> dense_allinput_words_;
+
+    // Precomputed frontier sets (sorted, deduplicated).
+    std::vector<StateId> start_frontier_;
+    std::vector<StateId> reachable_frontier_;
+};
+
+/**
+ * One stream's worth of mutable match state over a shared MatchContext.
+ * Cheap to construct (O(states) bitvectors, no table builds); a thread
+ * pool keeps one per worker and reuses it across chunks via setState().
+ *
+ * Semantics contract (identical to CacheAutomatonSim and the CPU
+ * oracle): a report fires at the offset of the symbol that activated
+ * the reporting state, and within one symbol reports are emitted in
+ * ascending state-id order.
+ */
+class MatchEngine
+{
+  public:
+    explicit MatchEngine(std::shared_ptr<const MatchContext> ctx,
+                         const MatchOptions &opts = {});
+
+    /** Rewinds to offset 0 with the exact start frontier. */
+    void reset();
+
+    /**
+     * Loads an arbitrary frontier at an arbitrary offset (the chunk-
+     * parallel join's primitive; also the checkpoint-restore path).
+     * Clears pending reports. @p frontier need not be sorted; duplicate
+     * and out-of-range entries are rejected.
+     */
+    void setState(const std::vector<StateId> &frontier, uint64_t offset);
+
+    /** Consumes one chunk of the stream; callable repeatedly. */
+    void feed(const uint8_t *data, size_t size);
+
+    /** Moves out the reports accumulated since the last setState/take. */
+    std::vector<Report> takeReports();
+
+    /**
+     * Report collection toggle: speculative warm-up runs with
+     * collection off (those symbols' reports belong to the previous
+     * chunk's exact pass), then flips it on for the chunk body.
+     */
+    void setCollectReports(bool on) { collect_ = on; }
+
+    /** The live enabled frontier, sorted ascending. */
+    std::vector<StateId> frontier() const;
+
+    /** Absolute stream position: the offset the next symbol gets. */
+    uint64_t streamOffset() const { return offset_; }
+
+    /** Kernel accounting (tests + bench introspection). */
+    uint64_t sparseSymbols() const { return sparse_symbols_; }
+    uint64_t denseSymbols() const { return dense_symbols_; }
+
+    const MatchContext &context() const { return *ctx_; }
+
+  private:
+    void feedSparse(const uint8_t *data, size_t size);
+    void feedDense(const uint8_t *data, size_t size);
+    void emitCycleReports();
+    bool chooseDense();
+    void syncDenseFromSparse();
+    void syncSparseFromDense();
+    size_t frontierSize() const;
+
+    std::shared_ptr<const MatchContext> ctx_;
+    MatchOptions opts_;
+    bool collect_ = true;
+
+    // Sparse frontier representation.
+    std::vector<StateId> enabled_;
+    BitVector enabled_mask_;
+    std::vector<StateId> active_scratch_;
+    std::vector<StateId> cycle_report_scratch_;
+
+    // Dense frontier representation.
+    BitVector dense_cur_;
+    BitVector dense_nxt_;
+    bool dense_active_ = false;
+
+    // Auto-kernel state.
+    double density_ewma_ = 0.0;
+    bool density_seeded_ = false;
+
+    uint64_t offset_ = 0;
+    uint64_t sparse_symbols_ = 0;
+    uint64_t dense_symbols_ = 0;
+    std::vector<Report> reports_;
+};
+
+} // namespace ca::match
+
+#endif // CA_MATCH_MATCH_ENGINE_H

@@ -50,6 +50,10 @@ StreamServer::StreamServer(const MappedAutomaton &mapped,
         opts_.sliceSymbols = 1;
     // Reports are the product; the sink is the §2.8 output-buffer drain.
     opts_.sim.collectReports = true;
+    if (opts_.matchParallelMinBytes == 0)
+        opts_.matchParallelMinBytes = 1;
+    if (std::optional<size_t> env = match::matchParallelEnvOverride())
+        opts_.matchParallelism = *env;
 
     // The checkpoint a fresh session starts from: offset 0, the start
     // frontier (restore()-ing it is identical to reset()).
@@ -57,6 +61,25 @@ StreamServer::StreamServer(const MappedAutomaton &mapped,
     for (StateId s = 0; s < nfa.numStates(); ++s)
         if (nfa.state(s).start != StartType::None)
             initial_checkpoint_.enabledStates.push_back(s);
+
+    if (opts_.matchParallelism > 1) {
+        match::ParallelOptions popts;
+        popts.degree = opts_.matchParallelism;
+        // The functional engines honor the same kernel choice (and the
+        // same $CA_SIM_KERNEL override) as the per-worker simulators.
+        popts.engine.kernel = opts_.sim.kernel;
+        if (std::optional<SimKernel> k = simKernelEnvOverride())
+            popts.engine.kernel = *k;
+        popts.engine.autoDensityThreshold = opts_.sim.autoDensityThreshold;
+        popts.engine.autoEwmaAlpha = opts_.sim.autoEwmaAlpha;
+        popts.engine.autoBlockSymbols = opts_.sim.autoBlockSymbols;
+        match_ctx_ = std::make_shared<match::MatchContext>(mapped_);
+        matcher_ = std::make_unique<match::ParallelMatcher>(match_ctx_,
+                                                            popts);
+        opts_.matchParallelism = matcher_->degree();
+    } else {
+        opts_.matchParallelism = 0;
+    }
 
     worker_sims_.assign(opts_.workers, nullptr);
     workers_.reserve(opts_.workers);
@@ -142,6 +165,10 @@ StreamServer::inspect() const
             out.kernels.push_back(sim != nullptr ? sim->kernelStats()
                                                  : KernelDecisionStats{});
     }
+    if (matcher_) {
+        out.matchParallelism = matcher_->degree();
+        out.match = matcher_->stats();
+    }
     // Session addresses are stable for the server's lifetime, so their
     // mutexes can be taken outside sessions_mutex_ (no nesting, no lock
     // ordering to get wrong).
@@ -212,26 +239,63 @@ StreamServer::runSlice(StreamSession &s, CacheAutomatonSim &sim,
             s.stats_.workerMask |= uint64_t{1} << worker_index;
     }
 
-    // Resume (§2.9): load the session's saved automaton state into this
-    // worker's engine. Only the worker owning Running touches it.
-    sim.restore(s.checkpoint_);
-
+    // A slice with the ParallelMatcher enabled gets a degree-times
+    // larger quantum: the point is to hand one hot stream enough bytes
+    // for every matcher thread to get a full chunk.
     uint64_t budget = opts_.sliceSymbols;
+    if (matcher_)
+        budget *= matcher_->degree();
     uint64_t fed = 0;
+    std::vector<Report> reports;
+
+    // The session's automaton state lives in s.checkpoint_; only the
+    // worker owning Running touches it. Large gathered chunks route to
+    // the shared ParallelMatcher (checkpoint in, checkpoint out); the
+    // rest run on this worker's serial engine, restored lazily (§2.9)
+    // and parked back into the checkpoint when the matcher takes over
+    // or the slice ends.
+    bool sim_loaded = false;
+    auto parkSim = [&] {
+        if (!sim_loaded)
+            return;
+        s.checkpoint_ = sim.checkpoint();
+        std::vector<Report> r = sim.takeReports();
+        reports.insert(reports.end(), r.begin(), r.end());
+        sim_loaded = false;
+    };
     while (budget > 0) {
         size_t n = s.takeInput(buf, static_cast<size_t>(budget));
         if (n == 0)
             break;
+        if (matcher_ && n >= opts_.matchParallelMinBytes) {
+            parkSim();
+            // tryMatch: if another session holds the matcher, fall
+            // through to the serial engine instead of queueing.
+            if (std::optional<match::MatchResult> r = matcher_->tryMatch(
+                    s.checkpoint_.enabledStates,
+                    s.checkpoint_.symbolOffset, buf.data(), n)) {
+                s.checkpoint_.enabledStates = std::move(r->frontier);
+                s.checkpoint_.symbolOffset = r->endOffset;
+                reports.insert(reports.end(), r->reports.begin(),
+                               r->reports.end());
+                fed += n;
+                budget -= n;
+                continue;
+            }
+        }
+        if (!sim_loaded) {
+            sim.restore(s.checkpoint_);
+            sim_loaded = true;
+        }
         sim.feed(buf.data(), n);
         fed += n;
         budget -= n;
     }
+    parkSim();
 
-    // Suspend: save the automaton state, drain the output buffer to the
-    // sink in stream order (the session is not yet requeued, so no other
-    // worker can interleave deliveries).
-    s.checkpoint_ = sim.checkpoint();
-    std::vector<Report> reports = sim.takeReports();
+    // Suspend: the automaton state is saved, so drain the output buffer
+    // to the sink in stream order (the session is not yet requeued, so
+    // no other worker can interleave deliveries).
     if (!reports.empty())
         s.sink_.onReports(s.id_, reports.data(), reports.size());
 

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "compiler/mapping.h"
+#include "match/parallel_matcher.h"
 #include "runtime/stream_session.h"
 #include "sim/engine.h"
 
@@ -61,6 +62,21 @@ struct StreamServerOptions
      * product; the sink is the drain).
      */
     SimOptions sim;
+    /**
+     * Chunk-parallel single-stream matching (docs/MATCH.md): degree of
+     * the shared ParallelMatcher, including the calling worker. 0 or 1
+     * disables it; N >= 2 fans large submitted chunks of one session
+     * out across N threads with SFA-style speculative joins. The
+     * $CA_MATCH_PARALLEL environment variable ("off"/"auto"/<count>),
+     * when set, overrides this.
+     */
+    size_t matchParallelism = 0;
+    /**
+     * Minimum gathered input (bytes) before a slice routes through the
+     * ParallelMatcher; smaller slices stay on the worker's serial
+     * engine (speculation cannot amortize its warm-up on them).
+     */
+    size_t matchParallelMinBytes = 128 << 10;
 };
 
 /** Aggregate server accounting (all sessions, since construction). */
@@ -87,6 +103,10 @@ struct ServerInspect
     std::vector<SessionLiveStats> sessions;
     /** One entry per worker, indexed by worker id. */
     std::vector<KernelDecisionStats> kernels;
+    /** Resolved ParallelMatcher degree (0 when disabled). */
+    size_t matchParallelism = 0;
+    /** Cumulative speculation statistics (zero when disabled). */
+    match::ParallelStats match;
 };
 
 /** The multi-stream runtime (one per mapped automaton). */
@@ -145,6 +165,13 @@ class StreamServer
     ServerStats stats() const;
 
     /**
+     * The shared chunk-parallel matcher; null when matchParallelism
+     * resolved to off. Exposed for benches and tests — traffic should
+     * flow through sessions, which route to it automatically.
+     */
+    match::ParallelMatcher *parallelMatcher() { return matcher_.get(); }
+
+    /**
      * Live snapshot of totals, every session, and per-worker kernel
      * decisions. Safe to call concurrently with running traffic (takes
      * each session's mutex briefly; kernel counters are relaxed
@@ -170,6 +197,15 @@ class StreamServer
     StreamServerOptions opts_;
     /** Start-state frontier at offset 0: every session's first state. */
     SimCheckpoint initial_checkpoint_;
+
+    /**
+     * Chunk-parallel matching (null when disabled): one MatchContext
+     * shares the flattened tables, one ParallelMatcher shares its
+     * engine pool across all sessions. tryMatch()'s non-blocking
+     * contract keeps concurrent sessions on their serial engines.
+     */
+    std::shared_ptr<const match::MatchContext> match_ctx_;
+    std::unique_ptr<match::ParallelMatcher> matcher_;
 
     // Scheduler: run queue of sessions owed a slice.
     mutable std::mutex sched_mutex_;

@@ -105,34 +105,53 @@ requireAutomaton(const std::shared_ptr<const MappedAutomaton> &mapped)
 constexpr uint32_t kSlotsPerPartition = 256;
 constexpr uint32_t kWordsPerPartition = kSlotsPerPartition / 64;
 
-/**
- * $CA_SIM_KERNEL override, parsed once per process. CI sets it to run
- * the whole sim test suite under each kernel without recompiling.
- */
+} // namespace
+
 std::optional<SimKernel>
-envKernelOverride()
+parseKernelName(std::string_view name)
+{
+    if (name == "sparse")
+        return SimKernel::Sparse;
+    if (name == "dense")
+        return SimKernel::Dense;
+    if (name == "auto")
+        return SimKernel::Auto;
+    return std::nullopt;
+}
+
+const char *
+kernelName(SimKernel k)
+{
+    switch (k) {
+    case SimKernel::Sparse:
+        return "sparse";
+    case SimKernel::Dense:
+        return "dense";
+    case SimKernel::Auto:
+        return "auto";
+    }
+    return "auto";
+}
+
+std::optional<SimKernel>
+simKernelEnvOverride()
 {
     static const std::optional<SimKernel> parsed = [] {
         std::optional<SimKernel> out;
         const char *env = std::getenv("CA_SIM_KERNEL");
         if (!env || !*env)
             return out;
-        if (std::strcmp(env, "sparse") == 0)
-            out = SimKernel::Sparse;
-        else if (std::strcmp(env, "dense") == 0)
-            out = SimKernel::Dense;
-        else if (std::strcmp(env, "auto") == 0)
-            out = SimKernel::Auto;
-        else
+        out = parseKernelName(env);
+        if (!out) {
             CA_WARN("CA_SIM_KERNEL=" << env
                                      << " is not sparse/dense/auto; "
-                                        "ignoring");
+                                        "falling back to auto");
+            out = SimKernel::Auto;
+        }
         return out;
     }();
     return parsed;
 }
-
-} // namespace
 
 CacheAutomatonSim::CacheAutomatonSim(
     std::shared_ptr<const MappedAutomaton> mapped, const SimOptions &opts)
@@ -209,7 +228,7 @@ CacheAutomatonSim::reset()
 SimKernel
 CacheAutomatonSim::effectiveKernel() const
 {
-    if (std::optional<SimKernel> env = envKernelOverride())
+    if (std::optional<SimKernel> env = simKernelEnvOverride())
         return *env;
     return opts_.kernel;
 }

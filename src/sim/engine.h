@@ -33,6 +33,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "arch/energy.h"
@@ -68,6 +70,21 @@ enum class SimKernel : uint8_t
     Dense,
     Auto,
 };
+
+/** Parses "sparse"/"dense"/"auto"; nullopt on anything else. */
+std::optional<SimKernel> parseKernelName(std::string_view name);
+
+/** The kernel's canonical spelling ("sparse"/"dense"/"auto"). */
+const char *kernelName(SimKernel k);
+
+/**
+ * The $CA_SIM_KERNEL override, parsed once per process (CI uses it to
+ * run the whole sim suite under every kernel). Unrecognized values warn
+ * once and fall back to Auto — a typo in a CI matrix must be loud, but
+ * pinning the run to a kernel that doesn't exist would be worse.
+ * Returns nullopt only when the variable is unset/empty.
+ */
+std::optional<SimKernel> simKernelEnvOverride();
 
 /** Simulation controls. */
 struct SimOptions

@@ -15,6 +15,9 @@
  *   --max-streams N     streams per connection
  *   --queue-depth N     per-session submit queue depth (backpressure)
  *   --kernel K          simulator kernel: sparse | dense | auto (default)
+ *   --match-parallel P  chunk-parallel single-stream matching
+ *                       (docs/MATCH.md): off (default) | auto | thread
+ *                       count >= 2; $CA_MATCH_PARALLEL overrides
  *   --idle-timeout-ms N idle connection teardown (<=0 disables)
  *   --duration-s N      exit after N seconds (default: run until signal)
  *   --metrics-out F / --trace-out F   telemetry artifacts at shutdown
@@ -64,6 +67,7 @@
 #include "cluster/replication.h"
 #include "compiler/mapping.h"
 #include "core/error.h"
+#include "match/parallel_matcher.h"
 #include "net/match_server.h"
 #include "net/stats_listener.h"
 #include "nfa/glushkov.h"
@@ -104,7 +108,8 @@ usage()
         "[--max-conns N]\n"
         "            [--max-streams N] [--queue-depth N] "
         "[--idle-timeout-ms N]\n"
-        "            [--kernel sparse|dense|auto]\n"
+        "            [--kernel sparse|dense|auto] "
+        "[--match-parallel off|auto|N]\n"
         "            [--scale S] [--seed N] [--duration-s N]\n"
         "            [--metrics-out F] [--trace-out F]\n"
         "            [--stats-port N] [--stats-bind ADDR] "
@@ -344,15 +349,23 @@ run(const Args &args)
             std::stoull(args.opt("queue-depth"));
     if (!args.opt("kernel").empty()) {
         const std::string kernel = args.opt("kernel");
-        if (kernel == "sparse") {
-            opts.stream.sim.kernel = SimKernel::Sparse;
-        } else if (kernel == "dense") {
-            opts.stream.sim.kernel = SimKernel::Dense;
-        } else if (kernel == "auto") {
-            opts.stream.sim.kernel = SimKernel::Auto;
+        if (std::optional<SimKernel> k = parseKernelName(kernel)) {
+            opts.stream.sim.kernel = *k;
         } else {
             std::fprintf(stderr, "ca_server: unknown --kernel %s\n",
                          kernel.c_str());
+            return usage();
+        }
+    }
+    if (!args.opt("match-parallel").empty()) {
+        const std::string mp = args.opt("match-parallel");
+        if (std::optional<size_t> deg = match::parseMatchParallel(mp)) {
+            opts.stream.matchParallelism = *deg;
+        } else {
+            std::fprintf(stderr,
+                         "ca_server: bad --match-parallel %s "
+                         "(off|auto|<count>)\n",
+                         mp.c_str());
             return usage();
         }
     }

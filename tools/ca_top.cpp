@@ -196,6 +196,40 @@ render(const net::StatsReplyBody &b, const net::StatsReplyBody &prev,
         !b.metricsSnapshot.empty()) {
         telemetry::MetricsSnapshot snap =
             telemetry::MetricsSnapshot::deserialize(b.metricsSnapshot);
+
+        // Chunk-parallel matching (docs/MATCH.md): the ca.match.*
+        // counters travel in the registry image, so a server with
+        // --match-parallel off (or no parallel traffic yet) simply has
+        // no ca.match.chunks and the line is omitted.
+        auto counterOf = [&](const char *name) -> uint64_t {
+            const telemetry::MetricValue *v = snap.find(name);
+            return v != nullptr ? v->counter : 0;
+        };
+        uint64_t mchunks = counterOf("ca.match.chunks");
+        if (mchunks > 0) {
+            uint64_t hits = counterOf("ca.match.speculation_hits");
+            uint64_t replays = counterOf("ca.match.replays");
+            uint64_t spec = hits + replays;
+            double hit_pct = spec == 0
+                ? 100.0
+                : 100.0 * static_cast<double>(hits) /
+                    static_cast<double>(spec);
+            std::printf("\nmatch (chunk-parallel)\n");
+            std::printf("  %10s %10s %10s %8s %10s %10s\n", "chunks",
+                        "spec hits", "replays", "hit%", "replayed",
+                        "join ms");
+            std::printf(
+                "  %10s %10s %10s %7.1f%% %10s %10.1f\n",
+                human(static_cast<double>(mchunks)).c_str(),
+                human(static_cast<double>(hits)).c_str(),
+                human(static_cast<double>(replays)).c_str(), hit_pct,
+                human(static_cast<double>(
+                          counterOf("ca.match.replayed_bytes")))
+                    .c_str(),
+                static_cast<double>(counterOf("ca.match.join_micros")) /
+                    1e3);
+        }
+
         std::printf("\nprocess metrics: %zu registered\n",
                     snap.size());
     }
