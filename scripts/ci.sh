@@ -59,6 +59,14 @@ ctest --test-dir build -L match --output-on-failure -j "$JOBS"
 ctest --test-dir build-telemetry-off -L match --output-on-failure \
     -j "$JOBS"
 
+# The scored-automata suite in both telemetry configurations: the
+# exact-score contract (docs/SCORING.md) binds every kernel and the
+# MatchEngine to the scored oracle, and must hold with instrumentation
+# compiled out.
+ctest --test-dir build -L score --output-on-failure -j "$JOBS"
+ctest --test-dir build-telemetry-off -L score --output-on-failure \
+    -j "$JOBS"
+
 # The sim suite under each execution kernel: CA_SIM_KERNEL overrides
 # SimOptions::kernel process-wide, so the oracle-equivalence, streaming,
 # and checkpoint contracts are enforced with the sparse and the dense
@@ -75,6 +83,10 @@ CA_SIM_KERNEL=dense ctest --test-dir build -L sim --output-on-failure \
 # The chunk-parallel matching bench's plumbing (table + per-degree
 # report cross-check against the sim) at smoke size.
 ./build/bench/bench_parallel_match --smoke >/dev/null
+
+# The scored-matching bench's plumbing (scored vs plain table + oracle
+# cross-check of every arm's reports and scores) at smoke size.
+./build/bench/bench_scored_match --smoke >/dev/null
 
 # The observability-overhead bench's plumbing at smoke size: it must
 # drive real traffic with a live STATS poller ("polls > 0" in its
@@ -193,8 +205,13 @@ cmake -B build-tsan -S . -DCA_TELEMETRY=ON \
     "-DCMAKE_CXX_FLAGS=-fsanitize=thread"
 cmake --build build-tsan -j "$JOBS" \
     --target runtime_test streaming_test persist_test net_test \
-    observability_test cluster_test match_test
+    observability_test cluster_test match_test score_test
 ctest --test-dir build-tsan -L runtime --output-on-failure -j "$JOBS"
+
+# The scored suite under TSan: the scored ParallelMatcher path must
+# fall back to serial (speculation cannot certify scores), and the
+# fallback decision itself must be race-free.
+ctest --test-dir build-tsan -L score --output-on-failure -j "$JOBS"
 
 # The same TSan subset with every worker engine forced onto the dense
 # kernel: its lazily-built tables and frontier bitvectors are per-sim

@@ -26,6 +26,12 @@ struct Report
     uint64_t offset = 0;   ///< Input offset of the activating symbol.
     uint32_t reportId = 0; ///< The pattern/rule id.
     StateId state = 0;     ///< The reporting state.
+    /**
+     * Accumulated path score (semiring sum over all paths reaching the
+     * reporting state at this offset). Always 0 for unweighted automata,
+     * so scored and boolean reports compare equal on the same ruleset.
+     */
+    int64_t score = 0;
 
     bool operator==(const Report &o) const = default;
     bool

@@ -61,6 +61,12 @@ putI32(std::vector<uint8_t> &out, int32_t v)
     putU32(out, static_cast<uint32_t>(v));
 }
 
+inline void
+putI64(std::vector<uint8_t> &out, int64_t v)
+{
+    putU64(out, static_cast<uint64_t>(v));
+}
+
 /** IEEE-754 bit pattern, little-endian (all supported hosts use IEEE). */
 inline void
 putF64(std::vector<uint8_t> &out, double v)
@@ -165,6 +171,8 @@ class ByteReader
     }
 
     int32_t i32() { return static_cast<int32_t>(u32()); }
+
+    int64_t i64() { return static_cast<int64_t>(u64()); }
 
     double
     f64()

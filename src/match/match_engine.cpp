@@ -65,6 +65,19 @@ MatchContext::buildSparseTables()
         for (size_t i = 0; i < out.size(); ++i)
             succ_[base + i] = out[i];
     }
+
+    scored_ = nfa.hasWeights();
+    if (scored_) {
+        succ_w_.assign(succ_.size(), 0);
+        start_w_.assign(num_states_, 0);
+        for (StateId s = 0; s < num_states_; ++s) {
+            uint32_t base = succ_xadj_[s];
+            const NfaState &st = nfa.state(s);
+            for (size_t i = 0; i < st.out.size(); ++i)
+                succ_w_[base + i] = nfa.edgeWeight(s, i);
+            start_w_[s] = st.startWeight;
+        }
+    }
 }
 
 void
@@ -233,6 +246,15 @@ MatchEngine::MatchEngine(std::shared_ptr<const MatchContext> ctx,
             kSlotsPerPartition;
         dense_cur_ = BitVector(bits);
         dense_nxt_ = BitVector(bits);
+        if (ctx_->scored()) {
+            dense_score_cur_.assign(bits, 0);
+            dense_score_nxt_.assign(bits, 0);
+            dense_score_epoch_.assign(bits, 0);
+        }
+    }
+    if (ctx_->scored()) {
+        score_cur_.assign(n, 0);
+        score_nxt_.assign(n, 0);
     }
     reset();
 }
@@ -240,32 +262,56 @@ MatchEngine::MatchEngine(std::shared_ptr<const MatchContext> ctx,
 void
 MatchEngine::reset()
 {
-    setState(ctx_->startFrontier(), 0);
+    if (!ctx_->scored()) {
+        setState(ctx_->startFrontier(), 0);
+        return;
+    }
+    // Scored automata start each state at its start weight.
+    std::vector<Score> scores;
+    scores.reserve(ctx_->startFrontier().size());
+    for (StateId s : ctx_->startFrontier())
+        scores.push_back(static_cast<Score>(ctx_->start_w_[s]));
+    setState(ctx_->startFrontier(), scores, 0);
 }
 
 void
 MatchEngine::setState(const std::vector<StateId> &frontier, uint64_t offset)
 {
+    setState(frontier, {}, offset);
+}
+
+void
+MatchEngine::setState(const std::vector<StateId> &frontier,
+                      const std::vector<Score> &scores, uint64_t offset)
+{
+    CA_FATAL_IF(!scores.empty() && scores.size() != frontier.size(),
+                "MatchEngine: " << frontier.size() << " frontier states "
+                                << "but " << scores.size() << " scores");
     if (dense_active_) {
         dense_cur_.clearAll();
         dense_active_ = false;
     }
+    const bool scored = ctx_->scored();
     for (StateId s : enabled_)
         enabled_mask_.resetUnchecked(s);
     enabled_.clear();
-    for (StateId s : frontier) {
+    for (size_t i = 0; i < frontier.size(); ++i) {
+        StateId s = frontier[i];
         CA_FATAL_IF(s >= ctx_->numStates(),
                     "MatchEngine: frontier state " << s
                                                    << " outside automaton");
         if (!enabled_mask_.testUnchecked(s)) {
             enabled_mask_.setUnchecked(s);
             enabled_.push_back(s);
+            if (scored)
+                score_cur_[s] = scores.empty() ? 0 : scores[i];
         }
     }
     density_seeded_ = false;
     offset_ = offset;
     reports_.clear();
     cycle_report_scratch_.clear();
+    cycle_report_scored_.clear();
 }
 
 std::vector<StateId>
@@ -280,6 +326,31 @@ MatchEngine::frontier() const
         out = enabled_;
     }
     std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<Score>
+MatchEngine::frontierScores() const
+{
+    std::vector<Score> out;
+    if (!ctx_->scored())
+        return out;
+    std::vector<std::pair<StateId, Score>> pairs;
+    if (dense_active_) {
+        dense_cur_.forEachSet([&](size_t di) {
+            pairs.emplace_back(ctx_->state_of_dense_[di],
+                               dense_score_cur_[di]);
+        });
+    } else {
+        for (StateId s : enabled_)
+            pairs.emplace_back(s, score_cur_[s]);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    out.reserve(pairs.size());
+    for (const auto &[s, score] : pairs) {
+        (void)s;
+        out.push_back(score);
+    }
     return out;
 }
 
@@ -321,15 +392,21 @@ MatchEngine::chooseDense()
 void
 MatchEngine::syncDenseFromSparse()
 {
+    const bool scored = ctx_->scored();
     dense_cur_.clearAll();
-    for (StateId s : enabled_)
-        dense_cur_.setUnchecked(ctx_->dense_index_of_[s]);
+    for (StateId s : enabled_) {
+        uint32_t di = ctx_->dense_index_of_[s];
+        dense_cur_.setUnchecked(di);
+        if (scored)
+            dense_score_cur_[di] = score_cur_[s];
+    }
     dense_active_ = true;
 }
 
 void
 MatchEngine::syncSparseFromDense()
 {
+    const bool scored = ctx_->scored();
     for (StateId s : enabled_)
         enabled_mask_.resetUnchecked(s);
     enabled_.clear();
@@ -337,6 +414,8 @@ MatchEngine::syncSparseFromDense()
         StateId s = ctx_->state_of_dense_[di];
         enabled_mask_.setUnchecked(s);
         enabled_.push_back(s);
+        if (scored)
+            score_cur_[s] = dense_score_cur_[di];
     });
     dense_active_ = false;
 }
@@ -354,6 +433,22 @@ MatchEngine::emitCycleReports()
             offset_, static_cast<uint32_t>(ctx_->report_info_[s] >> 1),
             s});
     cycle_report_scratch_.clear();
+}
+
+void
+MatchEngine::emitCycleReportsScored()
+{
+    if (cycle_report_scored_.empty())
+        return;
+    std::sort(cycle_report_scored_.begin(), cycle_report_scored_.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    for (const auto &[s, score] : cycle_report_scored_)
+        reports_.push_back(Report{
+            offset_, static_cast<uint32_t>(ctx_->report_info_[s] >> 1),
+            s, score});
+    cycle_report_scored_.clear();
 }
 
 void
@@ -404,6 +499,16 @@ MatchEngine::feed(const uint8_t *data, size_t size)
 void
 MatchEngine::feedSparse(const uint8_t *data, size_t size)
 {
+    if (ctx_->scored())
+        feedSparseImpl<true>(data, size);
+    else
+        feedSparseImpl<false>(data, size);
+}
+
+template <bool Scored>
+void
+MatchEngine::feedSparseImpl(const uint8_t *data, size_t size)
+{
     const MatchContext &cx = *ctx_;
     const uint64_t *labels = cx.labels_.data();
     const uint64_t *report_info = cx.report_info_.data();
@@ -420,10 +525,17 @@ MatchEngine::feedSparse(const uint8_t *data, size_t size)
             if (!(labels[s * 4 + label_word] & label_bit))
                 continue;
             active_scratch_.push_back(s);
-            if (collect_ && (report_info[s] & 1))
-                cycle_report_scratch_.push_back(s);
+            if (collect_ && (report_info[s] & 1)) {
+                if constexpr (Scored)
+                    cycle_report_scored_.emplace_back(s, score_cur_[s]);
+                else
+                    cycle_report_scratch_.push_back(s);
+            }
         }
-        emitCycleReports();
+        if constexpr (Scored)
+            emitCycleReportsScored();
+        else
+            emitCycleReports();
 
         // Transition phase: clear only the bits set last cycle.
         for (StateId s : enabled_)
@@ -433,24 +545,61 @@ MatchEngine::feedSparse(const uint8_t *data, size_t size)
             uint32_t end = succ_xadj[s + 1];
             for (uint32_t e = succ_xadj[s]; e < end; ++e) {
                 StateId t = succ[e];
-                if (!enabled_mask_.testUnchecked(t)) {
-                    enabled_mask_.setUnchecked(t);
-                    enabled_.push_back(t);
+                if constexpr (Scored) {
+                    const Score cand = score_cur_[s] +
+                        static_cast<Score>(cx.succ_w_[e]);
+                    if (!enabled_mask_.testUnchecked(t)) {
+                        enabled_mask_.setUnchecked(t);
+                        enabled_.push_back(t);
+                        score_nxt_[t] = cand;
+                    } else {
+                        score_nxt_[t] = scoreCombine(
+                            opts_.semiring, score_nxt_[t], cand);
+                    }
+                } else {
+                    if (!enabled_mask_.testUnchecked(t)) {
+                        enabled_mask_.setUnchecked(t);
+                        enabled_.push_back(t);
+                    }
                 }
             }
         }
         for (StateId s : cx.all_input_) {
-            if (!enabled_mask_.testUnchecked(s)) {
-                enabled_mask_.setUnchecked(s);
-                enabled_.push_back(s);
+            if constexpr (Scored) {
+                const Score w = static_cast<Score>(cx.start_w_[s]);
+                if (!enabled_mask_.testUnchecked(s)) {
+                    enabled_mask_.setUnchecked(s);
+                    enabled_.push_back(s);
+                    score_nxt_[s] = w;
+                } else {
+                    score_nxt_[s] =
+                        scoreCombine(opts_.semiring, score_nxt_[s], w);
+                }
+            } else {
+                if (!enabled_mask_.testUnchecked(s)) {
+                    enabled_mask_.setUnchecked(s);
+                    enabled_.push_back(s);
+                }
             }
         }
+        if constexpr (Scored)
+            score_cur_.swap(score_nxt_);
         ++offset_;
     }
 }
 
 void
 MatchEngine::feedDense(const uint8_t *data, size_t size)
+{
+    if (ctx_->scored())
+        feedDenseImpl<true>(data, size);
+    else
+        feedDenseImpl<false>(data, size);
+}
+
+template <bool Scored>
+void
+MatchEngine::feedDenseImpl(const uint8_t *data, size_t size)
 {
     const MatchContext &cx = *ctx_;
     const uint32_t P = cx.dense_partitions_;
@@ -459,10 +608,15 @@ MatchEngine::feedDense(const uint8_t *data, size_t size)
     uint64_t *nxt = dense_nxt_.raw().data();
     const uint64_t *rep_mask = cx.dense_report_.data();
     const uint64_t *lswitch = cx.dense_lswitch_.data();
+    Score *scur = Scored ? dense_score_cur_.data() : nullptr;
+    Score *snxt = Scored ? dense_score_nxt_.data() : nullptr;
 
     for (size_t i = 0; i < size; ++i) {
         uint8_t c = data[i];
         std::fill(nxt, nxt + words, 0);
+        [[maybe_unused]] uint64_t score_epoch = 0;
+        if constexpr (Scored)
+            score_epoch = ++dense_epoch_counter_;
 
         const uint64_t *rows = &cx.dense_rows_[static_cast<size_t>(c) *
                                                words];
@@ -491,8 +645,12 @@ MatchEngine::feedDense(const uint8_t *data, size_t size)
                         uint32_t di = static_cast<uint32_t>(
                             (base + static_cast<size_t>(w)) * 64 +
                             static_cast<size_t>(b));
-                        cycle_report_scratch_.push_back(
-                            cx.state_of_dense_[di]);
+                        if constexpr (Scored)
+                            cycle_report_scored_.emplace_back(
+                                cx.state_of_dense_[di], scur[di]);
+                        else
+                            cycle_report_scratch_.push_back(
+                                cx.state_of_dense_[di]);
                         rw &= rw - 1;
                     }
                 }
@@ -514,22 +672,66 @@ MatchEngine::feedDense(const uint8_t *data, size_t size)
                         uint32_t ti = cx.dense_cross_[e];
                         nxt[ti >> 6] |= uint64_t{1} << (ti & 63);
                     }
+                    if constexpr (Scored) {
+                        // Scalar score propagation via the successor
+                        // CSR; the epoch array discriminates first
+                        // write from ⊕-combine.
+                        const StateId s = cx.state_of_dense_[di];
+                        const Score from = scur[di];
+                        const uint32_t end = cx.succ_xadj_[s + 1];
+                        for (uint32_t e = cx.succ_xadj_[s]; e < end;
+                             ++e) {
+                            const uint32_t ti =
+                                cx.dense_index_of_[cx.succ_[e]];
+                            const Score cand = from +
+                                static_cast<Score>(cx.succ_w_[e]);
+                            if (dense_score_epoch_[ti] != score_epoch) {
+                                dense_score_epoch_[ti] = score_epoch;
+                                snxt[ti] = cand;
+                            } else {
+                                snxt[ti] = scoreCombine(
+                                    opts_.semiring, snxt[ti], cand);
+                            }
+                        }
+                    }
                     mw &= mw - 1;
                 }
             }
         }
-        emitCycleReports();
+        if constexpr (Scored)
+            emitCycleReportsScored();
+        else
+            emitCycleReports();
 
         for (const auto &[w, mask] : cx.dense_allinput_words_)
             nxt[w] |= mask;
+        if constexpr (Scored) {
+            for (StateId s : cx.all_input_) {
+                const uint32_t ti = cx.dense_index_of_[s];
+                const Score w = static_cast<Score>(cx.start_w_[s]);
+                if (dense_score_epoch_[ti] != score_epoch) {
+                    dense_score_epoch_[ti] = score_epoch;
+                    snxt[ti] = w;
+                } else {
+                    snxt[ti] =
+                        scoreCombine(opts_.semiring, snxt[ti], w);
+                }
+            }
+        }
 
         std::swap(cur, nxt);
+        if constexpr (Scored)
+            std::swap(scur, snxt);
         ++offset_;
     }
     // An odd symbol count leaves the live frontier in dense_nxt_'s
     // storage; swap the vectors so dense_cur_ owns it again.
     if (cur != dense_cur_.raw().data())
         std::swap(dense_cur_, dense_nxt_);
+    if constexpr (Scored) {
+        if (scur != dense_score_cur_.data())
+            dense_score_cur_.swap(dense_score_nxt_);
+    }
 }
 
 } // namespace ca::match

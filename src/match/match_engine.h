@@ -41,6 +41,8 @@ struct MatchOptions
     double autoEwmaAlpha = 0.25;
     /** Auto: symbols per block between kernel re-evaluations. */
     uint32_t autoBlockSymbols = 4096;
+    /** ⊕ for weighted automata (ignored for unweighted ones). */
+    ScoreSemiring semiring = ScoreSemiring::MaxPlus;
 };
 
 /**
@@ -79,6 +81,9 @@ class MatchContext
     /** False when the mapping's geometry rules out the dense kernel. */
     bool denseAvailable() const { return dense_available_; }
 
+    /** True when the bound automaton carries transition weights. */
+    bool scored() const { return scored_; }
+
     const std::vector<StateId> &startFrontier() const
     {
         return start_frontier_;
@@ -111,6 +116,13 @@ class MatchContext
     std::vector<StateId> succ_;
     /** Report flag + id packed: (id << 1) | report. */
     std::vector<uint64_t> report_info_;
+
+    // Scoring tables (built only for weighted automata).
+    bool scored_ = false;
+    /** Per-edge weights, CSR-parallel to succ_. */
+    std::vector<Weight> succ_w_;
+    /** Per-state start weights. */
+    std::vector<Weight> start_w_;
 
     // Dense tables (§2.2 geometry: 4 words = 256 bits per partition).
     bool dense_available_ = false;
@@ -161,6 +173,14 @@ class MatchEngine
      */
     void setState(const std::vector<StateId> &frontier, uint64_t offset);
 
+    /**
+     * setState with per-state accumulated scores, parallel to
+     * @p frontier (the scored checkpoint-restore path). An empty
+     * @p scores means all-zero; otherwise sizes must match.
+     */
+    void setState(const std::vector<StateId> &frontier,
+                  const std::vector<Score> &scores, uint64_t offset);
+
     /** Consumes one chunk of the stream; callable repeatedly. */
     void feed(const uint8_t *data, size_t size);
 
@@ -177,6 +197,12 @@ class MatchEngine
     /** The live enabled frontier, sorted ascending. */
     std::vector<StateId> frontier() const;
 
+    /**
+     * Per-state scores parallel to frontier()'s order. Empty for
+     * unweighted automata.
+     */
+    std::vector<Score> frontierScores() const;
+
     /** Absolute stream position: the offset the next symbol gets. */
     uint64_t streamOffset() const { return offset_; }
 
@@ -187,9 +213,16 @@ class MatchEngine
     const MatchContext &context() const { return *ctx_; }
 
   private:
+    /** Steppers, instantiated scored/unscored at compile time (the
+        Scored=false bodies are the exact unweighted kernels). */
+    template <bool Scored>
+    void feedSparseImpl(const uint8_t *data, size_t size);
+    template <bool Scored>
+    void feedDenseImpl(const uint8_t *data, size_t size);
     void feedSparse(const uint8_t *data, size_t size);
     void feedDense(const uint8_t *data, size_t size);
     void emitCycleReports();
+    void emitCycleReportsScored();
     bool chooseDense();
     void syncDenseFromSparse();
     void syncSparseFromDense();
@@ -204,11 +237,20 @@ class MatchEngine
     BitVector enabled_mask_;
     std::vector<StateId> active_scratch_;
     std::vector<StateId> cycle_report_scratch_;
+    std::vector<std::pair<StateId, Score>> cycle_report_scored_;
 
     // Dense frontier representation.
     BitVector dense_cur_;
     BitVector dense_nxt_;
     bool dense_active_ = false;
+
+    // Scored-frontier state (allocated only for weighted automata).
+    std::vector<Score> score_cur_;
+    std::vector<Score> score_nxt_;
+    std::vector<Score> dense_score_cur_;
+    std::vector<Score> dense_score_nxt_;
+    std::vector<uint64_t> dense_score_epoch_;
+    uint64_t dense_epoch_counter_ = 0;
 
     // Auto-kernel state.
     double density_ewma_ = 0.0;

@@ -192,10 +192,17 @@ ParallelMatcher::runSerial(MatchResult &out,
                            size_t size)
 {
     join_engine_.setCollectReports(true);
-    join_engine_.setState(frontier, offset);
+    // A scored run from offset 0 must seed start weights, which a plain
+    // frontier load would zero out; reset() carries them.
+    if (ctx_->scored() && offset == 0 &&
+        frontier == ctx_->startFrontier())
+        join_engine_.reset();
+    else
+        join_engine_.setState(frontier, offset);
     join_engine_.feed(data, size);
     out.reports = join_engine_.takeReports();
     out.frontier = join_engine_.frontier();
+    out.frontierScores = join_engine_.frontierScores();
     out.endOffset = offset + size;
 }
 
@@ -208,8 +215,14 @@ ParallelMatcher::runLocked(const std::vector<StateId> &frontier,
     MatchResult out;
 
     // Chunk count: every chunk at least minChunkBytes, at most one per
-    // worker. N < 2 (short buffer or degree 1) runs serially.
+    // worker. N < 2 (short buffer or degree 1) runs serially. Weighted
+    // automata always run serially: the speculative join proves only
+    // frontier-set equality, and a converged *set* says nothing about
+    // the accumulated scores, so a speculative chunk's scored reports
+    // can never be certified.
     size_t n_chunks = std::min<size_t>(degree_, size / opts_.minChunkBytes);
+    if (ctx_->scored())
+        n_chunks = 1;
     if (n_chunks < 2 || workers_.empty()) {
         runSerial(out, frontier, offset, data, size);
         std::lock_guard<std::mutex> slk(stats_mu_);

@@ -81,6 +81,8 @@ struct MatchResult
     std::vector<Report> reports;
     /** Exact frontier after the last byte, sorted ascending. */
     std::vector<StateId> frontier;
+    /** Per-state scores parallel to frontier; empty when unweighted. */
+    std::vector<Score> frontierScores;
     /** Absolute stream offset after the last byte. */
     uint64_t endOffset = 0;
 };

@@ -299,7 +299,10 @@ void
 MatchClient::absorb(Frame &&f, std::vector<Frame> &out)
 {
     switch (f.type) {
-      case FrameType::Reports: {
+      case FrameType::Reports:
+      case FrameType::ScoredReports: {
+        // Scored rows land in the same per-stream buffer: Report carries
+        // the score field, and unscored rows keep it at 0.
         auto &buf = collected_[f.streamId];
         buf.insert(buf.end(), f.reportBatch.begin(), f.reportBatch.end());
         CA_COUNTER_ADD("ca.net.client_reports", f.reportBatch.size());

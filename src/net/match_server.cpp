@@ -42,6 +42,12 @@ struct MatchServer::Connection
 
     // --- Protocol state (reader thread only) --------------------------
     bool helloDone = false;
+    /**
+     * Negotiated protocol version (the client's HELLO version, within
+     * [kMinProtocolVersion, kProtocolVersion]). Written once during the
+     * handshake, before any stream can open, then read-only.
+     */
+    uint16_t version = kProtocolVersion;
     /** Accepted on the admin listener: SWAP is honored here. */
     bool isAdmin = false;
 
@@ -75,10 +81,10 @@ class MatchServer::ConnectionSink final : public runtime::ReportSink
     }
 
     void
-    registerStream(uint32_t runtime_id, uint32_t client_id)
+    registerStream(uint32_t runtime_id, uint32_t client_id, bool scored)
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        ids_[runtime_id] = client_id;
+        ids_[runtime_id] = StreamIds{client_id, scored};
     }
 
     void
@@ -93,35 +99,56 @@ class MatchServer::ConnectionSink final : public runtime::ReportSink
               size_t count) override
     {
         uint32_t client_id;
+        bool scored;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             auto it = ids_.find(sessionId);
             if (it == ids_.end())
                 return; // stream already torn down
-            client_id = it->second;
+            client_id = it->second.clientId;
+            scored = it->second.scored;
         }
+        // Scored streams get SCORED_REPORTS only on v4 connections; a
+        // v3 peer receives plain REPORTS with the same rows (scores
+        // elided), so the report set is independent of the version.
+        const bool wire_scored = scored && conn_.version >= 4;
+        const size_t row_bytes =
+            wire_scored ? kWireScoredReportBytes : kWireReportBytes;
         size_t max_per_frame = std::min<size_t>(
             std::max<size_t>(server_.opts_.reportBatch, 1),
-            (server_.opts_.maxFramePayload - 8) / kWireReportBytes);
+            (server_.opts_.maxFramePayload - 8) / row_bytes);
         for (size_t i = 0; i < count; i += max_per_frame) {
             size_t n = std::min(max_per_frame, count - i);
             std::vector<uint8_t> frame;
-            frame.reserve(kFrameHeaderBytes + 8 + n * kWireReportBytes);
-            appendReports(frame, client_id, reports + i, n);
+            frame.reserve(kFrameHeaderBytes + 8 + n * row_bytes);
+            if (wire_scored)
+                appendScoredReports(frame, client_id, reports + i, n);
+            else
+                appendReports(frame, client_id, reports + i, n);
             server_.enqueueFrame(conn_, std::move(frame));
         }
         {
             std::lock_guard<std::mutex> lock(server_.stats_mutex_);
             server_.stats_.reportsSent += count;
+            if (wire_scored)
+                server_.stats_.scoredReportsSent += count;
         }
         CA_COUNTER_ADD("ca.net.reports_sent", count);
+        if (wire_scored)
+            CA_COUNTER_ADD("ca.net.scored_reports_sent", count);
     }
 
   private:
+    struct StreamIds
+    {
+        uint32_t clientId = 0;
+        bool scored = false; ///< The stream's epoch automaton is weighted.
+    };
+
     MatchServer &server_;
     Connection &conn_;
     std::mutex mutex_;
-    std::map<uint32_t, uint32_t> ids_;
+    std::map<uint32_t, StreamIds> ids_;
 };
 
 /**
@@ -521,6 +548,7 @@ MatchServer::statsSnapshot(uint64_t token, uint32_t sections) const
                 t.bytesIn = stats_.bytesIn;
                 t.bytesOut = stats_.bytesOut;
                 t.reportsSent = stats_.reportsSent;
+                t.scoredReportsSent = stats_.scoredReportsSent;
                 t.protocolErrors = stats_.protocolErrors;
                 t.idleTimeouts = stats_.idleTimeouts;
                 t.writeTimeouts = stats_.writeTimeouts;
@@ -534,6 +562,8 @@ MatchServer::statsSnapshot(uint64_t token, uint32_t sections) const
             }
             t.epoch = epoch_no_.load();
             t.automatonFp = fingerprint_.load();
+            t.automatonWeighted =
+                epochs[0]->mapped->nfa().hasWeights() ? 1 : 0;
             t.epochsDraining = static_cast<uint64_t>(draining);
             t.sessionsOpened = totals.sessionsOpened;
             t.sessionsClosed = totals.sessionsClosed;
@@ -736,13 +766,15 @@ MatchServer::dispatchFrame(Connection &c, Frame &&f)
             return false;
         }
         CA_TRACE_SCOPE_CAT("ca.net.handshake", "ca.net");
-        if (f.version != kProtocolVersion) {
+        if (f.version < kMinProtocolVersion ||
+            f.version > kProtocolVersion) {
             failConnection(c, ErrorCode::VersionMismatch,
                            kConnectionStream,
                            "unsupported protocol version " +
                                std::to_string(f.version));
             return false;
         }
+        c.version = f.version;
         if (f.fingerprint != 0 && f.fingerprint != fingerprint_.load()) {
             failConnection(c, ErrorCode::FingerprintMismatch,
                            kConnectionStream,
@@ -750,7 +782,9 @@ MatchServer::dispatchFrame(Connection &c, Frame &&f)
             return false;
         }
         std::vector<uint8_t> reply;
-        appendHello(reply, fingerprint_.load());
+        // Echo the negotiated version so older clients' equality checks
+        // keep passing.
+        appendHello(reply, fingerprint_.load(), c.version);
         enqueueFrame(c, std::move(reply));
         c.helloDone = true;
         return true;
@@ -785,7 +819,8 @@ MatchServer::dispatchFrame(Connection &c, Frame &&f)
         }
         runtime::StreamSession &session = epoch->stream->open(*c.sink);
         // Register the id mapping before any DATA can produce reports.
-        c.sink->registerStream(session.id(), f.streamId);
+        c.sink->registerStream(session.id(), f.streamId,
+                               epoch->mapped->nfa().hasWeights());
         c.streams.emplace(f.streamId,
                           StreamRef{&session, std::move(epoch)});
         {
@@ -985,6 +1020,7 @@ MatchServer::dispatchFrame(Connection &c, Frame &&f)
       }
 
       case FrameType::Reports:
+      case FrameType::ScoredReports:
       case FrameType::Error:
       case FrameType::StatsReply:
       case FrameType::ArtifactOffer:

@@ -133,6 +133,7 @@ struct NetServerStats
     uint64_t bytesIn = 0;
     uint64_t bytesOut = 0;
     uint64_t reportsSent = 0;
+    uint64_t scoredReportsSent = 0; ///< Rows sent as SCORED_REPORTS (v4).
     uint64_t protocolErrors = 0;
     uint64_t idleTimeouts = 0;
     uint64_t writeTimeouts = 0;

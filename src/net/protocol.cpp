@@ -127,6 +127,25 @@ appendReports(std::vector<uint8_t> &out, uint32_t streamId,
 }
 
 void
+appendScoredReports(std::vector<uint8_t> &out, uint32_t streamId,
+                    const Report *reports, size_t count)
+{
+    CA_FATAL_IF(8 + count * kWireScoredReportBytes > kMaxFramePayload,
+                "SCORED_REPORTS batch of " << count << " exceeds the "
+                    "frame ceiling; split the batch");
+    size_t p = beginFrame(out, FrameType::ScoredReports);
+    serde::putU32(out, streamId);
+    serde::putU32(out, static_cast<uint32_t>(count));
+    for (size_t i = 0; i < count; ++i) {
+        serde::putU64(out, reports[i].offset);
+        serde::putU32(out, reports[i].reportId);
+        serde::putU32(out, reports[i].state);
+        serde::putI64(out, reports[i].score);
+    }
+    endFrame(out, p);
+}
+
+void
 appendError(std::vector<uint8_t> &out, ErrorCode code, uint32_t streamId,
             const std::string &message)
 {
@@ -277,6 +296,8 @@ encodeTotals(const WireServerTotals &t)
     serde::putU64(s, t.artifactQueries);
     serde::putU64(s, t.artifactChunksServed);
     serde::putU64(s, t.artifactBytesServed);
+    serde::putU64(s, t.automatonWeighted);
+    serde::putU64(s, t.scoredReportsSent);
     return s;
 }
 
@@ -364,6 +385,8 @@ decodeTotals(serde::ByteReader &r)
     t.artifactQueries = r.u64();
     t.artifactChunksServed = r.u64();
     t.artifactBytesServed = r.u64();
+    t.automatonWeighted = r.u64();
+    t.scoredReportsSent = r.u64();
     return t;
 }
 
@@ -473,6 +496,10 @@ appendFrame(std::vector<uint8_t> &out, const Frame &f)
         appendReports(out, f.streamId, f.reportBatch.data(),
                       f.reportBatch.size());
         return;
+      case FrameType::ScoredReports:
+        appendScoredReports(out, f.streamId, f.reportBatch.data(),
+                            f.reportBatch.size());
+        return;
       case FrameType::Error:
         appendError(out, f.errorCode, f.streamId, f.message);
         return;
@@ -558,6 +585,25 @@ decodePayload(FrameType type, const uint8_t *payload, size_t size)
             rep.offset = r.u64();
             rep.reportId = r.u32();
             rep.state = r.u32();
+            f.reportBatch.push_back(rep);
+        }
+        break;
+      }
+      case FrameType::ScoredReports: {
+        f.streamId = r.u32();
+        uint32_t count = r.u32();
+        CA_FATAL_IF(static_cast<uint64_t>(count) * kWireScoredReportBytes
+                        != r.remaining(),
+                    "net: SCORED_REPORTS count " << count
+                        << " disagrees with " << r.remaining()
+                        << " payload bytes");
+        f.reportBatch.reserve(count);
+        for (uint32_t i = 0; i < count; ++i) {
+            Report rep;
+            rep.offset = r.u64();
+            rep.reportId = r.u32();
+            rep.state = r.u32();
+            rep.score = r.i64();
             f.reportBatch.push_back(rep);
         }
         break;
@@ -717,7 +763,7 @@ FrameDecoder::next()
                     << " exceeds the " << max_payload_ << "-byte bound");
     uint8_t type = p[4];
     CA_FATAL_IF(type < static_cast<uint8_t>(FrameType::Hello) ||
-                    type > static_cast<uint8_t>(FrameType::SwapReply),
+                    type > static_cast<uint8_t>(FrameType::ScoredReports),
                 "net: unknown frame type " << unsigned{type});
     if (avail < kFrameHeaderBytes + payload)
         return std::nullopt;

@@ -23,6 +23,10 @@
  *   CLOSE_STREAM u32 streamId | u64 symbols | u64 reports
  *   REPORTS      u32 streamId | u32 count |
  *                count x (u64 offset | u32 reportId | u32 state)
+ *   SCORED_REPORTS (v4)
+ *                u32 streamId | u32 count |
+ *                count x (u64 offset | u32 reportId | u32 state |
+ *                i64 score)
  *   ERROR        u16 code | u32 streamId (kConnectionStream = whole
  *                connection) | string message
  *   GOODBYE      (empty)
@@ -70,8 +74,15 @@ namespace ca::net {
 
 /** "CANP" (Cache Automaton Network Protocol) little-endian fourcc. */
 constexpr uint32_t kHelloMagic = 0x504e4143u;
-/** Bump on any framing change; HELLO negotiation rejects other versions. */
-constexpr uint16_t kProtocolVersion = 3;
+/**
+ * Bump on any framing change. v4 adds SCORED_REPORTS (docs/SCORING.md);
+ * servers still accept v3 HELLOs — such connections simply receive
+ * plain REPORTS frames (scores elided), so pre-scoring clients are
+ * unaffected.
+ */
+constexpr uint16_t kProtocolVersion = 4;
+/** Oldest HELLO version a server still accepts. */
+constexpr uint16_t kMinProtocolVersion = 3;
 /**
  * Absolute payload-size ceiling any decoder accepts; connections may
  * negotiate (configure) a smaller bound. Caps hostile length prefixes so
@@ -84,6 +95,8 @@ constexpr uint32_t kConnectionStream = 0xffffffffu;
 constexpr size_t kFrameHeaderBytes = 5;
 /** Encoded size of one report in a REPORTS frame. */
 constexpr size_t kWireReportBytes = 16;
+/** Encoded size of one report in a SCORED_REPORTS frame (v4). */
+constexpr size_t kWireScoredReportBytes = 24;
 
 enum class FrameType : uint8_t {
     Hello = 1,
@@ -102,10 +115,11 @@ enum class FrameType : uint8_t {
     ArtifactChunk = 14, ///< One CRC-covered artifact chunk (v3).
     Swap = 15,          ///< Admin: hot-swap the served ruleset (v3).
     SwapReply = 16,     ///< Swap outcome: old/new fingerprints + epoch (v3).
+    ScoredReports = 17, ///< REPORTS with per-report scores (v4).
 };
 
 /** Version of the STATS_REPLY payload layout (independent of frames). */
-constexpr uint16_t kStatsVersion = 2;
+constexpr uint16_t kStatsVersion = 3;
 
 /** SWAP_REPLY outcome codes. */
 enum class SwapStatus : uint8_t {
@@ -193,6 +207,9 @@ struct WireServerTotals
     uint64_t artifactQueries = 0;     ///< ARTIFACT_QUERY frames answered.
     uint64_t artifactChunksServed = 0;
     uint64_t artifactBytesServed = 0;
+    // scoring-side (statsVersion 3, docs/SCORING.md)
+    uint64_t automatonWeighted = 0;   ///< 1 when serving a scored automaton.
+    uint64_t scoredReportsSent = 0;   ///< Rows sent in SCORED_REPORTS frames.
 };
 
 /**
@@ -278,6 +295,9 @@ void appendCloseStream(std::vector<uint8_t> &out, uint32_t streamId,
                        uint64_t symbols = 0, uint64_t reports = 0);
 void appendReports(std::vector<uint8_t> &out, uint32_t streamId,
                    const Report *reports, size_t count);
+/** v4: REPORTS rows extended with each report's accumulated score. */
+void appendScoredReports(std::vector<uint8_t> &out, uint32_t streamId,
+                         const Report *reports, size_t count);
 void appendError(std::vector<uint8_t> &out, ErrorCode code,
                  uint32_t streamId, const std::string &message);
 void appendGoodbye(std::vector<uint8_t> &out);

@@ -33,13 +33,63 @@ Nfa::addTransition(StateId from, StateId to)
 }
 
 void
+Nfa::addTransition(StateId from, StateId to, Weight w)
+{
+    CA_ASSERT_MSG(from < states_.size() && to < states_.size(),
+                  "transition " << from << "->" << to << " out of range");
+    auto &s = states_[from];
+    s.out.push_back(to);
+    // Weights stay unmaterialized (implied all-zero) until the first
+    // nonzero arrives; then backfill zeros for the edges added so far.
+    if (w != 0 && s.outWeight.empty())
+        s.outWeight.assign(s.out.size() - 1, 0);
+    if (w != 0 || !s.outWeight.empty())
+        s.outWeight.push_back(w);
+    reverse_valid_ = false;
+}
+
+void
 Nfa::dedupeEdges()
 {
     for (auto &s : states_) {
-        std::sort(s.out.begin(), s.out.end());
-        s.out.erase(std::unique(s.out.begin(), s.out.end()), s.out.end());
+        if (s.outWeight.empty()) {
+            std::sort(s.out.begin(), s.out.end());
+            s.out.erase(std::unique(s.out.begin(), s.out.end()),
+                        s.out.end());
+            continue;
+        }
+        // Weighted: sort (target, weight) pairs, keep max weight per target.
+        std::vector<std::pair<StateId, Weight>> edges;
+        edges.reserve(s.out.size());
+        for (size_t k = 0; k < s.out.size(); ++k)
+            edges.emplace_back(s.out[k], s.outWeight[k]);
+        std::sort(edges.begin(), edges.end());
+        s.out.clear();
+        s.outWeight.clear();
+        for (size_t k = 0; k < edges.size(); ++k) {
+            if (!s.out.empty() && s.out.back() == edges[k].first) {
+                s.outWeight.back() =
+                    std::max(s.outWeight.back(), edges[k].second);
+            } else {
+                s.out.push_back(edges[k].first);
+                s.outWeight.push_back(edges[k].second);
+            }
+        }
     }
     reverse_valid_ = false;
+}
+
+bool
+Nfa::hasWeights() const
+{
+    for (const auto &s : states_) {
+        if (s.startWeight != 0)
+            return true;
+        for (Weight w : s.outWeight)
+            if (w != 0)
+                return true;
+    }
+    return false;
 }
 
 size_t
@@ -140,6 +190,11 @@ Nfa::validate() const
         CA_FATAL_IF(s.label.empty() && !s.out.empty(),
                     "state " << i << " has an empty label but successors; "
                              << "it can never activate");
+        CA_FATAL_IF(!s.outWeight.empty() &&
+                        s.outWeight.size() != s.out.size(),
+                    "state " << i << " has " << s.out.size()
+                             << " edges but " << s.outWeight.size()
+                             << " edge weights");
     }
 
     // Reachability from start states (forward BFS).
@@ -191,13 +246,16 @@ Nfa::subAutomaton(const std::vector<StateId> &keep) const
         const auto &s = states_[old_id];
         StateId new_id =
             out.addState(s.label, s.start, s.report, s.reportId, s.name);
+        out.state(new_id).startWeight = s.startWeight;
         remap[old_id] = new_id;
     }
     for (StateId old_id : keep) {
-        for (StateId t : states_[old_id].out) {
-            auto it = remap.find(t);
+        const auto &s = states_[old_id];
+        for (size_t k = 0; k < s.out.size(); ++k) {
+            auto it = remap.find(s.out[k]);
             if (it != remap.end())
-                out.addTransition(remap[old_id], it->second);
+                out.addTransition(remap[old_id], it->second,
+                                  edgeWeight(old_id, k));
         }
     }
     return out;

@@ -37,6 +37,9 @@ enum class StartType : uint8_t {
     AllInput,    ///< Enabled at every offset (unanchored pattern head).
 };
 
+/** Per-transition weight (score delta), accumulated under a semiring. */
+using Weight = int32_t;
+
 /** One STE: a labelled state of a homogeneous NFA. */
 struct NfaState
 {
@@ -48,6 +51,17 @@ struct NfaState
     std::string name;
     /** Successor state ids (activate-on-match targets). */
     std::vector<StateId> out;
+    /**
+     * Per-edge weights, parallel to @c out. Empty means every edge has
+     * weight 0 (the common unscored case pays no storage); otherwise the
+     * size must equal out.size() (validate() enforces this).
+     */
+    std::vector<Weight> outWeight;
+    /**
+     * Weight of the implicit start-enable "edge" (the cost of this state's
+     * own first activation). Only meaningful for start states.
+     */
+    Weight startWeight = 0;
 };
 
 /** Aggregate shape statistics used by Table 1 and the mapping heuristics. */
@@ -84,8 +98,29 @@ class Nfa
      */
     void addTransition(StateId from, StateId to);
 
-    /** Sorts every adjacency list and removes duplicate edges. */
+    /** Adds the edge from → to carrying weight @p w (score delta). */
+    void addTransition(StateId from, StateId to, Weight w);
+
+    /**
+     * Sorts every adjacency list and removes duplicate edges. When two
+     * duplicate edges carry different weights, the surviving edge keeps the
+     * maximum (duplicates arise only from construction shortcuts; max is
+     * the lossless choice under the default max-plus semiring).
+     */
     void dedupeEdges();
+
+    /** True if any edge or start carries a nonzero weight. */
+    bool hasWeights() const;
+
+    /**
+     * Weight of the k-th out-edge of @p id (0 when the automaton carries no
+     * weights on that state).
+     */
+    Weight edgeWeight(StateId id, size_t k) const
+    {
+        const auto &w = states_[id].outWeight;
+        return w.empty() ? 0 : w[k];
+    }
 
     size_t numStates() const { return states_.size(); }
 

@@ -196,6 +196,15 @@ TransformStats
 mergePrefixes(Nfa &nfa)
 {
     CA_TRACE_SCOPE("ca.nfa.merge_prefixes");
+    if (nfa.hasWeights()) {
+        // Bisimulation merging is score-unsafe: two states with identical
+        // languages may accumulate different scores, so a quotient would
+        // collapse distinct score lattices. Weighted automata keep their
+        // full shape.
+        TransformStats st;
+        st.statesBefore = st.statesAfter = nfa.numStates();
+        return st;
+    }
     TransformStats stats = bisimulationQuotient(nfa, /*backward=*/true);
     CA_COUNTER_ADD("ca.nfa.prefix_states_merged", stats.removed());
     return stats;
@@ -205,6 +214,11 @@ TransformStats
 mergeSuffixes(Nfa &nfa)
 {
     CA_TRACE_SCOPE("ca.nfa.merge_suffixes");
+    if (nfa.hasWeights()) {
+        TransformStats st;
+        st.statesBefore = st.statesAfter = nfa.numStates();
+        return st;
+    }
     TransformStats stats = bisimulationQuotient(nfa, /*backward=*/false);
     CA_COUNTER_ADD("ca.nfa.suffix_states_merged", stats.removed());
     return stats;

@@ -167,6 +167,49 @@ decodeNfa(ByteReader &r)
     return nfa;
 }
 
+/** Layout version of the WGHT payload (independent of kFormatVersion). */
+constexpr uint16_t kWeightsVersion = 1;
+
+std::vector<uint8_t>
+encodeWeights(const Nfa &nfa)
+{
+    std::vector<uint8_t> out;
+    serde::putU16(out, kWeightsVersion);
+    serde::putU32(out, static_cast<uint32_t>(nfa.numStates()));
+    for (StateId s = 0; s < nfa.numStates(); ++s) {
+        const NfaState &st = nfa.state(s);
+        serde::putI32(out, st.startWeight);
+        serde::putU32(out, static_cast<uint32_t>(st.out.size()));
+        for (size_t k = 0; k < st.out.size(); ++k)
+            serde::putI32(out, nfa.edgeWeight(s, k));
+    }
+    return out;
+}
+
+/** Overlays a decoded WGHT payload onto an already-decoded NFA. */
+void
+applyWeights(ByteReader &r, Nfa &nfa)
+{
+    uint16_t ver = r.u16();
+    CA_FATAL_IF(ver != kWeightsVersion,
+                "artifact: unsupported WGHT layout version " << ver);
+    uint32_t n = r.u32();
+    CA_FATAL_IF(n != nfa.numStates(),
+                "artifact: WGHT covers " << n << " states, NFA has "
+                                         << nfa.numStates());
+    for (StateId s = 0; s < n; ++s) {
+        NfaState &st = nfa.state(s);
+        st.startWeight = r.i32();
+        uint32_t deg = r.u32();
+        CA_FATAL_IF(deg != st.out.size(),
+                    "artifact: WGHT state " << s << " lists " << deg
+                        << " edges, NFA has " << st.out.size());
+        st.outWeight.assign(deg, 0);
+        for (uint32_t k = 0; k < deg; ++k)
+            st.outWeight[k] = r.i32();
+    }
+}
+
 std::vector<uint8_t>
 encodePlace(const MappedAutomaton &mapped)
 {
@@ -438,6 +481,10 @@ ArtifactWriter::setAutomaton(const MappedAutomaton &mapped)
     addSection(kSecDesign, encodeDesign(mapped.design()));
     addSection(kSecNfa, encodeNfa(mapped.nfa()));
     addSection(kSecPlace, encodePlace(mapped));
+    // Weighted automata carry a WGHT overlay; unweighted ones omit it so
+    // their artifact bytes (and fingerprints) predating scoring hold.
+    if (mapped.nfa().hasWeights())
+        addSection(kSecWeights, encodeWeights(mapped.nfa()));
 }
 
 void
@@ -624,6 +671,11 @@ ArtifactReader::nfa() const
     ByteReader r(section(kSecNfa));
     Nfa n = decodeNfa(r);
     CA_FATAL_IF(!r.done(), "artifact: trailing bytes in NFA section");
+    if (hasSection(kSecWeights)) {
+        ByteReader wr(section(kSecWeights));
+        applyWeights(wr, n);
+        CA_FATAL_IF(!wr.done(), "artifact: trailing bytes in WGHT section");
+    }
     n.validate();
     return n;
 }
@@ -637,6 +689,11 @@ ArtifactReader::automaton() const
     ByteReader nr(section(kSecNfa));
     Nfa n = decodeNfa(nr);
     CA_FATAL_IF(!nr.done(), "artifact: trailing bytes in NFA section");
+    if (hasSection(kSecWeights)) {
+        ByteReader wr(section(kSecWeights));
+        applyWeights(wr, n);
+        CA_FATAL_IF(!wr.done(), "artifact: trailing bytes in WGHT section");
+    }
     return MappedAutomaton::fromParts(
         std::move(n), design(), std::move(place.locations),
         std::move(place.partitions), std::move(place.crossEdges),

@@ -19,7 +19,8 @@
  * Sections: META (tool/label/content key), DSGN (design parameters),
  * NFA (states, labels, edges), PLAC (locations, partitions, cross edges,
  * stats), CIMG (per-partition STE images + L-switch matrices + G-wire
- * assignments), ROUT (G-switch routes).
+ * assignments), ROUT (G-switch routes), WGHT (transition/start weights,
+ * present only for weighted automata).
  *
  * Guarantees:
  *  - Deterministic bytes: the same automaton always packs to the same
@@ -57,6 +58,14 @@ constexpr uint32_t kSecNfa = 0x2041464eu;    // "NFA "
 constexpr uint32_t kSecPlace = 0x43414c50u;  // "PLAC"
 constexpr uint32_t kSecImage = 0x474d4943u;  // "CIMG"
 constexpr uint32_t kSecRoutes = 0x54554f52u; // "ROUT"
+/**
+ * "WGHT": per-transition weights + per-state start weights (docs/
+ * SCORING.md). Written only for weighted automata, so every pre-scoring
+ * artifact stays byte-identical; a reader that finds no WGHT section
+ * decodes an unweighted automaton. The payload carries its own layout
+ * version so the weight encoding can evolve without a CAAF bump.
+ */
+constexpr uint32_t kSecWeights = 0x54484757u; // "WGHT"
 
 /** Renders a fourcc id as printable text (for inspect/diagnostics). */
 std::string sectionName(uint32_t id);

@@ -56,13 +56,23 @@ StreamServer::StreamServer(const MappedAutomaton &mapped,
         opts_.matchParallelism = *env;
 
     // The checkpoint a fresh session starts from: offset 0, the start
-    // frontier (restore()-ing it is identical to reset()).
+    // frontier (restore()-ing it is identical to reset()). Weighted
+    // automata additionally seed each start state's startWeight so a
+    // resumed session scores identically to a reset() one.
     const Nfa &nfa = mapped_.nfa();
+    const bool scored = nfa.hasWeights();
     for (StateId s = 0; s < nfa.numStates(); ++s)
-        if (nfa.state(s).start != StartType::None)
+        if (nfa.state(s).start != StartType::None) {
             initial_checkpoint_.enabledStates.push_back(s);
+            if (scored)
+                initial_checkpoint_.enabledScores.push_back(
+                    nfa.state(s).startWeight);
+        }
 
-    if (opts_.matchParallelism > 1) {
+    // The ParallelMatcher hands state between chunks as a bare frontier;
+    // that drops accumulated scores, so weighted automata stay on the
+    // per-worker serial engines (whose checkpoints carry scores).
+    if (opts_.matchParallelism > 1 && !scored) {
         match::ParallelOptions popts;
         popts.degree = opts_.matchParallelism;
         // The functional engines honor the same kernel choice (and the

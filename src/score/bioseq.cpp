@@ -1,0 +1,360 @@
+#include "score/bioseq.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "core/symbol_set.h"
+
+namespace ca {
+
+const std::string kDnaAlphabet = "ACGT";
+const std::string kProteinAlphabet = "ACDEFGHIKLMNPQRSTVWY";
+
+namespace {
+
+/** Consuming-state kinds; the kind encodes "last move was an insertion",
+    which is what affine gap extension needs to see. */
+enum Kind : uint8_t
+{
+    KindMatch = 0, ///< Consumed the pattern residue (label {P[i-1]}).
+    KindSub = 1,   ///< Consumed a substituted residue (label ¬{P[i-1]}).
+    KindIns = 2,   ///< Consumed an inserted residue (label Σ).
+};
+
+struct BaseState
+{
+    StateId id = kInvalidState;
+    Kind kind = KindMatch;
+    int i = 0; ///< Pattern residues consumed after this state's move.
+    int e = 0; ///< Edits spent after this state's move.
+};
+
+} // namespace
+
+Nfa
+bioLevenshteinNfa(const std::string &pattern, const BioPatternOptions &opt,
+                  uint32_t report_id)
+{
+    const int m = static_cast<int>(pattern.size());
+    const int k = opt.maxEdits;
+    CA_FATAL_IF(m == 0, "empty bio pattern");
+    CA_FATAL_IF(k < 0 || k >= m,
+                "bio edit budget k=" << k << " out of range for m=" << m);
+    const BioScoreParams &sc = opt.score;
+    const StartType start_type =
+        opt.anchored ? StartType::StartOfData : StartType::AllInput;
+
+    Nfa nfa;
+    // Base consuming states. M(i,e): i in [1..m], e in [0..k];
+    // S(i,e): i in [1..m], e in [1..k]; I(i,e): i in [0..m], e in [1..k].
+    auto idx = [&](Kind kind, int i, int e) {
+        return (static_cast<size_t>(kind) * (m + 1) + i) * (k + 1) + e;
+    };
+    std::vector<StateId> id(3 * static_cast<size_t>(m + 1) * (k + 1),
+                            kInvalidState);
+    std::vector<BaseState> base;
+    auto addBase = [&](Kind kind, int i, int e, const SymbolSet &label) {
+        StateId s = nfa.addState(label, StartType::None,
+                                 /*report=*/i == m, report_id);
+        id[idx(kind, i, e)] = s;
+        base.push_back(BaseState{s, kind, i, e});
+    };
+    for (int i = 1; i <= m; ++i) {
+        SymbolSet sym = SymbolSet::of(static_cast<uint8_t>(pattern[i - 1]));
+        for (int e = 0; e <= k; ++e)
+            addBase(KindMatch, i, e, sym);
+        for (int e = 1; e <= k; ++e)
+            addBase(KindSub, i, e, ~sym);
+    }
+    for (int i = 0; i <= m; ++i)
+        for (int e = 1; e <= k; ++e)
+            addBase(KindIns, i, e, SymbolSet::all());
+
+    // Start enables: the first consuming move, after d leading deletions
+    // from the virtual origin. The move's residue score plus the leading
+    // gap penalty lives on the start weight.
+    for (int d = 0; d <= k; ++d) {
+        if (d + 1 <= m && d <= k) {
+            StateId s = id[idx(KindMatch, d + 1, d)];
+            nfa.state(s).start = start_type;
+            nfa.state(s).startWeight =
+                static_cast<Weight>(sc.gapCost(d) + sc.match);
+        }
+        if (d + 1 <= m && d + 1 <= k) {
+            StateId s = id[idx(KindSub, d + 1, d + 1)];
+            nfa.state(s).start = start_type;
+            nfa.state(s).startWeight =
+                static_cast<Weight>(sc.gapCost(d) + sc.mismatch);
+        }
+        if (d <= m && d + 1 <= k) {
+            StateId s = id[idx(KindIns, d, d + 1)];
+            nfa.state(s).start = start_type;
+            nfa.state(s).startWeight = static_cast<Weight>(
+                sc.gapCost(d) + sc.gapOpen + sc.gapExtend);
+        }
+    }
+
+    // Transitions: from grid (i, e), d interior deletions fold into the
+    // edge, then one consuming move.
+    struct Edge
+    {
+        StateId from, to;
+        Weight w;
+    };
+    std::vector<Edge> edges;
+    for (const BaseState &b : base) {
+        for (int d = 0; d + b.e <= k; ++d) {
+            const Score gap = sc.gapCost(d);
+            if (b.i + d + 1 <= m && b.e + d <= k) {
+                edges.push_back(
+                    Edge{b.id, id[idx(KindMatch, b.i + d + 1, b.e + d)],
+                         static_cast<Weight>(gap + sc.match)});
+            }
+            if (b.i + d + 1 <= m && b.e + d + 1 <= k) {
+                edges.push_back(
+                    Edge{b.id,
+                         id[idx(KindSub, b.i + d + 1, b.e + d + 1)],
+                         static_cast<Weight>(gap + sc.mismatch)});
+            }
+            if (b.i + d <= m && b.e + d + 1 <= k) {
+                // Extending an insertion run (I -> I with no interleaved
+                // deletions) pays only the extend charge.
+                const bool extend = b.kind == KindIns && d == 0;
+                const Score ins = extend
+                    ? static_cast<Score>(sc.gapExtend)
+                    : static_cast<Score>(sc.gapOpen) + sc.gapExtend;
+                edges.push_back(
+                    Edge{b.id, id[idx(KindIns, b.i + d, b.e + d + 1)],
+                         static_cast<Weight>(gap + ins)});
+            }
+        }
+    }
+
+    // Trailing-deletion clones: a state at (i, e) with m-i residues left
+    // and budget for them accepts "consume this residue, then delete the
+    // rest". The clone re-reports with every incoming weight (edges and
+    // start) shifted by the terminal gap penalty.
+    std::vector<StateId> clone_of(base.size(), kInvalidState);
+    std::vector<Score> clone_shift(base.size(), 0);
+    for (size_t bi = 0; bi < base.size(); ++bi) {
+        const BaseState &b = base[bi];
+        const int dd = m - b.i;
+        if (dd < 1 || b.e + dd > k)
+            continue;
+        const NfaState &src = nfa.state(b.id);
+        StateId c = nfa.addState(src.label, src.start, /*report=*/true,
+                                 report_id, src.name);
+        nfa.state(c).startWeight = static_cast<Weight>(
+            static_cast<Score>(src.startWeight) + sc.gapCost(dd));
+        clone_of[bi] = c;
+        clone_shift[bi] = sc.gapCost(dd);
+    }
+    std::vector<size_t> base_index(nfa.numStates(), ~size_t{0});
+    for (size_t bi = 0; bi < base.size(); ++bi)
+        base_index[base[bi].id] = bi;
+    const size_t n_plain = edges.size();
+    for (size_t ei = 0; ei < n_plain; ++ei) {
+        const Edge &e = edges[ei];
+        size_t bi = base_index[e.to];
+        if (bi != ~size_t{0} && clone_of[bi] != kInvalidState)
+            edges.push_back(Edge{
+                e.from, clone_of[bi],
+                static_cast<Weight>(static_cast<Score>(e.w) +
+                                    clone_shift[bi])});
+    }
+
+    for (const Edge &e : edges)
+        nfa.addTransition(e.from, e.to, e.w);
+    nfa.dedupeEdges();
+    nfa.validate();
+    return nfa;
+}
+
+BioWorkload
+makeBioWorkload(int num_patterns, int pattern_len,
+                const BioPatternOptions &opt, const std::string &alphabet,
+                uint64_t seed)
+{
+    CA_FATAL_IF(num_patterns <= 0 || pattern_len <= 0,
+                "bio workload needs >= 1 pattern of >= 1 residues");
+    CA_FATAL_IF(alphabet.empty(), "bio workload needs an alphabet");
+    Rng rng(seed);
+    BioWorkload w;
+    w.options = opt;
+    w.alphabet = alphabet;
+    for (int r = 0; r < num_patterns; ++r) {
+        std::string p(static_cast<size_t>(pattern_len), '\0');
+        for (auto &ch : p)
+            ch = alphabet[rng.below(alphabet.size())];
+        w.nfa.merge(
+            bioLevenshteinNfa(p, opt, static_cast<uint32_t>(r)));
+        w.patterns.push_back(std::move(p));
+    }
+    w.nfa.validate();
+    return w;
+}
+
+std::vector<uint8_t>
+bioSampleInput(const BioWorkload &w, size_t size, double plant_rate,
+               uint64_t seed)
+{
+    Rng rng(seed);
+    const std::string &alpha = w.alphabet;
+    std::vector<uint8_t> out;
+    out.reserve(size);
+    while (out.size() < size) {
+        if (!w.patterns.empty() && rng.uniform() < plant_rate) {
+            // Plant a mutated copy: up to maxEdits random edits.
+            std::string p =
+                w.patterns[rng.below(w.patterns.size())];
+            int edits = static_cast<int>(
+                rng.below(static_cast<uint64_t>(w.options.maxEdits) + 1));
+            for (int j = 0; j < edits && !p.empty(); ++j) {
+                size_t pos = rng.below(p.size());
+                switch (rng.below(3)) {
+                case 0: // substitution
+                    p[pos] = alpha[rng.below(alpha.size())];
+                    break;
+                case 1: // insertion
+                    p.insert(p.begin() + static_cast<long>(pos),
+                             alpha[rng.below(alpha.size())]);
+                    break;
+                default: // deletion
+                    p.erase(p.begin() + static_cast<long>(pos));
+                    break;
+                }
+            }
+            for (char ch : p) {
+                if (out.size() >= size)
+                    break;
+                out.push_back(static_cast<uint8_t>(ch));
+            }
+        } else {
+            out.push_back(static_cast<uint8_t>(
+                alpha[rng.below(alpha.size())]));
+        }
+    }
+    return out;
+}
+
+std::vector<BioWitnessHit>
+bioAlignWitness(const std::string &pattern, const uint8_t *data, size_t n,
+                const BioPatternOptions &opt)
+{
+    const int m = static_cast<int>(pattern.size());
+    const int k = opt.maxEdits;
+    CA_FATAL_IF(m == 0, "empty bio pattern");
+    CA_FATAL_IF(k < 0 || k >= m,
+                "bio edit budget k=" << k << " out of range for m=" << m);
+    const BioScoreParams &sc = opt.score;
+    const ScoreSemiring sr = opt.semiring;
+
+    // Cells: (kind, i, e) where kind 0 = last move aligned a pattern
+    // residue (match or substitution), 1 = last move was an insertion;
+    // i = pattern residues consumed, e = edits spent. Deletions fold into
+    // the transition as d-runs, mirroring the alignment definition (and
+    // nothing else — this is DP over alignments, not over the automaton).
+    const size_t cells = 2 * static_cast<size_t>(m + 1) * (k + 1);
+    auto at = [&](int kind, int i, int e) {
+        return (static_cast<size_t>(kind) * (m + 1) + i) * (k + 1) + e;
+    };
+    std::vector<Score> cur(cells), nxt(cells);
+    std::vector<char> cur_set(cells, 0), nxt_set(cells, 0);
+    auto relax = [&](int kind, int i, int e, Score v) {
+        size_t c = at(kind, i, e);
+        if (!nxt_set[c]) {
+            nxt_set[c] = 1;
+            nxt[c] = v;
+        } else {
+            nxt[c] = scoreCombine(sr, nxt[c], v);
+        }
+    };
+
+    std::vector<BioWitnessHit> hits;
+    for (size_t j = 0; j < n; ++j) {
+        const uint8_t x = data[j];
+        std::fill(nxt_set.begin(), nxt_set.end(), 0);
+
+        // A fresh alignment's first consuming move, after d leading
+        // deletions (anchored: only at offset 0).
+        if (!opt.anchored || j == 0) {
+            for (int d = 0; d <= k; ++d) {
+                const Score gap = sc.gapCost(d);
+                if (d < m) {
+                    if (x == static_cast<uint8_t>(pattern[d])) {
+                        if (d <= k)
+                            relax(0, d + 1, d, gap + sc.match);
+                    } else if (d + 1 <= k) {
+                        relax(0, d + 1, d + 1, gap + sc.mismatch);
+                    }
+                }
+                if (d <= m && d + 1 <= k)
+                    relax(1, d, d + 1,
+                          gap + sc.gapOpen + sc.gapExtend);
+            }
+        }
+
+        // Extend every live partial alignment by d deletions plus one
+        // consuming move.
+        for (int kind = 0; kind < 2; ++kind) {
+            for (int i = 0; i <= m; ++i) {
+                for (int e = 0; e <= k; ++e) {
+                    size_t c = at(kind, i, e);
+                    if (!cur_set[c])
+                        continue;
+                    const Score v = cur[c];
+                    for (int d = 0; d + e <= k; ++d) {
+                        const Score gap = sc.gapCost(d);
+                        const int ii = i + d;
+                        if (ii < m) {
+                            if (x == static_cast<uint8_t>(pattern[ii])) {
+                                if (e + d <= k)
+                                    relax(0, ii + 1, e + d,
+                                          v + gap + sc.match);
+                            } else if (e + d + 1 <= k) {
+                                relax(0, ii + 1, e + d + 1,
+                                      v + gap + sc.mismatch);
+                            }
+                        }
+                        if (ii <= m && e + d + 1 <= k) {
+                            const bool extend = kind == 1 && d == 0;
+                            const Score ins = extend
+                                ? static_cast<Score>(sc.gapExtend)
+                                : static_cast<Score>(sc.gapOpen) +
+                                    sc.gapExtend;
+                            relax(1, ii, e + d + 1, v + gap + ins);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Acceptance at this offset: any cell whose remaining residues
+        // fit in the edit budget as trailing deletions.
+        bool hit = false;
+        Score best = 0;
+        for (int kind = 0; kind < 2; ++kind) {
+            for (int i = 0; i <= m; ++i) {
+                const int dd = m - i;
+                for (int e = 0; e + dd <= k; ++e) {
+                    size_t c = at(kind, i, e);
+                    if (!nxt_set[c])
+                        continue;
+                    const Score v = nxt[c] + sc.gapCost(dd);
+                    best = hit ? scoreCombine(sr, best, v) : v;
+                    hit = true;
+                }
+            }
+        }
+        if (hit)
+            hits.push_back(BioWitnessHit{static_cast<uint64_t>(j), best});
+
+        cur.swap(nxt);
+        cur_set.swap(nxt_set);
+    }
+    return hits;
+}
+
+} // namespace ca

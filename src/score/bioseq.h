@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Bioinformatics workload: scored approximate sequence matching
+ * (docs/SCORING.md).
+ *
+ * Weighted Levenshtein automata over DNA/protein alphabets, in the
+ * scored-NFA-processor style: a pattern P compiles into a homogeneous NFA
+ * whose reports carry the alignment score of P against the input substring
+ * ending at the report offset — match/mismatch residue scores and
+ * affine-gap penalties (open + extend), under an edit budget k. Linear
+ * gaps are the gapOpen = 0 special case.
+ *
+ * Construction (direct homogeneous build; no epsilon elimination):
+ * consuming states are M(i,e) (residue matched P[i-1]), S(i,e)
+ * (substitution), and I(i,e) (insertion), where i = pattern residues
+ * consumed and e = edits spent. Deletions consume no input, so they fold
+ * into edge weights: an edge performing d deletions then a consuming move
+ * carries the gap penalty for the d-run plus the move's score. Leading
+ * deletions fold into start weights, trailing deletions into cloned
+ * reporting states whose incoming weights add the terminal gap penalty.
+ * The state kind encodes "last move was an insertion", which is exactly
+ * what affine gap scoring needs.
+ *
+ * Every generated automaton is witness-checked: an independent Gotoh-style
+ * banded DP (bioAlignWitness) recomputes the per-offset hit set and best
+ * scores from the alignment definition alone.
+ */
+#ifndef CA_SCORE_BIOSEQ_H
+#define CA_SCORE_BIOSEQ_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nfa/nfa.h"
+#include "score/semiring.h"
+
+namespace ca {
+
+/** The two standard residue alphabets. */
+extern const std::string kDnaAlphabet;     ///< "ACGT"
+extern const std::string kProteinAlphabet; ///< 20 amino-acid letters.
+
+/** Residue/gap scoring parameters (added into the max-plus score). */
+struct BioScoreParams
+{
+    int32_t match = 2;      ///< Per matching residue.
+    int32_t mismatch = -1;  ///< Per substituted residue.
+    int32_t gapOpen = -2;   ///< Once per gap run (insertions or deletions).
+    int32_t gapExtend = -1; ///< Per gap residue.
+
+    /** Linear-gap convenience: no per-run open charge. */
+    static BioScoreParams
+    linear(int32_t match, int32_t mismatch, int32_t indel)
+    {
+        return BioScoreParams{match, mismatch, 0, indel};
+    }
+
+    /** Penalty of a d-residue gap run (0 for d == 0). */
+    Score
+    gapCost(int d) const
+    {
+        return d == 0 ? 0
+                      : static_cast<Score>(gapOpen) +
+                static_cast<Score>(d) * static_cast<Score>(gapExtend);
+    }
+};
+
+/** One pattern's compilation controls. */
+struct BioPatternOptions
+{
+    int maxEdits = 1;      ///< Edit budget k (each sub/ins/del costs 1).
+    bool anchored = false; ///< Alignment must start at input offset 0.
+    BioScoreParams score;
+    ScoreSemiring semiring = ScoreSemiring::MaxPlus;
+};
+
+/**
+ * Compiles @p pattern into a weighted homogeneous NFA reporting every
+ * input offset where an alignment with <= maxEdits edits ends, scored
+ * under @p opt. Requires 0 <= maxEdits < pattern length.
+ */
+Nfa bioLevenshteinNfa(const std::string &pattern,
+                      const BioPatternOptions &opt,
+                      uint32_t report_id = 0);
+
+/** A generated multi-pattern workload (patterns merged into one NFA). */
+struct BioWorkload
+{
+    Nfa nfa;
+    std::vector<std::string> patterns; ///< patterns[r] reports with id r.
+    BioPatternOptions options;
+    std::string alphabet;
+};
+
+/**
+ * Generates @p num_patterns random patterns of length @p pattern_len over
+ * @p alphabet and merges their scored automata (reportId = pattern index).
+ */
+BioWorkload makeBioWorkload(int num_patterns, int pattern_len,
+                            const BioPatternOptions &opt,
+                            const std::string &alphabet, uint64_t seed);
+
+/**
+ * Random residue stream with approximate pattern occurrences planted at
+ * rate @p plant_rate (expected planted starts per symbol); each planted
+ * copy is mutated with up to maxEdits random edits so scores exercise the
+ * whole gap/substitution space.
+ */
+std::vector<uint8_t> bioSampleInput(const BioWorkload &w, size_t size,
+                                    double plant_rate, uint64_t seed);
+
+/** One witness ground-truth hit: an alignment ends at @p offset. */
+struct BioWitnessHit
+{
+    uint64_t offset = 0;
+    Score score = 0; ///< Semiring-best over all alignments ending here.
+
+    bool operator==(const BioWitnessHit &) const = default;
+};
+
+/**
+ * Independent ground truth for bioLevenshteinNfa: Gotoh-style DP with an
+ * edit budget, computed directly from the alignment definition. Returns
+ * one hit per input offset where some alignment of the full pattern (with
+ * <= maxEdits edits) ends, with the semiring-combined best score.
+ */
+std::vector<BioWitnessHit> bioAlignWitness(const std::string &pattern,
+                                           const uint8_t *data, size_t n,
+                                           const BioPatternOptions &opt);
+
+} // namespace ca
+
+#endif // CA_SCORE_BIOSEQ_H

@@ -1,0 +1,116 @@
+#include "score/oracle.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace ca {
+
+ScoredOracle::ScoredOracle(const Nfa &nfa, ScoreSemiring semiring)
+    : nfa_(nfa), semiring_(semiring)
+{
+    const size_t n = nfa.numStates();
+    enabled_mask_.assign(n, 0);
+    next_mask_.assign(n, 0);
+    score_.assign(n, 0);
+    next_score_.assign(n, 0);
+    for (StateId s = 0; s < n; ++s)
+        if (nfa.state(s).start == StartType::AllInput)
+            all_input_.push_back(s);
+    reset();
+}
+
+void
+ScoredOracle::reset()
+{
+    for (StateId s : enabled_)
+        enabled_mask_[s] = 0;
+    enabled_.clear();
+    for (StateId s = 0; s < nfa_.numStates(); ++s) {
+        const NfaState &st = nfa_.state(s);
+        if (st.start != StartType::None) {
+            enabled_mask_[s] = 1;
+            score_[s] = st.startWeight;
+            enabled_.push_back(s);
+        }
+    }
+    reports_.clear();
+    offset_ = 0;
+}
+
+void
+ScoredOracle::step(uint8_t symbol)
+{
+    // Match phase: enabled states whose label contains the symbol
+    // activate; reporting states fire at this offset with their
+    // accumulated score, in ascending state-id order (the canonical
+    // within-cycle order all engines share).
+    report_scratch_.clear();
+    next_enabled_.clear();
+    for (StateId s : enabled_) {
+        if (!nfa_.state(s).label.test(symbol))
+            continue;
+        if (nfa_.state(s).report)
+            report_scratch_.push_back(s);
+        // Transition phase: each out-edge extends the path score by the
+        // edge weight; alternatives into one target combine under ⊕.
+        const NfaState &st = nfa_.state(s);
+        for (size_t k = 0; k < st.out.size(); ++k) {
+            StateId t = st.out[k];
+            Score cand = score_[s] +
+                static_cast<Score>(nfa_.edgeWeight(s, k));
+            if (!next_mask_[t]) {
+                next_mask_[t] = 1;
+                next_score_[t] = cand;
+                next_enabled_.push_back(t);
+            } else {
+                next_score_[t] =
+                    scoreCombine(semiring_, next_score_[t], cand);
+            }
+        }
+    }
+    std::sort(report_scratch_.begin(), report_scratch_.end());
+    for (StateId s : report_scratch_)
+        reports_.push_back(
+            Report{offset_, nfa_.state(s).reportId, s, score_[s]});
+
+    // AllInput starts re-enable every cycle at their start weight (a
+    // fresh local alignment can begin at any offset); an incoming path
+    // competes with the restart under ⊕.
+    for (StateId s : all_input_) {
+        Score w = nfa_.state(s).startWeight;
+        if (!next_mask_[s]) {
+            next_mask_[s] = 1;
+            next_score_[s] = w;
+            next_enabled_.push_back(s);
+        } else {
+            next_score_[s] = scoreCombine(semiring_, next_score_[s], w);
+        }
+    }
+
+    for (StateId s : enabled_)
+        enabled_mask_[s] = 0;
+    enabled_.swap(next_enabled_);
+    enabled_mask_.swap(next_mask_);
+    score_.swap(next_score_);
+    ++offset_;
+}
+
+std::vector<Report>
+ScoredOracle::run(const uint8_t *data, size_t size)
+{
+    reset();
+    for (size_t i = 0; i < size; ++i)
+        step(data[i]);
+    return reports_;
+}
+
+std::vector<StateId>
+ScoredOracle::frontier() const
+{
+    std::vector<StateId> out = enabled_;
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace ca

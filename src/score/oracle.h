@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Scored CPU oracle (docs/SCORING.md).
+ *
+ * An independent frontier interpreter for weighted homogeneous NFAs: it
+ * reads the Nfa directly (no flattened tables, no mapping, no kernels)
+ * and computes, per enabled state, the semiring sum of all path scores
+ * reaching it. Every scored execution engine — both sim kernels and the
+ * functional MatchEngine — is held to this oracle's report stream *and*
+ * scores exactly, the weighted extension of the repo's bit-identity
+ * contract. Deliberately simple and slow; correctness reference only.
+ */
+#ifndef CA_SCORE_ORACLE_H
+#define CA_SCORE_ORACLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/nfa_engine.h"
+#include "nfa/nfa.h"
+#include "score/semiring.h"
+
+namespace ca {
+
+/** Frontier interpreter tracking per-state accumulated scores. */
+class ScoredOracle
+{
+  public:
+    explicit ScoredOracle(const Nfa &nfa,
+                          ScoreSemiring semiring = ScoreSemiring::MaxPlus);
+
+    /** Rewinds to offset 0 (start states enabled at their startWeight). */
+    void reset();
+
+    /** Consumes one symbol; reports carry the activating state's score. */
+    void step(uint8_t symbol);
+
+    /** Runs a whole buffer from a fresh reset. */
+    std::vector<Report> run(const uint8_t *data, size_t size);
+
+    std::vector<Report>
+    run(const std::vector<uint8_t> &input)
+    {
+        return run(input.data(), input.size());
+    }
+
+    /** Reports accumulated since the last reset. */
+    const std::vector<Report> &reports() const { return reports_; }
+
+    /** The live frontier, sorted ascending. */
+    std::vector<StateId> frontier() const;
+
+    /** Score of an enabled state (meaningless when not enabled). */
+    Score stateScore(StateId s) const { return score_[s]; }
+
+  private:
+    const Nfa &nfa_;
+    ScoreSemiring semiring_;
+    std::vector<StateId> all_input_;
+
+    std::vector<StateId> enabled_;
+    std::vector<char> enabled_mask_;
+    std::vector<Score> score_;
+    std::vector<StateId> next_enabled_;
+    std::vector<char> next_mask_;
+    std::vector<Score> next_score_;
+    std::vector<StateId> report_scratch_;
+    std::vector<Report> reports_;
+    uint64_t offset_ = 0;
+};
+
+} // namespace ca
+
+#endif // CA_SCORE_ORACLE_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Score semirings for weighted automata (docs/SCORING.md).
+ *
+ * A scored automaton annotates transitions with integer weights; a run
+ * accumulates them under a semiring whose ⊗ is addition along a path and
+ * whose ⊕ combines alternative paths reaching the same state on the same
+ * symbol. Max-plus (⊕ = max) is the alignment semiring — a report's score
+ * is the best alignment ending there — and min-plus (⊕ = min) is its
+ * cost-minimizing dual (edit distance proper). Weights never gate
+ * transitions, so the report *set* of a scored run is identical to the
+ * boolean run's; only the score payload differs.
+ */
+#ifndef CA_SCORE_SEMIRING_H
+#define CA_SCORE_SEMIRING_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace ca {
+
+/** Accumulated path score; wide enough that i32 weights never overflow. */
+using Score = int64_t;
+
+/** Which ⊕ combines alternative paths into one state. */
+enum class ScoreSemiring : uint8_t
+{
+    MaxPlus, ///< ⊕ = max: best-alignment scoring (default).
+    MinPlus, ///< ⊕ = min: least-cost / edit-distance scoring.
+};
+
+/** ⊕: combine two alternative path scores. */
+inline Score
+scoreCombine(ScoreSemiring s, Score a, Score b)
+{
+    return s == ScoreSemiring::MaxPlus ? (a > b ? a : b)
+                                       : (a < b ? a : b);
+}
+
+/** Parses "maxplus"/"minplus"; nullopt on anything else. */
+inline std::optional<ScoreSemiring>
+parseSemiringName(std::string_view name)
+{
+    if (name == "maxplus" || name == "max-plus" || name == "max")
+        return ScoreSemiring::MaxPlus;
+    if (name == "minplus" || name == "min-plus" || name == "min")
+        return ScoreSemiring::MinPlus;
+    return std::nullopt;
+}
+
+/** The semiring's canonical spelling ("maxplus"/"minplus"). */
+inline const char *
+semiringName(ScoreSemiring s)
+{
+    return s == ScoreSemiring::MaxPlus ? "maxplus" : "minplus";
+}
+
+} // namespace ca
+
+#endif // CA_SCORE_SEMIRING_H

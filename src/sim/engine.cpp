@@ -198,6 +198,24 @@ CacheAutomatonSim::CacheAutomatonSim(const MappedAutomaton &mapped,
             succ_[base + i] = out[i];
     }
 
+    // Weighted automata additionally flatten the edge/start weights and
+    // allocate the score frontier; unweighted ones skip all of it and
+    // run the exact unscored kernels.
+    scored_ = nfa.hasWeights();
+    if (scored_) {
+        succ_w_.assign(succ_.size(), 0);
+        start_w_.assign(nfa.numStates(), 0);
+        for (StateId s = 0; s < nfa.numStates(); ++s) {
+            uint32_t base = succ_xadj_[s];
+            const NfaState &st = nfa.state(s);
+            for (size_t i = 0; i < st.out.size(); ++i)
+                succ_w_[base + i] = nfa.edgeWeight(s, i);
+            start_w_[s] = st.startWeight;
+        }
+        score_cur_.assign(nfa.numStates(), 0);
+        score_nxt_.assign(nfa.numStates(), 0);
+    }
+
     enabled_mask_ = BitVector(nfa.numStates());
     partition_epoch_.assign(mapped.numPartitions(), ~0ull);
     reset();
@@ -215,6 +233,8 @@ CacheAutomatonSim::reset()
             !enabled_mask_.test(s)) {
             enabled_mask_.set(s);
             enabled_.push_back(s);
+            if (scored_)
+                score_cur_[s] = start_w_[s];
         }
     }
     dense_active_ = false;
@@ -355,6 +375,12 @@ CacheAutomatonSim::ensureDenseTables()
         BitVector(static_cast<size_t>(P) * kSlotsPerPartition);
     dense_nxt_ =
         BitVector(static_cast<size_t>(P) * kSlotsPerPartition);
+    if (scored_) {
+        dense_score_cur_.assign(state_of_dense_.size(), 0);
+        dense_score_nxt_.assign(state_of_dense_.size(), 0);
+        dense_score_epoch_.assign(state_of_dense_.size(), 0);
+        dense_epoch_counter_ = 0;
+    }
     dense_ready_ = true;
 }
 
@@ -362,8 +388,12 @@ void
 CacheAutomatonSim::syncDenseFromSparse()
 {
     dense_cur_.clearAll();
-    for (StateId s : enabled_)
-        dense_cur_.setUnchecked(dense_index_of_[s]);
+    for (StateId s : enabled_) {
+        uint32_t di = dense_index_of_[s];
+        dense_cur_.setUnchecked(di);
+        if (scored_)
+            dense_score_cur_[di] = score_cur_[s];
+    }
     dense_active_ = true;
 }
 
@@ -377,6 +407,8 @@ CacheAutomatonSim::syncSparseFromDense()
         StateId s = state_of_dense_[di];
         enabled_mask_.setUnchecked(s);
         enabled_.push_back(s);
+        if (scored_)
+            score_cur_[s] = dense_score_cur_[di];
     });
     dense_active_ = false;
 }
@@ -418,6 +450,33 @@ CacheAutomatonSim::chooseDense()
         density_seeded_ = true;
     }
     return density_ewma_ > opts_.autoDensityThreshold;
+}
+
+void
+CacheAutomatonSim::emitCycleReportsScored()
+{
+    if (cycle_report_scored_.empty())
+        return;
+    // Same canonical ascending-state order as the unscored path; the
+    // score rides along as the report payload.
+    std::sort(cycle_report_scored_.begin(), cycle_report_scored_.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    if (opts_.collectReports) {
+        for (const auto &[s, score] : cycle_report_scored_)
+            acc_.reports.push_back(Report{
+                stream_offset_,
+                static_cast<uint32_t>(report_info_[s] >> 1), s, score});
+    }
+    pending_reports_ += cycle_report_scored_.size();
+    const uint64_t depth =
+        static_cast<uint64_t>(std::max(opts_.outputBufferDepth, 1));
+    while (pending_reports_ >= depth) {
+        ++acc_.outputBufferInterrupts;
+        pending_reports_ -= depth;
+    }
+    cycle_report_scored_.clear();
 }
 
 void
@@ -554,6 +613,16 @@ CacheAutomatonSim::feed(const uint8_t *data, size_t size)
 void
 CacheAutomatonSim::feedSparse(const uint8_t *data, size_t size)
 {
+    if (scored_)
+        feedSparseImpl<true>(data, size);
+    else
+        feedSparseImpl<false>(data, size);
+}
+
+template <bool Scored>
+void
+CacheAutomatonSim::feedSparseImpl(const uint8_t *data, size_t size)
+{
     for (size_t i = 0; i < size; ++i) {
         uint8_t c = data[i];
         const uint64_t label_bit = uint64_t{1} << (c & 63);
@@ -593,16 +662,25 @@ CacheAutomatonSim::feedSparse(const uint8_t *data, size_t size)
                 ++g1;
             if (flags & 2)
                 ++g4;
-            if (report_info_[s] & 1)
-                cycle_report_scratch_.push_back(s);
+            if (report_info_[s] & 1) {
+                if constexpr (Scored)
+                    cycle_report_scored_.emplace_back(s, score_cur_[s]);
+                else
+                    cycle_report_scratch_.push_back(s);
+            }
         }
         acc_.totalActiveStates += active_scratch_.size();
         acc_.totalG1Crossings += g1;
         acc_.totalG4Crossings += g4;
 
-        uint32_t fired =
-            static_cast<uint32_t>(cycle_report_scratch_.size());
-        emitCycleReports();
+        uint32_t fired;
+        if constexpr (Scored) {
+            fired = static_cast<uint32_t>(cycle_report_scored_.size());
+            emitCycleReportsScored();
+        } else {
+            fired = static_cast<uint32_t>(cycle_report_scratch_.size());
+            emitCycleReports();
+        }
 
         if (opts_.recordTrace) {
             acc_.trace.push_back(CycleTrace{
@@ -620,18 +698,48 @@ CacheAutomatonSim::feedSparse(const uint8_t *data, size_t size)
             uint32_t end = succ_xadj_[s + 1];
             for (uint32_t e = succ_xadj_[s]; e < end; ++e) {
                 StateId t = succ_[e];
-                if (!enabled_mask_.testUnchecked(t)) {
-                    enabled_mask_.setUnchecked(t);
-                    enabled_.push_back(t);
+                if constexpr (Scored) {
+                    // ⊗ along the edge, ⊕ across alternatives into t.
+                    const Score cand = score_cur_[s] +
+                        static_cast<Score>(succ_w_[e]);
+                    if (!enabled_mask_.testUnchecked(t)) {
+                        enabled_mask_.setUnchecked(t);
+                        enabled_.push_back(t);
+                        score_nxt_[t] = cand;
+                    } else {
+                        score_nxt_[t] = scoreCombine(
+                            opts_.semiring, score_nxt_[t], cand);
+                    }
+                } else {
+                    if (!enabled_mask_.testUnchecked(t)) {
+                        enabled_mask_.setUnchecked(t);
+                        enabled_.push_back(t);
+                    }
                 }
             }
         }
         for (StateId s : all_input_) {
-            if (!enabled_mask_.testUnchecked(s)) {
-                enabled_mask_.setUnchecked(s);
-                enabled_.push_back(s);
+            if constexpr (Scored) {
+                // An always-on start competes with any incoming path at
+                // its start weight (a fresh local alignment).
+                const Score w = static_cast<Score>(start_w_[s]);
+                if (!enabled_mask_.testUnchecked(s)) {
+                    enabled_mask_.setUnchecked(s);
+                    enabled_.push_back(s);
+                    score_nxt_[s] = w;
+                } else {
+                    score_nxt_[s] =
+                        scoreCombine(opts_.semiring, score_nxt_[s], w);
+                }
+            } else {
+                if (!enabled_mask_.testUnchecked(s)) {
+                    enabled_mask_.setUnchecked(s);
+                    enabled_.push_back(s);
+                }
             }
         }
+        if constexpr (Scored)
+            score_cur_.swap(score_nxt_);
         ++acc_.symbols;
         ++stream_offset_;
     }
@@ -639,6 +747,16 @@ CacheAutomatonSim::feedSparse(const uint8_t *data, size_t size)
 
 void
 CacheAutomatonSim::feedDense(const uint8_t *data, size_t size)
+{
+    if (scored_)
+        feedDenseImpl<true>(data, size);
+    else
+        feedDenseImpl<false>(data, size);
+}
+
+template <bool Scored>
+void
+CacheAutomatonSim::feedDenseImpl(const uint8_t *data, size_t size)
 {
     const uint32_t P = dense_partitions_;
     const size_t words = static_cast<size_t>(P) * kWordsPerPartition;
@@ -648,6 +766,12 @@ CacheAutomatonSim::feedDense(const uint8_t *data, size_t size)
     const uint64_t *g4_mask = dense_g4_.data();
     const uint64_t *rep_mask = dense_report_.data();
     const uint64_t *lswitch = dense_lswitch_.data();
+    // Scored runs keep the word-parallel row read for matching but
+    // propagate scores scalar per matched state via the successor CSR;
+    // an epoch array discriminates first-write from ⊕-combine without
+    // clearing the score vector each symbol.
+    Score *scur = Scored ? dense_score_cur_.data() : nullptr;
+    Score *snxt = Scored ? dense_score_nxt_.data() : nullptr;
 
     for (size_t i = 0; i < size; ++i) {
         uint8_t c = data[i];
@@ -657,6 +781,9 @@ CacheAutomatonSim::feedDense(const uint8_t *data, size_t size)
             ++acc_.fifoRefills;
 
         std::fill(nxt, nxt + words, 0);
+        [[maybe_unused]] uint64_t score_epoch = 0;
+        if constexpr (Scored)
+            score_epoch = ++dense_epoch_counter_;
 
         const uint64_t *rows =
             &dense_rows_[static_cast<size_t>(c) * words];
@@ -698,8 +825,12 @@ CacheAutomatonSim::feedDense(const uint8_t *data, size_t size)
                     uint32_t di = static_cast<uint32_t>(
                         (base + static_cast<size_t>(w)) * 64 +
                         static_cast<size_t>(b));
-                    cycle_report_scratch_.push_back(
-                        state_of_dense_[di]);
+                    if constexpr (Scored)
+                        cycle_report_scored_.emplace_back(
+                            state_of_dense_[di], scur[di]);
+                    else
+                        cycle_report_scratch_.push_back(
+                            state_of_dense_[di]);
                     rw &= rw - 1;
                 }
                 // Transition: matched states drive their L-switch rows
@@ -721,6 +852,24 @@ CacheAutomatonSim::feedDense(const uint8_t *data, size_t size)
                         uint32_t ti = dense_cross_[e];
                         nxt[ti >> 6] |= uint64_t{1} << (ti & 63);
                     }
+                    if constexpr (Scored) {
+                        const StateId s = state_of_dense_[di];
+                        const Score from = scur[di];
+                        const uint32_t end = succ_xadj_[s + 1];
+                        for (uint32_t e = succ_xadj_[s]; e < end; ++e) {
+                            const uint32_t ti =
+                                dense_index_of_[succ_[e]];
+                            const Score cand = from +
+                                static_cast<Score>(succ_w_[e]);
+                            if (dense_score_epoch_[ti] != score_epoch) {
+                                dense_score_epoch_[ti] = score_epoch;
+                                snxt[ti] = cand;
+                            } else {
+                                snxt[ti] = scoreCombine(
+                                    opts_.semiring, snxt[ti], cand);
+                            }
+                        }
+                    }
                     mw &= mw - 1;
                 }
             }
@@ -730,9 +879,14 @@ CacheAutomatonSim::feedDense(const uint8_t *data, size_t size)
         acc_.totalG1Crossings += g1;
         acc_.totalG4Crossings += g4;
 
-        uint32_t fired =
-            static_cast<uint32_t>(cycle_report_scratch_.size());
-        emitCycleReports();
+        uint32_t fired;
+        if constexpr (Scored) {
+            fired = static_cast<uint32_t>(cycle_report_scored_.size());
+            emitCycleReportsScored();
+        } else {
+            fired = static_cast<uint32_t>(cycle_report_scratch_.size());
+            emitCycleReports();
+        }
 
         if (opts_.recordTrace) {
             acc_.trace.push_back(CycleTrace{
@@ -743,8 +897,23 @@ CacheAutomatonSim::feedDense(const uint8_t *data, size_t size)
 
         for (const auto &[w, mask] : dense_allinput_words_)
             nxt[w] |= mask;
+        if constexpr (Scored) {
+            for (StateId s : all_input_) {
+                const uint32_t ti = dense_index_of_[s];
+                const Score w = static_cast<Score>(start_w_[s]);
+                if (dense_score_epoch_[ti] != score_epoch) {
+                    dense_score_epoch_[ti] = score_epoch;
+                    snxt[ti] = w;
+                } else {
+                    snxt[ti] =
+                        scoreCombine(opts_.semiring, snxt[ti], w);
+                }
+            }
+        }
 
         std::swap(cur, nxt);
+        if constexpr (Scored)
+            std::swap(scur, snxt);
         ++acc_.symbols;
         ++stream_offset_;
     }
@@ -752,6 +921,10 @@ CacheAutomatonSim::feedDense(const uint8_t *data, size_t size)
     // storage; swap the vectors so dense_cur_ owns it again.
     if (cur != dense_cur_.raw().data())
         std::swap(dense_cur_, dense_nxt_);
+    if constexpr (Scored) {
+        if (scur != dense_score_cur_.data())
+            dense_score_cur_.swap(dense_score_nxt_);
+    }
 }
 
 SimResult
@@ -804,14 +977,36 @@ CacheAutomatonSim::checkpoint() const
 {
     SimCheckpoint ckpt;
     ckpt.symbolOffset = stream_offset_;
+    if (!scored_) {
+        if (dense_active_) {
+            dense_cur_.forEachSet([&](size_t di) {
+                ckpt.enabledStates.push_back(state_of_dense_[di]);
+            });
+        } else {
+            ckpt.enabledStates = enabled_;
+        }
+        std::sort(ckpt.enabledStates.begin(), ckpt.enabledStates.end());
+        return ckpt;
+    }
+    // Weighted automata checkpoint the per-state scores alongside the
+    // frontier, kept parallel through the canonical sort.
+    std::vector<std::pair<StateId, Score>> pairs;
     if (dense_active_) {
         dense_cur_.forEachSet([&](size_t di) {
-            ckpt.enabledStates.push_back(state_of_dense_[di]);
+            pairs.emplace_back(state_of_dense_[di],
+                               dense_score_cur_[di]);
         });
     } else {
-        ckpt.enabledStates = enabled_;
+        for (StateId s : enabled_)
+            pairs.emplace_back(s, score_cur_[s]);
     }
-    std::sort(ckpt.enabledStates.begin(), ckpt.enabledStates.end());
+    std::sort(pairs.begin(), pairs.end());
+    ckpt.enabledStates.reserve(pairs.size());
+    ckpt.enabledScores.reserve(pairs.size());
+    for (const auto &[s, score] : pairs) {
+        ckpt.enabledStates.push_back(s);
+        ckpt.enabledScores.push_back(score);
+    }
     return ckpt;
 }
 
@@ -819,16 +1014,28 @@ void
 CacheAutomatonSim::restore(const SimCheckpoint &ckpt)
 {
     const Nfa &nfa = mapped_.nfa();
+    CA_FATAL_IF(!ckpt.enabledScores.empty() &&
+                    ckpt.enabledScores.size() !=
+                        ckpt.enabledStates.size(),
+                "checkpoint has " << ckpt.enabledStates.size()
+                                  << " states but "
+                                  << ckpt.enabledScores.size()
+                                  << " scores");
     for (StateId s : enabled_)
         enabled_mask_.reset(s);
     enabled_.clear();
-    for (StateId s : ckpt.enabledStates) {
+    for (size_t i = 0; i < ckpt.enabledStates.size(); ++i) {
+        StateId s = ckpt.enabledStates[i];
         CA_FATAL_IF(s >= nfa.numStates(),
                     "checkpoint references state " << s
                                                    << " outside automaton");
         if (!enabled_mask_.test(s)) {
             enabled_mask_.set(s);
             enabled_.push_back(s);
+            if (scored_)
+                score_cur_[s] = ckpt.enabledScores.empty()
+                    ? 0
+                    : ckpt.enabledScores[i];
         }
     }
     dense_active_ = false;

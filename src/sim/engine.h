@@ -41,6 +41,7 @@
 #include "baseline/nfa_engine.h"
 #include "compiler/mapping.h"
 #include "core/bitvector.h"
+#include "score/semiring.h"
 
 namespace ca {
 
@@ -113,6 +114,13 @@ struct SimOptions
     double autoEwmaAlpha = 0.25;
     /** Auto: symbols per block between kernel re-evaluations. */
     uint32_t autoBlockSymbols = 4096;
+    /**
+     * ⊕ for weighted automata (docs/SCORING.md): how alternative path
+     * scores into one state combine. Ignored (zero-cost) when the bound
+     * automaton carries no weights — unweighted rulesets run the exact
+     * unscored kernels.
+     */
+    ScoreSemiring semiring = ScoreSemiring::MaxPlus;
 };
 
 /** One cycle of recorded activity (when SimOptions::recordTrace). */
@@ -181,6 +189,12 @@ struct SimCheckpoint
 {
     uint64_t symbolOffset = 0;
     std::vector<StateId> enabledStates;
+    /**
+     * Per-state accumulated scores, parallel to enabledStates. Empty for
+     * unweighted automata (and accepted as all-zero on restore into a
+     * weighted one); otherwise the same length as enabledStates.
+     */
+    std::vector<Score> enabledScores;
 };
 
 /**
@@ -273,6 +287,9 @@ class CacheAutomatonSim
 
     const MappedAutomaton &mapped() const { return mapped_; }
 
+    /** True when the bound automaton carries transition weights. */
+    bool scored() const { return scored_; }
+
     /**
      * Point-in-time copy of the per-block kernel-decision counters.
      * Safe to call from another thread while feed() runs (the fields
@@ -282,6 +299,17 @@ class CacheAutomatonSim
     KernelDecisionStats kernelStats() const;
 
   private:
+    /**
+     * The per-symbol steppers, instantiated twice at compile time: the
+     * Scored=false bodies are token-identical to the unscored kernels
+     * (score accumulation is an if-constexpr block), so unweighted
+     * automata pay nothing for the scoring subsystem.
+     */
+    template <bool Scored>
+    void feedSparseImpl(const uint8_t *data, size_t size);
+    template <bool Scored>
+    void feedDenseImpl(const uint8_t *data, size_t size);
+
     /** Executes @p size symbols with the frontier-iterating stepper. */
     void feedSparse(const uint8_t *data, size_t size);
 
@@ -294,6 +322,9 @@ class CacheAutomatonSim
      * this, which is what makes their report streams bit-identical.
      */
     void emitCycleReports();
+
+    /** Scored twin of emitCycleReports (same order, score payloads). */
+    void emitCycleReportsScored();
 
     /** Resolves opts_.kernel against the $CA_SIM_KERNEL override. */
     SimKernel effectiveKernel() const;
@@ -325,6 +356,13 @@ class CacheAutomatonSim
     /** Report flag + id packed: (id << 1) | report. */
     std::vector<uint64_t> report_info_;
 
+    // Scoring tables (built only for weighted automata; empty otherwise).
+    bool scored_ = false;
+    /** Per-edge weights, CSR-parallel to succ_. */
+    std::vector<Weight> succ_w_;
+    /** Per-state start weights. */
+    std::vector<Weight> start_w_;
+
     // Stream state.
     std::vector<StateId> enabled_;
     BitVector enabled_mask_;
@@ -337,6 +375,19 @@ class CacheAutomatonSim
 
     /** States that fired a report this cycle (sorted before emission). */
     std::vector<StateId> cycle_report_scratch_;
+    /** Scored twin: (state, score) pairs, sorted by state before emission. */
+    std::vector<std::pair<StateId, Score>> cycle_report_scored_;
+
+    // Scored-frontier state (allocated only when scored_). Sparse scores
+    // are state-indexed, valid where enabled_mask_ is set; dense scores
+    // are dense-indexed, valid where the frontier bit vector is set.
+    std::vector<Score> score_cur_;
+    std::vector<Score> score_nxt_;
+    std::vector<Score> dense_score_cur_;
+    std::vector<Score> dense_score_nxt_;
+    /** First-write-vs-combine discriminator for dense score targets. */
+    std::vector<uint64_t> dense_score_epoch_;
+    uint64_t dense_epoch_counter_ = 0;
 
     // Dense-kernel precomputation (built lazily: a sparse-only sim pays
     // nothing). Layouts use 4 words = 256 bits per partition, the §2.2

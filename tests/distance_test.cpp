@@ -118,6 +118,29 @@ TEST(Hamming, ZeroDistanceIsExactMatch)
     EXPECT_FALSE(acceptsWhole(nfa, "ACT"));
 }
 
+// k=0 degenerates to exact string match — the k-row lattice collapses to
+// a single row with no mismatch states. Cross-check the whole automaton
+// against the brute-force witness on random candidates so a regression
+// in the degenerate construction (off-by-one in rows, spurious mismatch
+// edges) cannot hide behind the k>=1 property tests.
+TEST(Hamming, ZeroDistanceAgreesWithWitness)
+{
+    Rng rng(0xD0);
+    for (int rep = 0; rep < 10; ++rep) {
+        std::string pattern = randomDna(rng, 4 + rng.below(8));
+        Nfa nfa = hammingNfa(pattern, 0);
+        EXPECT_TRUE(acceptsWhole(nfa, pattern));
+        for (int trial = 0; trial < 20; ++trial) {
+            std::string candidate = rng.chance(0.5)
+                ? mutate(pattern, 1 + static_cast<int>(rng.below(2)), rng)
+                : randomDna(rng, pattern.size());
+            bool want = hammingDistance(pattern, candidate) == 0;
+            EXPECT_EQ(acceptsWhole(nfa, candidate), want)
+                << "pattern " << pattern << " candidate " << candidate;
+        }
+    }
+}
+
 TEST(Hamming, InvalidParamsThrow)
 {
     EXPECT_THROW(hammingNfa("", 0), CaError);
@@ -183,6 +206,38 @@ TEST(Levenshtein, SubstitutionInsertionDeletion)
     EXPECT_TRUE(acceptsWhole(nfa, "AACGT")); // insertion
     EXPECT_TRUE(acceptsWhole(nfa, "ACT"));   // deletion
     EXPECT_FALSE(acceptsWhole(nfa, "AGGA")); // d=2
+}
+
+TEST(Levenshtein, ZeroDistanceIsExactMatch)
+{
+    Nfa nfa = levenshteinNfa("ACGT", 0);
+    EXPECT_TRUE(acceptsWhole(nfa, "ACGT"));
+    EXPECT_FALSE(acceptsWhole(nfa, "ACGA"));  // substitution
+    EXPECT_FALSE(acceptsWhole(nfa, "ACG"));   // deletion
+    EXPECT_FALSE(acceptsWhole(nfa, "AACGT")); // insertion
+}
+
+// k=0 collapses the Levenshtein lattice to one row with no epsilon
+// (deletion) or self-loop (insertion) structure; hold the degenerate
+// automaton to the DP witness exactly, over candidates whose lengths
+// straddle |pattern| so every edit kind is probed.
+TEST(Levenshtein, ZeroDistanceAgreesWithWitness)
+{
+    Rng rng(0x1E0);
+    for (int rep = 0; rep < 10; ++rep) {
+        std::string pattern = randomDna(rng, 4 + rng.below(6));
+        Nfa nfa = levenshteinNfa(pattern, 0);
+        EXPECT_TRUE(acceptsWhole(nfa, pattern));
+        for (int trial = 0; trial < 20; ++trial) {
+            int len = std::max(
+                1, static_cast<int>(pattern.size()) +
+                       static_cast<int>(rng.range(-1, 1)));
+            std::string candidate = randomDna(rng, len);
+            bool want = editDistance(pattern, candidate) == 0;
+            EXPECT_EQ(acceptsWhole(nfa, candidate), want)
+                << "pattern " << pattern << " candidate " << candidate;
+        }
+    }
 }
 
 TEST(Levenshtein, InvalidParamsThrow)

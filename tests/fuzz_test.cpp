@@ -125,8 +125,19 @@ const std::vector<uint8_t> &
 baseArtifact()
 {
     static const std::vector<uint8_t> bytes = [] {
-        MappedAutomaton mapped =
-            mapPerformance(compileRuleset({"ab+c", "[x-z]q"}));
+        Nfa nfa = compileRuleset({"ab+c", "[x-z]q"});
+        // Weight one state's edges so the corpus carries a WGHT section
+        // and weight-payload corruption gets fuzzed too (weightless
+        // artifacts are already covered by persist_test).
+        for (StateId s = 0; s < nfa.numStates(); ++s) {
+            NfaState &st = nfa.state(s);
+            if (st.out.empty())
+                continue;
+            st.outWeight.assign(st.out.size(), 0);
+            st.outWeight[0] = 2;
+            break;
+        }
+        MappedAutomaton mapped = mapPerformance(nfa);
         return persist::packArtifact(mapped, buildConfigImage(mapped));
     }();
     return bytes;
@@ -236,6 +247,12 @@ baseFrameStream()
                     "peers/next.caa");
     net::appendSwapReply(out, 0xbeefull, net::SwapStatus::Failed, 0x11ull,
                          0x22ull, 2, "no such artifact");
+    Report scored;
+    scored.offset = 23;
+    scored.reportId = 1;
+    scored.state = 4;
+    scored.score = -9;
+    net::appendScoredReports(out, 1, &scored, 1);
     net::appendGoodbye(out);
     return out;
 }

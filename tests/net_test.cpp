@@ -14,6 +14,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <filesystem>
@@ -102,6 +103,32 @@ oracleReports(const MappedAutomaton &m, const std::vector<uint8_t> &input)
     return sim.run(input).reports;
 }
 
+/**
+ * sampleMapped()'s ruleset with deterministic nonzero transition/start
+ * weights, for the scored (v4) wire paths. oracleReports() stays the
+ * right oracle: the sim's reports carry exact scores.
+ */
+MappedAutomaton &
+sampleScoredMapped()
+{
+    static MappedAutomaton m = [] {
+        Nfa nfa = compileRuleset({"cat", "do+g", "[hx]at", "m.*n"});
+        Rng rng(0x5C0ED);
+        for (StateId s = 0; s < nfa.numStates(); ++s) {
+            NfaState &st = nfa.state(s);
+            if (st.start != StartType::None)
+                st.startWeight = static_cast<Weight>(rng.range(-2, 2));
+            if (st.out.empty())
+                continue;
+            st.outWeight.assign(st.out.size(), 0);
+            for (Weight &w : st.outWeight)
+                w = static_cast<Weight>(rng.range(-3, 3));
+        }
+        return mapPerformance(nfa);
+    }();
+    return m;
+}
+
 // --- Protocol: golden bytes --------------------------------------------
 
 TEST(Protocol, HelloGoldenBytes)
@@ -113,7 +140,7 @@ TEST(Protocol, HelloGoldenBytes)
         0x0e, 0x00, 0x00, 0x00,                         // payload size 14
         0x01,                                           // HELLO
         0x43, 0x41, 0x4e, 0x50,                         // "CANP"
-        0x03, 0x00,                                     // version 3
+        0x04, 0x00,                                     // version 4
         0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11, // fingerprint
     };
     ASSERT_EQ(out.size(), sizeof(expect));
@@ -156,6 +183,50 @@ TEST(Protocol, ReportsGoldenBytes)
     EXPECT_EQ(0, std::memcmp(out.data(), expect, sizeof(expect)));
 }
 
+TEST(Protocol, ScoredReportsGoldenBytes)
+{
+    std::vector<uint8_t> out;
+    Report r;
+    r.offset = 0x0102030405060708ull;
+    r.reportId = 0x11121314u;
+    r.state = 0x21222324u;
+    r.score = -2; // 0xfffffffffffffffe little-endian on the wire
+    net::appendScoredReports(out, 3, &r, 1);
+    const uint8_t expect[] = {
+        0x20, 0x00, 0x00, 0x00,                         // payload size 32
+        0x11,                                           // SCORED_REPORTS
+        0x03, 0x00, 0x00, 0x00,                         // streamId 3
+        0x01, 0x00, 0x00, 0x00,                         // count 1
+        0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // offset
+        0x14, 0x13, 0x12, 0x11,                         // reportId
+        0x24, 0x23, 0x22, 0x21,                         // state
+        0xfe, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, // score -2
+    };
+    ASSERT_EQ(out.size(), sizeof(expect));
+    EXPECT_EQ(0, std::memcmp(out.data(), expect, sizeof(expect)));
+}
+
+TEST(Protocol, ScoredReportsRoundTripKeepsScores)
+{
+    std::vector<Report> reports(3);
+    for (size_t i = 0; i < reports.size(); ++i) {
+        reports[i].offset = 1000 + i;
+        reports[i].reportId = static_cast<uint32_t>(i);
+        reports[i].state = static_cast<uint32_t>(7 * i);
+        reports[i].score = static_cast<int64_t>(i) * 1'000'000'007 - 5;
+    }
+    std::vector<uint8_t> out;
+    net::appendScoredReports(out, 12, reports.data(), reports.size());
+    FrameDecoder dec;
+    dec.append(out.data(), out.size());
+    std::optional<Frame> f = dec.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->type, FrameType::ScoredReports);
+    EXPECT_EQ(f->streamId, 12u);
+    // Report::operator== covers score, so this is an exact-score check.
+    EXPECT_EQ(f->reportBatch, reports);
+}
+
 TEST(Protocol, GoodbyeGoldenBytes)
 {
     std::vector<uint8_t> out;
@@ -195,6 +266,8 @@ sampleStatsBody()
     b.totals.bytesIn = 54321;
     b.totals.streamSymbols = 99999;
     b.totals.contextSwitches = 17;
+    b.totals.automatonWeighted = 1;
+    b.totals.scoredReportsSent = 55;
     runtime::SessionLiveStats s;
     s.id = 4;
     s.stats.symbols = 1234;
@@ -244,6 +317,8 @@ TEST(Protocol, StatsReplyRoundTripsEveryField)
     EXPECT_EQ(d.totals.bytesIn, 54321u);
     EXPECT_EQ(d.totals.streamSymbols, 99999u);
     EXPECT_EQ(d.totals.contextSwitches, 17u);
+    EXPECT_EQ(d.totals.automatonWeighted, 1u);
+    EXPECT_EQ(d.totals.scoredReportsSent, 55u);
     ASSERT_EQ(d.sessions.size(), 2u);
     EXPECT_EQ(d.sessions[0].id, 4u);
     EXPECT_EQ(d.sessions[0].stats.symbols, 1234u);
@@ -356,6 +431,12 @@ allFramesBytes()
     net::appendSwap(out, 9, 0x1111ull, "/tmp/next.caa");
     net::appendSwapReply(out, 9, net::SwapStatus::Swapped, 0x2222ull,
                          0x1111ull, 5, "");
+    Report scored;
+    scored.offset = 321;
+    scored.reportId = 2;
+    scored.state = 40;
+    scored.score = -17;
+    net::appendScoredReports(out, 1, &scored, 1);
     return out;
 }
 
@@ -369,7 +450,7 @@ TEST(Protocol, EncodeDecodeRoundTripsEveryType)
     std::optional<Frame> f;
     while ((f = dec.next()))
         frames.push_back(std::move(*f));
-    ASSERT_EQ(frames.size(), 16u);
+    ASSERT_EQ(frames.size(), 17u);
     EXPECT_EQ(dec.buffered(), 0u);
 
     EXPECT_EQ(frames[0].type, FrameType::Hello);
@@ -442,6 +523,11 @@ TEST(Protocol, EncodeDecodeRoundTripsEveryType)
     EXPECT_EQ(frames[15].oldFingerprint, 0x2222ull);
     EXPECT_EQ(frames[15].newFingerprint, 0x1111ull);
     EXPECT_EQ(frames[15].epoch, 5u);
+
+    EXPECT_EQ(frames[16].type, FrameType::ScoredReports);
+    ASSERT_EQ(frames[16].reportBatch.size(), 1u);
+    EXPECT_EQ(frames[16].reportBatch[0].offset, 321u);
+    EXPECT_EQ(frames[16].reportBatch[0].score, -17);
 }
 
 TEST(Protocol, ByteAtATimeFeedingDecodesIdentically)
@@ -454,7 +540,7 @@ TEST(Protocol, ByteAtATimeFeedingDecodesIdentically)
         while (dec.next())
             ++decoded;
     }
-    EXPECT_EQ(decoded, 16u);
+    EXPECT_EQ(decoded, 17u);
     EXPECT_EQ(dec.buffered(), 0u);
 }
 
@@ -475,7 +561,7 @@ TEST(Protocol, TruncationSweepNeverThrows)
             while (dec.next())
                 ++decoded;
         }) << "prefix of " << cut << " bytes";
-        EXPECT_LT(decoded, 16u);
+        EXPECT_LT(decoded, 17u);
     }
 }
 
@@ -682,6 +768,89 @@ TEST(NetE2E, EmptyStreamYieldsNoReports)
     EXPECT_EQ(sum.reports, 0u);
     EXPECT_TRUE(client.takeReports(id).empty());
     client.close();
+}
+
+// --- End-to-end: scored reports (protocol v4) --------------------------
+
+TEST(NetE2E, ScoredReportsReachV4Clients)
+{
+    MappedAutomaton &m = sampleScoredMapped();
+    ASSERT_TRUE(m.nfa().hasWeights());
+    MatchServer server(m);
+    MatchClient client;
+    client.connect("127.0.0.1", server.port());
+    uint32_t id = client.openStream();
+    auto input = sampleInput(16 << 10, 0x5C0E);
+    client.send(id, input);
+    client.closeStream(id);
+    auto got = client.takeReports(id);
+    client.close();
+
+    auto expect = oracleReports(m, input);
+    ASSERT_FALSE(expect.empty());
+    EXPECT_TRUE(std::any_of(expect.begin(), expect.end(),
+                            [](const Report &r) { return r.score != 0; }));
+    // Report::operator== covers score: exact scores over the wire.
+    EXPECT_EQ(got, expect);
+
+    server.stop();
+    EXPECT_EQ(server.stats().scoredReportsSent, expect.size());
+    EXPECT_EQ(server.stats().protocolErrors, 0u);
+}
+
+TEST(NetE2E, V3ClientGetsPlainReportsFromScoredServer)
+{
+    MappedAutomaton &m = sampleScoredMapped();
+    MatchServer server(m);
+
+    // A raw v3 peer: HELLO pinned to version 3, one full stream.
+    auto input = sampleInput(4 << 10, 0xA53);
+    net::SocketFd fd = net::connectTcp("127.0.0.1", server.port(), 2000);
+    std::vector<uint8_t> bytes;
+    net::appendHello(bytes, 0, /*version=*/3);
+    net::appendOpenStream(bytes, 1);
+    net::appendData(bytes, 1, input.data(), input.size());
+    net::appendCloseStream(bytes, 1);
+    ASSERT_TRUE(net::sendAll(fd.get(), bytes.data(), bytes.size(), 2000));
+
+    FrameDecoder dec;
+    uint8_t buf[4096];
+    std::vector<Report> got;
+    bool saw_hello = false, closed = false;
+    for (int i = 0; i < 100 && !closed; ++i) {
+        long n = net::recvSome(fd.get(), buf, sizeof(buf), 200);
+        if (n == 0 || n == -2)
+            break;
+        if (n < 0)
+            continue;
+        dec.append(buf, static_cast<size_t>(n));
+        std::optional<Frame> f;
+        while ((f = dec.next())) {
+            // A downgraded session must never see v4-only frames.
+            EXPECT_NE(f->type, FrameType::ScoredReports);
+            if (f->type == FrameType::Hello) {
+                saw_hello = true;
+                EXPECT_EQ(f->version, 3u); // server echoes the downgrade
+            } else if (f->type == FrameType::Reports) {
+                got.insert(got.end(), f->reportBatch.begin(),
+                           f->reportBatch.end());
+            } else if (f->type == FrameType::CloseStream) {
+                closed = true;
+            }
+        }
+    }
+    fd.close();
+    EXPECT_TRUE(saw_hello);
+    EXPECT_TRUE(closed);
+
+    // Plain REPORTS rows drop the score but nothing else: equal to the
+    // scored oracle's report set with scores zeroed.
+    std::vector<Report> expect = oracleReports(m, input);
+    for (Report &r : expect)
+        r.score = 0;
+    EXPECT_EQ(got, expect);
+    server.stop();
+    EXPECT_EQ(server.stats().protocolErrors, 0u);
 }
 
 TEST(NetE2E, TinySessionQueueBackpressureStaysDeterministic)

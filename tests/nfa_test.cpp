@@ -44,6 +44,28 @@ TEST(Nfa, DedupeEdges)
     EXPECT_EQ(nfa.numTransitions(), 1u);
 }
 
+// Regression: a state's *first* edge carrying a nonzero weight must
+// materialize the weight vector — an earlier version backfilled zeros
+// before the push and silently dropped the weight.
+TEST(Nfa, FirstWeightedEdgeKeepsItsWeight)
+{
+    Nfa nfa = chain(3);
+    Nfa fresh;
+    StateId a = fresh.addState(nfa.state(0).label, StartType::AllInput);
+    StateId b = fresh.addState(nfa.state(1).label);
+    StateId c = fresh.addState(nfa.state(2).label);
+    fresh.addTransition(a, b, 2);  // first edge of a: nonzero weight
+    fresh.addTransition(a, c, -1);
+    fresh.addTransition(b, c, 0);  // zero stays unmaterialized
+    EXPECT_EQ(fresh.edgeWeight(a, 0), 2);
+    EXPECT_EQ(fresh.edgeWeight(a, 1), -1);
+    EXPECT_TRUE(fresh.state(b).outWeight.empty());
+    EXPECT_TRUE(fresh.hasWeights());
+    fresh.dedupeEdges();
+    EXPECT_EQ(fresh.edgeWeight(a, 0), 2);
+    EXPECT_EQ(fresh.edgeWeight(a, 1), -1);
+}
+
 TEST(Nfa, PredecessorsLazyAndCorrect)
 {
     Nfa nfa = chain(4);

@@ -39,6 +39,7 @@
 #include "nfa/glushkov.h"
 #include "persist/artifact.h"
 #include "persist/cache.h"
+#include "score/oracle.h"
 #include "sim/engine.h"
 #include "telemetry/telemetry.h"
 #include "workload/suite.h"
@@ -213,6 +214,21 @@ cmdInspect(const Args &args)
                 d.g4WiresPerPartition, d.operatingFreqHz / 1e9);
     std::printf("automaton: %zu states, %zu transitions, %zu reports\n",
                 ns.numStates, ns.numTransitions, ns.numReportStates);
+    if (mapped.nfa().hasWeights()) {
+        size_t weighted_edges = 0, weighted_starts = 0;
+        for (const NfaState &st : mapped.nfa().states()) {
+            for (Weight w : st.outWeight)
+                if (w != 0)
+                    ++weighted_edges;
+            if (st.startWeight != 0)
+                ++weighted_starts;
+        }
+        std::printf("scoring:   weighted (%zu weighted edges, %zu weighted "
+                    "starts)\n",
+                    weighted_edges, weighted_starts);
+    } else {
+        std::printf("scoring:   unweighted\n");
+    }
     std::printf("mapping:   %zu partitions, %.3f MB, %zu intra / %zu G1 / "
                 "%zu G4 edges\n",
                 st.partitions, st.utilizationMB, st.intraPartitionEdges,
@@ -264,8 +280,17 @@ cmdVerify(const Args &args)
         b = rng.byte();
     CacheAutomatonSim sim(loaded.automaton);
     SimResult res = sim.run(input);
-    NfaEngine oracle(loaded.automaton->nfa());
-    std::vector<Report> expect = oracle.run(input);
+    // Weighted artifacts restore scoring, so the sim's reports carry
+    // scores; hold them to the scored oracle (exact-score contract)
+    // rather than the boolean one, whose scores are all zero.
+    std::vector<Report> expect;
+    if (loaded.automaton->nfa().hasWeights()) {
+        ScoredOracle oracle(loaded.automaton->nfa());
+        expect = oracle.run(input);
+    } else {
+        NfaEngine oracle(loaded.automaton->nfa());
+        expect = oracle.run(input);
+    }
     if (res.reports != expect) {
         std::fprintf(stderr,
                      "verify: restored sim reports diverge from oracle "

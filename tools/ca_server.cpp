@@ -256,6 +256,9 @@ renderStatsPage(const net::MatchServer &server)
     counter("ca_net_bytes_in_total", t.bytesIn);
     counter("ca_net_bytes_out_total", t.bytesOut);
     counter("ca_net_reports_sent_total", t.reportsSent);
+    counter("ca_net_scored_reports_sent_total", t.scoredReportsSent);
+    gauge("ca_server_automaton_weighted",
+          static_cast<double>(t.automatonWeighted));
     counter("ca_net_protocol_errors_total", t.protocolErrors);
     counter("ca_net_idle_timeouts_total", t.idleTimeouts);
     counter("ca_net_write_timeouts_total", t.writeTimeouts);
@@ -625,9 +628,11 @@ run(const Args &args)
                 static_cast<unsigned long long>(n.bytesIn),
                 static_cast<unsigned long long>(n.framesOut),
                 static_cast<unsigned long long>(n.bytesOut));
-    std::printf("reports:     %llu sent; errors: %llu protocol, "
-                "%llu idle, %llu write, %llu slow-consumer\n",
+    std::printf("reports:     %llu sent (%llu scored); errors: "
+                "%llu protocol, %llu idle, %llu write, %llu "
+                "slow-consumer\n",
                 static_cast<unsigned long long>(n.reportsSent),
+                static_cast<unsigned long long>(n.scoredReportsSent),
                 static_cast<unsigned long long>(n.protocolErrors),
                 static_cast<unsigned long long>(n.idleTimeouts),
                 static_cast<unsigned long long>(n.writeTimeouts),

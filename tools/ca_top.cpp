@@ -102,9 +102,10 @@ render(const net::StatsReplyBody &b, const net::StatsReplyBody &prev,
     else if (!b.telemetryEnabled)
         std::printf("   [telemetry disabled]");
     std::printf("\n");
-    std::printf("automaton     fingerprint %016llx, epoch %llu",
+    std::printf("automaton     fingerprint %016llx, epoch %llu%s",
                 static_cast<unsigned long long>(t.automatonFp),
-                static_cast<unsigned long long>(t.epoch));
+                static_cast<unsigned long long>(t.epoch),
+                t.automatonWeighted ? ", weighted" : "");
     if (t.epochsDraining)
         std::printf(" (+%llu draining)",
                     static_cast<unsigned long long>(t.epochsDraining));
@@ -134,6 +135,10 @@ render(const net::StatsReplyBody &b, const net::StatsReplyBody &prev,
                 static_cast<unsigned long long>(t.streamsClosed),
                 static_cast<unsigned long long>(t.slices),
                 static_cast<unsigned long long>(t.contextSwitches));
+    if (t.automatonWeighted)
+        std::printf("scoring       scored reports sent %s\n",
+                    human(static_cast<double>(t.scoredReportsSent))
+                        .c_str());
     std::printf("errors        protocol %llu, idle %llu, write %llu, "
                 "slow-consumer %llu\n",
                 static_cast<unsigned long long>(t.protocolErrors),
